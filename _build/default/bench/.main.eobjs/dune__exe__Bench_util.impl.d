@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Engine Float Hashtbl Measure Printf Registry Rng Staged String Test Tester Time Tool Toolkit

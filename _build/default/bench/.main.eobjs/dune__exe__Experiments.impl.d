@@ -1,0 +1,1 @@
+bench/experiments.ml: Bench_util C11 Engine Hashtbl Jsbench_lite List Memorder Option Printf Pruner Registry Rng Schedule Stats Tester Tool Variant

@@ -1,0 +1,1 @@
+bench/fig14.ml: Atomic Bench_util C11 Condition Domain Engine Fiber List Mutex Op Printf Thread Tool

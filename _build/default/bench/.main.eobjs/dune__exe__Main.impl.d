@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Experiments Fig14 List Printf String Sys

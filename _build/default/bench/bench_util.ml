@@ -1,0 +1,61 @@
+(* Shared helpers for the benchmark harness: Bechamel-based per-run time
+   estimation and table formatting. *)
+
+let quota = ref 0.4 (* seconds of sampling per Bechamel measurement *)
+
+(* Estimate the wall-clock seconds one call of [f] takes, by OLS over
+   Bechamel samples. *)
+let seconds_per_run ~name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second !quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimates = Hashtbl.fold (fun _ v acc -> v :: acc) results [] in
+  match estimates with
+  | [ est ] -> (
+    match Analyze.OLS.estimates est with
+    | Some (ns :: _) -> ns /. 1e9
+    | Some [] | None -> nan)
+  | _ -> nan
+
+(* One execution of a workload under a tool, with a per-call fresh seed. *)
+let workload_runner ?(max_steps = 400_000) ~tool ~variant ~scale
+    (w : Registry.t) =
+  let config = Tool.config ~max_steps tool in
+  let seeder = Rng.create 424242L in
+  fun () ->
+    let seed = Rng.next_int64 seeder in
+    ignore (Engine.run { config with Engine.seed } (w.Registry.run ~variant ~scale))
+
+let detection_rate ?(max_steps = 150_000) ~tool ~iters ~variant ~scale
+    (w : Registry.t) =
+  let config = Tool.config ~max_steps tool in
+  let s = Tester.run ~config ~iters (w.Registry.run ~variant ~scale) in
+  (Tester.detection_rate s, s)
+
+let hr () = print_endline (String.make 78 '-')
+
+let header title =
+  print_newline ();
+  hr ();
+  Printf.printf "%s\n" title;
+  hr ()
+
+let pp_seconds s =
+  if Float.is_nan s then "n/a"
+  else if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let find_workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None -> failwith ("unknown workload " ^ name)

@@ -1,0 +1,385 @@
+(* The evaluation harness: one entry per table and figure of the paper's
+   Section 8 (plus Figure 4 and a pruning ablation).  Paper-reported
+   numbers are quoted in each header so the shape can be compared at a
+   glance; EXPERIMENTS.md records a full run. *)
+
+let table2_iters = ref 500
+let sec81_iters = ref 1000
+let table1_runs = ref 10
+
+let tools = [ Tool.C11tester; Tool.Tsan11rec; Tool.Tsan11 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: scheduling bias with and without consecutive-store batching *)
+
+let fig4 () =
+  Bench_util.header
+    "Figure 4: bias of a purely randomized scheduler (threadA: x=1;x=2 | \
+     threadB: r1=x).  With batching r1=1 and r1=2 are equally likely.";
+  let experiment ~batch =
+    let config =
+      {
+        (Tool.config Tool.C11tester) with
+        Engine.sched = Schedule.Controlled_random { batch_stores = batch };
+      }
+    in
+    let r1 = ref 0 in
+    let program () =
+      let x = C11.Atomic.make 0 in
+      let ta =
+        C11.Thread.spawn (fun () ->
+            C11.Atomic.store ~mo:Memorder.Relaxed x 1;
+            C11.Atomic.store ~mo:Memorder.Relaxed x 2)
+      in
+      let tb =
+        C11.Thread.spawn (fun () ->
+            r1 := C11.Atomic.load ~mo:Memorder.Relaxed x)
+      in
+      C11.Thread.join ta;
+      C11.Thread.join tb;
+      !r1
+    in
+    let _, hist = Tester.run_collect ~config ~iters:10_000 program in
+    let count v = try List.assoc v hist with Not_found -> 0 in
+    (count 0, count 1, count 2)
+  in
+  Printf.printf "%-22s %8s %8s %8s\n" "scheduler" "r1=0" "r1=1" "r1=2";
+  let z, o, t = experiment ~batch:true in
+  Printf.printf "%-22s %8d %8d %8d\n" "with store batching" z o t;
+  let z, o, t = experiment ~batch:false in
+  Printf.printf "%-22s %8d %8d %8d\n%!" "purely randomized" z o t
+
+(* ------------------------------------------------------------------ *)
+(* Section 8.1: injected bugs in seqlock and the reader-writer lock *)
+
+let sec8_1 () =
+  Bench_util.header
+    (Printf.sprintf
+       "Section 8.1: injected-bug detection over %d runs (paper: c11tester \
+        28.8%% / 55.3%%, tsan11 and tsan11rec 0%% in 10,000 runs)"
+       !sec81_iters);
+  Printf.printf "%-10s %12s %12s %12s\n" "benchmark" "c11tester" "tsan11rec"
+    "tsan11";
+  List.iter
+    (fun name ->
+      let w = Bench_util.find_workload name in
+      Printf.printf "%-10s" name;
+      List.iter
+        (fun tool ->
+          let rate, _ =
+            Bench_util.detection_rate ~tool ~iters:!sec81_iters
+              ~variant:Variant.Buggy ~scale:w.Registry.default_scale w
+          in
+          Printf.printf " %10.1f%%" rate)
+        [ Tool.C11tester; Tool.Tsan11rec; Tool.Tsan11 ];
+      print_newline ())
+    [ "seqlock"; "rwlock" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: application benchmark performance *)
+
+let app_names = [ "silo"; "gdax"; "mabain"; "iris"; "jsbench" ]
+
+let table1_data () =
+  List.map
+    (fun name ->
+      let w = Bench_util.find_workload name in
+      let per_tool =
+        List.map
+          (fun tool ->
+            let runner =
+              Bench_util.workload_runner ~tool ~variant:Variant.Buggy
+                ~scale:w.Registry.bench_scale w
+            in
+            let times = Stats.sample !table1_runs runner in
+            (tool, times))
+          tools
+      in
+      (name, per_tool))
+    app_names
+
+let print_table1 data =
+  Bench_util.header
+    (Printf.sprintf
+       "Table 1: application benchmarks, wall time per run over %d runs, \
+        mean (relative stddev).  Paper shape: c11tester ~15x faster than \
+        tsan11rec, ~1.6x slower than tsan11."
+       !table1_runs);
+  Printf.printf "%-10s %20s %20s %20s\n" "app" "c11tester" "tsan11rec" "tsan11";
+  List.iter
+    (fun (name, per_tool) ->
+      Printf.printf "%-10s" name;
+      List.iter
+        (fun tool ->
+          let times = List.assoc tool per_tool in
+          Printf.printf " %12s (%5.1f%%)"
+            (Bench_util.pp_seconds (Stats.mean times))
+            (Stats.rsd_percent times))
+        tools;
+      print_newline ())
+    data
+
+let table1 () = print_table1 (table1_data ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: speedups relative to tsan11, geometric mean *)
+
+let fig15 () =
+  let data = table1_data () in
+  Bench_util.header
+    "Figure 15: speedup of each tool relative to tsan11 (geometric mean \
+     over the five applications; >1 = faster than tsan11)";
+  let speedups tool =
+    List.map
+      (fun (_, per_tool) ->
+        let t = Stats.mean (List.assoc tool per_tool) in
+        let base = Stats.mean (List.assoc Tool.Tsan11 per_tool) in
+        base /. t)
+      data
+  in
+  List.iter
+    (fun tool ->
+      Printf.printf "%-10s geomean speedup vs tsan11: %6.2fx\n"
+        (Tool.name tool)
+        (Stats.geomean (speedups tool)))
+    tools;
+  let c11 = Stats.geomean (speedups Tool.C11tester) in
+  let t11rec = Stats.geomean (speedups Tool.Tsan11rec) in
+  Printf.printf
+    "=> c11tester is %.1fx faster than tsan11rec (paper: 14.9x single-core, \
+     11.1x all-core)\n%!"
+    (c11 /. t11rec)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: data structure benchmarks — time and detection rate *)
+
+let ds_names =
+  [
+    "barrier";
+    "chase-lev-deque";
+    "dekker-fences";
+    "linuxrwlocks";
+    "mcs-lock";
+    "mpmc-queue";
+    "ms-queue";
+  ]
+
+let table2_data () =
+  List.map
+    (fun name ->
+      let w = Bench_util.find_workload name in
+      let per_tool =
+        List.map
+          (fun tool ->
+            let rate, _ =
+              Bench_util.detection_rate ~tool ~iters:!table2_iters
+                ~variant:Variant.Buggy ~scale:w.Registry.default_scale w
+            in
+            let time =
+              Bench_util.seconds_per_run
+                ~name:(name ^ "/" ^ Tool.name tool)
+                (Bench_util.workload_runner ~max_steps:150_000 ~tool
+                   ~variant:Variant.Buggy ~scale:w.Registry.default_scale w)
+            in
+            (tool, time, rate))
+          tools
+      in
+      (name, per_tool))
+    ds_names
+
+let print_table2 data =
+  Bench_util.header
+    (Printf.sprintf
+       "Table 2: data-structure benchmarks over %d runs: time per execution \
+        and race detection rate.  Paper averages: c11tester 75.4%%, \
+        tsan11rec 51.5%%, tsan11 22.3%%; chase-lev found only by c11tester; \
+        ms-queue 100%% everywhere."
+       !table2_iters);
+  Printf.printf "%-16s | %15s | %15s | %15s\n" "benchmark" "c11tester"
+    "tsan11rec" "tsan11";
+  Printf.printf "%-16s | %7s %7s | %7s %7s | %7s %7s\n" "" "time" "rate" "time"
+    "rate" "time" "rate";
+  let sums = Hashtbl.create 3 in
+  List.iter
+    (fun (name, per_tool) ->
+      Printf.printf "%-16s |" name;
+      List.iter
+        (fun (tool, time, rate) ->
+          Hashtbl.replace sums tool
+            (rate +. Option.value ~default:0.0 (Hashtbl.find_opt sums tool));
+          Printf.printf " %7s %6.1f%% |" (Bench_util.pp_seconds time) rate)
+        per_tool;
+      print_newline ())
+    data;
+  Printf.printf "%-16s |" "Average rate";
+  List.iter
+    (fun tool ->
+      let avg =
+        Option.value ~default:0.0 (Hashtbl.find_opt sums tool)
+        /. float_of_int (List.length data)
+      in
+      Printf.printf " %7s %6.1f%% |" "" avg)
+    tools;
+  print_newline ()
+
+let table2 () = print_table2 (table2_data ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: performance comparison for the data-structure suite
+   (same data as Table 2 rendered as relative series) *)
+
+let fig16 () =
+  let data = table2_data () in
+  Bench_util.header
+    "Figure 16: data-structure benchmarks — execution time relative to \
+     c11tester (bars >1 = slower than c11tester) and detection rates";
+  Printf.printf "%-16s %12s %12s %12s\n" "benchmark" "c11tester" "tsan11rec"
+    "tsan11";
+  List.iter
+    (fun (name, per_tool) ->
+      let base =
+        match per_tool with (_, t, _) :: _ -> t | [] -> nan
+      in
+      Printf.printf "%-16s" name;
+      List.iter
+        (fun (_, time, rate) ->
+          Printf.printf "  %5.2fx/%4.0f%%" (time /. base) rate)
+        per_tool;
+      print_newline ())
+    data
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: operation counts per application under c11tester *)
+
+let table3 () =
+  Bench_util.header
+    "Table 3: shared-memory accesses executed per run under c11tester \
+     (paper shape: non-atomic accesses dominate every application; \
+     jsbench has the most non-atomics)";
+  Printf.printf "%-10s %16s %16s\n" "app" "# normal" "# atomic";
+  List.iter
+    (fun name ->
+      let w = Bench_util.find_workload name in
+      let config = Tool.config Tool.C11tester in
+      let o =
+        Engine.run config
+          (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.bench_scale)
+      in
+      Printf.printf "%-10s %16d %16d\n%!" name o.Engine.na_ops
+        o.Engine.atomic_ops)
+    app_names
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: per-benchmark JSBench detail *)
+
+let table4 () =
+  Bench_util.header
+    "Table 4: individual JSBench sub-benchmarks — time per run and access \
+     counts under each tool (paper shape: tsan11 < c11tester < tsan11rec, \
+     per-benchmark ranking follows workload weight)";
+  Printf.printf "%-22s %10s %10s %10s %12s %10s\n" "benchmark" "tsan11"
+    "tsan11rec" "c11tester" "# na" "# atomic";
+  let scale = 4 in
+  List.iter
+    (fun name ->
+      let seconds tool =
+        let config = Tool.config tool in
+        let seeder = Rng.create 7L in
+        Bench_util.seconds_per_run ~name:(name ^ "/" ^ Tool.name tool)
+          (fun () ->
+            let seed = Rng.next_int64 seeder in
+            ignore
+              (Engine.run { config with Engine.seed }
+                 (Jsbench_lite.run_benchmark ~scale name)))
+      in
+      let t_tsan11 = seconds Tool.Tsan11 in
+      let t_tsan11rec = seconds Tool.Tsan11rec in
+      let t_c11 = seconds Tool.C11tester in
+      let o =
+        Engine.run (Tool.config Tool.C11tester)
+          (Jsbench_lite.run_benchmark ~scale name)
+      in
+      Printf.printf "%-22s %10s %10s %10s %12d %10d\n%!" name
+        (Bench_util.pp_seconds t_tsan11)
+        (Bench_util.pp_seconds t_tsan11rec)
+        (Bench_util.pp_seconds t_c11)
+        o.Engine.na_ops o.Engine.atomic_ops)
+    Jsbench_lite.names
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler ablation: detection rates of the pluggable strategies
+   (Section 3's "pluggable framework for testing algorithms") *)
+
+let sched () =
+  Bench_util.header
+    "Scheduler ablation: race detection rate of each scheduling plugin on \
+     the data-structure suite (full c11tester memory model everywhere)";
+  let strategies =
+    [
+      ("random+batching", Schedule.Controlled_random { batch_stores = true });
+      ("random", Schedule.Controlled_random { batch_stores = false });
+      ("pct(100)", Schedule.Priority { change_points = 100 });
+      ("bursty(32)", Schedule.Bursty { mean_burst = 32 });
+      ("round-robin", Schedule.Round_robin);
+    ]
+  in
+  Printf.printf "%-16s" "benchmark";
+  List.iter (fun (n, _) -> Printf.printf " %16s" n) strategies;
+  print_newline ();
+  let iters = max 100 (!table2_iters / 2) in
+  List.iter
+    (fun name ->
+      let w = Bench_util.find_workload name in
+      Printf.printf "%-16s" name;
+      List.iter
+        (fun (_, sched) ->
+          let config =
+            { (Tool.config ~max_steps:150_000 Tool.C11tester) with Engine.sched }
+          in
+          let s =
+            Tester.run ~config ~iters
+              (w.Registry.run ~variant:Variant.Buggy
+                 ~scale:w.Registry.default_scale)
+          in
+          Printf.printf " %15.1f%%" (Tester.detection_rate s))
+        strategies;
+      print_newline ())
+    ds_names
+
+(* ------------------------------------------------------------------ *)
+(* Pruning ablation (Section 7.1; no table in the paper) *)
+
+let prune () =
+  Bench_util.header
+    "Pruning ablation (Section 7.1): execution-graph footprint on a long \
+     producer/consumer run under the three memory policies";
+  let rounds = 3000 in
+  let program () =
+    let x = C11.Atomic.make 0 in
+    let producer =
+      C11.Thread.spawn (fun () ->
+          for i = 1 to rounds do
+            C11.Atomic.store ~mo:Memorder.Release x i
+          done)
+    in
+    for _ = 1 to rounds do
+      ignore (C11.Atomic.load ~mo:Memorder.Acquire x)
+    done;
+    C11.Thread.join producer
+  in
+  Printf.printf "%-28s %10s %10s %10s %10s\n" "policy" "peak" "final" "pruned"
+    "time";
+  List.iter
+    (fun (name, prune) ->
+      let config = Tool.config ~prune Tool.C11tester in
+      let (o : Engine.outcome), dt =
+        Stats.timed (fun () -> Engine.run { config with Engine.seed = 11L } program)
+      in
+      Printf.printf "%-28s %10d %10d %10d %10s\n%!" name o.Engine.max_graph_size
+        o.Engine.final_footprint o.Engine.pruned_stores
+        (Bench_util.pp_seconds dt))
+    [
+      ("no pruning", Pruner.No_prune);
+      ("conservative (interval 64)", Pruner.Conservative { interval = 64 });
+      ("aggressive (window 256)", Pruner.Aggressive { window = 256; interval = 64 });
+    ]

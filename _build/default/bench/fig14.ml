@@ -1,0 +1,121 @@
+(* Figure 14: context-switch costs of the scheduling-control mechanisms.
+
+   The paper compares kernel-thread handoff (pthread condvar, futex,
+   spinning, spinning+yield) with fiber switching (swapcontext,
+   setjmp/longjmp, each with and without the TLS system call) on x86.
+
+   The OCaml analogues measured here:
+   - "condvar handoff"   — two systhreads ping-pong under Mutex/Condition
+                           (the pthread-condvar row);
+   - "domain spin"       — two domains ping-pong on an Atomic with a busy
+                           spin (the spinning row; OCaml domains are kernel
+                           threads, and the machine decides core placement);
+   - "domain spin+relax" — same with Domain.cpu_relax in the loop (the
+                           spinning-with-yield row);
+   - "effect fiber"      — two effect-handler fibers resumed alternately
+                           from a trampoline (the swapcontext/setjmp row:
+                           this is exactly the mechanism the engine uses);
+   - "fiber + scheduler" — a fiber switch going through the engine's full
+                           scheduling machinery (pick + interpret + resume),
+                           i.e. the practical per-visible-op cost.
+
+   Times are per one-way switch. *)
+
+let switches = 2_000
+
+(* --- systhreads + condvar ------------------------------------------- *)
+
+let condvar_handoff () =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let turn = ref 0 in
+  let rounds = switches / 2 in
+  let body me () =
+    for _ = 1 to rounds do
+      Mutex.lock m;
+      while !turn <> me do
+        Condition.wait c m
+      done;
+      turn := 1 - me;
+      Condition.signal c;
+      Mutex.unlock m
+    done
+  in
+  let t1 = Thread.create (body 0) () in
+  let t2 = Thread.create (body 1) () in
+  Thread.join t1;
+  Thread.join t2
+
+(* --- domains + spinning --------------------------------------------- *)
+
+let domain_spin ~relax () =
+  let turn = Atomic.make 0 in
+  let rounds = switches / 2 in
+  let body me () =
+    for _ = 1 to rounds do
+      while Atomic.get turn <> me do
+        if relax then Domain.cpu_relax ()
+      done;
+      Atomic.set turn (1 - me)
+    done
+  in
+  let d1 = Domain.spawn (body 0) in
+  let d2 = Domain.spawn (body 1) in
+  Domain.join d1;
+  Domain.join d2
+
+(* --- effect fibers ---------------------------------------------------- *)
+
+let fiber_pingpong () =
+  let mk () =
+    Fiber.start (fun () ->
+        for _ = 1 to switches / 2 do
+          ignore (Fiber.perform Op.Yield)
+        done)
+  in
+  let rec drive a b =
+    match a with
+    | Fiber.Paused (_, k) -> drive b (Fiber.resume k 0)
+    | Fiber.Done | Fiber.Raised _ -> (
+      match b with
+      | Fiber.Paused (_, k) -> drive (Fiber.resume k 0) Fiber.Done
+      | _ -> ())
+  in
+  drive (mk ()) (mk ())
+
+(* --- full engine scheduling step -------------------------------------- *)
+
+let engine_switch () =
+  let config = Tool.config Tool.C11tester in
+  ignore
+    (Engine.run config (fun () ->
+         let body () =
+           for _ = 1 to switches / 2 do
+             C11.Thread.yield ()
+           done
+         in
+         let t1 = C11.Thread.spawn body in
+         let t2 = C11.Thread.spawn body in
+         C11.Thread.join t1;
+         C11.Thread.join t2))
+
+let run () =
+  Bench_util.header
+    "Figure 14: context switch costs (per one-way switch; paper: condvar \
+     1.95us, spin 0.07us/all-core, swapcontext 0.34us, setjmp 0.01us)";
+  let per_switch total = total /. float_of_int switches in
+  let rows =
+    [
+      ("pthread condvar handoff", condvar_handoff);
+      ("domain spin", domain_spin ~relax:false);
+      ("domain spin + cpu_relax", domain_spin ~relax:true);
+      ("effect fiber switch", fiber_pingpong);
+      ("fiber + full scheduler step", engine_switch);
+    ]
+  in
+  Printf.printf "%-30s %12s\n" "mechanism" "per switch";
+  List.iter
+    (fun (name, f) ->
+      let t = Bench_util.seconds_per_run ~name f in
+      Printf.printf "%-30s %12s\n%!" name (Bench_util.pp_seconds (per_switch t)))
+    rows

@@ -1,0 +1,63 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation:
+
+     dune exec bench/main.exe                 # everything (full run)
+     dune exec bench/main.exe -- table2 fig4  # selected experiments
+     dune exec bench/main.exe -- --quick      # smaller iteration counts
+
+   Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
+   table4 prune. *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("fig4", Experiments.fig4);
+    ("fig14", Fig14.run);
+    ("sec8_1", Experiments.sec8_1);
+    ("table1", Experiments.table1);
+    ("fig15", Experiments.fig15);
+    ("table2", Experiments.table2);
+    ("fig16", Experiments.fig16);
+    ("table3", Experiments.table3);
+    ("table4", Experiments.table4);
+    ("prune", Experiments.prune);
+    ("sched", Experiments.sched);
+  ]
+
+let usage () =
+  Printf.printf "usage: main.exe [--quick] [experiment ...]\nexperiments:\n";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  if quick then begin
+    Experiments.table2_iters := 150;
+    Experiments.sec81_iters := 300;
+    Experiments.table1_runs := 5;
+    Bench_util.quota := 0.2
+  end;
+  if List.mem "--help" args then usage ()
+  else begin
+    let todo =
+      match selected with
+      | [] -> experiments
+      | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+              usage ();
+              failwith ("unknown experiment " ^ n))
+          names
+    in
+    Printf.printf
+      "C11Tester reproduction benchmark harness (%d experiments%s)\n"
+      (List.length todo)
+      (if quick then ", quick mode" else "");
+    List.iter (fun (_, f) -> f ()) todo
+  end

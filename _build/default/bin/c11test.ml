@@ -1,0 +1,179 @@
+(* c11test — command-line front end.
+
+   Subcommands:
+     run    — repeatedly test a workload under a tool and report races,
+              assertion failures and detection rates
+     litmus — explore a litmus test's outcome histogram
+     list   — list available workloads and litmus tests *)
+
+open Cmdliner
+
+let tool_conv =
+  let parse s =
+    match Tool.of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown tool %S" s))
+  in
+  Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Tool.name t))
+
+let tool_arg =
+  let doc = "Tool to test under: c11tester, tsan11rec or tsan11." in
+  Arg.(value & opt tool_conv Tool.C11tester & info [ "t"; "tool" ] ~doc)
+
+let iters_arg =
+  let doc = "Number of executions." in
+  Arg.(value & opt int 100 & info [ "n"; "iters" ] ~doc)
+
+let seed_arg =
+  let doc = "Base random seed (executions derive their own from it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let scale_arg =
+  let doc = "Workload scale override (operations per thread)." in
+  Arg.(value & opt (some int) None & info [ "scale" ] ~doc)
+
+let buggy_arg =
+  let doc = "Run the seeded-bug variant (default) or the correct one." in
+  Arg.(value & opt bool true & info [ "buggy" ] ~doc)
+
+let prune_arg =
+  let doc =
+    "Execution-graph pruning: none, conservative or aggressive (Section 7.1)."
+  in
+  Arg.(value & opt string "none" & info [ "prune" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print each distinct race report." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record the last N memory actions of the first buggy execution and \
+     print them."
+  in
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+
+let prune_of_string = function
+  | "none" -> Ok Pruner.No_prune
+  | "conservative" -> Ok (Pruner.Conservative { interval = 64 })
+  | "aggressive" -> Ok (Pruner.Aggressive { window = 4096; interval = 64 })
+  | s -> Error (Printf.sprintf "unknown pruning policy %S" s)
+
+let run_cmd =
+  let workload_arg =
+    let doc = "Workload name (see `c11test list')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let run workload tool iters seed scale buggy prune verbose trace_depth =
+    match Registry.find workload with
+    | None ->
+      Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
+      1
+    | Some w -> (
+      match prune_of_string prune with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok prune ->
+        let config =
+          {
+            (Tool.config ~prune tool) with
+            Engine.seed = Int64.of_int seed;
+            trace_depth;
+          }
+        in
+        let scale = Option.value ~default:w.Registry.default_scale scale in
+        let variant = if buggy then Variant.Buggy else Variant.Correct in
+        Printf.printf "%s (%s variant) under %s, %d executions, scale %d\n"
+          w.Registry.name (Variant.to_string variant) (Tool.name tool) iters
+          scale;
+        let summary =
+          Tester.run ~config ~iters (w.Registry.run ~variant ~scale)
+        in
+        Format.printf "%a@." Tester.pp_summary summary;
+        if verbose then
+          List.iter
+            (fun r -> Format.printf "  %a@." Race.pp_report r)
+            summary.Tester.distinct_races;
+        if trace_depth > 0 then begin
+          (* re-run single executions until one is buggy, then dump its
+             trace *)
+          let seeder = Rng.create (Int64.of_int (seed + 7)) in
+          let rec hunt n =
+            if n > 0 then begin
+              let seed = Rng.next_int64 seeder in
+              let o =
+                Engine.run { config with Engine.seed }
+                  (w.Registry.run ~variant ~scale)
+              in
+              if Engine.buggy o then begin
+                Printf.printf "trace of a buggy execution (last %d actions):\n"
+                  trace_depth;
+                List.iter (fun l -> Printf.printf "  %s\n" l) o.Engine.trace
+              end
+              else hunt (n - 1)
+            end
+          in
+          hunt iters
+        end;
+        0)
+  in
+  let term =
+    Term.(
+      const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ scale_arg
+      $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Test a workload repeatedly and report bugs") term
+
+let litmus_cmd =
+  let name_arg =
+    let doc = "Litmus test name (see `c11test list')." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LITMUS" ~doc)
+  in
+  let run name tool iters seed =
+    match Litmus.find name with
+    | None ->
+      Printf.eprintf "unknown litmus test %S; try `c11test list'\n" name;
+      1
+    | Some t ->
+      let config =
+        { (Tool.config tool) with Engine.seed = Int64.of_int seed }
+      in
+      Printf.printf "%s under %s, %d executions\n%s\n\n" t.Litmus.name
+        (Tool.name tool) iters t.Litmus.description;
+      let hist = Litmus.explore ~config ~iters t in
+      List.iter
+        (fun (o, n) ->
+          Format.printf "%6d  %a%s%s@." n (Litmus.pp_outcome t) o
+            (if t.Litmus.weak o then "   <- weak outcome" else "")
+            (if t.Litmus.allowed o then "" else "   ** FORBIDDEN **"))
+        hist;
+      0
+  in
+  let term = Term.(const run $ name_arg $ tool_arg $ iters_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Explore the outcome histogram of a litmus test")
+    term
+
+let list_cmd =
+  let run () =
+    print_endline "Workloads:";
+    List.iter
+      (fun (w : Registry.t) ->
+        Printf.printf "  %-18s %s\n" w.Registry.name w.Registry.description)
+      Registry.all;
+    print_endline "\nLitmus tests:";
+    List.iter
+      (fun (t : Litmus.t) ->
+        Printf.printf "  %-24s %s\n" t.Litmus.name t.Litmus.description)
+      Litmus.catalog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List workloads and litmus tests")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "C11Tester reproduction: a race detector for C/C++ atomics" in
+  let info = Cmd.info "c11test" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; litmus_cmd; list_cmd ]))

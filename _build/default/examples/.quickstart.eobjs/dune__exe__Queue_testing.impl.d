@@ -1,0 +1,1 @@
+examples/queue_testing.ml: Array C11 Format List Memorder Printf Race Tester Tool

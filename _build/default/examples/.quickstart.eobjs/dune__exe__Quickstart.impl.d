@@ -1,0 +1,1 @@
+examples/quickstart.ml: C11 Format List Memorder Printf Race Tester Tool

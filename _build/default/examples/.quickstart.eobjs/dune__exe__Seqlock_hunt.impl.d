@@ -1,0 +1,1 @@
+examples/seqlock_hunt.ml: List Printf Seqlock Tester Tool Variant

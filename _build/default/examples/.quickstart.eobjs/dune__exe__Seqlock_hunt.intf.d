@@ -1,0 +1,1 @@
+examples/seqlock_hunt.mli:

@@ -1,0 +1,39 @@
+(* A tour of the C/C++ memory-model fragment through the litmus catalog.
+
+     dune exec examples/memory_model_tour.exe
+
+   For each litmus test in the catalog, explore its outcomes under
+   C11Tester and show whether the "interesting" weak outcome appeared —
+   a compact, executable summary of Section 2 of the paper. *)
+
+let () =
+  let config = Tool.config Tool.C11tester in
+  Printf.printf "%-24s %8s %-10s %s\n" "litmus" "outcomes" "weak seen"
+    "description";
+  print_endline (String.make 100 '-');
+  List.iter
+    (fun (t : Litmus.t) ->
+      let hist = Litmus.explore ~config ~iters:2000 t in
+      let weak = Litmus.weak_observed hist t in
+      let marker =
+        match (weak, t.Litmus.weak_allowed) with
+        | true, true -> "yes"
+        | false, false -> "no (good)"
+        | true, false -> "BUG!"
+        | false, true -> "missed?"
+      in
+      Printf.printf "%-24s %8d %-10s %s\n" t.Litmus.name (List.length hist)
+        marker t.Litmus.description)
+    Litmus.catalog;
+  print_newline ();
+  (* zoom in on one: the C++20 release-sequence change *)
+  (match Litmus.find "release_sequence_c20" with
+  | None -> ()
+  | Some t ->
+    Printf.printf "Zoom: %s\n" t.Litmus.description;
+    let hist = Litmus.explore ~config ~iters:4000 t in
+    List.iter
+      (fun (o, n) ->
+        Format.printf "  %6d  %a%s@." n (Litmus.pp_outcome t) o
+          (if t.Litmus.weak o then "   <- only under C++20 rules" else ""))
+      hist)

@@ -1,0 +1,92 @@
+(* Testing your own concurrent data structure with the library.
+
+     dune exec examples/queue_testing.exe
+
+   This is the workflow a downstream user follows: implement a lock-free
+   structure against the C11 DSL, write a test driver with assertions, and
+   let the tester explore schedules and weak behaviours.  The queue below
+   is a single-producer single-consumer ring buffer with a deliberately
+   subtle mistake you can toggle. *)
+
+open Memorder
+
+type spsc = {
+  cells : C11.naloc array;
+  head : C11.atomic;  (* consumer cursor *)
+  tail : C11.atomic;  (* producer cursor *)
+}
+
+let create n =
+  {
+    cells = Array.init n (fun i -> C11.Nonatomic.make ~name:(Printf.sprintf "cell%d" i) 0);
+    head = C11.Atomic.make ~name:"head" 0;
+    tail = C11.Atomic.make ~name:"tail" 0;
+  }
+
+let capacity q = Array.length q.cells
+
+(* [push] publishes the element with a release store on [tail]... unless
+   [sloppy] is set, in which case it uses relaxed and the consumer can read
+   the cell before the payload write is visible. *)
+let push ~sloppy q v =
+  let rec wait () =
+    let t = C11.Atomic.load ~mo:Relaxed q.tail in
+    let h = C11.Atomic.load ~mo:Acquire q.head in
+    if t - h >= capacity q then begin
+      C11.Thread.yield ();
+      wait ()
+    end
+    else t
+  in
+  let t = wait () in
+  C11.Nonatomic.write q.cells.(t mod capacity q) v;
+  C11.Atomic.store ~mo:(if sloppy then Relaxed else Release) q.tail (t + 1)
+
+let pop q =
+  let rec wait () =
+    let h = C11.Atomic.load ~mo:Relaxed q.head in
+    let t = C11.Atomic.load ~mo:Acquire q.tail in
+    if t <= h then begin
+      C11.Thread.yield ();
+      wait ()
+    end
+    else h
+  in
+  let h = wait () in
+  let v = C11.Nonatomic.read q.cells.(h mod capacity q) in
+  C11.Atomic.store ~mo:Release q.head (h + 1);
+  v
+
+let driver ~sloppy () =
+  let q = create 4 in
+  let n = 12 in
+  let producer =
+    C11.Thread.spawn (fun () ->
+        for v = 1 to n do
+          push ~sloppy q (v * v)
+        done)
+  in
+  let total = ref 0 in
+  let consumer =
+    C11.Thread.spawn (fun () ->
+        for _ = 1 to n do
+          total := !total + pop q
+        done)
+  in
+  C11.Thread.join producer;
+  C11.Thread.join consumer;
+  (* every pushed element must arrive intact, in order *)
+  let expected = List.fold_left ( + ) 0 (List.init n (fun i -> (i + 1) * (i + 1))) in
+  C11.assert_that (!total = expected) "spsc: checksum mismatch (torn element)"
+
+let () =
+  let config = Tool.config Tool.C11tester in
+  print_endline "== correct SPSC queue, 400 schedules ==";
+  let s = Tester.run ~config ~iters:400 (driver ~sloppy:false) in
+  Format.printf "%a@." Tester.pp_summary s;
+  print_endline "\n== same queue with a relaxed tail publication ==";
+  let s = Tester.run ~config ~iters:400 (driver ~sloppy:true) in
+  Format.printf "%a@." Tester.pp_summary s;
+  List.iter
+    (fun r -> Format.printf "  %a@." Race.pp_report r)
+    s.Tester.distinct_races

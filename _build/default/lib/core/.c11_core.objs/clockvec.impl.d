@@ -1,0 +1,1 @@
+lib/core/clockvec.ml: Array Format

@@ -1,0 +1,1 @@
+lib/core/clockvec.mli: Format

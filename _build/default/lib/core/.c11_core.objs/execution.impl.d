@@ -1,0 +1,1 @@
+lib/core/execution.ml: Action Array Clockvec Hashtbl List Memorder Mograph Printf Race Rng

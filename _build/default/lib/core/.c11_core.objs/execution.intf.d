@@ -1,0 +1,1 @@
+lib/core/execution.mli: Action Clockvec Hashtbl Memorder Mograph Race Rng

@@ -1,0 +1,1 @@
+lib/core/mograph.ml: Action Buffer Clockvec Hashtbl List Printf Queue

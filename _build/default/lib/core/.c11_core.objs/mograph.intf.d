@@ -1,0 +1,1 @@
+lib/core/mograph.mli: Action Clockvec

@@ -1,0 +1,1 @@
+lib/core/pruner.ml: Action Array Clockvec Execution Format Hashtbl List Mograph

@@ -1,0 +1,1 @@
+lib/core/pruner.mli: Clockvec Execution Format

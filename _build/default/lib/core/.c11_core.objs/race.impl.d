@@ -1,0 +1,1 @@
+lib/core/race.ml: Clockvec Format Hashtbl List Printf

@@ -1,0 +1,46 @@
+type kind =
+  | Load
+  | Store
+  | Rmw
+  | Na_store
+  | Fence
+
+type t = {
+  seq : int;
+  tid : int;
+  kind : kind;
+  loc : int;
+  mo : Memorder.t;
+  mutable value : int;
+  mutable rf : t option;
+  hb_cv : Clockvec.t;
+  mutable rf_cv : Clockvec.t option;
+  mutable rmw_claimed : bool;
+  volatile : bool;
+}
+
+let is_write a =
+  match a.kind with
+  | Store | Rmw | Na_store -> true
+  | Load | Fence -> false
+
+let is_read a =
+  match a.kind with
+  | Load | Rmw -> true
+  | Store | Na_store | Fence -> false
+
+let happens_before a b =
+  a.seq <> b.seq && Clockvec.covers b.hb_cv ~tid:a.tid ~seq:a.seq
+
+let kind_to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Rmw -> "rmw"
+  | Na_store -> "na-store"
+  | Fence -> "fence"
+
+let pp fmt a =
+  Format.fprintf fmt "#%d t%d %s%s loc=%d %a v=%d" a.seq a.tid
+    (kind_to_string a.kind)
+    (if a.volatile then "(vol)" else "")
+    a.loc Memorder.pp a.mo a.value

@@ -1,0 +1,50 @@
+(** Memory actions (the [LoadElem]/[StoreElem]/[RMWElem]/[FenceElem] records
+    of Figure 10).
+
+    Every visible memory operation gets a globally unique, strictly
+    increasing sequence number; sequence numbers double as event identities
+    and as the epochs stored in clock vectors.  Synchronisation operations
+    (mutexes, thread create/join) also consume sequence numbers but are not
+    materialised as actions — their only memory-model effect is on the
+    happens-before clock vectors. *)
+
+type kind =
+  | Load
+  | Store
+  | Rmw
+  | Na_store
+      (** A non-atomic store to a location that is also accessed atomically:
+          [atomic_init], memory reuse, or raw copies (Section 7.2).  It
+          participates in modification order like a relaxed store but races
+          like a plain access and never heads a release sequence. *)
+  | Fence
+
+type t = {
+  seq : int;
+  tid : int;
+  kind : kind;
+  loc : int;  (** [-1] for fences *)
+  mo : Memorder.t;
+  mutable value : int;  (** value written, or — for loads — the value read *)
+  mutable rf : t option;  (** the store a load/RMW read from *)
+  hb_cv : Clockvec.t;
+      (** snapshot of the executing thread's clock vector [C_t] at this
+          action (including the action's own slot and, for acquire reads,
+          the synchronisation just formed) *)
+  mutable rf_cv : Clockvec.t option;
+      (** the reads-from clock vector [RF_s] of a store/RMW: what a reader
+          acquires when it synchronises with the release sequence this store
+          belongs to *)
+  mutable rmw_claimed : bool;
+      (** true once an RMW has read from this store; no second RMW may *)
+  volatile : bool;
+}
+
+val is_write : t -> bool
+val is_read : t -> bool
+
+(** [happens_before a b]: [a -hb-> b], decided from [b]'s clock-vector
+    snapshot. *)
+val happens_before : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = { mutable data : int array }
+
+let bottom () = { data = [||] }
+
+let ensure t n =
+  let len = Array.length t.data in
+  if n > len then begin
+    let data = Array.make (max n (max 4 (2 * len))) 0 in
+    Array.blit t.data 0 data 0 len;
+    t.data <- data
+  end
+
+let of_slot ~tid ~seq =
+  let t = bottom () in
+  ensure t (tid + 1);
+  t.data.(tid) <- seq;
+  t
+
+let copy t = { data = Array.copy t.data }
+
+let get t i = if i < Array.length t.data then t.data.(i) else 0
+
+let set t i v =
+  ensure t (i + 1);
+  t.data.(i) <- v
+
+let merge dst src =
+  let changed = ref false in
+  let n = Array.length src.data in
+  ensure dst n;
+  for i = 0 to n - 1 do
+    if src.data.(i) > dst.data.(i) then begin
+      dst.data.(i) <- src.data.(i);
+      changed := true
+    end
+  done;
+  !changed
+
+let union a b =
+  let t = copy a in
+  ignore (merge t b);
+  t
+
+let leq a b =
+  let n = Array.length a.data in
+  let rec go i = i >= n || (a.data.(i) <= get b i && go (i + 1)) in
+  go 0
+
+let equal a b = leq a b && leq b a
+
+let intersect a b =
+  let n = min (Array.length a.data) (Array.length b.data) in
+  let data = Array.init n (fun i -> min a.data.(i) b.data.(i)) in
+  { data }
+
+let covers t ~tid ~seq = get t tid >= seq
+
+let width t = Array.length t.data
+
+let pp fmt t =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       Format.pp_print_int)
+    (Array.to_list t.data)

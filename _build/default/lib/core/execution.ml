@@ -1,0 +1,614 @@
+type mode = Full_c11 | Total_mo
+
+exception Model_error of string
+
+type rmw_decision = Rmw_keep | Rmw_write of int
+
+type thread_state = {
+  tid : int;
+  mutable c : Clockvec.t;
+  mutable frel : Clockvec.t;
+  mutable facq : Clockvec.t;
+  mutable sc_fences : Action.t list;
+  mutable live : bool;
+}
+
+type loc_cell = {
+  cell_tid : int;
+  mutable c_stores : Action.t list;
+  mutable c_accesses : Action.t list;
+  mutable c_sc_stores : Action.t list;
+}
+
+type loc_info = {
+  li_loc : int;
+  mutable cells : loc_cell list;
+  mutable store_count : int;
+  mutable rel_head : (int * Clockvec.t) option;
+      (** Total_mo mode only: the C++11-style release-sequence head (owner
+          thread, its clock at the release) still in force at this
+          location.  tsan-lineage tools implement the 2011 release-sequence
+          definition, under which later relaxed stores by the same thread
+          continue the sequence; C11Tester uses the C++20 definition where
+          they do not (Section 2.2, change 1). *)
+}
+
+type t = {
+  mode : mode;
+  rng : Rng.t;
+  race : Race.t;
+  graph : Mograph.t;
+  mutable seq : int;
+  mutable threads : thread_state array;
+  mutable nthreads : int;
+  locs : (int, loc_info) Hashtbl.t;
+  values : (int, int) Hashtbl.t;
+  atomic_locs : (int, unit) Hashtbl.t;
+  mutable next_loc : int;
+  mutable atomic_ops : int;
+  mutable na_ops : int;
+  mutable max_graph_size : int;
+  mutable pruned_count : int;
+  mutable trace_cap : int;
+  mutable trace_rev : Action.t list;
+  mutable trace_n : int;
+}
+
+let create ~mode ~rng ~race =
+  {
+    mode;
+    rng;
+    race;
+    graph = Mograph.create ();
+    seq = 0;
+    threads = [||];
+    nthreads = 0;
+    locs = Hashtbl.create 64;
+    values = Hashtbl.create 256;
+    atomic_locs = Hashtbl.create 64;
+    next_loc = 0;
+    atomic_ops = 0;
+    na_ops = 0;
+    max_graph_size = 0;
+    pruned_count = 0;
+    trace_cap = 0;
+    trace_rev = [];
+    trace_n = 0;
+  }
+
+let thread t tid =
+  if tid < 0 || tid >= t.nthreads then
+    raise (Model_error (Printf.sprintf "unknown thread %d" tid));
+  t.threads.(tid)
+
+let fresh_loc t ~atomic ~name =
+  let loc = t.next_loc in
+  t.next_loc <- loc + 1;
+  if atomic then Hashtbl.replace t.atomic_locs loc ();
+  (match name with
+  | Some n -> Race.name_location t.race ~loc n
+  | None -> ());
+  loc
+
+let is_atomic_loc t loc = Hashtbl.mem t.atomic_locs loc
+
+let new_thread t ~parent =
+  let tid = t.nthreads in
+  let c =
+    match parent with
+    | Some p -> Clockvec.copy (thread t p).c
+    | None -> Clockvec.bottom ()
+  in
+  let ts =
+    { tid; c; frel = Clockvec.bottom (); facq = Clockvec.bottom (); sc_fences = []; live = true }
+  in
+  let threads = Array.make (tid + 1) ts in
+  Array.blit t.threads 0 threads 0 t.nthreads;
+  t.threads <- threads;
+  t.nthreads <- tid + 1;
+  tid
+
+let tick t ts =
+  t.seq <- t.seq + 1;
+  Clockvec.set ts.c ts.tid t.seq;
+  t.seq
+
+let tick_sync t ~tid =
+  let ts = thread t tid in
+  ignore (tick t ts);
+  t.atomic_ops <- t.atomic_ops + 1
+
+let acquire_cv t ~tid cv = ignore (Clockvec.merge (thread t tid).c cv)
+let release_snapshot t ~tid = Clockvec.copy (thread t tid).c
+
+(* ------------------------------------------------------------------ *)
+(* Location bookkeeping                                               *)
+
+let find_loc t loc = Hashtbl.find_opt t.locs loc
+
+let get_loc t loc =
+  match Hashtbl.find_opt t.locs loc with
+  | Some li -> li
+  | None ->
+    let li = { li_loc = loc; cells = []; store_count = 0; rel_head = None } in
+    Hashtbl.add t.locs loc li;
+    li
+
+let get_cell li tid =
+  match List.find_opt (fun c -> c.cell_tid = tid) li.cells with
+  | Some c -> c
+  | None ->
+    let c = { cell_tid = tid; c_stores = []; c_accesses = []; c_sc_stores = [] } in
+    li.cells <- c :: li.cells;
+    c
+
+let find_cell li tid = List.find_opt (fun c -> c.cell_tid = tid) li.cells
+
+let record_store li (a : Action.t) =
+  let cell = get_cell li a.tid in
+  cell.c_stores <- a :: cell.c_stores;
+  cell.c_accesses <- a :: cell.c_accesses;
+  if Memorder.is_seq_cst a.mo then cell.c_sc_stores <- a :: cell.c_sc_stores;
+  li.store_count <- li.store_count + 1
+
+let record_load li (a : Action.t) =
+  let cell = get_cell li a.tid in
+  cell.c_accesses <- a :: cell.c_accesses
+
+let last_sc_store li =
+  List.fold_left
+    (fun acc cell ->
+      match cell.c_sc_stores with
+      | [] -> acc
+      | (x : Action.t) :: _ -> (
+        match acc with
+        | Some (y : Action.t) when y.seq >= x.seq -> acc
+        | _ -> Some x))
+    None li.cells
+
+(* ------------------------------------------------------------------ *)
+(* may-read-from (Figure 12)                                           *)
+
+(* For each thread's store list (newest first): every store that does not
+   happen before the load is a candidate; the newest store that does happen
+   before the load is the final candidate for that thread (anything older is
+   hidden behind it: X -sb-> Y -hb-> L). *)
+let build_may_read_from _t li ts ~is_sc =
+  let s_opt = if is_sc then last_sc_store li else None in
+  let ret = ref [] in
+  List.iter
+    (fun cell ->
+      let rec walk = function
+        | [] -> ()
+        | (x : Action.t) :: rest ->
+          if Clockvec.covers ts.c ~tid:x.tid ~seq:x.seq then ret := x :: !ret
+          else begin
+            ret := x :: !ret;
+            walk rest
+          end
+      in
+      walk cell.c_stores)
+    li.cells;
+  match s_opt with
+  | None -> !ret
+  | Some s ->
+    (* Section 29.3 statement 3: a seq_cst load reads the last seq_cst
+       store S, or some store that neither precedes S in sc nor happens
+       before S. *)
+    List.filter
+      (fun (x : Action.t) ->
+        x == s
+        || not
+             ((Memorder.is_seq_cst x.mo && x.seq < s.seq)
+             || Action.happens_before x s))
+      !ret
+
+(* ------------------------------------------------------------------ *)
+(* priorsets (Figure 13)                                               *)
+
+let get_write (a : Action.t) =
+  match a.kind with
+  | Action.Store | Action.Rmw | Action.Na_store -> Some a
+  | Action.Load -> a.rf
+  | Action.Fence -> None
+
+let max_action candidates =
+  List.fold_left
+    (fun acc c ->
+      match (acc, c) with
+      | None, x -> x
+      | Some (a : Action.t), Some (b : Action.t) ->
+        if b.seq > a.seq then c else acc
+      | Some _, None -> acc)
+    None candidates
+
+(* Shared scan over one thread's lists; [current] is the acting thread's
+   clock vector used for happens-before tests against the action being
+   processed (which has no record yet). *)
+let prior_for_thread t li ~u ~last_fence_of_actor ~is_sc_op ~current =
+  let tsu = t.threads.(u) in
+  let f_t = match tsu.sc_fences with [] -> None | f :: _ -> Some f in
+  let f_b =
+    match last_fence_of_actor with
+    | None -> None
+    | Some (fl : Action.t) ->
+      List.find_opt (fun (f : Action.t) -> f.seq < fl.seq) tsu.sc_fences
+  in
+  let stores, accesses, sc_stores =
+    match find_cell li u with
+    | None -> ([], [], [])
+    | Some c -> (c.c_stores, c.c_accesses, c.c_sc_stores)
+  in
+  let s1 =
+    if is_sc_op then
+      match f_t with
+      | None -> None
+      | Some ft -> List.find_opt (fun (x : Action.t) -> x.seq < ft.seq) stores
+    else None
+  in
+  let s2 =
+    match last_fence_of_actor with
+    | None -> None
+    | Some fl -> List.find_opt (fun (x : Action.t) -> x.seq < fl.seq) sc_stores
+  in
+  let s3 =
+    match f_b with
+    | None -> None
+    | Some fb -> List.find_opt (fun (x : Action.t) -> x.seq < fb.seq) stores
+  in
+  let s4 =
+    List.find_opt
+      (fun (x : Action.t) -> Clockvec.covers current ~tid:x.tid ~seq:x.seq)
+      accesses
+  in
+  match max_action [ s1; s2; s3; s4 ] with
+  | None -> None
+  | Some a -> get_write a
+
+(* Is the mo constraint [e -> s] unsatisfiable given the current graph?
+   In Full_c11 this is the rollback-free cycle check of Section 4.3
+   (following [e]'s rmw chain as AddEdge will); with a total commit-order
+   mo it is a plain order comparison. *)
+let edge_infeasible t ~(from : Action.t) ~(to_ : Action.t) =
+  match t.mode with
+  | Full_c11 -> Mograph.edge_would_close_cycle t.graph ~from ~to_
+  | Total_mo -> to_.seq <= from.seq
+
+(* ReadPriorSet (Figure 13): the mo-edge sources a load reading [s] would
+   create.  Returns [None] if any of them is already reachable from [s] —
+   i.e. the read would put a cycle in the mo-graph. *)
+let read_prior_set t li ts ~load_mo (s : Action.t) =
+  let f_l = match ts.sc_fences with [] -> None | f :: _ -> Some f in
+  let is_sc_op = Memorder.is_seq_cst load_mo in
+  let priorset = ref [] in
+  for u = 0 to t.nthreads - 1 do
+    match
+      prior_for_thread t li ~u ~last_fence_of_actor:f_l ~is_sc_op ~current:ts.c
+    with
+    | Some w when w != s && w.seq <> s.seq -> priorset := w :: !priorset
+    | Some _ | None -> ()
+  done;
+  if List.exists (fun e -> edge_infeasible t ~from:e ~to_:s) !priorset then
+    None
+  else Some !priorset
+
+(* WritePriorSet (Figure 13).  The new store cannot create a cycle (it has
+   no outgoing edges yet), so no feasibility check is needed. *)
+let write_prior_set t li ts ~store_mo =
+  let f_s = match ts.sc_fences with [] -> None | f :: _ -> Some f in
+  let is_sc_op = Memorder.is_seq_cst store_mo in
+  let priorset = ref [] in
+  if is_sc_op then begin
+    match last_sc_store li with
+    | Some x -> priorset := x :: !priorset
+    | None -> ()
+  end;
+  for u = 0 to t.nthreads - 1 do
+    match
+      prior_for_thread t li ~u ~last_fence_of_actor:f_s ~is_sc_op ~current:ts.c
+    with
+    | Some w -> priorset := w :: !priorset
+    | None -> ()
+  done;
+  !priorset
+
+let add_edges t pset (s : Action.t) =
+  match t.mode with
+  | Total_mo -> ()
+  | Full_c11 ->
+    let ns = Mograph.get_node t.graph s in
+    List.iter (fun e -> Mograph.add_edge t.graph (Mograph.get_node t.graph e) ns) pset;
+    let sz = Mograph.size t.graph in
+    if sz > t.max_graph_size then t.max_graph_size <- sz
+
+(* ------------------------------------------------------------------ *)
+(* Transition rules (Figure 11)                                        *)
+
+let record_trace t a =
+  if t.trace_cap > 0 then begin
+    t.trace_rev <- a :: t.trace_rev;
+    t.trace_n <- t.trace_n + 1;
+    if t.trace_n > 2 * t.trace_cap then begin
+      t.trace_rev <- List.filteri (fun i _ -> i < t.trace_cap) t.trace_rev;
+      t.trace_n <- t.trace_cap
+    end
+  end
+
+let mk_action t ts kind ~loc ~mo ~value ~volatile ~seq =
+  let a = {
+    Action.seq;
+    tid = ts.tid;
+    kind;
+    loc;
+    mo;
+    value;
+    rf = None;
+    hb_cv = Clockvec.copy ts.c;
+    rf_cv = None;
+    rmw_claimed = false;
+    volatile;
+  }
+  in
+  record_trace t a;
+  a
+
+let shuffled_candidates t candidates =
+  let arr = Array.of_list candidates in
+  Rng.shuffle_in_place t.rng arr;
+  arr
+
+let race_atomic t (a : Action.t) ~is_write =
+  Race.on_access t.race ~loc:a.loc ~tid:a.tid ~seq:a.seq ~hb:a.hb_cv ~is_write
+    ~cls:Race.Atomic_access
+
+let atomic_load t ~tid ~loc ~mo ~volatile =
+  let ts = thread t tid in
+  let seq = tick t ts in
+  t.atomic_ops <- t.atomic_ops + 1;
+  let li = get_loc t loc in
+  let candidates =
+    build_may_read_from t li ts ~is_sc:(Memorder.is_seq_cst mo)
+  in
+  if candidates = [] then
+    raise
+      (Model_error
+         (Printf.sprintf "load from location %d with no visible store" loc));
+  let arr = shuffled_candidates t candidates in
+  let chosen = ref None in
+  (try
+     Array.iter
+       (fun s ->
+         match read_prior_set t li ts ~load_mo:mo s with
+         | Some pset ->
+           chosen := Some (s, pset);
+           raise Exit
+         | None -> ())
+       arr
+   with Exit -> ());
+  match !chosen with
+  | None ->
+    raise
+      (Model_error
+         (Printf.sprintf "no feasible store for load of location %d" loc))
+  | Some (s, pset) ->
+    let rf_cv = match s.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
+    if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv)
+    else ignore (Clockvec.merge ts.facq rf_cv);
+    let a = mk_action t ts Action.Load ~loc ~mo ~value:s.value ~volatile ~seq in
+    a.rf <- Some s;
+    add_edges t pset s;
+    record_load li a;
+    race_atomic t a ~is_write:false;
+    s.value
+
+let store_rf_cv ts ~mo =
+  if Memorder.is_release mo then Clockvec.copy ts.c else Clockvec.copy ts.frel
+
+(* The reads-from clock of a plain store, and the C++11-style
+   release-sequence bookkeeping used by the Total_mo baselines: a release
+   store heads a new sequence; in Total_mo a later relaxed store by the
+   same thread continues it (2011 rules), while any other thread's plain
+   store breaks it. *)
+let store_rf_cv_with_relseq t li ts ~mo =
+  match t.mode with
+  | Full_c11 -> store_rf_cv ts ~mo
+  | Total_mo ->
+    if Memorder.is_release mo then begin
+      let cv = Clockvec.copy ts.c in
+      li.rel_head <- Some (ts.tid, cv);
+      cv
+    end
+    else begin
+      match li.rel_head with
+      | Some (owner, head_cv) when owner = ts.tid ->
+        Clockvec.union head_cv ts.frel
+      | Some _ | None ->
+        li.rel_head <- None;
+        Clockvec.copy ts.frel
+    end
+
+(* tsan-lineage tools conservatively treat every atomic RMW as
+   acquire-release regardless of the requested order — one of the reasons
+   they miss the relaxed-RMW lock bugs of Section 8.1. *)
+let effective_rmw_mo t mo =
+  match t.mode with
+  | Full_c11 -> mo
+  | Total_mo -> (
+    match mo with
+    | Memorder.Seq_cst -> Memorder.Seq_cst
+    | _ -> Memorder.Acq_rel)
+
+let atomic_store t ~tid ~loc ~mo ~volatile value =
+  let ts = thread t tid in
+  let seq = tick t ts in
+  t.atomic_ops <- t.atomic_ops + 1;
+  let li = get_loc t loc in
+  let a = mk_action t ts Action.Store ~loc ~mo ~value ~volatile ~seq in
+  a.rf_cv <- Some (store_rf_cv_with_relseq t li ts ~mo);
+  let pset = write_prior_set t li ts ~store_mo:mo in
+  add_edges t pset a;
+  record_store li a;
+  Hashtbl.replace t.values loc value;
+  race_atomic t a ~is_write:true
+
+(* In Total_mo mode, modification order is the store commit order, so an
+   RMW (pinned immediately after the store it reads) can only read the
+   globally newest store — exactly tsan11's behaviour. *)
+let newest_store li =
+  List.fold_left
+    (fun acc cell ->
+      match cell.c_stores with
+      | [] -> acc
+      | (x : Action.t) :: _ -> (
+        match acc with
+        | Some (y : Action.t) when y.seq >= x.seq -> acc
+        | _ -> Some x))
+    None li.cells
+
+let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
+  let mo = effective_rmw_mo t mo in
+  let ts = thread t tid in
+  let seq = tick t ts in
+  t.atomic_ops <- t.atomic_ops + 1;
+  let li = get_loc t loc in
+  let candidates =
+    build_may_read_from t li ts ~is_sc:(Memorder.is_seq_cst mo)
+  in
+  if candidates = [] then
+    raise
+      (Model_error (Printf.sprintf "rmw on location %d with no visible store" loc));
+  let arr = shuffled_candidates t candidates in
+  let result = ref None in
+  let commit_load s pset =
+    let rf_cv = match s.Action.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
+    if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv)
+    else ignore (Clockvec.merge ts.facq rf_cv);
+    let a = mk_action t ts Action.Load ~loc ~mo ~value:s.Action.value ~volatile ~seq in
+    a.rf <- Some s;
+    add_edges t pset s;
+    record_load li a;
+    race_atomic t a ~is_write:false;
+    s.Action.value
+  in
+  let commit_rmw (s : Action.t) pset new_value =
+    s.rmw_claimed <- true;
+    let rf_cv_s = match s.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
+    if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv_s)
+    else ignore (Clockvec.merge ts.facq rf_cv_s);
+    let r = mk_action t ts Action.Rmw ~loc ~mo ~value:new_value ~volatile ~seq in
+    r.rf <- Some s;
+    (* Release sequences: the RMW carries its own release clock (if any)
+       joined with the clock of the sequence it extends (Figure 9,
+       RELEASE/RELAXED RMW). *)
+    r.rf_cv <- Some (Clockvec.union (store_rf_cv ts ~mo) rf_cv_s);
+    add_edges t pset s;
+    (match t.mode with
+    | Full_c11 ->
+      Mograph.add_rmw_edge t.graph
+        (Mograph.get_node t.graph s)
+        (Mograph.get_node t.graph r)
+    | Total_mo -> ());
+    let wpset = write_prior_set t li ts ~store_mo:mo in
+    add_edges t wpset r;
+    record_store li r;
+    Hashtbl.replace t.values loc new_value;
+    race_atomic t r ~is_write:false;
+    race_atomic t r ~is_write:true;
+    s.value
+  in
+  (try
+     Array.iter
+       (fun (s : Action.t) ->
+         match f s.value with
+         | Rmw_keep -> (
+           match read_prior_set t li ts ~load_mo:mo s with
+           | Some pset ->
+             result := Some (commit_load s pset);
+             raise Exit
+           | None -> ())
+         | Rmw_write v ->
+           let claimable =
+             (not s.rmw_claimed)
+             &&
+             match t.mode with
+             | Full_c11 -> true
+             | Total_mo -> (
+               match newest_store li with
+               | Some newest -> newest == s
+               | None -> false)
+           in
+           if claimable then
+             match read_prior_set t li ts ~load_mo:mo s with
+             | Some pset ->
+               result := Some (commit_rmw s pset v);
+               raise Exit
+             | None -> ())
+       arr
+   with Exit -> ());
+  match !result with
+  | None ->
+    raise
+      (Model_error
+         (Printf.sprintf "no feasible store for rmw on location %d" loc))
+  | Some v -> v
+
+let fence t ~tid ~mo =
+  let ts = thread t tid in
+  let seq = tick t ts in
+  t.atomic_ops <- t.atomic_ops + 1;
+  (* An acquire (or stronger) fence publishes pending relaxed-load
+     synchronisation into the thread clock before the release side
+     snapshots it. *)
+  if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c ts.facq);
+  if Memorder.is_release mo then ts.frel <- Clockvec.copy ts.c;
+  if Memorder.is_seq_cst mo then begin
+    let a = mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq in
+    ts.sc_fences <- a :: ts.sc_fences
+  end
+
+let na_read t ~tid ~loc =
+  let ts = thread t tid in
+  let seq = tick t ts in
+  t.na_ops <- t.na_ops + 1;
+  let v = match Hashtbl.find_opt t.values loc with Some v -> v | None -> 0 in
+  Race.on_access t.race ~loc ~tid ~seq ~hb:ts.c ~is_write:false
+    ~cls:Race.Na_access;
+  v
+
+let na_write t ~tid ~loc value =
+  let ts = thread t tid in
+  let seq = tick t ts in
+  t.na_ops <- t.na_ops + 1;
+  if is_atomic_loc t loc then begin
+    (* Section 7.2: a non-atomic store to an atomic location must enter the
+       modification order so that later atomic loads can read it.  It never
+       synchronises (empty reads-from clock). *)
+    let li = get_loc t loc in
+    let a =
+      mk_action t ts Action.Na_store ~loc ~mo:Memorder.Relaxed ~value
+        ~volatile:false ~seq
+    in
+    a.rf_cv <- Some (Clockvec.bottom ());
+    li.rel_head <- None;
+    let pset = write_prior_set t li ts ~store_mo:Memorder.Relaxed in
+    add_edges t pset a;
+    record_store li a
+  end;
+  Hashtbl.replace t.values loc value;
+  Race.on_access t.race ~loc ~tid ~seq ~hb:ts.c ~is_write:true
+    ~cls:Race.Na_access
+
+let graph_footprint t =
+  Hashtbl.fold (fun _ li acc -> acc + li.store_count) t.locs 0
+
+let set_trace_capacity t n = t.trace_cap <- max 0 n
+
+let trace t =
+  let recent = List.filteri (fun i _ -> i < t.trace_cap) t.trace_rev in
+  List.rev recent
+
+module Internal = struct
+  let build_may_read_from = build_may_read_from
+  let last_sc_store = last_sc_store
+  let find_loc = find_loc
+end

@@ -1,0 +1,151 @@
+(** The operational model of C11Tester's C/C++ memory-model fragment
+    (Sections 3, 4 and 6 of the paper).
+
+    This module owns all per-execution memory-model state: the global
+    sequence counter, per-thread happens-before clock vectors
+    ([C], [F^rel], [F^acq] of Figure 9), per-location action lists
+    ([ALocInfo] of Figure 10), the seq-cst fence lists, and the mo-graph.
+    The exported operations implement the [ATOMIC LOAD]/[STORE]/[RMW]/
+    [FENCE] transition rules of Figure 11, using [BuildMayReadFrom]
+    (Figure 12) and [ReadPriorSet]/[WritePriorSet] (Figure 13).
+
+    Two memory modes are supported:
+
+    - {!Full_c11} — the paper's fragment: modification order is a set of
+      constraints in the mo-graph, so loads may read stores whose
+      modification order is inconsistent with execution order.
+    - {!Total_mo} — the tsan11/tsan11rec restriction (Section 1.1):
+      [hb ∪ sc ∪ rf ∪ mo] must be acyclic with [mo] fixed to store commit
+      order.  Used by the baseline tools in the evaluation.
+
+    The record types are exposed so that {!Pruner} (Section 7.1) can walk
+    and trim the execution graph. *)
+
+type mode = Full_c11 | Total_mo
+
+exception Model_error of string
+
+(** Decision returned by an RMW functor: [Rmw_keep] models a failed
+    compare-exchange (the operation degenerates to a load), [Rmw_write v]
+    stores [v]. *)
+type rmw_decision = Rmw_keep | Rmw_write of int
+
+type thread_state = {
+  tid : int;
+  mutable c : Clockvec.t;  (** C_t: the thread's happens-before clock *)
+  mutable frel : Clockvec.t;  (** F^rel_t: release-fence clock *)
+  mutable facq : Clockvec.t;  (** F^acq_t: acquire-fence clock *)
+  mutable sc_fences : Action.t list;  (** newest first *)
+  mutable live : bool;
+}
+
+(** Per-(location, thread) action lists, newest first. *)
+type loc_cell = {
+  cell_tid : int;
+  mutable c_stores : Action.t list;  (** stores, RMWs and na-stores *)
+  mutable c_accesses : Action.t list;  (** loads as well *)
+  mutable c_sc_stores : Action.t list;
+}
+
+type loc_info = {
+  li_loc : int;
+  mutable cells : loc_cell list;
+  mutable store_count : int;
+  mutable rel_head : (int * Clockvec.t) option;
+      (** Total_mo only: current C++11-style release-sequence head (owner
+          thread, clock at the release).  The tsan-lineage baselines use the
+          2011 release-sequence definition, under which later relaxed stores
+          by the same thread continue the sequence. *)
+}
+
+type t = {
+  mode : mode;
+  rng : Rng.t;
+  race : Race.t;
+  graph : Mograph.t;
+  mutable seq : int;
+  mutable threads : thread_state array;
+  mutable nthreads : int;
+  locs : (int, loc_info) Hashtbl.t;
+  values : (int, int) Hashtbl.t;
+      (** commit-order value of every location; what a plain non-atomic read
+          observes *)
+  atomic_locs : (int, unit) Hashtbl.t;
+  mutable next_loc : int;
+  mutable atomic_ops : int;  (** atomic + synchronisation operations *)
+  mutable na_ops : int;  (** plain shared-memory accesses *)
+  mutable max_graph_size : int;
+  mutable pruned_count : int;
+  mutable trace_cap : int;  (** 0 = tracing off *)
+  mutable trace_rev : Action.t list;  (** newest first, capped *)
+  mutable trace_n : int;
+}
+
+val create : mode:mode -> rng:Rng.t -> race:Race.t -> t
+
+val thread : t -> int -> thread_state
+
+(** Allocate a fresh location.  Atomic locations participate in the
+    mo-graph; non-atomic ones only in the race detector and value table. *)
+val fresh_loc : t -> atomic:bool -> name:string option -> int
+
+val is_atomic_loc : t -> int -> bool
+
+(** [new_thread t ~parent] registers a thread; the child's clock vector
+    starts as a copy of the parent's (the additional-synchronizes-with edge
+    of thread creation). *)
+val new_thread : t -> parent:int option -> int
+
+(** [tick_sync t ~tid] consumes a sequence number for a synchronisation
+    operation (mutex, condvar, thread create/join/finish) and advances the
+    thread's clock. *)
+val tick_sync : t -> tid:int -> unit
+
+(** [acquire_cv t ~tid cv] merges [cv] into the thread's clock — the
+    acquire half of lock acquisition, condvar wakeup and thread join. *)
+val acquire_cv : t -> tid:int -> Clockvec.t -> unit
+
+(** [release_snapshot t ~tid] is a copy of the thread's current clock — the
+    release half of unlock / signal / thread finish. *)
+val release_snapshot : t -> tid:int -> Clockvec.t
+
+val atomic_load :
+  t -> tid:int -> loc:int -> mo:Memorder.t -> volatile:bool -> int
+
+val atomic_store :
+  t -> tid:int -> loc:int -> mo:Memorder.t -> volatile:bool -> int -> unit
+
+(** [atomic_rmw t ~tid ~loc ~mo ~volatile ~f] reads a store, applies [f] to
+    the value read and either stores the result atomically or (on
+    [Rmw_keep]) degenerates to a load.  Returns the value read. *)
+val atomic_rmw :
+  t ->
+  tid:int ->
+  loc:int ->
+  mo:Memorder.t ->
+  volatile:bool ->
+  f:(int -> rmw_decision) ->
+  int
+
+val fence : t -> tid:int -> mo:Memorder.t -> unit
+
+val na_read : t -> tid:int -> loc:int -> int
+val na_write : t -> tid:int -> loc:int -> int -> unit
+
+(** Number of stores currently retained across all atomic locations. *)
+val graph_footprint : t -> int
+
+(** [set_trace_capacity t n] keeps the most recent [n] memory actions for
+    debugging; [trace t] returns them oldest first. *)
+val set_trace_capacity : t -> int -> unit
+
+val trace : t -> Action.t list
+
+(** Internal helpers exposed for tests. *)
+module Internal : sig
+  val build_may_read_from :
+    t -> loc_info -> thread_state -> is_sc:bool -> Action.t list
+
+  val last_sc_store : loc_info -> Action.t option
+  val find_loc : t -> int -> loc_info option
+end

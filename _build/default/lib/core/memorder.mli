@@ -1,0 +1,31 @@
+(** C/C++11 memory orders.
+
+    [Consume] is accepted but strengthened to acquire, matching C11Tester's
+    memory-model fragment (change 3 in Section 2.2 of the paper) and the
+    behaviour of all production compilers. *)
+
+type t =
+  | Relaxed
+  | Consume
+  | Acquire
+  | Release
+  | Acq_rel
+  | Seq_cst
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option
+
+(** [is_acquire mo] holds for acquire, acq_rel, seq_cst and (strengthened)
+    consume orders: operations that may form the acquire side of a
+    release/acquire synchronisation. *)
+val is_acquire : t -> bool
+
+(** [is_release mo] holds for release, acq_rel and seq_cst orders. *)
+val is_release : t -> bool
+
+val is_seq_cst : t -> bool
+
+(** All six orders, for property-based tests. *)
+val all : t list

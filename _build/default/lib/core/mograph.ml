@@ -1,0 +1,178 @@
+type node = {
+  action : Action.t;
+  mutable edges : node list;
+  mutable rmw : node option;
+  mutable cv : Clockvec.t;
+  mutable pruned : bool;
+}
+
+type t = { nodes : (int, node) Hashtbl.t }
+
+let create () = { nodes = Hashtbl.create 256 }
+
+let size t = Hashtbl.length t.nodes
+
+let get_node t (a : Action.t) =
+  match Hashtbl.find_opt t.nodes a.seq with
+  | Some n -> n
+  | None ->
+    let n =
+      {
+        action = a;
+        edges = [];
+        rmw = None;
+        cv = Clockvec.of_slot ~tid:a.tid ~seq:a.seq;
+        pruned = false;
+      }
+    in
+    Hashtbl.add t.nodes a.seq n;
+    n
+
+let find_node t (a : Action.t) = Hashtbl.find_opt t.nodes a.seq
+
+(* Merge procedure of Figure 6. *)
+let merge dst src =
+  if Clockvec.leq src.cv dst.cv then false else Clockvec.merge dst.cv src.cv
+
+let propagate_from start =
+  let q = Queue.create () in
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let node = Queue.pop q in
+    List.iter (fun dst -> if merge dst node then Queue.add dst q) node.edges
+  done
+
+let add_edge _t from to_ =
+  if from == to_ then ()
+  else
+  let must_add_edge =
+    (match from.rmw with Some r -> r == to_ | None -> false)
+    || from.action.tid = to_.action.tid
+  in
+  if Clockvec.leq from.cv to_.cv && not must_add_edge then ()
+  else begin
+    (* An RMW is pinned immediately after the store it reads from, so a
+       store ordered after the head of an rmw chain is really ordered after
+       the whole chain: walk to its end. *)
+    let from = ref from in
+    (try
+       while !from.rmw <> None do
+         match !from.rmw with
+         | Some next -> if next == to_ then raise Exit else from := next
+         | None -> ()
+       done
+     with Exit -> ());
+    let from = !from in
+    if not (List.memq to_ from.edges) then from.edges <- to_ :: from.edges;
+    if merge to_ from then propagate_from to_
+  end
+
+let add_rmw_edge t from rmw =
+  from.rmw <- Some rmw;
+  List.iter
+    (fun dst -> if dst != rmw && not (List.memq dst rmw.edges) then rmw.edges <- dst :: rmw.edges)
+    from.edges;
+  from.edges <- [];
+  add_edge t from rmw;
+  (* Each migrated edge is a new constraint [rmw -mo-> dst].  AddEdge's
+     final merge may report no change (the rmw's clock can already cover
+     the store it read), which would skip propagation, so push the rmw's
+     clock over its out-edges unconditionally. *)
+  propagate_from rmw
+
+let reaches t (a : Action.t) (b : Action.t) =
+  if a.seq = b.seq then true
+  else
+    let na = get_node t a and nb = get_node t b in
+    Clockvec.leq na.cv nb.cv
+
+(* Would adding the constraint [from -mo-> to_] close a cycle?  AddEdge
+   redirects an edge whose source heads an rmw chain to the end of that
+   chain (the RMW pinned immediately after a store inherits the store's
+   ordering obligations), so feasibility must be checked against the
+   chain's end, not against [from] itself. *)
+let edge_would_close_cycle t ~from ~to_ =
+  if from.Action.seq = to_.Action.seq then false
+  else begin
+    let nf = get_node t from and nt = get_node t to_ in
+    let rec chain_end n =
+      match n.rmw with
+      | Some r -> if r == nt then None else chain_end r
+      | None -> Some n
+    in
+    match chain_end nf with
+    | None -> false (* the chain runs into [to_] itself: edge is redundant *)
+    | Some eff -> eff == nt || Clockvec.leq nt.cv eff.cv
+  end
+
+let reaches_dfs t (a : Action.t) (b : Action.t) =
+  match (find_node t a, find_node t b) with
+  | None, _ | _, None -> a.seq = b.seq
+  | Some na, Some nb ->
+    let visited = Hashtbl.create 64 in
+    let rec go n =
+      n == nb
+      ||
+      if Hashtbl.mem visited n.action.seq then false
+      else begin
+        Hashtbl.add visited n.action.seq ();
+        let succs =
+          match n.rmw with Some r -> r :: n.edges | None -> n.edges
+        in
+        List.exists go succs
+      end
+    in
+    na == nb || go na
+
+let remove_node t (a : Action.t) =
+  match Hashtbl.find_opt t.nodes a.seq with
+  | None -> ()
+  | Some n ->
+    n.pruned <- true;
+    n.edges <- [];
+    Hashtbl.remove t.nodes a.seq
+
+let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.nodes
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph mo {\n  rankdir=LR;\n";
+  iter_nodes t (fun n ->
+      let a = n.action in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"#%d t%d loc%d=%d\"];\n" a.Action.seq
+           a.Action.seq a.Action.tid a.Action.loc a.Action.value));
+  iter_nodes t (fun n ->
+      List.iter
+        (fun dst ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d;\n" n.action.Action.seq
+               dst.action.Action.seq))
+        n.edges;
+      match n.rmw with
+      | Some r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [style=bold,color=red,label=\"rmw\"];\n"
+             n.action.Action.seq r.action.Action.seq)
+      | None -> ());
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let check_acyclic t =
+  let color = Hashtbl.create 64 in
+  (* 1 = on stack, 2 = done *)
+  let exception Cycle in
+  let rec visit n =
+    match Hashtbl.find_opt color n.action.seq with
+    | Some 1 -> raise Cycle
+    | Some _ -> ()
+    | None ->
+      Hashtbl.add color n.action.seq 1;
+      let succs = match n.rmw with Some r -> r :: n.edges | None -> n.edges in
+      List.iter visit succs;
+      Hashtbl.replace color n.action.seq 2
+  in
+  try
+    iter_nodes t visit;
+    true
+  with Cycle -> false

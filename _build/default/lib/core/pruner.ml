@@ -1,0 +1,153 @@
+open Execution
+
+type policy =
+  | No_prune
+  | Conservative of { interval : int }
+  | Aggressive of { window : int; interval : int }
+
+type stats = { stores_pruned : int; loads_pruned : int; fences_pruned : int }
+
+let pp_policy fmt = function
+  | No_prune -> Format.pp_print_string fmt "no-prune"
+  | Conservative { interval } -> Format.fprintf fmt "conservative(%d)" interval
+  | Aggressive { window; interval } ->
+    Format.fprintf fmt "aggressive(window=%d,%d)" window interval
+
+let cv_min exec =
+  let acc = ref None in
+  for i = 0 to exec.nthreads - 1 do
+    let ts = exec.threads.(i) in
+    if ts.live then
+      acc :=
+        Some
+          (match !acc with
+          | None -> Clockvec.copy ts.c
+          | Some cv -> Clockvec.intersect cv ts.c)
+  done;
+  match !acc with None -> Clockvec.bottom () | Some cv -> cv
+
+(* A store [x] is prunable when it is modification-ordered strictly before
+   some anchor store [s]: no thread can read [x] anymore.  In Full_c11 mode
+   reachability comes from the mo-graph clock vectors (Theorem 1); in
+   Total_mo mode modification order is commit order. *)
+let mo_before exec (x : Action.t) (s : Action.t) =
+  x.seq <> s.seq
+  &&
+  match exec.mode with
+  | Full_c11 -> (
+    match
+      (Mograph.find_node exec.graph x, Mograph.find_node exec.graph s)
+    with
+    | Some nx, Some ns -> Clockvec.leq nx.Mograph.cv ns.Mograph.cv
+    | _ -> false)
+  | Total_mo -> x.seq < s.seq
+
+let prune_with_anchors exec ~anchors_of_loc =
+  let stores_pruned = ref 0 and loads_pruned = ref 0 in
+  Hashtbl.iter
+    (fun _loc li ->
+      let anchors = anchors_of_loc li in
+      if anchors <> [] then begin
+        let removed = Hashtbl.create 16 in
+        List.iter
+          (fun cell ->
+            let keep, drop =
+              List.partition
+                (fun (x : Action.t) ->
+                  not (List.exists (fun s -> mo_before exec x s) anchors))
+                cell.c_stores
+            in
+            if drop <> [] then begin
+              List.iter
+                (fun (x : Action.t) ->
+                  Hashtbl.replace removed x.seq ();
+                  Mograph.remove_node exec.graph x;
+                  incr stores_pruned)
+                drop;
+              cell.c_stores <- keep;
+              li.store_count <- li.store_count - List.length drop;
+              cell.c_sc_stores <-
+                List.filter
+                  (fun (x : Action.t) -> not (Hashtbl.mem removed x.seq))
+                  cell.c_sc_stores
+            end)
+          li.cells;
+        if Hashtbl.length removed > 0 then
+          (* Drop pruned stores and any loads that read from them from the
+             access lists. *)
+          List.iter
+            (fun cell ->
+              let keep, drop =
+                List.partition
+                  (fun (a : Action.t) ->
+                    (not (Hashtbl.mem removed a.seq))
+                    &&
+                    match a.rf with
+                    | Some s -> not (Hashtbl.mem removed s.seq)
+                    | None -> true)
+                  cell.c_accesses
+              in
+              List.iter
+                (fun (a : Action.t) ->
+                  if a.kind = Action.Load then incr loads_pruned)
+                drop;
+              cell.c_accesses <- keep)
+            li.cells
+      end)
+    exec.locs;
+  (!stores_pruned, !loads_pruned)
+
+let prune_fences exec cvmin =
+  let pruned = ref 0 in
+  for i = 0 to exec.nthreads - 1 do
+    let ts = exec.threads.(i) in
+    let keep, drop =
+      List.partition
+        (fun (f : Action.t) ->
+          not (Clockvec.covers cvmin ~tid:f.tid ~seq:f.seq))
+        ts.sc_fences
+    in
+    pruned := !pruned + List.length drop;
+    ts.sc_fences <- keep
+  done;
+  !pruned
+
+let prune_conservative exec =
+  let cvmin = cv_min exec in
+  let anchors_of_loc li =
+    List.concat_map
+      (fun cell ->
+        List.filter
+          (fun (s : Action.t) -> Clockvec.covers cvmin ~tid:s.tid ~seq:s.seq)
+          cell.c_stores)
+      li.cells
+  in
+  let stores_pruned, loads_pruned = prune_with_anchors exec ~anchors_of_loc in
+  let fences_pruned = prune_fences exec cvmin in
+  exec.pruned_count <- exec.pruned_count + stores_pruned;
+  { stores_pruned; loads_pruned; fences_pruned }
+
+let prune_aggressive exec ~window =
+  let boundary = exec.seq - window in
+  let anchors_of_loc li =
+    List.concat_map
+      (fun cell ->
+        List.filter (fun (s : Action.t) -> s.seq < boundary) cell.c_stores)
+      li.cells
+  in
+  let stores_pruned, loads_pruned = prune_with_anchors exec ~anchors_of_loc in
+  let fences_pruned = prune_fences exec (cv_min exec) in
+  exec.pruned_count <- exec.pruned_count + stores_pruned;
+  { stores_pruned; loads_pruned; fences_pruned }
+
+let maybe_prune policy exec ~ops =
+  match policy with
+  | No_prune -> None
+  | Conservative { interval } ->
+    if interval > 0 && ops mod interval = 0 then
+      Some (prune_conservative exec)
+    else None
+  | Aggressive { window; interval } ->
+    if interval > 0 && ops mod interval = 0 then
+      Some (prune_aggressive exec ~window)
+    else None

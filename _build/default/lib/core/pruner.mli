@@ -1,0 +1,43 @@
+(** Execution-graph pruning (Section 7.1 of the paper).
+
+    The execution graph grows with every atomic store, so long executions
+    need pruning.  Naively dropping old stores is unsound: an old store can
+    be modification-ordered {e after} a newer one, and dropping it could let
+    a load read a store that coherence forbids.
+
+    - {b Conservative mode} computes [CV_min], the pointwise minimum of all
+      live threads' clock vectors.  A store covered by [CV_min] happens
+      before every thread's next action, so any store modification-ordered
+      {e before} it can no longer be read by anyone and is removed.  This
+      mode never changes the set of producible executions.
+    - {b Aggressive mode} keeps a trailing window of the trace: every store
+      older than the window is treated as an anchor and the stores
+      modification-ordered before it are removed even if still readable.
+      This can shrink the set of producible executions but never allows a
+      forbidden one.
+
+    Loads that read from a removed store are removed with it, as are
+    seq-cst fences that happen before [CV_min]. *)
+
+type policy =
+  | No_prune
+  | Conservative of { interval : int }
+  | Aggressive of { window : int; interval : int }
+
+type stats = { stores_pruned : int; loads_pruned : int; fences_pruned : int }
+
+val pp_policy : Format.formatter -> policy -> unit
+
+(** [cv_min exec] is the intersection of all live threads' clock vectors. *)
+val cv_min : Execution.t -> Clockvec.t
+
+(** Run one conservative pruning pass. *)
+val prune_conservative : Execution.t -> stats
+
+(** Run one aggressive pass keeping roughly the last [window] sequence
+    numbers of the trace. *)
+val prune_aggressive : Execution.t -> window:int -> stats
+
+(** [maybe_prune policy exec ~ops] applies the policy if [ops] (the count of
+    atomic operations so far) has crossed a multiple of the interval. *)
+val maybe_prune : policy -> Execution.t -> ops:int -> stats option

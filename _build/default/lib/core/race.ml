@@ -1,0 +1,137 @@
+type access_class = Na_access | Atomic_access
+
+type report = {
+  loc : int;
+  loc_name : string;
+  first_tid : int;
+  first_seq : int;
+  first_is_write : bool;
+  first_class : access_class;
+  second_tid : int;
+  second_seq : int;
+  second_is_write : bool;
+  second_class : access_class;
+}
+
+(* Shadow cell: slot [tid] of each vector holds the sequence number of
+   thread [tid]'s most recent access of that class (0 = none).  Per-thread
+   "last access" suffices because same-thread accesses are ordered by
+   sequenced-before. *)
+type shadow = {
+  na_w : Clockvec.t;
+  at_w : Clockvec.t;
+  na_r : Clockvec.t;
+  at_r : Clockvec.t;
+}
+
+type t = {
+  shadows : (int, shadow) Hashtbl.t;
+  names : (int, string) Hashtbl.t;
+  mutable found : report list;
+  mutable count : int;
+}
+
+let create () =
+  { shadows = Hashtbl.create 256; names = Hashtbl.create 64; found = []; count = 0 }
+
+let name_location t ~loc name = Hashtbl.replace t.names loc name
+
+let loc_name t loc =
+  match Hashtbl.find_opt t.names loc with
+  | Some n -> n
+  | None -> Printf.sprintf "loc%d" loc
+
+let shadow t loc =
+  match Hashtbl.find_opt t.shadows loc with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        na_w = Clockvec.bottom ();
+        at_w = Clockvec.bottom ();
+        na_r = Clockvec.bottom ();
+        at_r = Clockvec.bottom ();
+      }
+    in
+    Hashtbl.add t.shadows loc s;
+    s
+
+let report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
+    ~is_write ~cls =
+  for u = 0 to Clockvec.width prior - 1 do
+    if u <> tid then begin
+      let s = Clockvec.get prior u in
+      if s > 0 && not (Clockvec.covers hb ~tid:u ~seq:s) then begin
+        t.found <-
+          {
+            loc;
+            loc_name = loc_name t loc;
+            first_tid = u;
+            first_seq = s;
+            first_is_write = prior_is_write;
+            first_class = prior_class;
+            second_tid = tid;
+            second_seq = seq;
+            second_is_write = is_write;
+            second_class = cls;
+          }
+          :: t.found;
+        t.count <- t.count + 1
+      end
+    end
+  done
+
+let on_access t ~loc ~tid ~seq ~hb ~is_write ~cls =
+  let s = shadow t loc in
+  let check prior ~prior_is_write ~prior_class =
+    report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
+      ~is_write ~cls
+  in
+  (match (cls, is_write) with
+  | Na_access, true ->
+    (* A non-atomic write conflicts with every other access. *)
+    check s.na_w ~prior_is_write:true ~prior_class:Na_access;
+    check s.at_w ~prior_is_write:true ~prior_class:Atomic_access;
+    check s.na_r ~prior_is_write:false ~prior_class:Na_access;
+    check s.at_r ~prior_is_write:false ~prior_class:Atomic_access
+  | Na_access, false ->
+    check s.na_w ~prior_is_write:true ~prior_class:Na_access;
+    check s.at_w ~prior_is_write:true ~prior_class:Atomic_access
+  | Atomic_access, true ->
+    check s.na_w ~prior_is_write:true ~prior_class:Na_access;
+    check s.na_r ~prior_is_write:false ~prior_class:Na_access
+  | Atomic_access, false ->
+    check s.na_w ~prior_is_write:true ~prior_class:Na_access);
+  let target =
+    match (cls, is_write) with
+    | Na_access, true -> s.na_w
+    | Na_access, false -> s.na_r
+    | Atomic_access, true -> s.at_w
+    | Atomic_access, false -> s.at_r
+  in
+  Clockvec.set target tid seq
+
+let races t = List.rev t.found
+let race_count t = t.count
+
+let clear t =
+  Hashtbl.reset t.shadows;
+  t.found <- [];
+  t.count <- 0
+
+let class_to_string = function Na_access -> "na" | Atomic_access -> "atomic"
+let rw b = if b then "write" else "read"
+
+let pp_report fmt r =
+  Format.fprintf fmt "data race on %s: %s %s by t%d (#%d) vs %s %s by t%d (#%d)"
+    r.loc_name (class_to_string r.first_class) (rw r.first_is_write)
+    r.first_tid r.first_seq
+    (class_to_string r.second_class)
+    (rw r.second_is_write) r.second_tid r.second_seq
+
+let dedup_key r =
+  Printf.sprintf "%s|%s%s|%s%s" r.loc_name
+    (class_to_string r.first_class)
+    (rw r.first_is_write)
+    (class_to_string r.second_class)
+    (rw r.second_is_write)

@@ -1,0 +1,68 @@
+(** FastTrack-style data race detector (Section 7.2 of the paper).
+
+    The paper keeps a 64-bit shadow word per byte holding compressed read
+    and write epochs plus an atomic/non-atomic bit, expanding to a full
+    record when threads don't fit.  Locations in this reproduction are
+    abstract cells rather than bytes, so the shadow is represented directly
+    as the expanded record: for each location, the last access epoch of each
+    thread in each of four classes (non-atomic write, atomic write,
+    non-atomic read, atomic read).
+
+    Two accesses race when they touch the same location, at least one is a
+    write, at least one is non-atomic, and they are unordered by
+    happens-before.  Atomic-atomic pairs never race (the memory model gives
+    them defined semantics). *)
+
+type access_class = Na_access | Atomic_access
+
+type report = {
+  loc : int;
+  loc_name : string;
+  first_tid : int;
+  first_seq : int;
+  first_is_write : bool;
+  first_class : access_class;
+  second_tid : int;
+  second_seq : int;
+  second_is_write : bool;
+  second_class : access_class;
+}
+
+type t
+
+val create : unit -> t
+
+(** Attach a stable, human-readable name to a location (used for reporting
+    and for deduplicating races across repeated executions). *)
+val name_location : t -> loc:int -> string -> unit
+
+(** [on_access t ~loc ~tid ~seq ~hb ~is_write ~cls] checks the access
+    against the shadow state, records any races found, and updates the
+    shadow.  [hb] is the accessing thread's happens-before clock vector at
+    the access. *)
+val on_access :
+  t ->
+  loc:int ->
+  tid:int ->
+  seq:int ->
+  hb:Clockvec.t ->
+  is_write:bool ->
+  cls:access_class ->
+  unit
+
+(** Races found in the current execution, oldest first. *)
+val races : t -> report list
+
+val race_count : t -> int
+
+(** Reset per-execution state (shadow memory and race list) while keeping
+    nothing — a fresh detector per execution; cross-execution deduplication
+    is the tester's job. *)
+val clear : t -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Stable deduplication key for a report: same named location and same
+    access-pair shape collapse to one key across executions (Section 7.6:
+    races are reported only once). *)
+val dedup_key : report -> string

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every nondeterministic choice C11Tester makes — the next thread to run
+    and the store a load reads from — is drawn from one of these generators,
+    so an execution is fully determined by its seed.  This replaces the
+    paper's reliance on [random()] while making executions replayable. *)
+
+type t
+
+val create : int64 -> t
+
+(** [split t] derives an independent generator; used to give each execution
+    of a repeated test its own stream. *)
+val split : t -> t
+
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [shuffle_in_place t arr] applies a Fisher-Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit
+
+(** [geometric t mean] samples a geometric distribution with the given mean
+    (always at least 1); used by the bursty scheduler that models an
+    uncontrolled OS scheduler. *)
+val geometric : t -> int -> int

@@ -1,0 +1,90 @@
+type t =
+  | Controlled_random of { batch_stores : bool }
+  | Bursty of { mean_burst : int }
+  | Priority of { change_points : int }
+  | Round_robin
+
+type state = {
+  mutable last_tid : int;
+  mutable last_was_store : bool;
+  mutable burst_left : int;
+  mutable priorities : float array;  (** higher runs first *)
+  mutable steps : int;
+}
+
+let make_state () =
+  {
+    last_tid = -1;
+    last_was_store = false;
+    burst_left = 0;
+    priorities = [||];
+    steps = 0;
+  }
+
+let note_executed st ~tid ~was_rlx_or_rel_store =
+  st.last_tid <- tid;
+  st.last_was_store <- was_rlx_or_rel_store
+
+let random_pick rng enabled =
+  match enabled with
+  | [ t ] -> t
+  | _ -> List.nth enabled (Rng.int rng (List.length enabled))
+
+let ensure_priorities st rng n =
+  let len = Array.length st.priorities in
+  if n > len then begin
+    let p = Array.init (max n (2 * max 4 len)) (fun _ -> Rng.float rng) in
+    Array.blit st.priorities 0 p 0 len;
+    st.priorities <- p
+  end
+
+let pick t st rng ~enabled ~pending_is_rlx_store =
+  match enabled with
+  | [] -> invalid_arg "Schedule.pick: no enabled thread"
+  | _ -> (
+    st.steps <- st.steps + 1;
+    match t with
+    | Controlled_random { batch_stores } ->
+      if
+        batch_stores && st.last_was_store
+        && List.mem st.last_tid enabled
+        && pending_is_rlx_store st.last_tid
+      then st.last_tid
+      else random_pick rng enabled
+    | Bursty { mean_burst } ->
+      if st.burst_left > 0 && List.mem st.last_tid enabled then begin
+        st.burst_left <- st.burst_left - 1;
+        st.last_tid
+      end
+      else begin
+        let tid = random_pick rng enabled in
+        st.burst_left <- Rng.geometric rng mean_burst - 1;
+        tid
+      end
+    | Priority { change_points } ->
+      let top = List.fold_left max 0 enabled in
+      ensure_priorities st rng (top + 1);
+      (* a change point demotes the thread that just ran *)
+      if
+        st.last_tid >= 0
+        && change_points > 0
+        (* on average [change_points] demotions per ~1000 decisions *)
+        && Rng.int rng 1000 < change_points
+      then
+        st.priorities.(st.last_tid) <-
+          st.priorities.(st.last_tid) -. 1.0;
+      List.fold_left
+        (fun best tid ->
+          if st.priorities.(tid) > st.priorities.(best) then tid else best)
+        (List.hd enabled) enabled
+    | Round_robin ->
+      let after = List.filter (fun tid -> tid > st.last_tid) enabled in
+      (match after with next :: _ -> next | [] -> List.hd enabled))
+
+let pp fmt = function
+  | Controlled_random { batch_stores } ->
+    Format.fprintf fmt "controlled-random%s"
+      (if batch_stores then "+store-batching" else "")
+  | Bursty { mean_burst } -> Format.fprintf fmt "bursty(%d)" mean_burst
+  | Priority { change_points } -> Format.fprintf fmt "pct(%d)" change_points
+  | Round_robin -> Format.pp_print_string fmt "round-robin"

@@ -1,0 +1,55 @@
+(** Thread-scheduling strategies (Section 3 of the paper).
+
+    C11Tester makes a scheduling decision at every visible operation and
+    has a pluggable framework for strategies; the default is random
+    selection with one refinement: consecutive release/relaxed stores by
+    one thread run without interruption, which enlarges may-read-from sets
+    and removes the bias illustrated by Figure 4.
+
+    Additional plugins provided by this reproduction:
+
+    - [Bursty] models tools that do {e not} control scheduling (tsan11):
+      the OS runs a thread for a whole quantum, so visible operations come
+      in long per-thread bursts;
+    - [Priority] is a PCT-style strategy (Burckhardt et al.): threads get
+      random priorities, the highest-priority enabled thread always runs,
+      and priorities are reshuffled at a few random change points — good at
+      exposing bugs that need one thread to stall for a long window;
+    - [Round_robin] is a deterministic baseline useful for debugging. *)
+
+type t =
+  | Controlled_random of { batch_stores : bool }
+      (** pick uniformly at random at every visible operation; with
+          [batch_stores], keep running a thread whose next operation
+          extends a run of release/relaxed stores *)
+  | Bursty of { mean_burst : int }
+      (** keep running the current thread for a geometrically distributed
+          number of visible operations *)
+  | Priority of { change_points : int }
+      (** PCT-style: run the highest-priority enabled thread; demote the
+          running thread to the lowest priority at roughly [change_points]
+          random points per execution *)
+  | Round_robin
+
+(** Per-execution scheduler state. *)
+type state
+
+val make_state : unit -> state
+
+(** Tell the scheduler what the thread it just ran actually did, so the
+    store-batching rule can recognise store runs. *)
+val note_executed : state -> tid:int -> was_rlx_or_rel_store:bool -> unit
+
+(** [pick t state rng ~enabled ~pending_is_rlx_store] chooses the next
+    thread.  [enabled] must be non-empty; [pending_is_rlx_store tid]
+    reports whether [tid]'s next visible operation is a release/relaxed
+    atomic store. *)
+val pick :
+  t ->
+  state ->
+  Rng.t ->
+  enabled:int list ->
+  pending_is_rlx_store:(int -> bool) ->
+  int
+
+val pp : Format.formatter -> t -> unit

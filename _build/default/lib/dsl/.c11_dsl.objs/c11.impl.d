@@ -1,0 +1,1 @@
+lib/dsl/c11.ml: Engine Execution Fiber Memorder Op

@@ -1,0 +1,1 @@
+lib/dsl/engine.ml: Action Array Clockvec Execution Fiber Format List Memorder Op Printexc Pruner Race Rng Schedule

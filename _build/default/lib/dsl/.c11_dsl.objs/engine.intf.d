@@ -1,0 +1,1 @@
+lib/dsl/engine.mli: Execution Format Memorder Pruner Race Schedule

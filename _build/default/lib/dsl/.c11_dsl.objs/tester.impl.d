@@ -1,0 +1,1 @@
+lib/dsl/tester.ml: Engine Format Hashtbl List Option Race Rng

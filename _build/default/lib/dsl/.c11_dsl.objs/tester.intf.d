@@ -1,0 +1,1 @@
+lib/dsl/tester.mli: Engine Format Race

@@ -1,0 +1,1 @@
+lib/dsl/tool.ml: Engine Execution Memorder Pruner Schedule

@@ -1,0 +1,1 @@
+lib/dsl/tool.mli: Engine Memorder Pruner

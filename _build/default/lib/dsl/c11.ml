@@ -1,0 +1,116 @@
+type atomic = int
+type naloc = int
+type mutex = int
+type condvar = int
+type thread = int
+
+let perform = Fiber.perform
+
+module Atomic = struct
+  let make ?name v = perform (Op.Alloc { atomic = true; name; init = v })
+
+  let load ?(mo = Memorder.Seq_cst) a =
+    perform (Op.Load { loc = a; mo; volatile = false })
+
+  let store ?(mo = Memorder.Seq_cst) a v =
+    ignore (perform (Op.Store { loc = a; mo; value = v; volatile = false }))
+
+  let rmw ~mo a f = perform (Op.Rmw { loc = a; mo; f; volatile = false })
+
+  let exchange ?(mo = Memorder.Seq_cst) a v =
+    rmw ~mo a (fun _ -> Execution.Rmw_write v)
+
+  let fetch_add ?(mo = Memorder.Seq_cst) a n =
+    rmw ~mo a (fun old -> Execution.Rmw_write (old + n))
+
+  let fetch_sub ?(mo = Memorder.Seq_cst) a n =
+    rmw ~mo a (fun old -> Execution.Rmw_write (old - n))
+
+  let fetch_or ?(mo = Memorder.Seq_cst) a n =
+    rmw ~mo a (fun old -> Execution.Rmw_write (old lor n))
+
+  let fetch_and ?(mo = Memorder.Seq_cst) a n =
+    rmw ~mo a (fun old -> Execution.Rmw_write (old land n))
+
+  let compare_exchange ?(mo = Memorder.Seq_cst) a ~expected ~desired =
+    let old =
+      rmw ~mo a (fun old ->
+          if old = expected then Execution.Rmw_write desired
+          else Execution.Rmw_keep)
+    in
+    old = expected
+
+  let init a v = ignore (perform (Op.Na_write { loc = a; value = v }))
+  let na_store = init
+  let na_load a = perform (Op.Na_read { loc = a })
+end
+
+module Nonatomic = struct
+  let make ?name v = perform (Op.Alloc { atomic = false; name; init = v })
+  let read l = perform (Op.Na_read { loc = l })
+  let write l v = ignore (perform (Op.Na_write { loc = l; value = v }))
+end
+
+module Volatile = struct
+  let load a = perform (Op.Load { loc = a; mo = Memorder.Relaxed; volatile = true })
+
+  let store a v =
+    ignore
+      (perform (Op.Store { loc = a; mo = Memorder.Relaxed; value = v; volatile = true }))
+
+  let fetch_add a n =
+    perform
+      (Op.Rmw
+         {
+           loc = a;
+           mo = Memorder.Relaxed;
+           f = (fun old -> Execution.Rmw_write (old + n));
+           volatile = true;
+         })
+
+  let compare_exchange a ~expected ~desired =
+    let old =
+      perform
+        (Op.Rmw
+           {
+             loc = a;
+             mo = Memorder.Relaxed;
+             f =
+               (fun old ->
+                 if old = expected then Execution.Rmw_write desired
+                 else Execution.Rmw_keep);
+             volatile = true;
+           })
+    in
+    old = expected
+end
+
+module Fence = struct
+  let fence mo = ignore (perform (Op.Fence mo))
+  let acquire () = fence Memorder.Acquire
+  let release () = fence Memorder.Release
+  let seq_cst () = fence Memorder.Seq_cst
+end
+
+module Thread = struct
+  let spawn f = perform (Op.Spawn f)
+  let join t = ignore (perform (Op.Join t))
+  let yield () = ignore (perform Op.Yield)
+  let id t = t
+end
+
+module Mutex = struct
+  let create () = perform Op.Mutex_create
+  let lock m = ignore (perform (Op.Mutex_lock m))
+  let try_lock m = perform (Op.Mutex_trylock m) = 1
+  let unlock m = ignore (perform (Op.Mutex_unlock m))
+end
+
+module Condvar = struct
+  let create () = perform Op.Cond_create
+  let wait c m = ignore (perform (Op.Cond_wait { cond = c; mutex = m }))
+  let signal c = ignore (perform (Op.Cond_signal c))
+  let broadcast c = ignore (perform (Op.Cond_broadcast c))
+end
+
+let assert_that = Engine.assert_that

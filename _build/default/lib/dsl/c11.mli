@@ -1,0 +1,107 @@
+(** The public programming interface: an embedded DSL for writing the
+    concurrent C/C++-style programs that C11Tester tests.
+
+    Programs written against this API correspond to the instrumented
+    programs of the paper: every [Atomic] access, [Nonatomic] shared
+    access, fence, thread and synchronisation operation becomes a visible
+    event for the model.  Plain OCaml values ([ref]s, lists, …) used inside
+    a test are invisible to the model — use them only for checking results,
+    never for inter-thread communication.
+
+    All functions must be called from inside a program executed by
+    {!Engine.run} / {!Tester}. *)
+
+type atomic
+type naloc
+type mutex
+type condvar
+type thread
+
+(** Atomic objects ([std::atomic<int>]). *)
+module Atomic : sig
+  (** [make ?name v] allocates an atomic location and initialises it with a
+      non-atomic store, like [atomic_init] (Section 7.2).  [name] is used in
+      race reports. *)
+  val make : ?name:string -> int -> atomic
+
+  val load : ?mo:Memorder.t -> atomic -> int
+  (** default memory order: [Seq_cst], as in C++ *)
+
+  val store : ?mo:Memorder.t -> atomic -> int -> unit
+  val exchange : ?mo:Memorder.t -> atomic -> int -> int
+  val fetch_add : ?mo:Memorder.t -> atomic -> int -> int
+  val fetch_sub : ?mo:Memorder.t -> atomic -> int -> int
+  val fetch_or : ?mo:Memorder.t -> atomic -> int -> int
+  val fetch_and : ?mo:Memorder.t -> atomic -> int -> int
+
+  (** [compare_exchange a ~expected ~desired] returns [true] on success.
+      A failed compare-exchange acts as a load. *)
+  val compare_exchange :
+    ?mo:Memorder.t -> atomic -> expected:int -> desired:int -> bool
+
+  (** Non-atomic initialising store to an already-created atomic —
+      [atomic_init]; races with concurrent atomic accesses. *)
+  val init : atomic -> int -> unit
+
+  (** Raw non-atomic store/load to an atomic location (memory reuse /
+      [memcpy] of Section 7.2). *)
+  val na_store : atomic -> int -> unit
+
+  val na_load : atomic -> int
+end
+
+(** Plain shared memory: race-detected, no weak behaviour of its own. *)
+module Nonatomic : sig
+  val make : ?name:string -> int -> naloc
+  val read : naloc -> int
+  val write : naloc -> int -> unit
+end
+
+(** Pre-C11 volatile accesses (Section 7.2): how they behave depends on the
+    tool configuration — C11Tester maps them to atomics with a configured
+    order; the baseline tools treat them as plain racy accesses. *)
+module Volatile : sig
+  val load : atomic -> int
+  val store : atomic -> int -> unit
+  val fetch_add : atomic -> int -> int
+  val compare_exchange : atomic -> expected:int -> desired:int -> bool
+end
+
+module Fence : sig
+  val fence : Memorder.t -> unit
+  val acquire : unit -> unit
+  val release : unit -> unit
+  val seq_cst : unit -> unit
+end
+
+module Thread : sig
+  val spawn : (unit -> unit) -> thread
+  val join : thread -> unit
+
+  (** A pure scheduling point; use inside spin loops. *)
+  val yield : unit -> unit
+
+  val id : thread -> int
+end
+
+module Mutex : sig
+  val create : unit -> mutex
+  val lock : mutex -> unit
+
+  (** [try_lock m] returns [true] if the lock was taken. *)
+  val try_lock : mutex -> bool
+
+  val unlock : mutex -> unit
+end
+
+module Condvar : sig
+  val create : unit -> condvar
+  val wait : condvar -> mutex -> unit
+  val signal : condvar -> unit
+  val broadcast : condvar -> unit
+end
+
+(** [assert_that cond msg] aborts the execution and records an assertion
+    violation when [cond] is false — the DSL analogue of a failing
+    [assert] in the program under test. *)
+val assert_that : bool -> string -> unit

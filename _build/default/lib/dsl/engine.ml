@@ -1,0 +1,458 @@
+type volatile_mode =
+  | Volatile_atomic of Memorder.t
+  | Volatile_nonatomic
+
+type config = {
+  mode : Execution.mode;
+  sched : Schedule.t;
+  volatile_mode : volatile_mode;
+  prune : Pruner.policy;
+  max_steps : int;
+  seed : int64;
+  trace_depth : int;
+}
+
+let default_config =
+  {
+    mode = Execution.Full_c11;
+    sched = Schedule.Controlled_random { batch_stores = true };
+    volatile_mode = Volatile_atomic Memorder.Relaxed;
+    prune = Pruner.No_prune;
+    max_steps = 2_000_000;
+    seed = 1L;
+    trace_depth = 0;
+  }
+
+type outcome = {
+  races : Race.report list;
+  assertion_failures : string list;
+  uncaught_exceptions : string list;
+  deadlock : bool;
+  step_limit_hit : bool;
+  steps : int;
+  atomic_ops : int;
+  na_ops : int;
+  threads_created : int;
+  max_graph_size : int;
+  final_footprint : int;
+  pruned_stores : int;
+  trace : string list;
+}
+
+let buggy o = o.races <> [] || o.assertion_failures <> []
+
+exception Assertion_violation of string
+
+let assert_that cond msg = if not cond then raise (Assertion_violation msg)
+
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | App_op of Op.t  (** a visible operation requested by the program *)
+  | Relock of int  (** woken from a condvar; must re-acquire the mutex *)
+  | Sleeping of { cond : int; mutex : int }  (** waiting on a condvar *)
+
+type thread_status =
+  | Not_started of (unit -> unit)
+  | Pending of pending * Fiber.cont
+  | Finished
+
+type thread = {
+  tid : int;
+  mutable status : thread_status;
+  mutable final_cv : Clockvec.t option;
+}
+
+type mutex = {
+  mutable locked_by : int option;
+  mutable m_release_cv : Clockvec.t;
+}
+
+type condvar = { mutable waiters : int list }
+
+type state = {
+  config : config;
+  exec : Execution.t;
+  rng : Rng.t;
+  race : Race.t;
+  mutable threads : thread array;
+  mutable nthreads : int;
+  mutable mutexes : mutex array;
+  mutable nmutexes : int;
+  mutable condvars : condvar array;
+  mutable ncondvars : int;
+  sched_state : Schedule.state;
+  mutable steps : int;
+  mutable assertion_failures : string list;
+  mutable uncaught : string list;
+  mutable deadlock : bool;
+  mutable step_limit_hit : bool;
+}
+
+let grow_push arr n v =
+  let len = Array.length arr in
+  if n < len then begin
+    arr.(n) <- v;
+    arr
+  end
+  else begin
+    let arr' = Array.make (max 4 (2 * len)) v in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+let add_thread st body ~parent =
+  let tid = Execution.new_thread st.exec ~parent in
+  let th = { tid; status = Not_started body; final_cv = None } in
+  st.threads <- grow_push st.threads st.nthreads th;
+  st.nthreads <- st.nthreads + 1;
+  assert (tid = st.nthreads - 1);
+  tid
+
+let add_mutex st =
+  let m = { locked_by = None; m_release_cv = Clockvec.bottom () } in
+  st.mutexes <- grow_push st.mutexes st.nmutexes m;
+  st.nmutexes <- st.nmutexes + 1;
+  st.nmutexes - 1
+
+let add_condvar st =
+  let c = { waiters = [] } in
+  st.condvars <- grow_push st.condvars st.ncondvars c;
+  st.ncondvars <- st.ncondvars + 1;
+  st.ncondvars - 1
+
+let mutex st m =
+  if m < 0 || m >= st.nmutexes then
+    raise (Execution.Model_error "unknown mutex");
+  st.mutexes.(m)
+
+let condvar st c =
+  if c < 0 || c >= st.ncondvars then
+    raise (Execution.Model_error "unknown condition variable");
+  st.condvars.(c)
+
+(* ------------------------------------------------------------------ *)
+(* Enabledness: a thread is disabled while it waits on a held mutex, an
+   unfinished thread or a condition variable (Section 3). *)
+
+let op_enabled st = function
+  | App_op (Op.Mutex_lock m) -> (mutex st m).locked_by = None
+  | App_op (Op.Join tid) -> (
+    match st.threads.(tid).status with Finished -> true | _ -> false)
+  | Relock m -> (mutex st m).locked_by = None
+  | Sleeping _ -> false
+  | App_op _ -> true
+
+let thread_enabled st th =
+  match th.status with
+  | Not_started _ -> true
+  | Pending (p, _) -> op_enabled st p
+  | Finished -> false
+
+let enabled_tids st =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if thread_enabled st st.threads.(i) then i :: acc else acc)
+  in
+  go (st.nthreads - 1) []
+
+let pending_is_rlx_store st tid =
+  match st.threads.(tid).status with
+  | Pending (App_op op, _) -> Op.is_rlx_or_rel_store op
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Volatile access rewriting (Section 7.2): C11Tester promotes volatiles to
+   atomics with a configurable order; the baseline tools leave them as
+   plain racy accesses. *)
+
+let volatile_load_mo st =
+  match st.config.volatile_mode with
+  | Volatile_atomic Memorder.Acq_rel -> Some Memorder.Acquire
+  | Volatile_atomic mo -> Some mo
+  | Volatile_nonatomic -> None
+
+let volatile_store_mo st =
+  match st.config.volatile_mode with
+  | Volatile_atomic Memorder.Acq_rel -> Some Memorder.Release
+  | Volatile_atomic mo -> Some mo
+  | Volatile_nonatomic -> None
+
+let wake st tid =
+  let th = st.threads.(tid) in
+  match th.status with
+  | Pending (Sleeping { mutex = m; _ }, k) -> th.status <- Pending (Relock m, k)
+  | Not_started _ | Pending ((App_op _ | Relock _), _) | Finished -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Interpreting one visible operation. *)
+
+type op_result =
+  | Value of int  (** resume the fiber with this result *)
+  | Sleep of { cond : int; mutex : int }  (** park the fiber on a condvar *)
+
+let lock_mutex st tid mu =
+  assert (mu.locked_by = None);
+  Execution.tick_sync st.exec ~tid;
+  Execution.acquire_cv st.exec ~tid mu.m_release_cv;
+  mu.locked_by <- Some tid
+
+let unlock_mutex st tid mu =
+  Execution.tick_sync st.exec ~tid;
+  ignore
+    (Clockvec.merge mu.m_release_cv (Execution.release_snapshot st.exec ~tid));
+  mu.locked_by <- None
+
+let exec_op st th (op : Op.t) : op_result =
+  let tid = th.tid in
+  let exec = st.exec in
+  match op with
+  | Op.Load { loc; mo; volatile } -> (
+    match (volatile, volatile_load_mo st) with
+    | true, None -> Value (Execution.na_read exec ~tid ~loc)
+    | true, Some mo ->
+      Value (Execution.atomic_load exec ~tid ~loc ~mo ~volatile:true)
+    | false, _ -> Value (Execution.atomic_load exec ~tid ~loc ~mo ~volatile))
+  | Op.Store { loc; mo; value; volatile } ->
+    (match (volatile, volatile_store_mo st) with
+    | true, None -> Execution.na_write exec ~tid ~loc value
+    | true, Some mo ->
+      Execution.atomic_store exec ~tid ~loc ~mo ~volatile:true value
+    | false, _ -> Execution.atomic_store exec ~tid ~loc ~mo ~volatile value);
+    Value 0
+  | Op.Rmw { loc; mo; f; volatile } ->
+    let mo =
+      if volatile then
+        match st.config.volatile_mode with
+        | Volatile_atomic Memorder.Acq_rel -> Memorder.Acq_rel
+        | Volatile_atomic m -> m
+        | Volatile_nonatomic -> mo
+      else mo
+    in
+    Value (Execution.atomic_rmw exec ~tid ~loc ~mo ~volatile ~f)
+  | Op.Fence mo ->
+    Execution.fence exec ~tid ~mo;
+    Value 0
+  | Op.Na_read { loc } -> Value (Execution.na_read exec ~tid ~loc)
+  | Op.Na_write { loc; value } ->
+    Execution.na_write exec ~tid ~loc value;
+    Value 0
+  | Op.Alloc { atomic; name; init } ->
+    let loc = Execution.fresh_loc exec ~atomic ~name in
+    Execution.na_write exec ~tid ~loc init;
+    Value loc
+  | Op.Spawn body ->
+    Execution.tick_sync exec ~tid;
+    Value (add_thread st body ~parent:(Some tid))
+  | Op.Join child ->
+    Execution.tick_sync exec ~tid;
+    (match st.threads.(child).final_cv with
+    | Some cv -> Execution.acquire_cv exec ~tid cv
+    | None -> raise (Execution.Model_error "join on unfinished thread"));
+    Value 0
+  | Op.Mutex_create -> Value (add_mutex st)
+  | Op.Cond_create -> Value (add_condvar st)
+  | Op.Mutex_lock m ->
+    lock_mutex st tid (mutex st m);
+    Value 0
+  | Op.Mutex_trylock m ->
+    let mu = mutex st m in
+    Execution.tick_sync exec ~tid;
+    if mu.locked_by = None then begin
+      Execution.acquire_cv exec ~tid mu.m_release_cv;
+      mu.locked_by <- Some tid;
+      Value 1
+    end
+    else Value 0
+  | Op.Mutex_unlock m ->
+    let mu = mutex st m in
+    if mu.locked_by <> Some tid then
+      raise (Assertion_violation "unlock of mutex not held by this thread");
+    unlock_mutex st tid mu;
+    Value 0
+  | Op.Cond_wait { cond; mutex = m } ->
+    let mu = mutex st m in
+    if mu.locked_by <> Some tid then
+      raise (Assertion_violation "cond_wait without holding the mutex");
+    unlock_mutex st tid mu;
+    (condvar st cond).waiters <- tid :: (condvar st cond).waiters;
+    Sleep { cond; mutex = m }
+  | Op.Cond_signal c ->
+    let cv = condvar st c in
+    Execution.tick_sync exec ~tid;
+    (match cv.waiters with
+    | [] -> ()
+    | waiters ->
+      let arr = Array.of_list waiters in
+      let idx = Rng.int st.rng (Array.length arr) in
+      let woken = arr.(idx) in
+      cv.waiters <- List.filter (fun t -> t <> woken) waiters;
+      wake st woken);
+    Value 0
+  | Op.Cond_broadcast c ->
+    let cv = condvar st c in
+    Execution.tick_sync exec ~tid;
+    List.iter (wake st) cv.waiters;
+    cv.waiters <- [];
+    Value 0
+  | Op.Yield -> Value 0
+
+(* ------------------------------------------------------------------ *)
+(* Driving fibers *)
+
+exception Abort_execution
+
+let finish_thread st th =
+  Execution.tick_sync st.exec ~tid:th.tid;
+  th.final_cv <- Some (Execution.release_snapshot st.exec ~tid:th.tid);
+  (Execution.thread st.exec th.tid).Execution.live <- false;
+  th.status <- Finished
+
+let record_crash st = function
+  | Assertion_violation msg ->
+    st.assertion_failures <- msg :: st.assertion_failures;
+    raise Abort_execution
+  | Fiber.Cancelled -> raise Abort_execution
+  | e ->
+    st.uncaught <- Printexc.to_string e :: st.uncaught;
+    raise Abort_execution
+
+let bump_steps st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.config.max_steps then begin
+    st.step_limit_hit <- true;
+    raise Abort_execution
+  end
+
+(* Run one fiber step and keep absorbing inline (non-scheduling)
+   operations; park the fiber at its next scheduling point. *)
+let rec settle st th (step : Fiber.step) =
+  match step with
+  | Fiber.Done -> finish_thread st th
+  | Fiber.Raised e -> record_crash st e
+  | Fiber.Paused (op, k) ->
+    if Op.is_inline op then begin
+      bump_steps st;
+      match exec_op st th op with
+      | Value v -> settle st th (Fiber.resume k v)
+      | Sleep _ -> assert false
+    end
+    else th.status <- Pending (App_op op, k)
+
+(* Execute the chosen thread's pending scheduling-point operation. *)
+let run_thread st tid =
+  let th = st.threads.(tid) in
+  bump_steps st;
+  match th.status with
+  | Not_started body ->
+    Schedule.note_executed st.sched_state ~tid ~was_rlx_or_rel_store:false;
+    settle st th (Fiber.start body)
+  | Pending (App_op op, k) ->
+    Schedule.note_executed st.sched_state ~tid
+      ~was_rlx_or_rel_store:(Op.is_rlx_or_rel_store op);
+    (match exec_op st th op with
+    | Value v -> settle st th (Fiber.resume k v)
+    | Sleep { cond; mutex = m } ->
+      th.status <- Pending (Sleeping { cond; mutex = m }, k))
+  | Pending (Relock m, k) ->
+    Schedule.note_executed st.sched_state ~tid ~was_rlx_or_rel_store:false;
+    lock_mutex st tid (mutex st m);
+    settle st th (Fiber.resume k 0)
+  | Pending (Sleeping _, _) | Finished ->
+    raise (Execution.Model_error "scheduled a disabled thread")
+
+let cancel_all st =
+  for i = 0 to st.nthreads - 1 do
+    match st.threads.(i).status with
+    | Pending (_, k) ->
+      st.threads.(i).status <- Finished;
+      Fiber.cancel k
+    | Not_started _ -> st.threads.(i).status <- Finished
+    | Finished -> ()
+  done
+
+let run config f =
+  let rng = Rng.create config.seed in
+  let race = Race.create () in
+  let exec = Execution.create ~mode:config.mode ~rng ~race in
+  Execution.set_trace_capacity exec config.trace_depth;
+  let st =
+    {
+      config;
+      exec;
+      rng;
+      race;
+      threads = [||];
+      nthreads = 0;
+      mutexes = [||];
+      nmutexes = 0;
+      condvars = [||];
+      ncondvars = 0;
+      sched_state = Schedule.make_state ();
+      steps = 0;
+      assertion_failures = [];
+      uncaught = [];
+      deadlock = false;
+      step_limit_hit = false;
+    }
+  in
+  ignore (add_thread st f ~parent:None);
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       match enabled_tids st with
+       | [] ->
+         let unfinished =
+           Array.exists
+             (fun th -> th.status <> Finished)
+             (Array.sub st.threads 0 st.nthreads)
+         in
+         if unfinished then st.deadlock <- true;
+         continue_ := false
+       | enabled ->
+         let tid =
+           Schedule.pick config.sched st.sched_state rng ~enabled
+             ~pending_is_rlx_store:(pending_is_rlx_store st)
+         in
+         (* assertion violations can surface while interpreting an
+            operation (e.g. unlocking a mutex the thread does not hold),
+            outside any fiber *)
+         (try run_thread st tid
+          with Assertion_violation msg ->
+            st.assertion_failures <- msg :: st.assertion_failures;
+            raise Abort_execution);
+         ignore
+           (Pruner.maybe_prune config.prune exec ~ops:exec.Execution.atomic_ops)
+     done
+   with
+  | Abort_execution -> cancel_all st
+  | Execution.Model_error _ as e ->
+    cancel_all st;
+    raise e);
+  {
+    races = Race.races race;
+    assertion_failures = List.rev st.assertion_failures;
+    uncaught_exceptions = List.rev st.uncaught;
+    deadlock = st.deadlock;
+    step_limit_hit = st.step_limit_hit;
+    steps = st.steps;
+    atomic_ops = exec.Execution.atomic_ops;
+    na_ops = exec.Execution.na_ops;
+    threads_created = st.nthreads;
+    max_graph_size = exec.Execution.max_graph_size;
+    final_footprint = Execution.graph_footprint exec;
+    pruned_stores = exec.Execution.pruned_count;
+    trace =
+      List.map (Format.asprintf "%a" Action.pp) (Execution.trace exec);
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "@[<v>races: %d@ assertion failures: %d@ exceptions: %d@ deadlock: %b@ \
+     steps: %d (atomic %d, na %d)@ threads: %d@ graph: peak %d, final %d, \
+     pruned %d@]"
+    (List.length o.races)
+    (List.length o.assertion_failures)
+    (List.length o.uncaught_exceptions)
+    o.deadlock o.steps o.atomic_ops o.na_ops o.threads_created
+    o.max_graph_size o.final_footprint o.pruned_stores

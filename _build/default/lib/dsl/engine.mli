@@ -1,0 +1,61 @@
+(** The Explore loop (Figure 3 of the paper).
+
+    [run config f] executes the program [f] once under the configured
+    memory model and scheduler: it repeatedly asks the scheduler for the
+    next enabled thread, interprets that thread's pending visible operation
+    against {!Execution}, and resumes the thread's fiber with the result.
+    Each call produces one execution; repeated testing is {!Tester}'s job. *)
+
+type volatile_mode =
+  | Volatile_atomic of Memorder.t
+      (** treat volatile accesses as atomics with this order for loads and
+          the matching release order for stores (C11Tester's behaviour;
+          Section 7.2) *)
+  | Volatile_nonatomic
+      (** treat volatile accesses as plain accesses (what tsan11/tsan11rec
+          effectively do: volatiles race) *)
+
+type config = {
+  mode : Execution.mode;
+  sched : Schedule.t;
+  volatile_mode : volatile_mode;
+  prune : Pruner.policy;
+  max_steps : int;  (** abort (livelock guard) after this many steps *)
+  seed : int64;
+  trace_depth : int;
+      (** keep the last N memory actions and return them in the outcome;
+          0 (default) disables tracing *)
+}
+
+val default_config : config
+
+type outcome = {
+  races : Race.report list;
+  assertion_failures : string list;
+  uncaught_exceptions : string list;
+  deadlock : bool;
+  step_limit_hit : bool;
+  steps : int;
+  atomic_ops : int;
+  na_ops : int;
+  threads_created : int;
+  max_graph_size : int;  (** peak live mo-graph nodes *)
+  final_footprint : int;  (** stores retained at exit (after pruning) *)
+  pruned_stores : int;
+  trace : string list;
+      (** the last [trace_depth] memory actions, oldest first, formatted *)
+}
+
+(** Did the execution expose a bug (a data race or an assertion failure)? *)
+val buggy : outcome -> bool
+
+val run : config -> (unit -> unit) -> outcome
+
+(** Raised by {!Check.assert_that}; aborts the current execution and is
+    recorded in the outcome.  Do not catch it inside test programs. *)
+exception Assertion_violation of string
+
+(** DSL support: used by {!C11}, not by user code. *)
+val assert_that : bool -> string -> unit
+
+val pp_outcome : Format.formatter -> outcome -> unit

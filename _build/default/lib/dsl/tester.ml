@@ -1,0 +1,93 @@
+type summary = {
+  executions : int;
+  buggy_executions : int;
+  race_executions : int;
+  assert_executions : int;
+  deadlocks : int;
+  step_limit_hits : int;
+  distinct_races : Race.report list;
+  total_atomic_ops : int;
+  total_na_ops : int;
+  max_graph_size : int;
+  mean_steps : float;
+}
+
+let detection_rate s =
+  if s.executions = 0 then 0.0
+  else 100.0 *. float_of_int s.buggy_executions /. float_of_int s.executions
+
+let run_collect ~config ~iters f =
+  let seeder = Rng.create config.Engine.seed in
+  let seen = Hashtbl.create 32 in
+  let distinct = ref [] in
+  let histogram = Hashtbl.create 32 in
+  let buggy = ref 0
+  and racy = ref 0
+  and asserts = ref 0
+  and deadlocks = ref 0
+  and limits = ref 0
+  and atomic_ops = ref 0
+  and na_ops = ref 0
+  and max_graph = ref 0
+  and steps = ref 0 in
+  let observation = ref None in
+  for _ = 1 to iters do
+    let seed = Rng.next_int64 seeder in
+    observation := None;
+    let body () = observation := Some (f ()) in
+    let o = Engine.run { config with Engine.seed } body in
+    if Engine.buggy o then incr buggy;
+    if o.Engine.races <> [] then incr racy;
+    if o.Engine.assertion_failures <> [] then incr asserts;
+    if o.Engine.deadlock then incr deadlocks;
+    if o.Engine.step_limit_hit then incr limits;
+    atomic_ops := !atomic_ops + o.Engine.atomic_ops;
+    na_ops := !na_ops + o.Engine.na_ops;
+    if o.Engine.max_graph_size > !max_graph then
+      max_graph := o.Engine.max_graph_size;
+    steps := !steps + o.Engine.steps;
+    List.iter
+      (fun r ->
+        let key = Race.dedup_key r in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          distinct := r :: !distinct
+        end)
+      o.Engine.races;
+    match !observation with
+    | Some obs ->
+      Hashtbl.replace histogram obs
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram obs))
+    | None -> ()
+  done;
+  let summary =
+    {
+      executions = iters;
+      buggy_executions = !buggy;
+      race_executions = !racy;
+      assert_executions = !asserts;
+      deadlocks = !deadlocks;
+      step_limit_hits = !limits;
+      distinct_races = List.rev !distinct;
+      total_atomic_ops = !atomic_ops;
+      total_na_ops = !na_ops;
+      max_graph_size = !max_graph;
+      mean_steps =
+        (if iters = 0 then 0.0 else float_of_int !steps /. float_of_int iters);
+    }
+  in
+  let hist = Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram [] in
+  (summary, hist)
+
+let run ~config ~iters f =
+  fst (run_collect ~config ~iters (fun () -> f ()))
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>executions: %d@ buggy: %d (%.1f%%) [races %d, asserts %d]@ \
+     deadlocks: %d, step-limit hits: %d@ distinct races: %d@ ops: %d atomic \
+     / %d non-atomic@ peak mo-graph: %d nodes@ mean steps: %.1f@]"
+    s.executions s.buggy_executions (detection_rate s) s.race_executions
+    s.assert_executions s.deadlocks s.step_limit_hits
+    (List.length s.distinct_races)
+    s.total_atomic_ops s.total_na_ops s.max_graph_size s.mean_steps

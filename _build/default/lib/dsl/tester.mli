@@ -1,0 +1,36 @@
+(** Repeated execution (Section 7.6 of the paper).
+
+    C11Tester re-runs the program under test many times, restoring the
+    application's initial state between executions (fork snapshots in the
+    paper; re-invoking the OCaml closure here) while its own state — race
+    deduplication, statistics, the random stream — persists across
+    executions. *)
+
+type summary = {
+  executions : int;
+  buggy_executions : int;  (** executions with a race or assertion failure *)
+  race_executions : int;
+  assert_executions : int;
+  deadlocks : int;
+  step_limit_hits : int;
+  distinct_races : Race.report list;  (** deduplicated across executions *)
+  total_atomic_ops : int;
+  total_na_ops : int;
+  max_graph_size : int;
+  mean_steps : float;
+}
+
+(** Detection rate in percent, as reported in Tables 2 and Section 8.1. *)
+val detection_rate : summary -> float
+
+(** [run ~config ~iters f] executes [f] [iters] times, deriving a fresh
+    seed for each execution from [config.seed]. *)
+val run : config:Engine.config -> iters:int -> (unit -> unit) -> summary
+
+(** [run_collect ~config ~iters f] also collects the observation returned
+    by each execution of [f] (read out of plain OCaml state by the caller's
+    closure) into a histogram — the litmus-test workhorse. *)
+val run_collect :
+  config:Engine.config -> iters:int -> (unit -> 'a) -> summary * ('a * int) list
+
+val pp_summary : Format.formatter -> summary -> unit

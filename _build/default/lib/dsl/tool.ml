@@ -1,0 +1,40 @@
+type t = C11tester | Tsan11 | Tsan11rec
+
+let all = [ C11tester; Tsan11; Tsan11rec ]
+
+let name = function
+  | C11tester -> "c11tester"
+  | Tsan11 -> "tsan11"
+  | Tsan11rec -> "tsan11rec"
+
+let of_string = function
+  | "c11tester" -> Some C11tester
+  | "tsan11" -> Some Tsan11
+  | "tsan11rec" -> Some Tsan11rec
+  | _ -> None
+
+let config ?(seed = 1L) ?(prune = Pruner.No_prune)
+    ?(volatile_atomic_mo = Memorder.Relaxed) ?(max_steps = 2_000_000) tool =
+  let base = { Engine.default_config with seed; prune; max_steps } in
+  match tool with
+  | C11tester ->
+    {
+      base with
+      Engine.mode = Execution.Full_c11;
+      sched = Schedule.Controlled_random { batch_stores = true };
+      volatile_mode = Engine.Volatile_atomic volatile_atomic_mo;
+    }
+  | Tsan11rec ->
+    {
+      base with
+      Engine.mode = Execution.Total_mo;
+      sched = Schedule.Controlled_random { batch_stores = false };
+      volatile_mode = Engine.Volatile_nonatomic;
+    }
+  | Tsan11 ->
+    {
+      base with
+      Engine.mode = Execution.Total_mo;
+      sched = Schedule.Bursty { mean_burst = 32 };
+      volatile_mode = Engine.Volatile_nonatomic;
+    }

@@ -1,0 +1,31 @@
+(** The three tools compared in the paper's evaluation (Section 8), as
+    engine configurations.
+
+    - {!C11tester}: the paper's tool — full memory-model fragment
+      (constraint-based modification order), controlled random scheduling
+      with consecutive-store batching, volatiles promoted to atomics.
+    - {!Tsan11rec}: restricted fragment ([hb ∪ sc ∪ rf ∪ mo] acyclic with
+      mo = commit order), controlled scheduling of visible operations.
+    - {!Tsan11}: restricted fragment and {e no} scheduling control — the OS
+      scheduler is modelled by bursty thread selection. *)
+
+type t = C11tester | Tsan11 | Tsan11rec
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+
+(** [config tool] builds an engine configuration.
+
+    @param seed per-execution random seed (default 1)
+    @param prune execution-graph pruning policy (default no pruning)
+    @param volatile_atomic_mo override C11Tester's mapping of volatile
+           accesses (default [Relaxed]; the Silo experiment uses [Acq_rel])
+    @param max_steps livelock guard *)
+val config :
+  ?seed:int64 ->
+  ?prune:Pruner.policy ->
+  ?volatile_atomic_mo:Memorder.t ->
+  ?max_steps:int ->
+  t ->
+  Engine.config

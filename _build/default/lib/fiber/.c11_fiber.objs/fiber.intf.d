@@ -1,0 +1,1 @@
+lib/fiber/fiber.mli: Op

@@ -1,0 +1,1 @@
+lib/fiber/op.ml: Execution Format Memorder

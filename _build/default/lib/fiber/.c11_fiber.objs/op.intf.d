@@ -1,0 +1,1 @@
+lib/fiber/op.mli: Execution Format Memorder

@@ -1,0 +1,34 @@
+(** Fibers over OCaml effect handlers.
+
+    The paper controls the program under test with [swapcontext] fibers and
+    thread-context borrowing (Sections 7.3/7.4); here each simulated thread
+    is an OCaml 5 fiber that performs the {!Fiber.op} effect at every
+    visible operation and suspends until the scheduler resumes it.  One
+    kernel thread, deterministic switching, no TLS games. *)
+
+(** A suspended computation: what a fiber did when it last ran. *)
+type step =
+  | Done  (** the thread body returned *)
+  | Raised of exn  (** the thread body raised *)
+  | Paused of Op.t * cont
+      (** the thread wants to perform a visible operation *)
+
+and cont
+
+(** Raised into a fiber that is being cancelled (execution aborted). *)
+exception Cancelled
+
+(** [perform op] suspends the current fiber at [op]; only call from inside
+    a fiber started with {!start}. *)
+val perform : Op.t -> int
+
+(** [start f] runs [f] until its first visible operation. *)
+val start : (unit -> unit) -> step
+
+(** [resume k result] delivers [result] for the pending operation and runs
+    the fiber to its next suspension. *)
+val resume : cont -> int -> step
+
+(** [cancel k] unwinds a suspended fiber by raising {!Cancelled} into it;
+    any exception it raises in response is swallowed. *)
+val cancel : cont -> unit

@@ -1,0 +1,44 @@
+(** Visible operations.
+
+    Everything the instrumented program can do that the model cares about —
+    the events the paper's LLVM pass would funnel into the C11Tester
+    runtime.  A fiber suspends every time it performs one of these; the
+    engine interprets it against the memory model and resumes the fiber
+    with an integer result. *)
+
+type t =
+  | Load of { loc : int; mo : Memorder.t; volatile : bool }
+  | Store of { loc : int; mo : Memorder.t; value : int; volatile : bool }
+  | Rmw of {
+      loc : int;
+      mo : Memorder.t;
+      f : int -> Execution.rmw_decision;
+      volatile : bool;
+    }
+  | Fence of Memorder.t
+  | Na_read of { loc : int }
+  | Na_write of { loc : int; value : int }
+  | Alloc of { atomic : bool; name : string option; init : int }
+  | Spawn of (unit -> unit)
+  | Join of int
+  | Mutex_create
+  | Mutex_lock of int
+  | Mutex_trylock of int
+  | Mutex_unlock of int
+  | Cond_create
+  | Cond_wait of { cond : int; mutex : int }
+  | Cond_signal of int
+  | Cond_broadcast of int
+  | Yield
+
+(** Operations that are {e not} scheduling points: they execute inline in
+    the current thread without consulting the scheduler, mirroring the
+    paper (Section 3: scheduling decisions are made at atomic, threading
+    and synchronisation operations; plain memory accesses run freely). *)
+val is_inline : t -> bool
+
+(** Is this a release/relaxed atomic store?  Drives the consecutive-store
+    batching rule of the scheduler. *)
+val is_rlx_or_rel_store : t -> bool
+
+val pp : Format.formatter -> t -> unit

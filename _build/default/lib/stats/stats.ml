@@ -1,0 +1,50 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs - 1))
+
+let rsd_percent xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else 100.0 *. stddev xs /. abs_float m
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map log xs in
+    exp (mean logs)
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let min_max = function
+  | [] -> (0.0, 0.0)
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let rate ~hits ~total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sample n f =
+  List.init n (fun _ ->
+      let (), dt = timed f in
+      dt)
+
+let pp_mean_rsd fmt xs =
+  Format.fprintf fmt "%.4g (%.2f%%)" (mean xs) (rsd_percent xs)

@@ -1,0 +1,26 @@
+(** Statistics used by the evaluation harness (Section 8): means, relative
+    standard deviations (the parenthesised percentages of Table 1),
+    geometric means (the speedup summary of Figure 15) and detection
+    rates. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+(** Relative standard deviation in percent: [100 * stddev / mean]. *)
+val rsd_percent : float list -> float
+
+val geomean : float list -> float
+val median : float list -> float
+val min_max : float list -> float * float
+
+(** [rate ~hits ~total] in percent. *)
+val rate : hits:int -> total:int -> float
+
+(** [timed f] runs [f] and returns its result with the elapsed wall-clock
+    seconds. *)
+val timed : (unit -> 'a) -> 'a * float
+
+(** [sample n f] runs [f] [n] times collecting per-run wall-clock seconds. *)
+val sample : int -> (unit -> unit) -> float list
+
+val pp_mean_rsd : Format.formatter -> float list -> unit

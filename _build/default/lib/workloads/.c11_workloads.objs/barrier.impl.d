@@ -1,0 +1,1 @@
+lib/workloads/barrier.ml: Array C11 List Memorder Printf Variant

@@ -1,0 +1,1 @@
+lib/workloads/chase_lev.ml: Array C11 Memorder Printf Variant

@@ -1,0 +1,1 @@
+lib/workloads/dekker.ml: C11 Memorder Variant

@@ -1,0 +1,1 @@
+lib/workloads/gdax_lite.ml: Array C11 Memorder Printf Variant

@@ -1,0 +1,1 @@
+lib/workloads/iris_lite.ml: Array C11 Memorder Printf Variant

@@ -1,0 +1,1 @@
+lib/workloads/jsbench_lite.ml: Array C11 List Memorder Printf

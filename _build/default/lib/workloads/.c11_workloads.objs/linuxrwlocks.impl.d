@@ -1,0 +1,1 @@
+lib/workloads/linuxrwlocks.ml: C11 Memorder Variant

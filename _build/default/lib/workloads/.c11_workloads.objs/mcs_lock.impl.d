@@ -1,0 +1,1 @@
+lib/workloads/mcs_lock.ml: Array C11 List Memorder Printf Variant

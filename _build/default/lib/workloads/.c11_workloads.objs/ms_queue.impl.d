@@ -1,0 +1,1 @@
+lib/workloads/ms_queue.ml: Array C11 Memorder Printf Variant

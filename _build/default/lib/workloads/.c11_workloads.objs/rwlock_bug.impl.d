@@ -1,0 +1,1 @@
+lib/workloads/rwlock_bug.ml: C11 Memorder Variant

@@ -1,0 +1,1 @@
+lib/workloads/seqlock.ml: C11 Memorder Variant

@@ -1,0 +1,1 @@
+lib/workloads/silo_lite.ml: Array C11 List Memorder Printf Variant

@@ -1,0 +1,1 @@
+lib/workloads/spsc_queue.ml: Array C11 Memorder Printf Variant

@@ -1,0 +1,1 @@
+lib/workloads/treiber_stack.ml: Array C11 Memorder Printf Variant

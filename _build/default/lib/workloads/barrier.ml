@@ -1,0 +1,65 @@
+(** Sense-reversing spinning barrier (data-structure suite, Table 2).
+
+    Arrivals are counted with an acq_rel fetch_add; the last arriver flips
+    the shared sense flag with a release store and waiters spin on it with
+    acquire loads.
+
+    Seeded bug: waiters also take a "shortcut" exit when a relaxed load of
+    the arrival counter already shows everyone arrived.  Crossing the
+    barrier through the shortcut creates no happens-before edge, so the
+    post-barrier reads race with other threads' pre-barrier writes —
+    but only in executions where the shortcut fires first. *)
+
+open Memorder
+
+type t = { count : C11.atomic; sense : C11.atomic; parties : int }
+
+let create ~parties =
+  {
+    count = C11.Atomic.make ~name:"barrier.count" 0;
+    sense = C11.Atomic.make ~name:"barrier.sense" 0;
+    parties;
+  }
+
+let wait ~variant t ~round =
+  let pos = C11.Atomic.fetch_add ~mo:Acq_rel t.count 1 in
+  if pos = t.parties - 1 then begin
+    C11.Atomic.store ~mo:Relaxed t.count 0;
+    C11.Atomic.store ~mo:Release t.sense (round + 1)
+  end
+  else begin
+    let rec spin () =
+      if C11.Atomic.load ~mo:Acquire t.sense > round then ()
+      else if
+        (match (variant : Variant.t) with
+        | Buggy ->
+          (* shortcut exit: a relaxed peek at the flipped sense crosses the
+             barrier with no synchronisation *)
+          C11.Atomic.load ~mo:Relaxed t.count = 0
+          && C11.Atomic.load ~mo:Relaxed t.sense > round
+        | Correct -> false)
+      then ()
+      else begin
+        C11.Thread.yield ();
+        spin ()
+      end
+    in
+    spin ()
+  end
+
+let run ~variant ~scale () =
+  let parties = 3 in
+  let t = create ~parties in
+  let slots = Array.init parties (fun i -> C11.Nonatomic.make ~name:(Printf.sprintf "barrier.slot%d" i) 0) in
+  let worker i () =
+    for phase = 0 to scale - 1 do
+      C11.Nonatomic.write slots.(i) ((100 * i) + phase);
+      wait ~variant t ~round:(2 * phase);
+      (* read the next thread's slot: safe between the two barriers, racy
+         when the barrier failed to synchronise *)
+      ignore (C11.Nonatomic.read slots.((i + 1) mod parties));
+      wait ~variant t ~round:((2 * phase) + 1)
+    done
+  in
+  let threads = List.init parties (fun i -> C11.Thread.spawn (worker i)) in
+  List.iter C11.Thread.join threads

@@ -1,0 +1,108 @@
+(** Chase-Lev work-stealing deque (data-structure suite, Table 2:
+    "chase-lev-deque").
+
+    The owner pushes and takes at the bottom; thieves steal from the top
+    with a CAS.  The payload array is non-atomic: publication safety
+    depends entirely on the bottom/top synchronisation.
+
+    Seeded bug: the thief reads [bottom] with a {e relaxed RMW}
+    ([fetch_add 0]), relying on RMW-ness for freshness.  Under the C++20
+    release-sequence rules a relaxed RMW synchronises with nothing, so a
+    successful steal reads the payload cell without any happens-before
+    edge to the owner's write — and the relaxed RMW may even be inserted
+    into the middle of bottom's modification order, observing a stale
+    bottom.  Tools in the tsan lineage treat every RMW as acquire-release
+    and force RMWs to read the newest store, so they can never produce the
+    racy execution (0% detection in Table 2). *)
+
+open Memorder
+
+type t = {
+  top : C11.atomic;
+  bottom : C11.atomic;
+  buffer : C11.naloc array;
+}
+
+let create ~capacity =
+  {
+    top = C11.Atomic.make ~name:"cl.top" 0;
+    bottom = C11.Atomic.make ~name:"cl.bottom" 0;
+    buffer =
+      Array.init capacity (fun i ->
+          C11.Nonatomic.make ~name:(Printf.sprintf "cl.buf%d" i) 0);
+  }
+
+let size t = Array.length t.buffer
+
+(* bottom can transiently regress in the buggy variant; index defensively *)
+let slot t i =
+  let n = size t in
+  t.buffer.(((i mod n) + n) mod n)
+
+let push t v =
+  let b = C11.Atomic.load ~mo:Relaxed t.bottom in
+  C11.Nonatomic.write (slot t b) v;
+  C11.Atomic.store ~mo:Release t.bottom (b + 1)
+
+let take t =
+  let b = C11.Atomic.load ~mo:Relaxed t.bottom - 1 in
+  C11.Atomic.store ~mo:Release t.bottom b;
+  C11.Fence.seq_cst ();
+  let tp = C11.Atomic.load ~mo:Relaxed t.top in
+  if b < tp then begin
+    (* empty: restore *)
+    C11.Atomic.store ~mo:Release t.bottom (b + 1);
+    None
+  end
+  else if b > tp then Some (C11.Nonatomic.read (slot t b))
+  else begin
+    (* last element: race the thieves for it *)
+    let won =
+      C11.Atomic.compare_exchange ~mo:Seq_cst t.top ~expected:tp
+        ~desired:(tp + 1)
+    in
+    C11.Atomic.store ~mo:Release t.bottom (b + 1);
+    if won then Some (C11.Nonatomic.read (slot t b)) else None
+  end
+
+let steal ~variant t =
+  let tp = C11.Atomic.load ~mo:Acquire t.top in
+  C11.Fence.seq_cst ();
+  let b =
+    match (variant : Variant.t) with
+    | Correct -> C11.Atomic.load ~mo:Acquire t.bottom
+    | Buggy -> C11.Atomic.fetch_add ~mo:Relaxed t.bottom 0
+  in
+  if tp < b then begin
+    (* claim the element first, then read it: a speculative read before the
+       CAS would race with the owner recycling the slot *)
+    if C11.Atomic.compare_exchange ~mo:Seq_cst t.top ~expected:tp ~desired:(tp + 1)
+    then Some (C11.Nonatomic.read (slot t tp))
+    else None
+  end
+  else None
+
+let run ~variant ~scale () =
+  let t = create ~capacity:(2 * scale) in
+  let owner =
+    C11.Thread.spawn (fun () ->
+        (* interleave pushes and takes so steals overlap pushes *)
+        for v = 1 to scale do
+          push t v;
+          if v mod 2 = 0 then ignore (take t)
+        done;
+        for _ = 1 to scale / 2 do
+          ignore (take t)
+        done)
+  in
+  let thief () =
+    for _ = 1 to scale do
+      ignore (steal ~variant t);
+      C11.Thread.yield ()
+    done
+  in
+  let t1 = C11.Thread.spawn thief in
+  let t2 = C11.Thread.spawn thief in
+  C11.Thread.join owner;
+  C11.Thread.join t1;
+  C11.Thread.join t2

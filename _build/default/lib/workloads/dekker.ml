@@ -1,0 +1,44 @@
+(** Dekker-style mutual exclusion with seq_cst fences (data-structure
+    suite, Table 2: "dekker-fences").
+
+    The benchmark version (the [Buggy] variant, matching the CDSChecker
+    suite) uses relaxed flag accesses separated by seq_cst fences.  The
+    fences restore mutual exclusion in time — the store-buffering outcome
+    where both threads read the other's flag as 0 is forbidden — but they
+    create {e no happens-before edges}, so critical sections in different
+    rounds still race on the protected non-atomic cell.  This is the known
+    data race of the suite that the three tools detect at different rates.
+
+    The [Correct] variant uses seq_cst flag accesses: entering after
+    reading the other side's release-reset synchronises with every earlier
+    critical section, so the protected accesses are race-free. *)
+
+open Memorder
+
+let run ~variant ~scale () =
+  let flag0 = C11.Atomic.make ~name:"dekker.flag0" 0 in
+  let flag1 = C11.Atomic.make ~name:"dekker.flag1" 0 in
+  let data = C11.Nonatomic.make ~name:"dekker.data" 0 in
+  let acc_mo =
+    match (variant : Variant.t) with Correct -> Seq_cst | Buggy -> Relaxed
+  in
+  let side i () =
+    let mine, theirs = if i = 0 then (flag0, flag1) else (flag1, flag0) in
+    for round = 1 to scale do
+      C11.Atomic.store ~mo:acc_mo mine 1;
+      (match (variant : Variant.t) with
+      | Correct -> ()
+      | Buggy -> C11.Fence.seq_cst ());
+      if C11.Atomic.load ~mo:acc_mo theirs = 0 then begin
+        (* critical section *)
+        C11.Nonatomic.write data ((10 * i) + round);
+        ignore (C11.Nonatomic.read data)
+      end;
+      C11.Atomic.store ~mo:acc_mo mine 0;
+      C11.Thread.yield ()
+    done
+  in
+  let t0 = C11.Thread.spawn (side 0) in
+  let t1 = C11.Thread.spawn (side 1) in
+  C11.Thread.join t0;
+  C11.Thread.join t1

@@ -1,0 +1,145 @@
+(** GDAX analogue (Section 8.2): an in-memory order book kept in a
+    lock-free sorted list with fast-lane links (the role libcds' skip list
+    plays in the original), updated from a recorded feed while reader
+    threads iterate over the book.
+
+    The original reported data races under every tool.  The seeded race
+    here is the classic in-place quantity update: the updater rewrites an
+    order's non-atomic quantity and flips a relaxed "dirty" flag, so
+    iterating readers read the quantity without synchronisation. *)
+
+open Memorder
+
+type node = {
+  price : int;  (** immutable after allocation *)
+  quantity : C11.naloc;
+  dirty : C11.atomic;
+  next : C11.atomic;  (** index of next node, 0 = nil *)
+  fast_next : C11.atomic;  (** fast lane: skips ahead, may lag behind *)
+  live : C11.atomic;
+}
+
+type t = {
+  nodes : node array;  (** node 0 is the head sentinel with price min_int *)
+  alloc : C11.atomic;
+}
+
+let nil = 0
+
+let create ~capacity =
+  let mk i price =
+    {
+      price;
+      quantity = C11.Nonatomic.make ~name:(Printf.sprintf "gdax.qty%d" i) 0;
+      dirty = C11.Atomic.make ~name:(Printf.sprintf "gdax.dirty%d" i) 0;
+      next = C11.Atomic.make ~name:(Printf.sprintf "gdax.next%d" i) nil;
+      fast_next = C11.Atomic.make ~name:(Printf.sprintf "gdax.fnext%d" i) nil;
+      live = C11.Atomic.make ~name:(Printf.sprintf "gdax.live%d" i) 1;
+    }
+  in
+  {
+    nodes = Array.init (capacity + 1) (fun i -> mk i (if i = 0 then min_int else 0));
+    alloc = C11.Atomic.make ~name:"gdax.alloc" 1;
+  }
+
+let alloc_node t qty =
+  let i = C11.Atomic.fetch_add ~mo:Acq_rel t.alloc 1 in
+  if i >= Array.length t.nodes then
+    C11.assert_that false "gdax: node pool exhausted";
+  C11.Nonatomic.write t.nodes.(i).quantity qty;
+  i
+
+(* Insert a new order sorted by index order of prices; prices are synthetic
+   so we simply insert after the head (insertion order list), which keeps
+   the iteration pattern of an order book without a full comparator. *)
+let insert t _price qty =
+  let i = alloc_node t qty in
+  let node = t.nodes.(i) in
+  let rec link () =
+    let head_next = C11.Atomic.load ~mo:Acquire t.nodes.(0).next in
+    C11.Atomic.store ~mo:Relaxed node.next head_next;
+    if
+      not
+        (C11.Atomic.compare_exchange ~mo:Acq_rel t.nodes.(0).next
+           ~expected:head_next ~desired:i)
+    then begin
+      C11.Thread.yield ();
+      link ()
+    end
+  in
+  link ();
+  (* fast lane hint; published with release so following it is safe *)
+  C11.Atomic.store ~mo:Release t.nodes.(0).fast_next i;
+  i
+
+(* In-place quantity update: the seeded race.  The dirty flag is relaxed,
+   so readers never synchronise with the quantity write.  The correct
+   implementation never updates in place — it retires the order and inserts
+   a replacement (see [run]). *)
+let update_quantity t i qty =
+  C11.Nonatomic.write t.nodes.(i).quantity qty;
+  C11.Atomic.store ~mo:Relaxed t.nodes.(i).dirty 1
+
+let remove t i = C11.Atomic.store ~mo:Release t.nodes.(i).live 0
+
+(* Iterate the whole book, starting from the fast lane hint, summing
+   quantities of live orders. *)
+let iterate ~variant t =
+  let total = ref 0 in
+  (* reader-local aggregation state: depth statistics, price buckets, … *)
+  let stats = Array.init 6 (fun _ -> C11.Nonatomic.make 0) in
+  let start = C11.Atomic.load ~mo:Acquire t.nodes.(0).fast_next in
+  let first = if start <> nil then start else C11.Atomic.load ~mo:Acquire t.nodes.(0).next in
+  let rec walk i steps =
+    if i <> nil && steps < Array.length t.nodes then begin
+      let n = t.nodes.(i) in
+      let is_live =
+        match (variant : Variant.t) with
+        | Buggy -> C11.Atomic.load ~mo:Relaxed n.live = 1
+        | Correct -> C11.Atomic.load ~mo:Acquire n.live = 1
+      in
+      if is_live then begin
+        let q = C11.Nonatomic.read n.quantity in
+        total := !total + q;
+        let b = stats.(steps mod Array.length stats) in
+        C11.Nonatomic.write b (C11.Nonatomic.read b + q);
+        C11.Nonatomic.write stats.(0) (C11.Nonatomic.read stats.(0) + 1)
+      end;
+      walk (C11.Atomic.load ~mo:Acquire n.next) (steps + 1)
+    end
+  in
+  walk first 0;
+  !total
+
+let run ~variant ~scale () =
+  let t = create ~capacity:((2 * scale) + 4) in
+  let updater =
+    C11.Thread.spawn (fun () ->
+        let inserted = ref [] in
+        for k = 1 to scale do
+          let i = insert t (1000 + k) (10 * k) in
+          inserted := i :: !inserted;
+          (* replay feed: update a previous order, drop another *)
+          (match !inserted with
+          | a :: b :: _ ->
+            (match (variant : Variant.t) with
+            | Buggy -> update_quantity t a (k * 7)
+            | Correct ->
+              (* retire and reinsert instead of updating in place *)
+              remove t a;
+              inserted := insert t (2000 + k) (k * 7) :: !inserted);
+            if k mod 3 = 0 then remove t b
+          | _ -> ())
+        done)
+  in
+  let reader () =
+    for _ = 1 to scale do
+      ignore (iterate ~variant t);
+      C11.Thread.yield ()
+    done
+  in
+  let r1 = C11.Thread.spawn reader in
+  let r2 = C11.Thread.spawn reader in
+  C11.Thread.join updater;
+  C11.Thread.join r1;
+  C11.Thread.join r2

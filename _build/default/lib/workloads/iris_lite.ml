@@ -1,0 +1,89 @@
+(** Iris analogue (Section 8.2): a low-latency asynchronous logging library
+    buffering messages through a single-producer single-consumer lock-free
+    ring buffer (the test driver the paper uses is
+    [test_lfringbuffer.cpp], one producer + one consumer).
+
+    Seeded race (all tools reported races in Iris): the consumer caches the
+    producer's write cursor and refreshes the cache with a {e relaxed}
+    load, then reads message payloads based on the cached value — so a
+    payload read is not synchronised with the producer's write that
+    published it. *)
+
+open Memorder
+
+type t = {
+  cells : C11.naloc array;
+  widx : C11.atomic;  (** producer cursor *)
+  ridx : C11.atomic;  (** consumer cursor *)
+  consumed : C11.naloc;  (** consumer-local checksum *)
+}
+
+let create ~capacity =
+  {
+    cells =
+      Array.init capacity (fun i ->
+          C11.Nonatomic.make ~name:(Printf.sprintf "iris.cell%d" i) 0);
+    widx = C11.Atomic.make ~name:"iris.widx" 0;
+    ridx = C11.Atomic.make ~name:"iris.ridx" 0;
+    consumed = C11.Nonatomic.make ~name:"iris.consumed" 0;
+  }
+
+let capacity t = Array.length t.cells
+
+let publish t msg =
+  let rec wait_space () =
+    let w = C11.Atomic.load ~mo:Relaxed t.widx in
+    let r = C11.Atomic.load ~mo:Acquire t.ridx in
+    if w - r >= capacity t then begin
+      C11.Thread.yield ();
+      wait_space ()
+    end
+    else w
+  in
+  let w = wait_space () in
+  C11.Nonatomic.write t.cells.(w mod capacity t) msg;
+  C11.Atomic.store ~mo:Release t.widx (w + 1)
+
+let consume ~variant t =
+  let r = C11.Atomic.load ~mo:Relaxed t.ridx in
+  let w_mo =
+    match (variant : Variant.t) with Correct -> Acquire | Buggy -> Relaxed
+  in
+  let rec wait_data () =
+    if C11.Atomic.load ~mo:w_mo t.widx <= r then begin
+      C11.Thread.yield ();
+      wait_data ()
+    end
+  in
+  wait_data ();
+  let msg = C11.Nonatomic.read t.cells.(r mod capacity t) in
+  C11.Nonatomic.write t.consumed (C11.Nonatomic.read t.consumed + msg);
+  C11.Atomic.store ~mo:Release t.ridx (r + 1);
+  msg
+
+let run ~variant ~scale () =
+  let t = create ~capacity:4 in
+  let producer =
+    C11.Thread.spawn
+      (fun () ->
+        (* message formatting: plain accesses dominate a logging library *)
+        let buffer = Array.init 8 (fun _ -> C11.Nonatomic.make 0) in
+        for m = 1 to scale do
+          Array.iteri (fun i b -> C11.Nonatomic.write b (m + i)) buffer;
+          publish t m
+        done)
+  in
+  let consumer =
+    C11.Thread.spawn
+      (fun () ->
+        let sink = Array.init 8 (fun _ -> C11.Nonatomic.make 0) in
+        for _ = 1 to scale do
+          let m = consume ~variant t in
+          Array.iter (fun b -> C11.Nonatomic.write b (C11.Nonatomic.read b + m)) sink
+        done)
+  in
+  C11.Thread.join producer;
+  C11.Thread.join consumer;
+  C11.assert_that
+    (C11.Nonatomic.read t.consumed = scale * (scale + 1) / 2)
+    "iris: consumed checksum mismatch"

@@ -1,0 +1,140 @@
+(** JSBench analogue (Section 8.2 and Table 4): the Firefox JavaScript
+    shell replaying the 25 JSBench workloads.
+
+    A JavaScript engine under test is dominated by non-atomic heap traffic
+    on the main thread, with a helper (GC/JIT) thread that rendezvouses
+    with the mutator through a small set of atomics and a mutex — exactly
+    the access mix Table 3 reports (5747M non-atomic vs 8M atomic
+    accesses).  Each named sub-benchmark differs only in how much work it
+    does; the relative weights below follow the per-benchmark op counts of
+    Table 4. *)
+
+open Memorder
+
+(* (name, weight): weight 1 ≈ the smallest benchmark (twitter/firefox). *)
+let benchmarks =
+  [
+    ("amazon/chrome", 2);
+    ("amazon/chrome-win", 2);
+    ("amazon/firefox", 2);
+    ("amazon/firefox-win", 2);
+    ("amazon/safari", 2);
+    ("facebook/chrome", 9);
+    ("facebook/chrome-win", 13);
+    ("facebook/firefox", 6);
+    ("facebook/firefox-win", 3);
+    ("facebook/safari", 13);
+    ("google/chrome", 7);
+    ("google/chrome-win", 7);
+    ("google/firefox", 4);
+    ("google/firefox-win", 5);
+    ("google/safari", 6);
+    ("twitter/chrome", 3);
+    ("twitter/chrome-win", 3);
+    ("twitter/firefox", 1);
+    ("twitter/firefox-win", 1);
+    ("twitter/safari", 2);
+    ("yahoo/chrome", 8);
+    ("yahoo/chrome-win", 6);
+    ("yahoo/firefox", 8);
+    ("yahoo/firefox-win", 4);
+    ("yahoo/safari", 8);
+  ]
+
+let names = List.map fst benchmarks
+
+let weight name =
+  match List.assoc_opt name benchmarks with Some w -> w | None -> 1
+
+(* One sub-benchmark run: the mutator churns a non-atomic "heap" while the
+   helper thread periodically requests a safepoint through an atomic
+   handshake; at each safepoint the helper scans part of the heap. *)
+let run_benchmark ~scale name () =
+  let w = weight name in
+  let heap_size = 64 in
+  let heap =
+    Array.init heap_size (fun i ->
+        C11.Nonatomic.make ~name:(Printf.sprintf "js.heap%d" i) 0)
+  in
+  (* safepoint rendezvous: a cheap atomic poll flag plus a mutex/condvar
+     handshake, the way engines park their mutator for GC *)
+  let gc_poll = C11.Atomic.make ~name:"js.gc_poll" 0 in
+  let done_flag = C11.Atomic.make ~name:"js.done" 0 in
+  let m = C11.Mutex.create () in
+  let cv = C11.Condvar.create () in
+  let requested = C11.Nonatomic.make ~name:"js.requested" 0 in
+  let parked = C11.Nonatomic.make ~name:"js.parked" 0 in
+  let iterations = w * scale in
+  let mutator () =
+    for i = 1 to iterations do
+      (* interpreter-ish non-atomic churn: plain accesses dominate a JS
+         engine by orders of magnitude (Table 3) *)
+      for step = 0 to 7 do
+        let k = ((i * 17) + (step * 5)) mod heap_size in
+        let v = C11.Nonatomic.read heap.(k) in
+        C11.Nonatomic.write heap.((k + step + 1) mod heap_size) (v + i);
+        C11.Nonatomic.write heap.(k) (v + 1)
+      done;
+      (* safepoint poll *)
+      if C11.Atomic.load ~mo:Acquire gc_poll = 1 then begin
+        C11.Mutex.lock m;
+        if C11.Nonatomic.read requested = 1 then begin
+          C11.Nonatomic.write parked 1;
+          C11.Condvar.broadcast cv;
+          let rec wait () =
+            if C11.Nonatomic.read requested = 1 then begin
+              C11.Condvar.wait cv m;
+              wait ()
+            end
+          in
+          wait ();
+          C11.Nonatomic.write parked 0
+        end;
+        C11.Mutex.unlock m
+      end
+    done;
+    C11.Mutex.lock m;
+    C11.Atomic.store ~mo:Release done_flag 1;
+    C11.Condvar.broadcast cv;
+    C11.Mutex.unlock m
+  in
+  let helper () =
+    let rec loop cycles =
+      if C11.Atomic.load ~mo:Acquire done_flag = 1 || cycles >= w then ()
+      else begin
+        C11.Mutex.lock m;
+        C11.Nonatomic.write requested 1;
+        C11.Atomic.store ~mo:Release gc_poll 1;
+        let rec await () =
+          if
+            C11.Nonatomic.read parked = 0
+            && C11.Atomic.load ~mo:Acquire done_flag = 0
+          then begin
+            C11.Condvar.wait cv m;
+            await ()
+          end
+        in
+        await ();
+        if C11.Nonatomic.read parked = 1 then
+          (* scan a slice of the heap while the mutator is parked *)
+          for k = 0 to (heap_size / 4) - 1 do
+            ignore (C11.Nonatomic.read heap.(k))
+          done;
+        C11.Nonatomic.write requested 0;
+        C11.Atomic.store ~mo:Release gc_poll 0;
+        C11.Condvar.broadcast cv;
+        C11.Mutex.unlock m;
+        C11.Thread.yield ();
+        loop (cycles + 1)
+      end
+    in
+    loop 0
+  in
+  let tm = C11.Thread.spawn mutator in
+  let th = C11.Thread.spawn helper in
+  C11.Thread.join tm;
+  C11.Thread.join th
+
+(* The full suite, like the JSBench python driver. *)
+let run ~variant:_ ~scale () =
+  List.iter (fun name -> run_benchmark ~scale name ()) names

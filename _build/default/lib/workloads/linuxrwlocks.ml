@@ -1,0 +1,104 @@
+(** Linux-kernel-style reader-writer spinlock (data-structure suite,
+    Table 2: "linuxrwlocks").
+
+    A single counter holds the number of active readers, or -1 when a
+    writer owns the lock.  Readers and writers acquire with CAS loops.
+
+    Seeded bug: the writer takes a test-then-store fast path — it checks
+    the counter with a relaxed load and, seeing the lock free, claims it
+    with a plain store instead of a CAS.  Two writers (or a writer and a
+    racing reader) can then both believe they own the lock, and their
+    accesses to the protected cell race.  The bug only fires when another
+    thread enters the window between the writer's check and its store. *)
+
+open Memorder
+
+type t = { lk : C11.atomic; data : C11.naloc }
+
+let create () =
+  {
+    lk = C11.Atomic.make ~name:"linuxrw.lk" 0;
+    data = C11.Nonatomic.make ~name:"linuxrw.data" 0;
+  }
+
+(* The buggy lock word can get coherence-pinned to a stale value (the
+   broken mutual exclusion really does break liveness), so the driver
+   bounds every acquisition loop, like the CDSChecker test drivers do.
+   Lock functions return [false] when they give up. *)
+let max_spins = 64
+
+let read_lock t =
+  let rec loop n =
+    if n > max_spins then false
+    else begin
+      let c = C11.Atomic.load ~mo:Relaxed t.lk in
+      if
+        c >= 0
+        && C11.Atomic.compare_exchange ~mo:Acquire t.lk ~expected:c
+             ~desired:(c + 1)
+      then true
+      else begin
+        C11.Thread.yield ();
+        loop (n + 1)
+      end
+    end
+  in
+  loop 0
+
+let read_unlock t = ignore (C11.Atomic.fetch_sub ~mo:Release t.lk 1)
+
+let write_lock ~variant t =
+  match (variant : Variant.t) with
+  | Buggy ->
+    (* test-then-store: the check and the claim are not atomic *)
+    let rec loop n =
+      if n > max_spins then false
+      else if C11.Atomic.load ~mo:Acquire t.lk = 0 then begin
+        C11.Atomic.store ~mo:Relaxed t.lk (-1);
+        true
+      end
+      else begin
+        C11.Thread.yield ();
+        loop (n + 1)
+      end
+    in
+    loop 0
+  | Correct ->
+    let rec loop n =
+      if n > max_spins then false
+      else if
+        C11.Atomic.compare_exchange ~mo:Acquire t.lk ~expected:0 ~desired:(-1)
+      then true
+      else begin
+        C11.Thread.yield ();
+        loop (n + 1)
+      end
+    in
+    loop 0
+
+let write_unlock t = C11.Atomic.store ~mo:Release t.lk 0
+
+let run ~variant ~scale () =
+  let t = create () in
+  let writer i () =
+    for round = 1 to scale do
+      if write_lock ~variant t then begin
+        C11.Nonatomic.write t.data ((10 * i) + round);
+        write_unlock t
+      end
+    done
+  in
+  let reader () =
+    for _ = 1 to scale do
+      if read_lock t then begin
+        ignore (C11.Nonatomic.read t.data);
+        read_unlock t
+      end
+    done
+  in
+  let w1 = C11.Thread.spawn (writer 1) in
+  let w2 = C11.Thread.spawn (writer 2) in
+  let r = C11.Thread.spawn reader in
+  C11.Thread.join w1;
+  C11.Thread.join w2;
+  C11.Thread.join r

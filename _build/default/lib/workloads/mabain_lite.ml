@@ -1,0 +1,113 @@
+(** Mabain analogue (Section 8.2): a key-value store library with worker
+    threads submitting insertions through a shared, lock-protected queue to
+    one asynchronous writer thread.
+
+    The paper found a real application bug in Mabain's test driver: the
+    workers stop the writer once they have {e submitted} all jobs, without
+    checking that the queue has drained, so late jobs are silently dropped
+    and lookups fail.  [Buggy] reproduces that protocol (assertion failures
+    in some schedules); [Correct] drains the queue before stopping.
+
+    Mabain also had data races; the seeded analogue is a non-atomic
+    statistics counter updated by both workers and the writer. *)
+
+type t = {
+  (* the "database": slot k holds the value stored for key k, 0 = absent *)
+  db : C11.naloc array;
+  (* bounded job queue, protected by [m] *)
+  jobs : C11.naloc array;
+  mutable_head : C11.naloc;
+  mutable_tail : C11.naloc;
+  stop : C11.atomic;
+  m : C11.mutex;
+  nonempty : C11.condvar;
+  stats : C11.naloc;  (** seeded race: written with na accesses everywhere *)
+}
+
+let create ~capacity ~keys =
+  {
+    db = Array.init keys (fun i -> C11.Nonatomic.make ~name:(Printf.sprintf "mabain.db%d" i) 0);
+    jobs = Array.init capacity (fun i -> C11.Nonatomic.make ~name:(Printf.sprintf "mabain.job%d" i) 0);
+    mutable_head = C11.Nonatomic.make ~name:"mabain.head" 0;
+    mutable_tail = C11.Nonatomic.make ~name:"mabain.tail" 0;
+    stop = C11.Atomic.make ~name:"mabain.stop" 0;
+    m = C11.Mutex.create ();
+    nonempty = C11.Condvar.create ();
+    stats = C11.Nonatomic.make ~name:"mabain.stats" 0;
+  }
+
+let submit ~variant t key =
+  C11.Mutex.lock t.m;
+  let tail = C11.Nonatomic.read t.mutable_tail in
+  C11.Nonatomic.write t.jobs.(tail mod Array.length t.jobs) key;
+  C11.Nonatomic.write t.mutable_tail (tail + 1);
+  C11.Condvar.signal t.nonempty;
+  C11.Mutex.unlock t.m;
+  match (variant : Variant.t) with
+  | Buggy ->
+    (* unprotected statistics update — the seeded data race *)
+    C11.Nonatomic.write t.stats (C11.Nonatomic.read t.stats + 1)
+  | Correct -> ()
+
+(* The async writer: consume jobs and perform the inserts.  In the buggy
+   protocol it exits as soon as [stop] is set even if jobs remain. *)
+let writer_loop ~variant t =
+  let rec loop () =
+    C11.Mutex.lock t.m;
+    let rec wait_for_work () =
+      let head = C11.Nonatomic.read t.mutable_head in
+      let tail = C11.Nonatomic.read t.mutable_tail in
+      let stopped = C11.Atomic.load ~mo:Memorder.Acquire t.stop = 1 in
+      match (variant : Variant.t) with
+      | Buggy when stopped ->
+        (* the real Mabain driver bug: obey the stop flag immediately,
+           dropping whatever is still queued *)
+        `Stop
+      | _ ->
+        if head < tail then `Job
+        else if stopped then `Stop
+        else begin
+          C11.Condvar.wait t.nonempty t.m;
+          wait_for_work ()
+        end
+    in
+    match wait_for_work () with
+    | `Stop -> C11.Mutex.unlock t.m
+    | `Job ->
+      let head = C11.Nonatomic.read t.mutable_head in
+      let key = C11.Nonatomic.read t.jobs.(head mod Array.length t.jobs) in
+      C11.Nonatomic.write t.mutable_head (head + 1);
+      C11.Mutex.unlock t.m;
+      (* perform the insert outside the queue lock, like Mabain *)
+      C11.Nonatomic.write t.db.(key) (key + 1);
+      (match (variant : Variant.t) with
+      | Buggy -> C11.Nonatomic.write t.stats (C11.Nonatomic.read t.stats + 1)
+      | Correct -> ());
+      loop ()
+  in
+  loop ()
+
+let run ~variant ~scale () =
+  let nworkers = 2 in
+  let keys = nworkers * scale in
+  let t = create ~capacity:(keys + 1) ~keys in
+  let writer = C11.Thread.spawn (fun () -> writer_loop ~variant t) in
+  let worker w () =
+    for k = 0 to scale - 1 do
+      submit ~variant t ((w * scale) + k)
+    done
+  in
+  let workers = List.init nworkers (fun w -> C11.Thread.spawn (worker w)) in
+  List.iter C11.Thread.join workers;
+  (* the buggy protocol: stop the writer right after submission finishes *)
+  C11.Mutex.lock t.m;
+  C11.Atomic.store ~mo:Memorder.Release t.stop 1;
+  C11.Condvar.broadcast t.nonempty;
+  C11.Mutex.unlock t.m;
+  C11.Thread.join writer;
+  (* verify every submitted key is present — fails when jobs were dropped *)
+  for key = 0 to keys - 1 do
+    C11.assert_that
+      (C11.Nonatomic.read t.db.(key) = key + 1)
+      "mabain: submitted key missing from database (writer stopped early)"
+  done

@@ -1,0 +1,93 @@
+(** MCS queue lock (data-structure suite, Table 2: "mcs-lock").
+
+    Each thread spins on its own queue node; the lock tail is a single
+    atomic holding the index of the most recent waiter.  Handoff writes the
+    successor's [locked] flag.
+
+    Seeded bug: the handoff store is relaxed instead of release, so a
+    contended handoff passes the lock without synchronising and the
+    successor's critical-section accesses race with the predecessor's.
+    Uncontended acquisitions go through the tail exchange (an RMW) and stay
+    ordered, so the bug only fires when threads actually queue up. *)
+
+open Memorder
+
+type node = { next : C11.atomic; locked : C11.atomic }
+
+type t = { tail : C11.atomic; nodes : node array }
+
+(* Node 0 is the "null" node; thread slots start at 1. *)
+let create ~slots =
+  {
+    tail = C11.Atomic.make ~name:"mcs.tail" 0;
+    nodes =
+      Array.init (slots + 1) (fun i ->
+          {
+            next = C11.Atomic.make ~name:(Printf.sprintf "mcs.next%d" i) 0;
+            locked = C11.Atomic.make ~name:(Printf.sprintf "mcs.locked%d" i) 0;
+          });
+  }
+
+let lock t ~slot =
+  let my = t.nodes.(slot) in
+  C11.Atomic.store ~mo:Relaxed my.next 0;
+  C11.Atomic.store ~mo:Relaxed my.locked 1;
+  let pred = C11.Atomic.exchange ~mo:Acq_rel t.tail slot in
+  if pred <> 0 then begin
+    C11.Atomic.store ~mo:Release t.nodes.(pred).next slot;
+    let rec spin () =
+      if C11.Atomic.load ~mo:Acquire my.locked = 1 then begin
+        C11.Thread.yield ();
+        spin ()
+      end
+    in
+    spin ()
+  end
+
+let unlock ~variant t ~slot =
+  let my = t.nodes.(slot) in
+  let succ = C11.Atomic.load ~mo:Acquire my.next in
+  if succ <> 0 then begin
+    let mo =
+      match (variant : Variant.t) with Correct -> Release | Buggy -> Relaxed
+    in
+    C11.Atomic.store ~mo t.nodes.(succ).locked 0
+  end
+  else if
+    C11.Atomic.compare_exchange ~mo:Acq_rel t.tail ~expected:slot ~desired:0
+  then ()
+  else begin
+    (* someone is enqueueing behind us; wait for the link *)
+    let rec wait_link () =
+      let s = C11.Atomic.load ~mo:Acquire my.next in
+      if s = 0 then begin
+        C11.Thread.yield ();
+        wait_link ()
+      end
+      else
+        let mo =
+          match (variant : Variant.t) with
+          | Correct -> Release
+          | Buggy -> Relaxed
+        in
+        C11.Atomic.store ~mo t.nodes.(s).locked 0
+    in
+    wait_link ()
+  end
+
+let run ~variant ~scale () =
+  let nthreads = 3 in
+  let t = create ~slots:nthreads in
+  let shared = C11.Nonatomic.make ~name:"mcs.shared" 0 in
+  let worker slot () =
+    for round = 1 to scale do
+      lock t ~slot;
+      C11.Nonatomic.write shared ((100 * slot) + round);
+      ignore (C11.Nonatomic.read shared);
+      unlock ~variant t ~slot
+    done
+  in
+  let threads =
+    List.init nthreads (fun i -> C11.Thread.spawn (worker (i + 1)))
+  in
+  List.iter C11.Thread.join threads

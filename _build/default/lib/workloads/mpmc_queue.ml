@@ -1,0 +1,98 @@
+(** Bounded multi-producer multi-consumer queue (data-structure suite,
+    Table 2: "mpmc-queue").
+
+    A ring of cells, each with a sequence stamp; producers and consumers
+    claim slots with fetch_adds on head/tail tickets and wait for the
+    stamp to reach their turn.
+
+    Seeded bug: a consumer first checks an approximate element count with a
+    relaxed load and, if it suggests data is available, skips the stamp
+    check for its cell.  When the count is observed early the consumer
+    reads the cell while the producer is still writing it — a window race
+    on the non-atomic payload. *)
+
+open Memorder
+
+type t = {
+  size : int;
+  stamps : C11.atomic array;
+  cells : C11.naloc array;
+  enq_ticket : C11.atomic;
+  deq_ticket : C11.atomic;
+  count : C11.atomic;  (** approximate occupancy, maintained relaxed *)
+}
+
+let create ~size =
+  {
+    size;
+    stamps =
+      Array.init size (fun i ->
+          C11.Atomic.make ~name:(Printf.sprintf "mpmc.stamp%d" i) i);
+    cells =
+      Array.init size (fun i ->
+          C11.Nonatomic.make ~name:(Printf.sprintf "mpmc.cell%d" i) 0);
+    enq_ticket = C11.Atomic.make ~name:"mpmc.enq" 0;
+    deq_ticket = C11.Atomic.make ~name:"mpmc.deq" 0;
+    count = C11.Atomic.make ~name:"mpmc.count" 0;
+  }
+
+let enqueue t v =
+  let ticket = C11.Atomic.fetch_add ~mo:Acq_rel t.enq_ticket 1 in
+  let i = ticket mod t.size in
+  let rec wait_turn () =
+    if C11.Atomic.load ~mo:Acquire t.stamps.(i) <> ticket then begin
+      C11.Thread.yield ();
+      wait_turn ()
+    end
+  in
+  wait_turn ();
+  C11.Nonatomic.write t.cells.(i) v;
+  C11.Atomic.store ~mo:Release t.stamps.(i) (ticket + 1);
+  ignore (C11.Atomic.fetch_add ~mo:Relaxed t.count 1)
+
+let dequeue ~variant t =
+  let ticket = C11.Atomic.fetch_add ~mo:Acq_rel t.deq_ticket 1 in
+  let i = ticket mod t.size in
+  (match (variant : Variant.t) with
+  | Buggy ->
+    (* premature "peek": the consumer mistakes the claimed stamp
+       ([= ticket], producer still writing) for the published one
+       ([= ticket + 1]) and reads the cell early.  Only fires when the
+       consumer catches the producer inside its write window. *)
+    if
+      C11.Atomic.load ~mo:Relaxed t.count > 0
+      && C11.Atomic.load ~mo:Acquire t.stamps.(i) = ticket
+    then ignore (C11.Nonatomic.read t.cells.(i))
+  | Correct -> ());
+  let rec wait_turn () =
+    if C11.Atomic.load ~mo:Acquire t.stamps.(i) <> ticket + 1 then begin
+      C11.Thread.yield ();
+      wait_turn ()
+    end
+  in
+  wait_turn ();
+  let v = C11.Nonatomic.read t.cells.(i) in
+  C11.Atomic.store ~mo:Release t.stamps.(i) (ticket + t.size);
+  ignore (C11.Atomic.fetch_add ~mo:Relaxed t.count (-1));
+  v
+
+let run ~variant ~scale () =
+  let t = create ~size:2 in
+  let producer () =
+    for v = 1 to scale do
+      enqueue t v
+    done
+  in
+  let consumer () =
+    for _ = 1 to scale do
+      ignore (dequeue ~variant t)
+    done
+  in
+  let p1 = C11.Thread.spawn producer in
+  let p2 = C11.Thread.spawn producer in
+  let c1 = C11.Thread.spawn consumer in
+  let c2 = C11.Thread.spawn consumer in
+  C11.Thread.join p1;
+  C11.Thread.join p2;
+  C11.Thread.join c1;
+  C11.Thread.join c2

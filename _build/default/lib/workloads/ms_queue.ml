@@ -1,0 +1,125 @@
+(** Michael-Scott non-blocking queue (data-structure suite, Table 2:
+    "ms-queue").
+
+    Nodes come from a pre-allocated pool; [head]/[tail] hold node indices
+    and are advanced with CAS.  The queue logic itself is correct.
+
+    Seeded bug: the benchmark driver keeps an {e approximate size} counter
+    that both producers and consumers update with plain non-atomic
+    accesses — an unconditional data race that every tool finds in every
+    execution (all three tools report 100% in Table 2). *)
+
+open Memorder
+
+type t = {
+  values : C11.atomic array;
+  nexts : C11.atomic array;
+  head : C11.atomic;
+  tail : C11.atomic;
+  alloc : C11.atomic;  (** node pool bump pointer *)
+  approx_size : C11.naloc;
+}
+
+let nil = 0
+
+let create ~capacity =
+  let n = capacity + 2 in
+  {
+    values =
+      Array.init n (fun i -> C11.Atomic.make ~name:(Printf.sprintf "msq.val%d" i) 0);
+    nexts =
+      Array.init n (fun i -> C11.Atomic.make ~name:(Printf.sprintf "msq.next%d" i) nil);
+    (* node 1 is the initial dummy *)
+    head = C11.Atomic.make ~name:"msq.head" 1;
+    tail = C11.Atomic.make ~name:"msq.tail" 1;
+    alloc = C11.Atomic.make ~name:"msq.alloc" 2;
+    approx_size = C11.Nonatomic.make ~name:"msq.approx_size" 0;
+  }
+
+let alloc_node t v =
+  let i = C11.Atomic.fetch_add ~mo:Acq_rel t.alloc 1 in
+  if i >= Array.length t.values then
+    C11.assert_that false "ms_queue: node pool exhausted";
+  C11.Atomic.store ~mo:Relaxed t.values.(i) v;
+  C11.Atomic.store ~mo:Relaxed t.nexts.(i) nil;
+  i
+
+let enqueue ~variant t v =
+  let node = alloc_node t v in
+  let rec loop () =
+    let tl = C11.Atomic.load ~mo:Acquire t.tail in
+    let nxt = C11.Atomic.load ~mo:Acquire t.nexts.(tl) in
+    if nxt <> nil then begin
+      (* help swing the tail *)
+      ignore
+        (C11.Atomic.compare_exchange ~mo:Acq_rel t.tail ~expected:tl
+           ~desired:nxt);
+      C11.Thread.yield ();
+      loop ()
+    end
+    else if
+      C11.Atomic.compare_exchange ~mo:Acq_rel t.nexts.(tl) ~expected:nil
+        ~desired:node
+    then
+      ignore
+        (C11.Atomic.compare_exchange ~mo:Acq_rel t.tail ~expected:tl
+           ~desired:node)
+    else begin
+      C11.Thread.yield ();
+      loop ()
+    end
+  in
+  loop ();
+  match (variant : Variant.t) with
+  | Buggy ->
+    C11.Nonatomic.write t.approx_size (C11.Nonatomic.read t.approx_size + 1)
+  | Correct -> ()
+
+let dequeue ~variant t =
+  let rec loop () =
+    let hd = C11.Atomic.load ~mo:Acquire t.head in
+    let nxt = C11.Atomic.load ~mo:Acquire t.nexts.(hd) in
+    if nxt = nil then begin
+      C11.Thread.yield ();
+      loop ()
+    end
+    else if
+      C11.Atomic.compare_exchange ~mo:Acq_rel t.head ~expected:hd ~desired:nxt
+    then C11.Atomic.load ~mo:Relaxed t.values.(nxt)
+    else begin
+      C11.Thread.yield ();
+      loop ()
+    end
+  in
+  let v = loop () in
+  (match (variant : Variant.t) with
+  | Buggy ->
+    C11.Nonatomic.write t.approx_size (C11.Nonatomic.read t.approx_size - 1)
+  | Correct -> ());
+  v
+
+let run ~variant ~scale () =
+  let per_thread = scale in
+  let t = create ~capacity:(2 * per_thread) in
+  let sum = ref 0 in
+  let producer () =
+    for v = 1 to per_thread do
+      enqueue ~variant t v
+    done
+  in
+  let consumer () =
+    for _ = 1 to per_thread do
+      sum := !sum + dequeue ~variant t
+    done
+  in
+  let p = C11.Thread.spawn producer in
+  let p2 = C11.Thread.spawn producer in
+  let c = C11.Thread.spawn consumer in
+  let c2 = C11.Thread.spawn consumer in
+  C11.Thread.join p;
+  C11.Thread.join p2;
+  C11.Thread.join c;
+  C11.Thread.join c2;
+  C11.assert_that
+    (!sum = per_thread * (per_thread + 1))
+    "ms_queue: dequeued values do not sum to what was enqueued"

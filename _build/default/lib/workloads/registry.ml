@@ -1,0 +1,150 @@
+type category = Injected | Data_structure | Application
+
+type t = {
+  name : string;
+  description : string;
+  category : category;
+  run : variant:Variant.t -> scale:int -> unit -> unit;
+  default_scale : int;
+  bench_scale : int;
+}
+
+let all =
+  [
+    {
+      name = "seqlock";
+      description = "seqlock with a relaxed counter increment (Section 8.1)";
+      category = Injected;
+      run = Seqlock.run;
+      default_scale = 4;
+      bench_scale = 64;
+    };
+    {
+      name = "rwlock";
+      description =
+        "reader-writer lock whose write-lock uses relaxed atomics \
+         (Section 8.1)";
+      category = Injected;
+      run = Rwlock_bug.run;
+      default_scale = 3;
+      bench_scale = 48;
+    };
+    {
+      name = "barrier";
+      description = "sense-reversing spinning barrier";
+      category = Data_structure;
+      run = Barrier.run;
+      default_scale = 2;
+      bench_scale = 32;
+    };
+    {
+      name = "chase-lev-deque";
+      description = "Chase-Lev work-stealing deque";
+      category = Data_structure;
+      run = Chase_lev.run;
+      default_scale = 6;
+      bench_scale = 64;
+    };
+    {
+      name = "dekker-fences";
+      description = "Dekker mutual exclusion with seq_cst fences";
+      category = Data_structure;
+      run = Dekker.run;
+      default_scale = 4;
+      bench_scale = 64;
+    };
+    {
+      name = "linuxrwlocks";
+      description = "Linux-kernel-style reader-writer spinlock";
+      category = Data_structure;
+      run = Linuxrwlocks.run;
+      default_scale = 3;
+      bench_scale = 48;
+    };
+    {
+      name = "mcs-lock";
+      description = "MCS queue lock";
+      category = Data_structure;
+      run = Mcs_lock.run;
+      default_scale = 3;
+      bench_scale = 32;
+    };
+    {
+      name = "mpmc-queue";
+      description = "bounded multi-producer multi-consumer queue";
+      category = Data_structure;
+      run = Mpmc_queue.run;
+      default_scale = 3;
+      bench_scale = 24;
+    };
+    {
+      name = "ms-queue";
+      description = "Michael-Scott non-blocking queue";
+      category = Data_structure;
+      run = Ms_queue.run;
+      default_scale = 4;
+      bench_scale = 32;
+    };
+    {
+      name = "treiber-stack";
+      description = "Treiber lock-free stack (extra suite member)";
+      category = Data_structure;
+      run = Treiber_stack.run;
+      default_scale = 4;
+      bench_scale = 48;
+    };
+    {
+      name = "spsc-queue";
+      description = "single-producer single-consumer bounded queue (extra)";
+      category = Data_structure;
+      run = Spsc_queue.run;
+      default_scale = 6;
+      bench_scale = 64;
+    };
+    {
+      name = "silo";
+      description = "OCC in-memory storage engine with a volatile spinlock";
+      category = Application;
+      run = Silo_lite.run;
+      default_scale = 6;
+      bench_scale = 300;
+    };
+    {
+      name = "gdax";
+      description = "order book over a lock-free list with reader iteration";
+      category = Application;
+      run = Gdax_lite.run;
+      default_scale = 6;
+      bench_scale = 200;
+    };
+    {
+      name = "mabain";
+      description = "key-value store with an asynchronous writer thread";
+      category = Application;
+      run = Mabain_lite.run;
+      default_scale = 4;
+      bench_scale = 300;
+    };
+    {
+      name = "iris";
+      description = "asynchronous logger over an SPSC lock-free ring buffer";
+      category = Application;
+      run = Iris_lite.run;
+      default_scale = 6;
+      bench_scale = 250;
+    };
+    {
+      name = "jsbench";
+      description = "JavaScript-engine-like mutator with a GC helper thread";
+      category = Application;
+      run = Jsbench_lite.run;
+      default_scale = 2;
+      bench_scale = 8;
+    };
+  ]
+
+let find name = List.find_opt (fun t -> t.name = name) all
+let by_category c = List.filter (fun t -> t.category = c) all
+let data_structures = by_category Data_structure
+let injected = by_category Injected
+let applications = by_category Application

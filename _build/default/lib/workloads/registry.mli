@@ -1,0 +1,20 @@
+(** Catalogue of all benchmark workloads: the injected-bug benchmarks of
+    Section 8.1, the data-structure suite of Section 8.3 (Table 2) and the
+    application analogues of Section 8.2 (Tables 1/3/4). *)
+
+type category = Injected | Data_structure | Application
+
+type t = {
+  name : string;
+  description : string;
+  category : category;
+  run : variant:Variant.t -> scale:int -> unit -> unit;
+  default_scale : int;  (** scale used by the Table 2 / Section 8.1 rates *)
+  bench_scale : int;  (** scale used by the timing benchmarks *)
+}
+
+val all : t list
+val find : string -> t option
+val data_structures : t list
+val injected : t list
+val applications : t list

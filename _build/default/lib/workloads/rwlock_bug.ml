@@ -1,0 +1,89 @@
+(** Reader-writer lock with an injected bug (Section 8.1 of the paper):
+    "a broken reader-writer lock where the write-lock operation incorrectly
+    uses relaxed atomics".
+
+    Lock word: 0 = free, [n > 0] = n readers, -1 = writer.  Read lock/unlock
+    use acquire/release RMWs.  In the buggy variant the writer's lock CAS
+    and unlock exchange are relaxed, so a reader that enters after the
+    writer released never synchronises with the writer's data writes and can
+    observe a torn update.  Tools in the tsan lineage conservatively treat
+    every RMW as acquire-release, which is why they cannot produce (and so
+    miss) this bug. *)
+
+open Memorder
+
+type t = { lk : C11.atomic; data1 : C11.atomic; data2 : C11.atomic }
+
+let create () =
+  {
+    lk = C11.Atomic.make ~name:"rwlock.lk" 0;
+    data1 = C11.Atomic.make ~name:"rwlock.data1" 0;
+    data2 = C11.Atomic.make ~name:"rwlock.data2" 0;
+  }
+
+let read_lock t =
+  let rec loop () =
+    let c = C11.Atomic.load ~mo:Relaxed t.lk in
+    if c >= 0 then begin
+      if
+        not
+          (C11.Atomic.compare_exchange ~mo:Acquire t.lk ~expected:c
+             ~desired:(c + 1))
+      then begin
+        C11.Thread.yield ();
+        loop ()
+      end
+    end
+    else begin
+      C11.Thread.yield ();
+      loop ()
+    end
+  in
+  loop ()
+
+let read_unlock t = ignore (C11.Atomic.fetch_sub ~mo:Release t.lk 1)
+
+let write_lock ~variant t =
+  let mo =
+    match (variant : Variant.t) with Correct -> Acquire | Buggy -> Relaxed
+  in
+  let rec loop () =
+    if not (C11.Atomic.compare_exchange ~mo t.lk ~expected:0 ~desired:(-1))
+    then begin
+      C11.Thread.yield ();
+      loop ()
+    end
+  in
+  loop ()
+
+let write_unlock ~variant t =
+  let mo =
+    match (variant : Variant.t) with Correct -> Release | Buggy -> Relaxed
+  in
+  ignore (C11.Atomic.exchange ~mo t.lk 0)
+
+let run ~variant ~scale () =
+  let lock = create () in
+  let writer =
+    C11.Thread.spawn (fun () ->
+        for g = 1 to scale do
+          write_lock ~variant lock;
+          C11.Atomic.store ~mo:Relaxed lock.data1 g;
+          C11.Atomic.store ~mo:Relaxed lock.data2 g;
+          write_unlock ~variant lock
+        done)
+  in
+  let reader () =
+    for _ = 1 to scale do
+      read_lock lock;
+      let d1 = C11.Atomic.load ~mo:Relaxed lock.data1 in
+      let d2 = C11.Atomic.load ~mo:Relaxed lock.data2 in
+      C11.assert_that (d1 = d2) "rwlock: torn read under read lock";
+      read_unlock lock
+    done
+  in
+  let r1 = C11.Thread.spawn reader in
+  let r2 = C11.Thread.spawn reader in
+  C11.Thread.join writer;
+  C11.Thread.join r1;
+  C11.Thread.join r2

@@ -1,0 +1,74 @@
+(** Seqlock (Section 8.1 of the paper).
+
+    Based on the seqlock of Boehm, "Can seqlocks get along with programming
+    language memory models?" (MSPC'12), using the fetch_add(0) idiom for the
+    reader's second counter read.  The writer bumps the sequence counter to
+    an odd value, writes the two data words, then bumps it back to even; a
+    reader retries unless both counter reads agree on an even value.
+
+    The injected bug weakens the orderings that protect the read side — the
+    writer's initial (odd) counter increment and the reader's data loads and
+    second counter read become relaxed.  A torn read then requires the
+    reader's closing fetch_add to be inserted into the middle of the
+    counter's modification order (the RMW reads a counter store that is not
+    the newest), which is exactly what the restricted hb∪sc∪rf∪mo-acyclic
+    fragment of tsan11/tsan11rec cannot produce. *)
+
+open Memorder
+
+type t = { seq : C11.atomic; data1 : C11.atomic; data2 : C11.atomic }
+
+let create () =
+  {
+    seq = C11.Atomic.make ~name:"seqlock.seq" 0;
+    data1 = C11.Atomic.make ~name:"seqlock.data1" 0;
+    data2 = C11.Atomic.make ~name:"seqlock.data2" 0;
+  }
+
+let write ~variant t generation =
+  let c = C11.Atomic.load ~mo:Acquire t.seq in
+  let incr_mo =
+    match (variant : Variant.t) with Correct -> Release | Buggy -> Relaxed
+  in
+  C11.Atomic.store ~mo:incr_mo t.seq (c + 1);
+  C11.Atomic.store ~mo:Release t.data1 generation;
+  C11.Atomic.store ~mo:Release t.data2 generation;
+  C11.Atomic.store ~mo:Release t.seq (c + 2)
+
+(* Returns [Some (d1, d2)] on a successful (validated) read. *)
+let read ~variant t =
+  let data_mo, close_mo =
+    match (variant : Variant.t) with
+    | Correct -> (Acquire, Acq_rel)
+    | Buggy -> (Relaxed, Relaxed)
+  in
+  let s1 = C11.Atomic.load ~mo:Acquire t.seq in
+  if s1 land 1 = 1 then None
+  else begin
+    let d1 = C11.Atomic.load ~mo:data_mo t.data1 in
+    let d2 = C11.Atomic.load ~mo:data_mo t.data2 in
+    let s2 = C11.Atomic.fetch_add ~mo:close_mo t.seq 0 in
+    if s1 = s2 then Some (d1, d2) else None
+  end
+
+let run ~variant ~scale () =
+  let lock = create () in
+  let writer =
+    C11.Thread.spawn (fun () ->
+        for g = 1 to scale do
+          write ~variant lock g
+        done)
+  in
+  let reader () =
+    for _ = 1 to scale do
+      match read ~variant lock with
+      | Some (d1, d2) ->
+        C11.assert_that (d1 = d2) "seqlock: torn read (d1 <> d2)"
+      | None -> C11.Thread.yield ()
+    done
+  in
+  let r1 = C11.Thread.spawn reader in
+  let r2 = C11.Thread.spawn reader in
+  C11.Thread.join writer;
+  C11.Thread.join r1;
+  C11.Thread.join r2

@@ -1,0 +1,79 @@
+(** Single-producer single-consumer bounded queue (the "spsc-queue" shape
+    of the CDSChecker benchmark lineage; exposed through the CLI and
+    tests, not part of Table 2).
+
+    Seeded bug: the consumer's emptiness check loads the producer cursor
+    relaxed, so a successful dequeue reads the payload cell without
+    happening-after the producer's write. *)
+
+open Memorder
+
+type t = {
+  cells : C11.naloc array;
+  widx : C11.atomic;
+  ridx : C11.atomic;
+}
+
+let create ~capacity =
+  {
+    cells =
+      Array.init capacity (fun i ->
+          C11.Nonatomic.make ~name:(Printf.sprintf "spsc.cell%d" i) 0);
+    widx = C11.Atomic.make ~name:"spsc.widx" 0;
+    ridx = C11.Atomic.make ~name:"spsc.ridx" 0;
+  }
+
+let capacity t = Array.length t.cells
+
+let enqueue t v =
+  let rec wait () =
+    let w = C11.Atomic.load ~mo:Relaxed t.widx in
+    if w - C11.Atomic.load ~mo:Acquire t.ridx >= capacity t then begin
+      C11.Thread.yield ();
+      wait ()
+    end
+    else w
+  in
+  let w = wait () in
+  C11.Nonatomic.write t.cells.(w mod capacity t) v;
+  C11.Atomic.store ~mo:Release t.widx (w + 1)
+
+let dequeue ~variant t =
+  let mo =
+    match (variant : Variant.t) with Correct -> Acquire | Buggy -> Relaxed
+  in
+  let rec wait () =
+    let r = C11.Atomic.load ~mo:Relaxed t.ridx in
+    if C11.Atomic.load ~mo t.widx <= r then begin
+      C11.Thread.yield ();
+      wait ()
+    end
+    else r
+  in
+  let r = wait () in
+  let v = C11.Nonatomic.read t.cells.(r mod capacity t) in
+  C11.Atomic.store ~mo:Release t.ridx (r + 1);
+  v
+
+let run ~variant ~scale () =
+  let t = create ~capacity:2 in
+  let sum = ref 0 in
+  let producer =
+    C11.Thread.spawn (fun () ->
+        for v = 1 to scale do
+          enqueue t v
+        done)
+  in
+  let consumer =
+    C11.Thread.spawn (fun () ->
+        for _ = 1 to scale do
+          sum := !sum + dequeue ~variant t
+        done)
+  in
+  C11.Thread.join producer;
+  C11.Thread.join consumer;
+  (* under the correct orderings every element arrives intact *)
+  if variant = Variant.Correct then
+    C11.assert_that
+      (!sum = scale * (scale + 1) / 2)
+      "spsc: checksum mismatch"

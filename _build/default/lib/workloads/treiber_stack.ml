@@ -1,0 +1,89 @@
+(** Treiber lock-free stack (part of the CDSChecker benchmark lineage the
+    paper's suite descends from; exposed through the CLI and tests, not
+    part of Table 2).
+
+    Nodes come from a pool; [top] holds a node index and is updated with
+    CAS.  Payloads are non-atomic: publication safety depends on the push
+    CAS being a release and the pop CAS an acquire.
+
+    Seeded bug: the pop CAS is relaxed, so a popping thread reads the
+    payload without synchronising with the pushing thread. *)
+
+open Memorder
+
+type t = {
+  values : C11.naloc array;
+  nexts : C11.atomic array;
+  top : C11.atomic;  (** 0 = empty *)
+  alloc : C11.atomic;
+}
+
+let create ~capacity =
+  let n = capacity + 1 in
+  {
+    values =
+      Array.init n (fun i -> C11.Nonatomic.make ~name:(Printf.sprintf "ts.val%d" i) 0);
+    nexts =
+      Array.init n (fun i -> C11.Atomic.make ~name:(Printf.sprintf "ts.next%d" i) 0);
+    top = C11.Atomic.make ~name:"ts.top" 0;
+    alloc = C11.Atomic.make ~name:"ts.alloc" 1;
+  }
+
+let push t v =
+  let i = C11.Atomic.fetch_add ~mo:Acq_rel t.alloc 1 in
+  if i >= Array.length t.values then
+    C11.assert_that false "treiber: pool exhausted";
+  C11.Nonatomic.write t.values.(i) v;
+  let rec link () =
+    let old = C11.Atomic.load ~mo:Relaxed t.top in
+    C11.Atomic.store ~mo:Relaxed t.nexts.(i) old;
+    if not (C11.Atomic.compare_exchange ~mo:Release t.top ~expected:old ~desired:i)
+    then begin
+      C11.Thread.yield ();
+      link ()
+    end
+  in
+  link ()
+
+let pop ~variant t =
+  let mo =
+    match (variant : Variant.t) with Correct -> Acquire | Buggy -> Relaxed
+  in
+  let rec loop () =
+    let old = C11.Atomic.load ~mo t.top in
+    if old = 0 then None
+    else begin
+      let next = C11.Atomic.load ~mo:Relaxed t.nexts.(old) in
+      if C11.Atomic.compare_exchange ~mo t.top ~expected:old ~desired:next
+      then Some (C11.Nonatomic.read t.values.(old))
+      else begin
+        C11.Thread.yield ();
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let run ~variant ~scale () =
+  let t = create ~capacity:(2 * scale) in
+  let popped = ref 0 in
+  let producer () =
+    for v = 1 to scale do
+      push t v
+    done
+  in
+  let consumer () =
+    for _ = 1 to scale do
+      match pop ~variant t with
+      | Some _ -> incr popped
+      | None -> C11.Thread.yield ()
+    done
+  in
+  let p1 = C11.Thread.spawn producer in
+  let p2 = C11.Thread.spawn producer in
+  let c1 = C11.Thread.spawn consumer in
+  let c2 = C11.Thread.spawn consumer in
+  C11.Thread.join p1;
+  C11.Thread.join p2;
+  C11.Thread.join c1;
+  C11.Thread.join c2

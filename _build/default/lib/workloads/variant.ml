@@ -1,0 +1,6 @@
+(** Whether a workload runs its correct implementation or the one with the
+    seeded concurrency bug (Sections 8.1 and 8.3 of the paper evaluate the
+    buggy variants; correctness tests run the correct ones). *)
+type t = Correct | Buggy
+
+let to_string = function Correct -> "correct" | Buggy -> "buggy"

@@ -1,0 +1,1 @@
+test/test_clockvec.ml: Alcotest Clockvec Fmt List QCheck QCheck_alcotest

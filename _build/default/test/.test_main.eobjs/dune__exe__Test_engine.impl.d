@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest C11 Engine Int64 List Memorder String Tool

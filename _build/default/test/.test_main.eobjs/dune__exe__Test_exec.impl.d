@@ -1,0 +1,1 @@
+test/test_exec.ml: Action Alcotest Clockvec Execution List Memorder Race Rng

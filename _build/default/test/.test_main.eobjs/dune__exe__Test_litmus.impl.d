@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Format List Litmus Printf String Tool

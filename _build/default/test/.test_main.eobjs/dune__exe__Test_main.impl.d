@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_clockvec Test_engine Test_exec Test_fiber Test_litmus Test_mograph Test_pruner Test_race Test_rng Test_sched Test_stats Test_workloads

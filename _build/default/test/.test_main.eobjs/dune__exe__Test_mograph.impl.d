@@ -1,0 +1,1 @@
+test/test_mograph.ml: Action Alcotest Array Clockvec List Memorder Mograph QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pruner.ml: Alcotest C11 Clockvec Engine Execution List Litmus Memorder Pruner Race Registry Rng Tester Tool Variant

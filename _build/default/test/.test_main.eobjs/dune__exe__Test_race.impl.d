@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Clockvec List Race

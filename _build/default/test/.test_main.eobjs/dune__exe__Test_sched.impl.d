@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest C11 Engine List Memorder Rng Schedule Tester Tool

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest C11 Chase_lev List Memorder Ms_queue Printf Registry Tester Tool Variant

@@ -1,0 +1,144 @@
+(* Clock vectors: unit tests plus property-based lattice laws. *)
+
+let check = Alcotest.(check bool)
+
+let test_bottom () =
+  let cv = Clockvec.bottom () in
+  check "empty slot is 0" true (Clockvec.get cv 5 = 0);
+  check "bottom leq bottom" true (Clockvec.leq cv (Clockvec.bottom ()))
+
+let test_of_slot () =
+  let cv = Clockvec.of_slot ~tid:3 ~seq:17 in
+  check "slot set" true (Clockvec.get cv 3 = 17);
+  check "other slots 0" true (Clockvec.get cv 0 = 0 && Clockvec.get cv 9 = 0)
+
+let test_set_get () =
+  let cv = Clockvec.bottom () in
+  Clockvec.set cv 7 42;
+  check "set then get" true (Clockvec.get cv 7 = 42);
+  Clockvec.set cv 7 10;
+  check "set overwrites" true (Clockvec.get cv 7 = 10)
+
+let test_merge () =
+  let a = Clockvec.of_slot ~tid:0 ~seq:5 in
+  let b = Clockvec.of_slot ~tid:1 ~seq:9 in
+  let changed = Clockvec.merge a b in
+  check "merge changed" true changed;
+  check "merge keeps max 0" true (Clockvec.get a 0 = 5);
+  check "merge takes slot 1" true (Clockvec.get a 1 = 9);
+  check "idempotent merge" false (Clockvec.merge a b)
+
+let test_leq () =
+  let a = Clockvec.of_slot ~tid:0 ~seq:3 in
+  let b = Clockvec.of_slot ~tid:0 ~seq:5 in
+  check "3 <= 5" true (Clockvec.leq a b);
+  check "5 <= 3 fails" false (Clockvec.leq b a);
+  Clockvec.set a 1 1;
+  check "incomparable" false (Clockvec.leq a b || Clockvec.leq b a)
+
+let test_leq_length_mismatch () =
+  let a = Clockvec.bottom () in
+  Clockvec.set a 10 0;
+  (* trailing zero slots must not affect comparisons *)
+  check "padded zeros leq bottom" true (Clockvec.leq a (Clockvec.bottom ()));
+  check "bottom leq padded" true (Clockvec.leq (Clockvec.bottom ()) a);
+  check "equal modulo padding" true (Clockvec.equal a (Clockvec.bottom ()))
+
+let test_intersect () =
+  let a = Clockvec.bottom () and b = Clockvec.bottom () in
+  Clockvec.set a 0 5;
+  Clockvec.set a 1 2;
+  Clockvec.set b 0 3;
+  Clockvec.set b 1 7;
+  let i = Clockvec.intersect a b in
+  check "min slot 0" true (Clockvec.get i 0 = 3);
+  check "min slot 1" true (Clockvec.get i 1 = 2);
+  check "intersect leq both" true (Clockvec.leq i a && Clockvec.leq i b)
+
+let test_covers () =
+  let cv = Clockvec.of_slot ~tid:2 ~seq:10 in
+  check "covers earlier" true (Clockvec.covers cv ~tid:2 ~seq:10);
+  check "covers smaller" true (Clockvec.covers cv ~tid:2 ~seq:4);
+  check "not covers later" false (Clockvec.covers cv ~tid:2 ~seq:11);
+  check "not covers other tid" false (Clockvec.covers cv ~tid:0 ~seq:1)
+
+let test_copy_independent () =
+  let a = Clockvec.of_slot ~tid:0 ~seq:1 in
+  let b = Clockvec.copy a in
+  Clockvec.set b 0 99;
+  check "copy is independent" true (Clockvec.get a 0 = 1)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let gen_cv =
+  QCheck.Gen.(
+    map
+      (fun slots ->
+        let cv = Clockvec.bottom () in
+        List.iteri (fun i v -> if v > 0 then Clockvec.set cv i v) slots;
+        cv)
+      (list_size (int_range 0 6) (int_range 0 20)))
+
+let arb_cv = QCheck.make ~print:(Fmt.to_to_string Clockvec.pp) gen_cv
+
+let prop_union_upper_bound =
+  QCheck.Test.make ~name:"union is an upper bound" ~count:300
+    (QCheck.pair arb_cv arb_cv) (fun (a, b) ->
+      let u = Clockvec.union a b in
+      Clockvec.leq a u && Clockvec.leq b u)
+
+let prop_union_least =
+  QCheck.Test.make ~name:"union is the least upper bound" ~count:300
+    (QCheck.triple arb_cv arb_cv arb_cv) (fun (a, b, c) ->
+      QCheck.assume (Clockvec.leq a c && Clockvec.leq b c);
+      Clockvec.leq (Clockvec.union a b) c)
+
+let prop_intersect_lower_bound =
+  QCheck.Test.make ~name:"intersection is a lower bound" ~count:300
+    (QCheck.pair arb_cv arb_cv) (fun (a, b) ->
+      let i = Clockvec.intersect a b in
+      Clockvec.leq i a && Clockvec.leq i b)
+
+let prop_leq_partial_order =
+  QCheck.Test.make ~name:"leq is reflexive and transitive" ~count:300
+    (QCheck.triple arb_cv arb_cv arb_cv) (fun (a, b, c) ->
+      Clockvec.leq a a
+      && if Clockvec.leq a b && Clockvec.leq b c then Clockvec.leq a c else true)
+
+let prop_merge_equals_union =
+  QCheck.Test.make ~name:"merge reaches the union" ~count:300
+    (QCheck.pair arb_cv arb_cv) (fun (a, b) ->
+      let u = Clockvec.union a b in
+      let a' = Clockvec.copy a in
+      ignore (Clockvec.merge a' b);
+      Clockvec.equal a' u)
+
+let prop_merge_reports_change =
+  QCheck.Test.make ~name:"merge returns true iff dst grows" ~count:300
+    (QCheck.pair arb_cv arb_cv) (fun (a, b) ->
+      let a' = Clockvec.copy a in
+      let changed = Clockvec.merge a' b in
+      changed = not (Clockvec.leq b a))
+
+let suite =
+  [
+    Alcotest.test_case "bottom" `Quick test_bottom;
+    Alcotest.test_case "of_slot" `Quick test_of_slot;
+    Alcotest.test_case "set/get" `Quick test_set_get;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "leq" `Quick test_leq;
+    Alcotest.test_case "leq length mismatch" `Quick test_leq_length_mismatch;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "covers" `Quick test_covers;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_union_upper_bound;
+        prop_union_least;
+        prop_intersect_lower_bound;
+        prop_leq_partial_order;
+        prop_merge_equals_union;
+        prop_merge_reports_change;
+      ]

@@ -1,0 +1,230 @@
+(* White-box tests of the operational model: direct calls into Execution,
+   plus Memorder/Action basics. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+open Memorder
+
+let fresh () =
+  let rng = Rng.create 1L in
+  let race = Race.create () in
+  Execution.create ~mode:Execution.Full_c11 ~rng ~race
+
+let test_memorder_classes () =
+  check "acquire class" true
+    (List.for_all Memorder.is_acquire [ Acquire; Acq_rel; Seq_cst; Consume ]);
+  check "release class" true
+    (List.for_all Memorder.is_release [ Release; Acq_rel; Seq_cst ]);
+  check "relaxed is neither" true
+    ((not (Memorder.is_acquire Relaxed)) && not (Memorder.is_release Relaxed));
+  check "roundtrip strings" true
+    (List.for_all
+       (fun mo -> Memorder.of_string (Memorder.to_string mo) = Some mo)
+       Memorder.all);
+  check "unknown string" true (Memorder.of_string "weird" = None)
+
+let test_fresh_loc () =
+  let e = fresh () in
+  let a = Execution.fresh_loc e ~atomic:true ~name:(Some "a") in
+  let b = Execution.fresh_loc e ~atomic:false ~name:None in
+  check "distinct" true (a <> b);
+  check "atomicity recorded" true
+    (Execution.is_atomic_loc e a && not (Execution.is_atomic_loc e b))
+
+let test_same_thread_coherence () =
+  let e = fresh () in
+  let t = Execution.new_thread e ~parent:None in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t ~loc:x 0;
+  Execution.atomic_store e ~tid:t ~loc:x ~mo:Relaxed ~volatile:false 1;
+  Execution.atomic_store e ~tid:t ~loc:x ~mo:Relaxed ~volatile:false 2;
+  (* CoWR/CoRW within a thread: must read the newest own store *)
+  for _ = 1 to 20 do
+    check_int "reads own latest store" 2
+      (Execution.atomic_load e ~tid:t ~loc:x ~mo:Relaxed ~volatile:false)
+  done
+
+let test_may_read_from_set () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let t1 = Execution.new_thread e ~parent:(Some t0) in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 0;
+  Execution.atomic_store e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false 1;
+  Execution.atomic_store e ~tid:t1 ~loc:x ~mo:Relaxed ~volatile:false 2;
+  match Execution.Internal.find_loc e x with
+  | None -> Alcotest.fail "location missing"
+  | Some li ->
+    let ts = Execution.thread e t1 in
+    let candidates =
+      Execution.Internal.build_may_read_from e li ts ~is_sc:false
+    in
+    (* t1 never synchronised with t0, so t0's store does not supersede the
+       initialisation for t1: the whole history is readable *)
+    let values = List.sort compare (List.map (fun (a : Action.t) -> a.value) candidates) in
+    check "candidates are {0, 1, 2}" true (values = [ 0; 1; 2 ]);
+    (* after t1 acquires t0's store, the initialisation is hidden *)
+    let v = Execution.atomic_load e ~tid:t1 ~loc:x ~mo:Acquire ~volatile:false in
+    if v = 1 then begin
+      let candidates =
+        Execution.Internal.build_may_read_from e li ts ~is_sc:false
+      in
+      let values =
+        List.sort compare (List.map (fun (a : Action.t) -> a.value) candidates)
+      in
+      check "init superseded after acquire" true (values = [ 1; 2 ])
+    end
+
+let test_rmw_claims_store () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 0;
+  let old =
+    Execution.atomic_rmw e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false
+      ~f:(fun v -> Execution.Rmw_write (v + 1))
+  in
+  check_int "rmw read the init" 0 old;
+  (* the second RMW must read the first RMW's store, not the claimed init *)
+  let old2 =
+    Execution.atomic_rmw e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false
+      ~f:(fun v -> Execution.Rmw_write (v + 1))
+  in
+  check_int "second rmw reads the first" 1 old2
+
+let test_failed_cas_is_load () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 5;
+  let v =
+    Execution.atomic_rmw e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false
+      ~f:(fun _ -> Execution.Rmw_keep)
+  in
+  check_int "failed cas reads" 5 v;
+  (* the store it read is still claimable by a real RMW *)
+  let v2 =
+    Execution.atomic_rmw e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false
+      ~f:(fun v -> Execution.Rmw_write (v * 2))
+  in
+  check_int "store still unclaimed" 5 v2
+
+let test_release_acquire_sync () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let t1 = Execution.new_thread e ~parent:(Some t0) in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 0;
+  Execution.tick_sync e ~tid:t0;
+  let marker = (Execution.thread e t0).Execution.tid in
+  ignore marker;
+  let seq_before = e.Execution.seq in
+  Execution.atomic_store e ~tid:t0 ~loc:x ~mo:Release ~volatile:false 1;
+  (* t1 reads with acquire: its clock must now cover t0's release store *)
+  let v = Execution.atomic_load e ~tid:t1 ~loc:x ~mo:Acquire ~volatile:false in
+  if v = 1 then begin
+    let c1 = (Execution.thread e t1).Execution.c in
+    check "acquire brings t0's history" true
+      (Clockvec.covers c1 ~tid:t0 ~seq:(seq_before + 1))
+  end
+
+let test_relaxed_load_no_sync () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let t1 = Execution.new_thread e ~parent:(Some t0) in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 0;
+  let seq_before = e.Execution.seq in
+  Execution.atomic_store e ~tid:t0 ~loc:x ~mo:Release ~volatile:false 1;
+  let v = Execution.atomic_load e ~tid:t1 ~loc:x ~mo:Relaxed ~volatile:false in
+  if v = 1 then begin
+    let c1 = (Execution.thread e t1).Execution.c in
+    check "relaxed read does not synchronise" false
+      (Clockvec.covers c1 ~tid:t0 ~seq:(seq_before + 1));
+    (* but the pending acquire-fence clock has it *)
+    let facq = (Execution.thread e t1).Execution.facq in
+    check "pending in F_acq" true
+      (Clockvec.covers facq ~tid:t0 ~seq:(seq_before + 1));
+    (* an acquire fence upgrades it into the thread clock (Figure 9) *)
+    Execution.fence e ~tid:t1 ~mo:Acquire;
+    let c1 = (Execution.thread e t1).Execution.c in
+    check "acquire fence publishes it" true
+      (Clockvec.covers c1 ~tid:t0 ~seq:(seq_before + 1))
+  end
+
+let test_release_fence_then_relaxed_store () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let t1 = Execution.new_thread e ~parent:(Some t0) in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 0;
+  Execution.tick_sync e ~tid:t0;
+  let payload_seq = e.Execution.seq in
+  Execution.fence e ~tid:t0 ~mo:Release;
+  Execution.atomic_store e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false 1;
+  let v = Execution.atomic_load e ~tid:t1 ~loc:x ~mo:Acquire ~volatile:false in
+  if v = 1 then begin
+    let c1 = (Execution.thread e t1).Execution.c in
+    check "release fence makes the relaxed store release" true
+      (Clockvec.covers c1 ~tid:t0 ~seq:payload_seq)
+  end
+
+let test_model_error_unknown_thread () =
+  let e = fresh () in
+  check "unknown thread rejected" true
+    (match Execution.thread e 3 with
+    | exception Execution.Model_error _ -> true
+    | _ -> false)
+
+let test_graph_footprint () =
+  let e = fresh () in
+  let t0 = Execution.new_thread e ~parent:None in
+  let x = Execution.fresh_loc e ~atomic:true ~name:None in
+  Execution.na_write e ~tid:t0 ~loc:x 0;
+  for i = 1 to 10 do
+    Execution.atomic_store e ~tid:t0 ~loc:x ~mo:Relaxed ~volatile:false i
+  done;
+  check_int "11 retained stores" 11 (Execution.graph_footprint e)
+
+let test_action_happens_before () =
+  let a =
+    {
+      Action.seq = 1;
+      tid = 0;
+      kind = Action.Store;
+      loc = 0;
+      mo = Relaxed;
+      value = 0;
+      rf = None;
+      hb_cv = Clockvec.of_slot ~tid:0 ~seq:1;
+      rf_cv = None;
+      rmw_claimed = false;
+      volatile = false;
+    }
+  in
+  let b_cv = Clockvec.of_slot ~tid:1 ~seq:2 in
+  Clockvec.set b_cv 0 1;
+  let b = { a with Action.seq = 2; tid = 1; hb_cv = b_cv } in
+  check "a hb b" true (Action.happens_before a b);
+  check "b not hb a" false (Action.happens_before b a);
+  check "irreflexive" false (Action.happens_before a a);
+  check "a is write" true (Action.is_write a);
+  check "a is not read" false (Action.is_read a)
+
+let suite =
+  [
+    Alcotest.test_case "memorder classes" `Quick test_memorder_classes;
+    Alcotest.test_case "fresh_loc" `Quick test_fresh_loc;
+    Alcotest.test_case "same-thread coherence" `Quick test_same_thread_coherence;
+    Alcotest.test_case "may-read-from" `Quick test_may_read_from_set;
+    Alcotest.test_case "rmw claims store" `Quick test_rmw_claims_store;
+    Alcotest.test_case "failed cas is a load" `Quick test_failed_cas_is_load;
+    Alcotest.test_case "release/acquire sync" `Quick test_release_acquire_sync;
+    Alcotest.test_case "relaxed load + acquire fence" `Quick test_relaxed_load_no_sync;
+    Alcotest.test_case "release fence + relaxed store" `Quick
+      test_release_fence_then_relaxed_store;
+    Alcotest.test_case "model error" `Quick test_model_error_unknown_thread;
+    Alcotest.test_case "graph footprint" `Quick test_graph_footprint;
+    Alcotest.test_case "action happens-before" `Quick test_action_happens_before;
+  ]

@@ -1,0 +1,94 @@
+(* The effect-handler fiber runtime, driven directly without the engine. *)
+
+let check = Alcotest.(check bool)
+
+let test_runs_to_completion () =
+  match Fiber.start (fun () -> ()) with
+  | Fiber.Done -> ()
+  | _ -> Alcotest.fail "expected Done"
+
+let test_pause_and_resume () =
+  let result = ref (-1) in
+  let step =
+    Fiber.start (fun () -> result := Fiber.perform Op.Yield + 1)
+  in
+  match step with
+  | Fiber.Paused (Op.Yield, k) -> (
+    match Fiber.resume k 41 with
+    | Fiber.Done -> check "value delivered" true (!result = 42)
+    | _ -> Alcotest.fail "expected Done after resume")
+  | _ -> Alcotest.fail "expected Paused at Yield"
+
+let test_sequence_of_ops () =
+  let trace = ref [] in
+  let step =
+    Fiber.start (fun () ->
+        trace := Fiber.perform (Op.Na_read { loc = 3 }) :: !trace;
+        trace := Fiber.perform Op.Mutex_create :: !trace)
+  in
+  let rec drive step n =
+    match step with
+    | Fiber.Paused (_, k) -> drive (Fiber.resume k n) (n + 1)
+    | Fiber.Done -> ()
+    | Fiber.Raised e -> raise e
+  in
+  drive step 10;
+  check "both results observed in order" true (!trace = [ 11; 10 ])
+
+let test_exception_propagates () =
+  match Fiber.start (fun () -> failwith "boom") with
+  | Fiber.Raised (Failure msg) -> check "message" true (msg = "boom")
+  | _ -> Alcotest.fail "expected Raised"
+
+let test_exception_after_resume () =
+  let step = Fiber.start (fun () -> ignore (Fiber.perform Op.Yield); failwith "later") in
+  match step with
+  | Fiber.Paused (_, k) -> (
+    match Fiber.resume k 0 with
+    | Fiber.Raised (Failure msg) -> check "message" true (msg = "later")
+    | _ -> Alcotest.fail "expected Raised after resume")
+  | _ -> Alcotest.fail "expected Paused"
+
+let test_cancel_unwinds () =
+  let cleaned = ref false in
+  let step =
+    Fiber.start (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> ignore (Fiber.perform Op.Yield)))
+  in
+  (match step with
+  | Fiber.Paused (_, k) -> Fiber.cancel k
+  | _ -> Alcotest.fail "expected Paused");
+  check "finaliser ran on cancel" true !cleaned
+
+let test_op_classification () =
+  check "na ops are inline" true (Op.is_inline (Op.Na_read { loc = 0 }));
+  check "alloc is inline" true
+    (Op.is_inline (Op.Alloc { atomic = true; name = None; init = 0 }));
+  check "atomic load is a scheduling point" false
+    (Op.is_inline (Op.Load { loc = 0; mo = Memorder.Relaxed; volatile = false }));
+  check "lock is a scheduling point" false (Op.is_inline (Op.Mutex_lock 0));
+  check "relaxed store batches" true
+    (Op.is_rlx_or_rel_store
+       (Op.Store { loc = 0; mo = Memorder.Relaxed; value = 0; volatile = false }));
+  check "release store batches" true
+    (Op.is_rlx_or_rel_store
+       (Op.Store { loc = 0; mo = Memorder.Release; value = 0; volatile = false }));
+  check "seq_cst store does not batch" false
+    (Op.is_rlx_or_rel_store
+       (Op.Store { loc = 0; mo = Memorder.Seq_cst; value = 0; volatile = false }));
+  check "loads do not batch" false
+    (Op.is_rlx_or_rel_store
+       (Op.Load { loc = 0; mo = Memorder.Relaxed; volatile = false }))
+
+let suite =
+  [
+    Alcotest.test_case "runs to completion" `Quick test_runs_to_completion;
+    Alcotest.test_case "pause and resume" `Quick test_pause_and_resume;
+    Alcotest.test_case "sequence of ops" `Quick test_sequence_of_ops;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "exception after resume" `Quick test_exception_after_resume;
+    Alcotest.test_case "cancel unwinds" `Quick test_cancel_unwinds;
+    Alcotest.test_case "op classification" `Quick test_op_classification;
+  ]

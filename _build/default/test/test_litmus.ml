@@ -1,0 +1,113 @@
+(* Litmus tests: the whole catalog must (a) never produce an outcome the
+   memory-model fragment forbids, (b) find every weak outcome the fragment
+   allows, and (c) under the restricted Total_mo baseline, produce a
+   subset of the full fragment's outcomes, missing exactly the
+   modification-order-inversion behaviours. *)
+
+let check = Alcotest.(check bool)
+
+let iters = 1500
+let c11 = Tool.config Tool.C11tester
+let t11rec = Tool.config Tool.Tsan11rec
+
+let outcome_set hist = List.map fst hist
+
+let test_no_violations (t : Litmus.t) () =
+  let bad = Litmus.violations ~config:c11 ~iters t in
+  if bad <> [] then
+    Alcotest.failf "%s produced forbidden outcomes: %s" t.Litmus.name
+      (String.concat ", "
+         (List.map
+            (fun (o, n) ->
+              Format.asprintf "%a x%d" (Litmus.pp_outcome t) o n)
+            bad))
+
+let test_weak_coverage (t : Litmus.t) () =
+  let hist = Litmus.explore ~config:c11 ~iters t in
+  check
+    (Printf.sprintf "%s: weak outcome observed iff allowed" t.Litmus.name)
+    t.Litmus.weak_allowed
+    (Litmus.weak_observed hist t)
+
+let test_baseline_subset (t : Litmus.t) () =
+  (* The tsan11rec fragment is strictly smaller: everything it produces is
+     allowed by the full fragment.  (Its additional restrictions are
+     checked separately below.) *)
+  let hist = Litmus.explore ~config:t11rec ~iters:800 t in
+  check
+    (Printf.sprintf "%s: baseline outcomes within fragment" t.Litmus.name)
+    true
+    (List.for_all t.Litmus.allowed (outcome_set hist))
+
+(* Fragment-difference checks (Section 1.1 of the paper). *)
+
+let test_baseline_misses_mo_inversion () =
+  match Litmus.find "2+2w_relaxed" with
+  | None -> Alcotest.fail "missing litmus"
+  | Some t ->
+    let full = Litmus.explore ~config:c11 ~iters t in
+    let restricted = Litmus.explore ~config:t11rec ~iters t in
+    check "full fragment shows x=1,y=1" true (Litmus.weak_observed full t);
+    check "restricted fragment cannot" false (Litmus.weak_observed restricted t)
+
+let test_baseline_old_release_sequences () =
+  (* Under the C++11 rules the tsan-lineage tools implement, a same-thread
+     relaxed store continues the release sequence, so the weak outcome of
+     release_sequence_c20 is invisible to them. *)
+  match Litmus.find "release_sequence_c20" with
+  | None -> Alcotest.fail "missing litmus"
+  | Some t ->
+    let full = Litmus.explore ~config:c11 ~iters t in
+    let restricted = Litmus.explore ~config:t11rec ~iters t in
+    check "C++20 rules show the weak outcome" true (Litmus.weak_observed full t);
+    check "C++11 baseline hides it" false (Litmus.weak_observed restricted t)
+
+let test_baseline_still_relaxed () =
+  (* the baselines still model relaxed loads reading stale stores: message
+     passing with relaxed orders shows r1=1,r2=0 there too *)
+  match Litmus.find "mp_relaxed" with
+  | None -> Alcotest.fail "missing litmus"
+  | Some t ->
+    let restricted = Litmus.explore ~config:t11rec ~iters t in
+    check "baseline shows relaxed MP weak outcome" true
+      (Litmus.weak_observed restricted t)
+
+let test_registers_match () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let o = List.hd (outcome_set (Litmus.explore ~config:c11 ~iters:1 t)) in
+      check
+        (Printf.sprintf "%s: register arity" t.Litmus.name)
+        true
+        (List.length o = List.length t.Litmus.registers))
+    Litmus.catalog
+
+let test_find () =
+  check "find existing" true (Litmus.find "mp_relaxed" <> None);
+  check "find missing" true (Litmus.find "nope" = None)
+
+let suite =
+  List.concat_map
+    (fun (t : Litmus.t) ->
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s: no forbidden outcomes" t.Litmus.name)
+          `Slow (test_no_violations t);
+        Alcotest.test_case
+          (Printf.sprintf "%s: weak coverage" t.Litmus.name)
+          `Slow (test_weak_coverage t);
+        Alcotest.test_case
+          (Printf.sprintf "%s: baseline subset" t.Litmus.name)
+          `Slow (test_baseline_subset t);
+      ])
+    Litmus.catalog
+  @ [
+      Alcotest.test_case "baseline misses mo inversion" `Slow
+        test_baseline_misses_mo_inversion;
+      Alcotest.test_case "baseline uses C++11 release sequences" `Slow
+        test_baseline_old_release_sequences;
+      Alcotest.test_case "baseline still relaxed" `Slow
+        test_baseline_still_relaxed;
+      Alcotest.test_case "register arity" `Quick test_registers_match;
+      Alcotest.test_case "find" `Quick test_find;
+    ]

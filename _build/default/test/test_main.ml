@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "c11tester"
+    [
+      ("clockvec", Test_clockvec.suite);
+      ("mograph", Test_mograph.suite);
+      ("rng", Test_rng.suite);
+      ("race", Test_race.suite);
+      ("fiber", Test_fiber.suite);
+      ("execution", Test_exec.suite);
+      ("engine", Test_engine.suite);
+      ("schedule", Test_sched.suite);
+      ("litmus", Test_litmus.suite);
+      ("pruner", Test_pruner.suite);
+      ("workloads", Test_workloads.suite);
+      ("stats", Test_stats.suite);
+    ]

@@ -1,0 +1,136 @@
+(* Execution-graph pruning (Section 7.1): conservative pruning must keep
+   the graph bounded on long executions without changing the set of
+   producible behaviours; aggressive pruning may shrink behaviours but
+   never produces a forbidden one. *)
+
+let check = Alcotest.(check bool)
+
+let conservative = Pruner.Conservative { interval = 8 }
+let aggressive = Pruner.Aggressive { window = 128; interval = 8 }
+
+let config ?(prune = Pruner.No_prune) seed =
+  { (Tool.config ~prune Tool.C11tester) with Engine.seed = seed }
+
+(* A long producer/consumer loop over one atomic: without pruning the
+   mo-graph holds every store ever made; with conservative pruning the
+   consumer keeps synchronising so old stores become unreadable and are
+   collected.  The main thread plays the consumer itself — a thread parked
+   in a join never advances its clock and (correctly) blocks pruning. *)
+let counter_program ~rounds () =
+  let x = C11.Atomic.make 0 in
+  let producer =
+    C11.Thread.spawn (fun () ->
+        for i = 1 to rounds do
+          C11.Atomic.store ~mo:Memorder.Release x i
+        done)
+  in
+  for _ = 1 to rounds do
+    ignore (C11.Atomic.load ~mo:Memorder.Acquire x)
+  done;
+  C11.Thread.join producer
+
+let test_conservative_bounds_memory () =
+  let no_prune = Engine.run (config 5L) (counter_program ~rounds:400) in
+  let pruned =
+    Engine.run (config ~prune:conservative 5L) (counter_program ~rounds:400)
+  in
+  check "unpruned graph holds all stores" true (no_prune.Engine.final_footprint > 300);
+  check "pruning collected stores" true (pruned.Engine.pruned_stores > 100);
+  check "pruned footprint is much smaller" true
+    (pruned.Engine.final_footprint * 3 < no_prune.Engine.final_footprint)
+
+let test_aggressive_prunes_at_least_as_much () =
+  let cons =
+    Engine.run (config ~prune:conservative 7L) (counter_program ~rounds:400)
+  in
+  let aggr =
+    Engine.run (config ~prune:aggressive 7L) (counter_program ~rounds:400)
+  in
+  check "aggressive collects too" true (aggr.Engine.pruned_stores > 0);
+  check "footprints bounded" true
+    (aggr.Engine.final_footprint < 400 && cons.Engine.final_footprint < 400)
+
+(* Outcome preservation: the support of a litmus test's outcome histogram
+   must be identical with and without conservative pruning. *)
+let outcome_support ~prune (t : Litmus.t) =
+  let config = Tool.config ~prune Tool.C11tester in
+  Litmus.explore ~config ~iters:1200 t |> List.map fst |> List.sort compare
+
+let test_conservative_preserves_outcomes () =
+  List.iter
+    (fun name ->
+      match Litmus.find name with
+      | None -> Alcotest.failf "missing litmus %s" name
+      | Some t ->
+        let base = outcome_support ~prune:Pruner.No_prune t in
+        let pruned = outcome_support ~prune:(Pruner.Conservative { interval = 4 }) t in
+        if base <> pruned then
+          Alcotest.failf "%s: outcome support changed under conservative pruning"
+            name)
+    [ "mp_relaxed"; "sb_relaxed"; "2+2w_relaxed"; "corr" ]
+
+let test_aggressive_sound_on_litmus () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let config =
+        Tool.config ~prune:(Pruner.Aggressive { window = 8; interval = 4 })
+          Tool.C11tester
+      in
+      let bad = Litmus.violations ~config ~iters:800 t in
+      if bad <> [] then
+        Alcotest.failf "%s: aggressive pruning produced forbidden outcomes"
+          t.Litmus.name)
+    Litmus.catalog
+
+let test_cv_min () =
+  let rng = Rng.create 1L in
+  let race = Race.create () in
+  let exec = Execution.create ~mode:Execution.Full_c11 ~rng ~race in
+  let t0 = Execution.new_thread exec ~parent:None in
+  Execution.tick_sync exec ~tid:t0;
+  (* the child starts with a copy of the parent's clock, so the parent's
+     first event is covered by everyone *)
+  let t1 = Execution.new_thread exec ~parent:(Some t0) in
+  Execution.tick_sync exec ~tid:t1;
+  Execution.tick_sync exec ~tid:t1;
+  let cv = Pruner.cv_min exec in
+  check "cv_min covers t0's pre-fork event" true
+    (Clockvec.covers cv ~tid:t0 ~seq:1);
+  check "cv_min excludes t1's unsynchronised events" false
+    (Clockvec.covers cv ~tid:t1 ~seq:3)
+
+let test_no_prune_policy () =
+  let rng = Rng.create 1L in
+  let race = Race.create () in
+  let exec = Execution.create ~mode:Execution.Full_c11 ~rng ~race in
+  check "no-prune does nothing" true
+    (Pruner.maybe_prune Pruner.No_prune exec ~ops:64 = None)
+
+let test_workloads_clean_under_pruning () =
+  (* correct workloads stay bug-free when pruning is on *)
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | None -> Alcotest.failf "missing workload %s" name
+      | Some w ->
+        let config = Tool.config ~prune:conservative Tool.C11tester in
+        let s =
+          Tester.run ~config ~iters:60
+            (w.Registry.run ~variant:Variant.Correct ~scale:w.Registry.default_scale)
+        in
+        if s.Tester.buggy_executions > 0 then
+          Alcotest.failf "%s: false positives under conservative pruning" name)
+    [ "seqlock"; "ms-queue"; "mpmc-queue" ]
+
+let suite =
+  [
+    Alcotest.test_case "conservative bounds memory" `Slow test_conservative_bounds_memory;
+    Alcotest.test_case "aggressive prunes" `Slow test_aggressive_prunes_at_least_as_much;
+    Alcotest.test_case "conservative preserves outcomes" `Slow
+      test_conservative_preserves_outcomes;
+    Alcotest.test_case "aggressive sound on litmus" `Slow test_aggressive_sound_on_litmus;
+    Alcotest.test_case "cv_min" `Quick test_cv_min;
+    Alcotest.test_case "no-prune policy" `Quick test_no_prune_policy;
+    Alcotest.test_case "workloads clean under pruning" `Slow
+      test_workloads_clean_under_pruning;
+  ]

@@ -1,0 +1,109 @@
+(* The FastTrack-style race detector, exercised directly (without the
+   engine) by feeding it accesses with hand-built happens-before clocks. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cv slots =
+  let v = Clockvec.bottom () in
+  List.iteri (fun i s -> Clockvec.set v i s) slots;
+  v
+
+let access t ?(cls = Race.Na_access) ~loc ~tid ~seq ~hb ~w () =
+  Race.on_access t ~loc ~tid ~seq ~hb ~is_write:w ~cls
+
+let test_unordered_write_write () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  (* thread 1 writes without having seen thread 0's write *)
+  access t ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:true ();
+  check_int "one race" 1 (Race.race_count t)
+
+let test_ordered_write_write () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  (* thread 1's clock covers thread 0's write: ordered, no race *)
+  access t ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 1; 2 ]) ~w:true ();
+  check_int "no race" 0 (Race.race_count t)
+
+let test_read_write_race () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:false ();
+  access t ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:true ();
+  check_int "read-write races" 1 (Race.race_count t)
+
+let test_read_read_no_race () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:false ();
+  access t ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:false ();
+  check_int "reads never race" 0 (Race.race_count t)
+
+let test_atomic_atomic_no_race () =
+  let t = Race.create () in
+  access t ~cls:Race.Atomic_access ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  access t ~cls:Race.Atomic_access ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:true ();
+  check_int "atomics don't race with atomics" 0 (Race.race_count t)
+
+let test_atomic_na_mixed () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  (* unordered atomic write to a location last written non-atomically *)
+  access t ~cls:Race.Atomic_access ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:true ();
+  check_int "atomic vs na races" 1 (Race.race_count t);
+  (* and an atomic read against the na write also races *)
+  access t ~cls:Race.Atomic_access ~loc:0 ~tid:2 ~seq:3 ~hb:(cv [ 0; 0; 3 ]) ~w:false ();
+  check_int "atomic read vs na write" 2 (Race.race_count t)
+
+let test_na_read_vs_atomic_write () =
+  let t = Race.create () in
+  access t ~cls:Race.Atomic_access ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  access t ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:false ();
+  check_int "na read vs atomic write races" 1 (Race.race_count t)
+
+let test_different_locations () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  access t ~loc:1 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:true ();
+  check_int "different locations never race" 0 (Race.race_count t)
+
+let test_same_thread_never_races () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  access t ~loc:0 ~tid:0 ~seq:2 ~hb:(cv [ 2 ]) ~w:true ();
+  check_int "sequenced-before orders same-thread" 0 (Race.race_count t)
+
+let test_report_contents () =
+  let t = Race.create () in
+  Race.name_location t ~loc:0 "shared_counter";
+  access t ~loc:0 ~tid:0 ~seq:5 ~hb:(cv [ 5 ]) ~w:true ();
+  access t ~loc:0 ~tid:1 ~seq:9 ~hb:(cv [ 0; 9 ]) ~w:false ();
+  match Race.races t with
+  | [ r ] ->
+    check "location name" true (r.Race.loc_name = "shared_counter");
+    check "first is the write" true (r.Race.first_is_write && r.Race.first_tid = 0);
+    check "second is the read" true ((not r.Race.second_is_write) && r.Race.second_tid = 1);
+    check "dedup key stable" true (Race.dedup_key r = Race.dedup_key r)
+  | _ -> Alcotest.fail "expected exactly one race"
+
+let test_clear () =
+  let t = Race.create () in
+  access t ~loc:0 ~tid:0 ~seq:1 ~hb:(cv [ 1 ]) ~w:true ();
+  access t ~loc:0 ~tid:1 ~seq:2 ~hb:(cv [ 0; 2 ]) ~w:true ();
+  Race.clear t;
+  check_int "cleared" 0 (Race.race_count t);
+  check "no reports" true (Race.races t = [])
+
+let suite =
+  [
+    Alcotest.test_case "unordered writes race" `Quick test_unordered_write_write;
+    Alcotest.test_case "ordered writes don't race" `Quick test_ordered_write_write;
+    Alcotest.test_case "read-write race" `Quick test_read_write_race;
+    Alcotest.test_case "read-read no race" `Quick test_read_read_no_race;
+    Alcotest.test_case "atomic-atomic no race" `Quick test_atomic_atomic_no_race;
+    Alcotest.test_case "atomic vs na mixed" `Quick test_atomic_na_mixed;
+    Alcotest.test_case "na read vs atomic write" `Quick test_na_read_vs_atomic_write;
+    Alcotest.test_case "different locations" `Quick test_different_locations;
+    Alcotest.test_case "same thread" `Quick test_same_thread_never_races;
+    Alcotest.test_case "report contents" `Quick test_report_contents;
+    Alcotest.test_case "clear" `Quick test_clear;
+  ]

@@ -1,0 +1,95 @@
+(* Deterministic RNG: determinism, bounds and distribution sanity. *)
+
+let check = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  let xs = List.init 100 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 100 (fun _ -> Rng.next_int64 b) in
+  check "same seed, same stream" true (xs = ys)
+
+let test_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  check "different seeds diverge" false (xs = ys)
+
+let test_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 b) in
+  check "split stream differs" false (xs = ys)
+
+let test_int_bounds () =
+  let r = Rng.create 3L in
+  check "all in bounds" true
+    (List.for_all
+       (fun _ ->
+         let v = Rng.int r 7 in
+         v >= 0 && v < 7)
+       (List.init 1000 Fun.id))
+
+let test_int_coverage () =
+  let r = Rng.create 5L in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Rng.int r 4) <- true
+  done;
+  check "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let r = Rng.create 1L in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_shuffle_is_permutation () =
+  let r = Rng.create 11L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check "permutation" true (sorted = Array.init 50 Fun.id)
+
+let test_geometric () =
+  let r = Rng.create 13L in
+  let samples = List.init 2000 (fun _ -> Rng.geometric r 10) in
+  check "all >= 1" true (List.for_all (fun x -> x >= 1) samples);
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 samples) /. 2000.0
+  in
+  check "mean near 10" true (mean > 6.0 && mean < 14.0)
+
+let test_float_range () =
+  let r = Rng.create 17L in
+  check "floats in [0,1)" true
+    (List.for_all
+       (fun _ ->
+         let f = Rng.float r in
+         f >= 0.0 && f < 1.0)
+       (List.init 1000 Fun.id))
+
+let prop_bool_balanced =
+  QCheck.Test.make ~name:"bool is roughly balanced" ~count:20
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let r = Rng.create (Int64.of_int seed) in
+      let trues = ref 0 in
+      for _ = 1 to 400 do
+        if Rng.bool r then incr trues
+      done;
+      !trues > 120 && !trues < 280)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "geometric" `Quick test_geometric;
+    Alcotest.test_case "float range" `Quick test_float_range;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_bool_balanced ]

@@ -1,0 +1,211 @@
+(* Scheduling strategies: unit behaviour of the pickers plus the Figure 4
+   bias experiment — consecutive-store batching makes the two stored
+   values (roughly) equally likely to be read. *)
+
+let check = Alcotest.(check bool)
+
+let test_pick_singleton () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  let tid =
+    Schedule.pick
+      (Schedule.Controlled_random { batch_stores = false })
+      st rng ~enabled:[ 3 ]
+      ~pending_is_rlx_store:(fun _ -> false)
+  in
+  check "only choice" true (tid = 3)
+
+let test_pick_empty_rejected () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  Alcotest.check_raises "no enabled thread"
+    (Invalid_argument "Schedule.pick: no enabled thread") (fun () ->
+      ignore
+        (Schedule.pick
+           (Schedule.Controlled_random { batch_stores = false })
+           st rng ~enabled:[]
+           ~pending_is_rlx_store:(fun _ -> false)))
+
+let test_batching_keeps_storing_thread () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  let policy = Schedule.Controlled_random { batch_stores = true } in
+  Schedule.note_executed st ~tid:1 ~was_rlx_or_rel_store:true;
+  let picks =
+    List.init 20 (fun _ ->
+        Schedule.pick policy st rng ~enabled:[ 0; 1; 2 ]
+          ~pending_is_rlx_store:(fun tid -> tid = 1))
+  in
+  check "always sticks with the storing thread" true
+    (List.for_all (fun t -> t = 1) picks)
+
+let test_batching_releases_on_non_store () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  let policy = Schedule.Controlled_random { batch_stores = true } in
+  Schedule.note_executed st ~tid:1 ~was_rlx_or_rel_store:false;
+  let picks =
+    List.init 200 (fun _ ->
+        Schedule.pick policy st rng ~enabled:[ 0; 1; 2 ]
+          ~pending_is_rlx_store:(fun tid -> tid = 1))
+  in
+  check "other threads picked too" true (List.exists (fun t -> t <> 1) picks)
+
+let test_bursty_runs_bursts () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  let policy = Schedule.Bursty { mean_burst = 16 } in
+  let picks =
+    List.init 400 (fun _ ->
+        let t =
+          Schedule.pick policy st rng ~enabled:[ 0; 1 ]
+            ~pending_is_rlx_store:(fun _ -> false)
+        in
+        Schedule.note_executed st ~tid:t ~was_rlx_or_rel_store:false;
+        t)
+  in
+  (* count context switches; bursty must switch far less than uniform *)
+  let switches = ref 0 in
+  ignore
+    (List.fold_left
+       (fun prev t ->
+         if prev <> t then incr switches;
+         t)
+       (List.hd picks) (List.tl picks));
+  check "few switches" true (!switches < 100)
+
+let test_round_robin_cycles () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  let picks =
+    List.init 9 (fun _ ->
+        let t =
+          Schedule.pick Schedule.Round_robin st rng ~enabled:[ 0; 1; 2 ]
+            ~pending_is_rlx_store:(fun _ -> false)
+        in
+        Schedule.note_executed st ~tid:t ~was_rlx_or_rel_store:false;
+        t)
+  in
+  check "cycles deterministically" true (picks = [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ])
+
+let test_round_robin_skips_disabled () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 1L in
+  Schedule.note_executed st ~tid:0 ~was_rlx_or_rel_store:false;
+  let t =
+    Schedule.pick Schedule.Round_robin st rng ~enabled:[ 2 ]
+      ~pending_is_rlx_store:(fun _ -> false)
+  in
+  check "picks the only enabled" true (t = 2)
+
+let test_priority_is_stable_between_change_points () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 3L in
+  let policy = Schedule.Priority { change_points = 0 } in
+  let picks =
+    List.init 50 (fun _ ->
+        let t =
+          Schedule.pick policy st rng ~enabled:[ 0; 1; 2 ]
+            ~pending_is_rlx_store:(fun _ -> false)
+        in
+        Schedule.note_executed st ~tid:t ~was_rlx_or_rel_store:false;
+        t)
+  in
+  (* with no change points the same (highest-priority) thread runs
+     whenever it is enabled *)
+  check "stable choice" true
+    (List.for_all (fun t -> t = List.hd picks) picks)
+
+let test_priority_changes_eventually () =
+  let st = Schedule.make_state () in
+  let rng = Rng.create 3L in
+  let policy = Schedule.Priority { change_points = 300 } in
+  let picks =
+    List.init 200 (fun _ ->
+        let t =
+          Schedule.pick policy st rng ~enabled:[ 0; 1; 2 ]
+            ~pending_is_rlx_store:(fun _ -> false)
+        in
+        Schedule.note_executed st ~tid:t ~was_rlx_or_rel_store:false;
+        t)
+  in
+  check "demotions switch threads" true
+    (List.sort_uniq compare picks |> List.length > 1)
+
+let test_priority_scheduler_runs_programs () =
+  (* the PCT-style plugin must still drive whole executions to completion *)
+  let config =
+    {
+      (Tool.config Tool.C11tester) with
+      Engine.sched = Schedule.Priority { change_points = 50 };
+    }
+  in
+  let s =
+    Tester.run ~config ~iters:50 (fun () ->
+        let x = C11.Atomic.make 0 in
+        let t =
+          C11.Thread.spawn (fun () ->
+              ignore (C11.Atomic.fetch_add ~mo:Memorder.Acq_rel x 1))
+        in
+        ignore (C11.Atomic.fetch_add ~mo:Memorder.Acq_rel x 1);
+        C11.Thread.join t;
+        C11.assert_that (C11.Atomic.load x = 2) "both increments")
+  in
+  check "all executions complete correctly" true (s.Tester.buggy_executions = 0)
+
+(* Figure 4: threadA stores x=1; x=2 (relaxed); threadB reads x.  Without
+   batching, reading 2 requires scheduling A twice before B, so r1=1 is
+   far more likely; with batching, the two stores execute back to back and
+   1 and 2 are roughly equally likely. *)
+let fig4_bias ~batch =
+  let config =
+    {
+      (Tool.config Tool.C11tester) with
+      Engine.sched = Schedule.Controlled_random { batch_stores = batch };
+    }
+  in
+  let r1 = ref 0 in
+  let program () =
+    let x = C11.Atomic.make 0 in
+    let ta =
+      C11.Thread.spawn (fun () ->
+          C11.Atomic.store ~mo:Memorder.Relaxed x 1;
+          C11.Atomic.store ~mo:Memorder.Relaxed x 2)
+    in
+    let tb =
+      C11.Thread.spawn (fun () -> r1 := C11.Atomic.load ~mo:Memorder.Relaxed x)
+    in
+    C11.Thread.join ta;
+    C11.Thread.join tb;
+    !r1
+  in
+  let _, hist = Tester.run_collect ~config ~iters:4000 program in
+  let count v = try List.assoc v hist with Not_found -> 0 in
+  (count 1, count 2)
+
+let test_fig4_batching_removes_bias () =
+  let ones_b, twos_b = fig4_bias ~batch:true in
+  let ones_n, twos_n = fig4_bias ~batch:false in
+  let ratio_b = float_of_int ones_b /. float_of_int (max 1 twos_b) in
+  let ratio_n = float_of_int ones_n /. float_of_int (max 1 twos_n) in
+  check "batched: r1=1 and r1=2 comparable" true (ratio_b < 2.0 && ratio_b > 0.5);
+  check "unbatched: r1=1 much likelier" true (ratio_n > 1.5);
+  check "batching reduces the bias" true (ratio_b < ratio_n)
+
+let suite =
+  [
+    Alcotest.test_case "singleton pick" `Quick test_pick_singleton;
+    Alcotest.test_case "empty rejected" `Quick test_pick_empty_rejected;
+    Alcotest.test_case "batching keeps storer" `Quick test_batching_keeps_storing_thread;
+    Alcotest.test_case "batching releases" `Quick test_batching_releases_on_non_store;
+    Alcotest.test_case "bursty runs bursts" `Quick test_bursty_runs_bursts;
+    Alcotest.test_case "round robin cycles" `Quick test_round_robin_cycles;
+    Alcotest.test_case "round robin skips disabled" `Quick
+      test_round_robin_skips_disabled;
+    Alcotest.test_case "priority stable" `Quick
+      test_priority_is_stable_between_change_points;
+    Alcotest.test_case "priority changes" `Quick test_priority_changes_eventually;
+    Alcotest.test_case "priority drives executions" `Slow
+      test_priority_scheduler_runs_programs;
+    Alcotest.test_case "figure 4 bias" `Slow test_fig4_batching_removes_bias;
+  ]

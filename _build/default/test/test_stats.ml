@@ -1,0 +1,70 @@
+(* Statistics helpers used by the evaluation harness. *)
+
+let check = Alcotest.(check bool)
+let close a b = abs_float (a -. b) < 1e-9
+
+let test_mean () =
+  check "mean" true (close (Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0);
+  check "empty mean" true (close (Stats.mean []) 0.0)
+
+let test_stddev () =
+  check "constant has zero stddev" true (close (Stats.stddev [ 5.0; 5.0; 5.0 ]) 0.0);
+  check "known sample" true (close (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]) (sqrt (32.0 /. 7.0)));
+  check "single sample" true (close (Stats.stddev [ 3.0 ]) 0.0)
+
+let test_rsd () =
+  check "constant rsd 0" true (close (Stats.rsd_percent [ 4.0; 4.0 ]) 0.0);
+  check "zero mean safe" true (close (Stats.rsd_percent [ 1.0; -1.0 ]) 0.0)
+
+let test_geomean () =
+  check "geomean of powers" true (close (Stats.geomean [ 1.0; 4.0; 16.0 ]) 4.0);
+  check "geomean singleton" true (close (Stats.geomean [ 7.0 ]) 7.0)
+
+let test_median () =
+  check "odd" true (close (Stats.median [ 3.0; 1.0; 2.0 ]) 2.0);
+  check "even" true (close (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]) 2.5)
+
+let test_min_max () =
+  check "min max" true (Stats.min_max [ 3.0; 1.0; 2.0 ] = (1.0, 3.0))
+
+let test_rate () =
+  check "rate" true (close (Stats.rate ~hits:1 ~total:4) 25.0);
+  check "zero total" true (close (Stats.rate ~hits:0 ~total:0) 0.0)
+
+let test_timed_sample () =
+  let r, dt = Stats.timed (fun () -> 42) in
+  check "result" true (r = 42);
+  check "time non-negative" true (dt >= 0.0);
+  check "sample count" true (List.length (Stats.sample 3 (fun () -> ())) = 3)
+
+let gen_floats = QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range 0.1 100.0))
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean within min..max" ~count:200 gen_floats (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.mean xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= arithmetic mean" ~count:200 gen_floats
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let prop_median_bounds =
+  QCheck.Test.make ~name:"median within min..max" ~count:200 gen_floats (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let m = Stats.median xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "rsd" `Quick test_rsd;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "rate" `Quick test_rate;
+    Alcotest.test_case "timed/sample" `Quick test_timed_sample;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_mean_bounds; prop_geomean_le_mean; prop_median_bounds ]

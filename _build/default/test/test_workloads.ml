@@ -1,0 +1,251 @@
+(* Workloads: the Section 8.1 / Table 2 detection behaviour, and the
+   correct variants' cleanliness, hold under the reproduction. *)
+
+let check = Alcotest.(check bool)
+
+let rate tool (w : Registry.t) ~variant ~iters =
+  let config = Tool.config ~max_steps:150_000 tool in
+  let s =
+    Tester.run ~config ~iters
+      (w.Registry.run ~variant ~scale:w.Registry.default_scale)
+  in
+  Tester.detection_rate s
+
+let workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None -> Alcotest.failf "unknown workload %s" name
+
+let test_correct_variants_clean () =
+  List.iter
+    (fun (w : Registry.t) ->
+      let r = rate Tool.C11tester w ~variant:Variant.Correct ~iters:60 in
+      if r > 0.0 then
+        Alcotest.failf "%s: correct variant flagged (%.1f%%)" w.Registry.name r)
+    Registry.all
+
+(* Section 8.1: only C11Tester can produce the executions exposing the
+   injected seqlock and rwlock bugs. *)
+let test_injected_bug name () =
+  let w = workload name in
+  check (name ^ ": c11tester detects") true
+    (rate Tool.C11tester w ~variant:Variant.Buggy ~iters:150 > 10.0);
+  check (name ^ ": tsan11 misses") true
+    (rate Tool.Tsan11 w ~variant:Variant.Buggy ~iters:150 = 0.0);
+  check (name ^ ": tsan11rec misses") true
+    (rate Tool.Tsan11rec w ~variant:Variant.Buggy ~iters:150 = 0.0)
+
+(* Table 2 qualitative shape. *)
+let test_chase_lev_only_c11tester () =
+  let w = workload "chase-lev-deque" in
+  check "c11tester detects" true
+    (rate Tool.C11tester w ~variant:Variant.Buggy ~iters:100 > 50.0);
+  check "tsan11rec misses" true
+    (rate Tool.Tsan11rec w ~variant:Variant.Buggy ~iters:100 = 0.0);
+  check "tsan11 misses" true
+    (rate Tool.Tsan11 w ~variant:Variant.Buggy ~iters:100 = 0.0)
+
+let test_ms_queue_everyone () =
+  let w = workload "ms-queue" in
+  List.iter
+    (fun tool ->
+      check
+        (Printf.sprintf "ms-queue under %s" (Tool.name tool))
+        true
+        (rate tool w ~variant:Variant.Buggy ~iters:60 = 100.0))
+    Tool.all
+
+let test_controlled_beats_uncontrolled () =
+  (* averaged over the windowed-race benchmarks, the controlled schedulers
+     find the bug more often than the bursty OS-style scheduler *)
+  let benches = [ "linuxrwlocks"; "mcs-lock"; "mpmc-queue" ] in
+  let avg tool =
+    let rates =
+      List.map
+        (fun n -> rate tool (workload n) ~variant:Variant.Buggy ~iters:80)
+        benches
+    in
+    List.fold_left ( +. ) 0.0 rates /. float_of_int (List.length rates)
+  in
+  let c11 = avg Tool.C11tester and t11 = avg Tool.Tsan11 in
+  check "controlled random beats bursty" true (c11 > t11 +. 5.0)
+
+(* Application analogues (Section 8.2). *)
+
+let test_silo_volatile_story () =
+  let w = workload "silo" in
+  (* C11Tester (volatiles as relaxed atomics): invariant violations, and
+     no volatile races reported *)
+  let config = Tool.config Tool.C11tester in
+  let s =
+    Tester.run ~config ~iters:80
+      (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+  in
+  check "c11tester: invariant violations" true (s.Tester.assert_executions > 0);
+  check "c11tester: volatile races elided" true (s.Tester.race_executions = 0);
+  (* volatiles as acquire/release: the violations disappear *)
+  let config = Tool.config ~volatile_atomic_mo:Memorder.Acq_rel Tool.C11tester in
+  let s =
+    Tester.run ~config ~iters:80
+      (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+  in
+  check "acq_rel volatiles: no violations" true (s.Tester.assert_executions = 0);
+  (* tsan-lineage tools: volatile races, but the weak behaviour is not
+     reproduced under controlled scheduling *)
+  let config = Tool.config Tool.Tsan11rec in
+  let s =
+    Tester.run ~config ~iters:80
+      (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+  in
+  check "tsan11rec: volatile races reported" true (s.Tester.race_executions > 0);
+  check "tsan11rec: weak behaviour not reproduced" true
+    (s.Tester.assert_executions = 0)
+
+let test_mabain_app_bug () =
+  let w = workload "mabain" in
+  let config = Tool.config Tool.C11tester in
+  let s =
+    Tester.run ~config ~iters:100
+      (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+  in
+  check "missing-drain assertion failures" true (s.Tester.assert_executions > 0);
+  check "data races found" true (s.Tester.race_executions > 0)
+
+let test_iris_gdax_races () =
+  List.iter
+    (fun name ->
+      let w = workload name in
+      List.iter
+        (fun tool ->
+          check
+            (Printf.sprintf "%s races under %s" name (Tool.name tool))
+            true
+            (rate tool w ~variant:Variant.Buggy ~iters:40 > 30.0))
+        Tool.all)
+    [ "iris"; "gdax" ]
+
+let test_jsbench_runs () =
+  let w = workload "jsbench" in
+  List.iter
+    (fun tool ->
+      let config = Tool.config tool in
+      let s =
+        Tester.run ~config ~iters:5
+          (w.Registry.run ~variant:Variant.Buggy ~scale:1)
+      in
+      check
+        (Printf.sprintf "jsbench clean under %s" (Tool.name tool))
+        true
+        (s.Tester.buggy_executions = 0 && s.Tester.deadlocks = 0
+       && s.Tester.step_limit_hits = 0))
+    Tool.all
+
+let test_jsbench_access_mix () =
+  (* Table 3: non-atomic accesses dominate for the JS workload *)
+  let w = workload "jsbench" in
+  let config = Tool.config Tool.C11tester in
+  let s =
+    Tester.run ~config ~iters:2 (w.Registry.run ~variant:Variant.Buggy ~scale:2)
+  in
+  check "more na than atomic" true (s.Tester.total_na_ops > s.Tester.total_atomic_ops)
+
+(* Functional sanity of the data structures themselves. *)
+
+let test_ms_queue_fifo_per_producer () =
+  let config = Tool.config Tool.C11tester in
+  let s =
+    Tester.run ~config ~iters:60 (fun () ->
+        let q = Ms_queue.create ~capacity:16 in
+        let seen = ref [] in
+        let p =
+          C11.Thread.spawn (fun () ->
+              for v = 1 to 6 do
+                Ms_queue.enqueue ~variant:Variant.Correct q v
+              done)
+        in
+        let c =
+          C11.Thread.spawn (fun () ->
+              for _ = 1 to 6 do
+                seen := Ms_queue.dequeue ~variant:Variant.Correct q :: !seen
+              done)
+        in
+        C11.Thread.join p;
+        C11.Thread.join c;
+        C11.assert_that (List.rev !seen = [ 1; 2; 3; 4; 5; 6 ])
+          "single-producer FIFO order")
+  in
+  check "fifo holds" true (s.Tester.buggy_executions = 0)
+
+let test_chase_lev_no_loss_no_dup () =
+  let config = Tool.config Tool.C11tester in
+  let s =
+    Tester.run ~config ~iters:60 (fun () ->
+        let d = Chase_lev.create ~capacity:32 in
+        let got = ref [] in
+        let record = function
+          | Some v -> got := v :: !got
+          | None -> ()
+        in
+        let owner =
+          C11.Thread.spawn (fun () ->
+              for v = 1 to 8 do
+                Chase_lev.push d v
+              done;
+              for _ = 1 to 8 do
+                record (Chase_lev.take d)
+              done)
+        in
+        let thief =
+          C11.Thread.spawn (fun () ->
+              for _ = 1 to 8 do
+                record (Chase_lev.steal ~variant:Variant.Correct d)
+              done)
+        in
+        C11.Thread.join owner;
+        C11.Thread.join thief;
+        let sorted = List.sort compare !got in
+        C11.assert_that
+          (List.length sorted = List.length (List.sort_uniq compare sorted))
+          "no element taken twice")
+  in
+  check "no duplicates" true (s.Tester.buggy_executions = 0)
+
+let test_extra_structures () =
+  (* the extra suite members behave like classic missing-acquire bugs:
+     buggy variants race under every tool, correct variants are clean *)
+  List.iter
+    (fun name ->
+      let w = workload name in
+      check (name ^ " buggy detected") true
+        (rate Tool.C11tester w ~variant:Variant.Buggy ~iters:100 > 30.0);
+      check (name ^ " correct clean") true
+        (rate Tool.C11tester w ~variant:Variant.Correct ~iters:100 = 0.0))
+    [ "treiber-stack"; "spsc-queue" ]
+
+let test_registry_lookup () =
+  check "find silo" true (Registry.find "silo" <> None);
+  check "find nothing" true (Registry.find "nope" = None);
+  check "category partition" true
+    (List.length Registry.injected = 2
+    && List.length Registry.data_structures = 9
+    && List.length Registry.applications = 5)
+
+let suite =
+  [
+    Alcotest.test_case "correct variants clean" `Slow test_correct_variants_clean;
+    Alcotest.test_case "seqlock injected bug" `Slow (test_injected_bug "seqlock");
+    Alcotest.test_case "rwlock injected bug" `Slow (test_injected_bug "rwlock");
+    Alcotest.test_case "chase-lev only c11tester" `Slow test_chase_lev_only_c11tester;
+    Alcotest.test_case "ms-queue found by all" `Slow test_ms_queue_everyone;
+    Alcotest.test_case "controlled beats uncontrolled" `Slow
+      test_controlled_beats_uncontrolled;
+    Alcotest.test_case "silo volatile story" `Slow test_silo_volatile_story;
+    Alcotest.test_case "mabain app bug" `Slow test_mabain_app_bug;
+    Alcotest.test_case "iris/gdax races" `Slow test_iris_gdax_races;
+    Alcotest.test_case "jsbench runs clean" `Slow test_jsbench_runs;
+    Alcotest.test_case "jsbench access mix" `Slow test_jsbench_access_mix;
+    Alcotest.test_case "ms-queue fifo" `Slow test_ms_queue_fifo_per_producer;
+    Alcotest.test_case "chase-lev no dup" `Slow test_chase_lev_no_loss_no_dup;
+    Alcotest.test_case "extra structures" `Slow test_extra_structures;
+    Alcotest.test_case "registry" `Quick test_registry_lookup;
+  ]
