@@ -3,6 +3,12 @@
 
 let quota = ref 0.4 (* seconds of sampling per Bechamel measurement *)
 
+(* Shared C11obs registry.  Experiments record their headline numbers
+   here (plus the engine's own counters, via [detection_rate]), and
+   `main.exe --json FILE` dumps the whole registry in the same schema as
+   `c11test run --json`. *)
+let metrics = Metrics.create ()
+
 (* Estimate the wall-clock seconds one call of [f] takes, by OLS over
    Bechamel samples. *)
 let seconds_per_run ~name f =
@@ -18,12 +24,17 @@ let seconds_per_run ~name f =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let estimates = Hashtbl.fold (fun _ v acc -> v :: acc) results [] in
-  match estimates with
-  | [ est ] -> (
-    match Analyze.OLS.estimates est with
-    | Some (ns :: _) -> ns /. 1e9
-    | Some [] | None -> nan)
-  | _ -> nan
+  let s =
+    match estimates with
+    | [ est ] -> (
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) -> ns /. 1e9
+      | Some [] | None -> nan)
+    | _ -> nan
+  in
+  if not (Float.is_nan s) then
+    Metrics.set_gauge metrics ("bench.seconds_per_run." ^ name) s;
+  s
 
 (* One execution of a workload under a tool, with a per-call fresh seed. *)
 let workload_runner ?(max_steps = 400_000) ~tool ~variant ~scale
@@ -37,8 +48,13 @@ let workload_runner ?(max_steps = 400_000) ~tool ~variant ~scale
 let detection_rate ?(max_steps = 150_000) ~tool ~iters ~variant ~scale
     (w : Registry.t) =
   let config = Tool.config ~max_steps tool in
-  let s = Tester.run ~config ~iters (w.Registry.run ~variant ~scale) in
-  (Tester.detection_rate s, s)
+  let s = Tester.run ~metrics ~config ~iters (w.Registry.run ~variant ~scale) in
+  let rate = Tester.detection_rate s in
+  Metrics.set_gauge metrics
+    (Printf.sprintf "bench.detection_rate.%s.%s" w.Registry.name
+       (Tool.name tool))
+    rate;
+  (rate, s)
 
 let hr () = print_endline (String.make 78 '-')
 

@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 # everything (full run)
      dune exec bench/main.exe -- table2 fig4  # selected experiments
      dune exec bench/main.exe -- --quick      # smaller iteration counts
+     dune exec bench/main.exe -- --json F     # also dump metrics as JSON
 
    Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
    table4 prune. *)
@@ -25,11 +26,45 @@ let experiments : (string * (unit -> unit)) list =
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--quick] [experiment ...]\nexperiments:\n";
+  Printf.printf
+    "usage: main.exe [--quick] [--json FILE] [experiment ...]\nexperiments:\n";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
+
+(* Extract "--json FILE" from the argument list, returning the file (if
+   any) and the remaining arguments. *)
+let rec take_json = function
+  | [] -> (None, [])
+  | "--json" :: file :: rest ->
+    let _, rest = take_json rest in
+    (Some file, rest)
+  | a :: rest ->
+    let json, rest = take_json rest in
+    (json, a :: rest)
+
+let write_json ~quick ~todo path =
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.String "c11obs-bench-v1");
+        ("quick", Jsonx.Bool quick);
+        ( "experiments",
+          Jsonx.List (List.map (fun (n, _) -> Jsonx.String n) todo) );
+        ("metrics", Metrics.to_json Bench_util.metrics);
+      ]
+  in
+  let write oc =
+    output_string oc (Jsonx.to_pretty_string doc);
+    output_char oc '\n'
+  in
+  if path = "-" then write stdout
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc)
+  end
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json, args = take_json args in
   let quick = List.mem "--quick" args in
   let selected =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
@@ -59,5 +94,6 @@ let () =
       "C11Tester reproduction benchmark harness (%d experiments%s)\n"
       (List.length todo)
       (if quick then ", quick mode" else "");
-    List.iter (fun (_, f) -> f ()) todo
+    List.iter (fun (_, f) -> f ()) todo;
+    Option.iter (write_json ~quick ~todo) json
   end

@@ -48,10 +48,37 @@ let verbose_arg =
 
 let trace_arg =
   let doc =
-    "Record the last N memory actions of the first buggy execution and \
-     print them."
+    "Record the last N events of the first buggy execution and print them."
   in
   Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc =
+    "Write a JSON report (summary, metric counters/histograms and per-phase \
+     profile with percentiles) to $(docv); `-' means stdout (and suppresses \
+     the human-readable report)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Hunt for a buggy execution and write its full event trace as NDJSON \
+     (one JSON event per line) to $(docv); `-' means stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc = "Time the engine's hot phases and print a profile table." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let with_out_file path f =
+  if path = "-" then f stdout
+  else
+    match open_out path with
+    | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1
 
 let prune_of_string = function
   | "none" -> Ok Pruner.No_prune
@@ -64,7 +91,8 @@ let run_cmd =
     let doc = "Workload name (see `c11test list')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
   in
-  let run workload tool iters seed scale buggy prune verbose trace_depth =
+  let run workload tool iters seed scale buggy prune verbose trace_depth json
+      trace_out profile_flag =
     match Registry.find workload with
     | None ->
       Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
@@ -76,52 +104,88 @@ let run_cmd =
         1
       | Ok prune ->
         let config =
-          {
-            (Tool.config ~prune tool) with
-            Engine.seed = Int64.of_int seed;
-            trace_depth;
-          }
+          { (Tool.config ~prune tool) with Engine.seed = Int64.of_int seed }
         in
         let scale = Option.value ~default:w.Registry.default_scale scale in
         let variant = if buggy then Variant.Buggy else Variant.Correct in
-        Printf.printf "%s (%s variant) under %s, %d executions, scale %d\n"
-          w.Registry.name (Variant.to_string variant) (Tool.name tool) iters
-          scale;
-        let summary =
-          Tester.run ~config ~iters (w.Registry.run ~variant ~scale)
+        let body = w.Registry.run ~variant ~scale in
+        (* `--json -' owns stdout: the report must stay a single JSON
+           document, so the human-readable output is suppressed. *)
+        let quiet = json = Some "-" in
+        let metrics =
+          if json <> None then Metrics.create () else Metrics.null
         in
-        Format.printf "%a@." Tester.pp_summary summary;
-        if verbose then
+        let profile =
+          if profile_flag || json <> None then Profile.create ()
+          else Profile.null
+        in
+        if not quiet then
+          Printf.printf "%s (%s variant) under %s, %d executions, scale %d\n"
+            w.Registry.name (Variant.to_string variant) (Tool.name tool) iters
+            scale;
+        let summary = Tester.run ~profile ~metrics ~config ~iters body in
+        if not quiet then
+          Format.printf "%a@." Tester.pp_summary summary;
+        if verbose && not quiet then
           List.iter
             (fun r -> Format.printf "  %a@." Race.pp_report r)
             summary.Tester.distinct_races;
-        if trace_depth > 0 then begin
-          (* re-run single executions until one is buggy, then dump its
-             trace *)
-          let seeder = Rng.create (Int64.of_int (seed + 7)) in
-          let rec hunt n =
-            if n > 0 then begin
-              let seed = Rng.next_int64 seeder in
-              let o =
-                Engine.run { config with Engine.seed }
-                  (w.Registry.run ~variant ~scale)
-              in
-              if Engine.buggy o then begin
-                Printf.printf "trace of a buggy execution (last %d actions):\n"
-                  trace_depth;
-                List.iter (fun l -> Printf.printf "  %s\n" l) o.Engine.trace
-              end
-              else hunt (n - 1)
+        if trace_depth > 0 || trace_out <> None then begin
+          let ring_capacity = max 65536 trace_depth in
+          let obs = Obs.create ~ring_capacity () in
+          match Tester.find_buggy ~obs ~profile ~metrics ~config
+                  ~attempts:iters body
+          with
+          | None ->
+            if not quiet then
+              Printf.printf "no buggy execution found in %d attempts\n" iters
+          | Some _ ->
+            (match trace_out with
+            | None -> ()
+            | Some path ->
+              with_out_file path (fun oc ->
+                  Obs.drain_to_sink obs (Obs.ndjson_sink oc)));
+            if trace_depth > 0 && not quiet then begin
+              let events = Obs.ring_events obs in
+              let skip = max 0 (List.length events - trace_depth) in
+              Printf.printf "trace of a buggy execution (last %d events):\n"
+                trace_depth;
+              List.iteri
+                (fun i e ->
+                  if i >= skip then Format.printf "  %a@." Obs.pp_event e)
+                events
             end
-          in
-          hunt iters
         end;
+        if profile_flag && not quiet then
+          Format.printf "@.%a@." Profile.pp_table profile;
+        (match json with
+        | None -> ()
+        | Some path ->
+          let doc =
+            Jsonx.Obj
+              [
+                ("schema", Jsonx.String "c11obs-run-v1");
+                ("workload", Jsonx.String w.Registry.name);
+                ("variant", Jsonx.String (Variant.to_string variant));
+                ("tool", Jsonx.String (Tool.name tool));
+                ("iters", Jsonx.Int iters);
+                ("seed", Jsonx.Int seed);
+                ("scale", Jsonx.Int scale);
+                ("summary", Tester.summary_to_json summary);
+                ("metrics", Metrics.to_json metrics);
+                ("profile", Profile.to_json profile);
+              ]
+          in
+          with_out_file path (fun oc ->
+              output_string oc (Jsonx.to_pretty_string doc);
+              output_char oc '\n'));
         0)
   in
   let term =
     Term.(
       const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ scale_arg
-      $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg)
+      $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg $ json_arg
+      $ trace_out_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a workload repeatedly and report bugs") term
 

@@ -38,6 +38,15 @@ type t = {
   rng : Rng.t;
   race : Race.t;
   graph : Mograph.t;
+  obs : Obs.t;
+  prof : Profile.t;
+  metrics : Metrics.t;
+  (* [Obs.enabled obs] etc., cached at creation: the guards sit on every
+     transition rule, and a field load + branch is free while a
+     cross-module call is not (no flambda to inline it away). *)
+  obs_on : bool;
+  prof_on : bool;
+  metrics_on : bool;
   mutable seq : int;
   mutable threads : thread_state array;
   mutable nthreads : int;
@@ -54,12 +63,19 @@ type t = {
   mutable trace_n : int;
 }
 
-let create ~mode ~rng ~race =
+let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
+    ~mode ~rng ~race () =
   {
     mode;
     rng;
     race;
     graph = Mograph.create ();
+    obs;
+    prof;
+    metrics;
+    obs_on = Obs.enabled obs;
+    prof_on = Profile.enabled prof;
+    metrics_on = Metrics.enabled metrics;
     seq = 0;
     threads = [||];
     nthreads = 0;
@@ -118,7 +134,11 @@ let tick_sync t ~tid =
   ignore (tick t ts);
   t.atomic_ops <- t.atomic_ops + 1
 
-let acquire_cv t ~tid cv = ignore (Clockvec.merge (thread t tid).c cv)
+let acquire_cv t ~tid cv =
+  let p0 = if t.prof_on then Profile.now_ns () else 0 in
+  ignore (Clockvec.merge (thread t tid).c cv);
+  if t.prof_on then Profile.stop t.prof "cv_merge" p0
+
 let release_snapshot t ~tid = Clockvec.copy (thread t tid).c
 
 (* ------------------------------------------------------------------ *)
@@ -316,10 +336,16 @@ let add_edges t pset (s : Action.t) =
   match t.mode with
   | Total_mo -> ()
   | Full_c11 ->
+    let p0 = if t.prof_on then Profile.now_ns () else 0 in
     let ns = Mograph.get_node t.graph s in
     List.iter (fun e -> Mograph.add_edge t.graph (Mograph.get_node t.graph e) ns) pset;
     let sz = Mograph.size t.graph in
-    if sz > t.max_graph_size then t.max_graph_size <- sz
+    if sz > t.max_graph_size then t.max_graph_size <- sz;
+    if t.prof_on then Profile.stop t.prof "mo_graph_update" p0;
+    if t.metrics_on then begin
+      Metrics.incr t.metrics ~by:(List.length pset) "mograph.edges_added";
+      Metrics.max_gauge t.metrics "mograph.peak_nodes" (float_of_int t.max_graph_size)
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Transition rules (Figure 11)                                        *)
@@ -357,24 +383,44 @@ let shuffled_candidates t candidates =
   Rng.shuffle_in_place t.rng arr;
   arr
 
+(* All race-detector calls funnel through here so the "race_check" span
+   and the check counter cover atomic and non-atomic accesses alike. *)
+let race_check t ~loc ~tid ~seq ~hb ~is_write ~cls =
+  let p0 = if t.prof_on then Profile.now_ns () else 0 in
+  Race.on_access t.race ~loc ~tid ~seq ~hb ~is_write ~cls;
+  if t.prof_on then Profile.stop t.prof "race_check" p0;
+  if t.metrics_on then Metrics.incr t.metrics "race.checks"
+
 let race_atomic t (a : Action.t) ~is_write =
-  Race.on_access t.race ~loc:a.loc ~tid:a.tid ~seq:a.seq ~hb:a.hb_cv ~is_write
+  race_check t ~loc:a.loc ~tid:a.tid ~seq:a.seq ~hb:a.hb_cv ~is_write
     ~cls:Race.Atomic_access
+
+(* Build and emit a memory-access event; call sites guard on
+   [Obs.enabled] so tracing costs nothing when off. *)
+let emit_access t kind ~tid ~loc ~mo ~value ~detail ~seq =
+  Obs.emit t.obs { Obs.step = seq; tid; kind; loc; mo; value; detail }
 
 let atomic_load t ~tid ~loc ~mo ~volatile =
   let ts = thread t tid in
   let seq = tick t ts in
   t.atomic_ops <- t.atomic_ops + 1;
+  if t.metrics_on then Metrics.incr t.metrics "ops.atomic_load";
   let li = get_loc t loc in
+  let p0 = if t.prof_on then Profile.now_ns () else 0 in
   let candidates =
     build_may_read_from t li ts ~is_sc:(Memorder.is_seq_cst mo)
   in
+  if t.prof_on then Profile.stop t.prof "may_read_from" p0;
   if candidates = [] then
     raise
       (Model_error
          (Printf.sprintf "load from location %d with no visible store" loc));
+  if t.metrics_on then
+    Metrics.observe t.metrics "mrf.candidates"
+      (float_of_int (List.length candidates));
   let arr = shuffled_candidates t candidates in
   let chosen = ref None in
+  let p1 = if t.prof_on then Profile.now_ns () else 0 in
   (try
      Array.iter
        (fun s ->
@@ -385,6 +431,7 @@ let atomic_load t ~tid ~loc ~mo ~volatile =
          | None -> ())
        arr
    with Exit -> ());
+  if t.prof_on then Profile.stop t.prof "prior_set" p1;
   match !chosen with
   | None ->
     raise
@@ -392,13 +439,20 @@ let atomic_load t ~tid ~loc ~mo ~volatile =
          (Printf.sprintf "no feasible store for load of location %d" loc))
   | Some (s, pset) ->
     let rf_cv = match s.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
+    let p2 = if t.prof_on then Profile.now_ns () else 0 in
     if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv)
     else ignore (Clockvec.merge ts.facq rf_cv);
+    if t.prof_on then Profile.stop t.prof "cv_merge" p2;
     let a = mk_action t ts Action.Load ~loc ~mo ~value:s.value ~volatile ~seq in
     a.rf <- Some s;
     add_edges t pset s;
     record_load li a;
     race_atomic t a ~is_write:false;
+    if t.obs_on then
+      emit_access t Obs.Load ~tid ~loc ~mo:(Memorder.to_string mo)
+        ~value:s.value
+        ~detail:(Printf.sprintf "rf=%d" s.seq)
+        ~seq;
     s.value
 
 let store_rf_cv ts ~mo =
@@ -409,7 +463,7 @@ let store_rf_cv ts ~mo =
    store heads a new sequence; in Total_mo a later relaxed store by the
    same thread continues it (2011 rules), while any other thread's plain
    store breaks it. *)
-let store_rf_cv_with_relseq t li ts ~mo =
+let store_rf_cv_with_relseq_inner t li ts ~mo =
   match t.mode with
   | Full_c11 -> store_rf_cv ts ~mo
   | Total_mo ->
@@ -427,6 +481,12 @@ let store_rf_cv_with_relseq t li ts ~mo =
         Clockvec.copy ts.frel
     end
 
+let store_rf_cv_with_relseq t li ts ~mo =
+  let p0 = if t.prof_on then Profile.now_ns () else 0 in
+  let cv = store_rf_cv_with_relseq_inner t li ts ~mo in
+  if t.prof_on then Profile.stop t.prof "release_seq" p0;
+  cv
+
 (* tsan-lineage tools conservatively treat every atomic RMW as
    acquire-release regardless of the requested order — one of the reasons
    they miss the relaxed-RMW lock bugs of Section 8.1. *)
@@ -442,14 +502,20 @@ let atomic_store t ~tid ~loc ~mo ~volatile value =
   let ts = thread t tid in
   let seq = tick t ts in
   t.atomic_ops <- t.atomic_ops + 1;
+  if t.metrics_on then Metrics.incr t.metrics "ops.atomic_store";
   let li = get_loc t loc in
   let a = mk_action t ts Action.Store ~loc ~mo ~value ~volatile ~seq in
   a.rf_cv <- Some (store_rf_cv_with_relseq t li ts ~mo);
+  let p0 = if t.prof_on then Profile.now_ns () else 0 in
   let pset = write_prior_set t li ts ~store_mo:mo in
+  if t.prof_on then Profile.stop t.prof "prior_set" p0;
   add_edges t pset a;
   record_store li a;
   Hashtbl.replace t.values loc value;
-  race_atomic t a ~is_write:true
+  race_atomic t a ~is_write:true;
+  if t.obs_on then
+    emit_access t Obs.Store ~tid ~loc ~mo:(Memorder.to_string mo) ~value
+      ~detail:"" ~seq
 
 (* In Total_mo mode, modification order is the store commit order, so an
    RMW (pinned immediately after the store it reads) can only read the
@@ -470,13 +536,19 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
   let ts = thread t tid in
   let seq = tick t ts in
   t.atomic_ops <- t.atomic_ops + 1;
+  if t.metrics_on then Metrics.incr t.metrics "ops.rmw";
   let li = get_loc t loc in
+  let p0 = if t.prof_on then Profile.now_ns () else 0 in
   let candidates =
     build_may_read_from t li ts ~is_sc:(Memorder.is_seq_cst mo)
   in
+  if t.prof_on then Profile.stop t.prof "may_read_from" p0;
   if candidates = [] then
     raise
       (Model_error (Printf.sprintf "rmw on location %d with no visible store" loc));
+  if t.metrics_on then
+    Metrics.observe t.metrics "mrf.candidates"
+      (float_of_int (List.length candidates));
   let arr = shuffled_candidates t candidates in
   let result = ref None in
   let commit_load s pset =
@@ -488,6 +560,11 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
     add_edges t pset s;
     record_load li a;
     race_atomic t a ~is_write:false;
+    if t.obs_on then
+      emit_access t Obs.Load ~tid ~loc ~mo:(Memorder.to_string mo)
+        ~value:s.Action.value
+        ~detail:(Printf.sprintf "rf=%d rmw-keep" s.Action.seq)
+        ~seq;
     s.Action.value
   in
   let commit_rmw (s : Action.t) pset new_value =
@@ -514,6 +591,11 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
     Hashtbl.replace t.values loc new_value;
     race_atomic t r ~is_write:false;
     race_atomic t r ~is_write:true;
+    if t.obs_on then
+      emit_access t Obs.Rmw ~tid ~loc ~mo:(Memorder.to_string mo)
+        ~value:new_value
+        ~detail:(Printf.sprintf "rf=%d read=%d" s.seq s.value)
+        ~seq;
     s.value
   in
   (try
@@ -556,6 +638,7 @@ let fence t ~tid ~mo =
   let ts = thread t tid in
   let seq = tick t ts in
   t.atomic_ops <- t.atomic_ops + 1;
+  if t.metrics_on then Metrics.incr t.metrics "ops.fence";
   (* An acquire (or stronger) fence publishes pending relaxed-load
      synchronisation into the thread clock before the release side
      snapshots it. *)
@@ -564,21 +647,27 @@ let fence t ~tid ~mo =
   if Memorder.is_seq_cst mo then begin
     let a = mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq in
     ts.sc_fences <- a :: ts.sc_fences
-  end
+  end;
+  if t.obs_on then
+    emit_access t Obs.Fence ~tid ~loc:(-1) ~mo:(Memorder.to_string mo) ~value:0
+      ~detail:"" ~seq
 
 let na_read t ~tid ~loc =
   let ts = thread t tid in
   let seq = tick t ts in
   t.na_ops <- t.na_ops + 1;
+  if t.metrics_on then Metrics.incr t.metrics "ops.na_read";
   let v = match Hashtbl.find_opt t.values loc with Some v -> v | None -> 0 in
-  Race.on_access t.race ~loc ~tid ~seq ~hb:ts.c ~is_write:false
-    ~cls:Race.Na_access;
+  race_check t ~loc ~tid ~seq ~hb:ts.c ~is_write:false ~cls:Race.Na_access;
+  if t.obs_on then
+    emit_access t Obs.Na_read ~tid ~loc ~mo:"" ~value:v ~detail:"" ~seq;
   v
 
 let na_write t ~tid ~loc value =
   let ts = thread t tid in
   let seq = tick t ts in
   t.na_ops <- t.na_ops + 1;
+  if t.metrics_on then Metrics.incr t.metrics "ops.na_write";
   if is_atomic_loc t loc then begin
     (* Section 7.2: a non-atomic store to an atomic location must enter the
        modification order so that later atomic loads can read it.  It never
@@ -595,8 +684,9 @@ let na_write t ~tid ~loc value =
     record_store li a
   end;
   Hashtbl.replace t.values loc value;
-  Race.on_access t.race ~loc ~tid ~seq ~hb:ts.c ~is_write:true
-    ~cls:Race.Na_access
+  race_check t ~loc ~tid ~seq ~hb:ts.c ~is_write:true ~cls:Race.Na_access;
+  if t.obs_on then
+    emit_access t Obs.Na_write ~tid ~loc ~mo:"" ~value ~detail:"" ~seq
 
 let graph_footprint t =
   Hashtbl.fold (fun _ li acc -> acc + li.store_count) t.locs 0

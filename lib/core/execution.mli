@@ -63,6 +63,14 @@ type t = {
   rng : Rng.t;
   race : Race.t;
   graph : Mograph.t;
+  obs : Obs.t;  (** C11obs event tracer; {!Obs.null} when tracing is off *)
+  prof : Profile.t;  (** per-phase span timers; {!Profile.null} when off *)
+  metrics : Metrics.t;  (** counters/histograms; {!Metrics.null} when off *)
+  obs_on : bool;
+      (** [Obs.enabled obs] (and likewise below), cached at creation so the
+          guards on the transition rules are a field load, not a call *)
+  prof_on : bool;
+  metrics_on : bool;
   mutable seq : int;
   mutable threads : thread_state array;
   mutable nthreads : int;
@@ -81,7 +89,18 @@ type t = {
   mutable trace_n : int;
 }
 
-val create : mode:mode -> rng:Rng.t -> race:Race.t -> t
+(** [create ~mode ~rng ~race] builds a fresh execution.  The optional
+    C11obs handles default to the disabled singletons, making all
+    instrumentation in the transition rules zero-cost. *)
+val create :
+  ?obs:Obs.t ->
+  ?prof:Profile.t ->
+  ?metrics:Metrics.t ->
+  mode:mode ->
+  rng:Rng.t ->
+  race:Race.t ->
+  unit ->
+  t
 
 val thread : t -> int -> thread_state
 

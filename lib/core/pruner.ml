@@ -140,14 +140,41 @@ let prune_aggressive exec ~window =
   exec.pruned_count <- exec.pruned_count + stores_pruned;
   { stores_pruned; loads_pruned; fences_pruned }
 
+(* Run one sweep under the "prune_sweep" profiling span and report it to
+   the C11obs layer (Prune event + counters). *)
+let observed_sweep exec f =
+  let p0 = Profile.start exec.prof in
+  let stats = f () in
+  Profile.stop exec.prof "prune_sweep" p0;
+  if Metrics.enabled exec.metrics then begin
+    Metrics.incr exec.metrics "prune.sweeps";
+    Metrics.incr exec.metrics ~by:stats.stores_pruned "prune.stores";
+    Metrics.incr exec.metrics ~by:stats.loads_pruned "prune.loads";
+    Metrics.incr exec.metrics ~by:stats.fences_pruned "prune.fences"
+  end;
+  if Obs.enabled exec.obs then
+    Obs.emit exec.obs
+      {
+        Obs.step = exec.seq;
+        tid = -1;
+        kind = Obs.Prune;
+        loc = -1;
+        mo = "";
+        value = stats.stores_pruned;
+        detail =
+          Printf.sprintf "stores=%d loads=%d fences=%d" stats.stores_pruned
+            stats.loads_pruned stats.fences_pruned;
+      };
+  stats
+
 let maybe_prune policy exec ~ops =
   match policy with
   | No_prune -> None
   | Conservative { interval } ->
     if interval > 0 && ops mod interval = 0 then
-      Some (prune_conservative exec)
+      Some (observed_sweep exec (fun () -> prune_conservative exec))
     else None
   | Aggressive { window; interval } ->
     if interval > 0 && ops mod interval = 0 then
-      Some (prune_aggressive exec ~window)
+      Some (observed_sweep exec (fun () -> prune_aggressive exec ~window))
     else None

@@ -27,12 +27,21 @@ type shadow = {
 type t = {
   shadows : (int, shadow) Hashtbl.t;
   names : (int, string) Hashtbl.t;
+  obs : Obs.t;
+  metrics : Metrics.t;
   mutable found : report list;
   mutable count : int;
 }
 
-let create () =
-  { shadows = Hashtbl.create 256; names = Hashtbl.create 64; found = []; count = 0 }
+let create ?(obs = Obs.null) ?(metrics = Metrics.null) () =
+  {
+    shadows = Hashtbl.create 256;
+    names = Hashtbl.create 64;
+    obs;
+    metrics;
+    found = [];
+    count = 0;
+  }
 
 let name_location t ~loc name = Hashtbl.replace t.names loc name
 
@@ -62,7 +71,7 @@ let report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
     if u <> tid then begin
       let s = Clockvec.get prior u in
       if s > 0 && not (Clockvec.covers hb ~tid:u ~seq:s) then begin
-        t.found <-
+        let r =
           {
             loc;
             loc_name = loc_name t loc;
@@ -75,8 +84,22 @@ let report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
             second_is_write = is_write;
             second_class = cls;
           }
-          :: t.found;
-        t.count <- t.count + 1
+        in
+        t.found <- r :: t.found;
+        t.count <- t.count + 1;
+        Metrics.incr t.metrics "race.reports";
+        if Obs.enabled t.obs then
+          Obs.emit t.obs
+            {
+              Obs.step = seq;
+              tid;
+              kind = Obs.Race_check;
+              loc;
+              mo = "";
+              value = 0;
+              detail =
+                Printf.sprintf "%s: t%d #%d vs t%d #%d" r.loc_name u s tid seq;
+            }
       end
     end
   done
@@ -135,3 +158,18 @@ let dedup_key r =
     (rw r.first_is_write)
     (class_to_string r.second_class)
     (rw r.second_is_write)
+
+let report_to_json r =
+  Jsonx.Obj
+    [
+      ("loc", Jsonx.Int r.loc);
+      ("loc_name", Jsonx.String r.loc_name);
+      ("first_tid", Jsonx.Int r.first_tid);
+      ("first_seq", Jsonx.Int r.first_seq);
+      ("first_is_write", Jsonx.Bool r.first_is_write);
+      ("first_class", Jsonx.String (class_to_string r.first_class));
+      ("second_tid", Jsonx.Int r.second_tid);
+      ("second_seq", Jsonx.Int r.second_seq);
+      ("second_is_write", Jsonx.Bool r.second_is_write);
+      ("second_class", Jsonx.String (class_to_string r.second_class));
+    ]

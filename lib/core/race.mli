@@ -30,7 +30,10 @@ type report = {
 
 type t
 
-val create : unit -> t
+(** [create ()] builds a fresh detector.  When an [obs] tracer is given,
+    every race found is emitted as a [Race_check] event; when [metrics]
+    is given, found races bump the ["race.reports"] counter. *)
+val create : ?obs:Obs.t -> ?metrics:Metrics.t -> unit -> t
 
 (** Attach a stable, human-readable name to a location (used for reporting
     and for deduplicating races across repeated executions). *)
@@ -66,3 +69,5 @@ val pp_report : Format.formatter -> report -> unit
     access-pair shape collapse to one key across executions (Section 7.6:
     races are reported only once). *)
 val dedup_key : report -> string
+
+val report_to_json : report -> Jsonx.t

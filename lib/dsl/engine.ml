@@ -339,6 +339,39 @@ let rec settle st th (step : Fiber.step) =
     end
     else th.status <- Pending (App_op op, k)
 
+(* C11obs: synchronisation operations (thread and lock traffic) trace as
+   Sync events; memory accesses are emitted by {!Execution} itself. *)
+let emit_sync st ~tid detail =
+  let obs = st.exec.Execution.obs in
+  if Obs.enabled obs then
+    Obs.emit obs
+      {
+        Obs.step = st.exec.Execution.seq;
+        tid;
+        kind = Obs.Sync;
+        loc = -1;
+        mo = "";
+        value = 0;
+        detail;
+      }
+
+let sync_detail = function
+  | App_op op -> (
+    match op with
+    | Op.Spawn _ -> Some "spawn"
+    | Op.Join _ -> Some "join"
+    | Op.Mutex_lock _ -> Some "mutex_lock"
+    | Op.Mutex_trylock _ -> Some "mutex_trylock"
+    | Op.Mutex_unlock _ -> Some "mutex_unlock"
+    | Op.Cond_wait _ -> Some "cond_wait"
+    | Op.Cond_signal _ -> Some "cond_signal"
+    | Op.Cond_broadcast _ -> Some "cond_broadcast"
+    | Op.Mutex_create | Op.Cond_create | Op.Load _ | Op.Store _ | Op.Rmw _
+    | Op.Fence _ | Op.Na_read _ | Op.Na_write _ | Op.Alloc _ | Op.Yield ->
+      None)
+  | Relock _ -> Some "relock"
+  | Sleeping _ -> None
+
 (* Execute the chosen thread's pending scheduling-point operation. *)
 let run_thread st tid =
   let th = st.threads.(tid) in
@@ -347,16 +380,22 @@ let run_thread st tid =
   | Not_started body ->
     Schedule.note_executed st.sched_state ~tid ~was_rlx_or_rel_store:false;
     settle st th (Fiber.start body)
-  | Pending (App_op op, k) ->
+  | Pending ((App_op op as p), k) ->
     Schedule.note_executed st.sched_state ~tid
       ~was_rlx_or_rel_store:(Op.is_rlx_or_rel_store op);
     (match exec_op st th op with
-    | Value v -> settle st th (Fiber.resume k v)
+    | Value v ->
+      (match sync_detail p with
+      | Some d -> emit_sync st ~tid d
+      | None -> ());
+      settle st th (Fiber.resume k v)
     | Sleep { cond; mutex = m } ->
+      emit_sync st ~tid "cond_wait";
       th.status <- Pending (Sleeping { cond; mutex = m }, k))
   | Pending (Relock m, k) ->
     Schedule.note_executed st.sched_state ~tid ~was_rlx_or_rel_store:false;
     lock_mutex st tid (mutex st m);
+    emit_sync st ~tid "relock";
     settle st th (Fiber.resume k 0)
   | Pending (Sleeping _, _) | Finished ->
     raise (Execution.Model_error "scheduled a disabled thread")
@@ -371,10 +410,17 @@ let cancel_all st =
     | Finished -> ()
   done
 
-let run config f =
+let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
+    config f =
+  (* cached guards for the per-step sites in the scheduling loop (see the
+     matching note in Execution.t) *)
+  let obs_on = Obs.enabled obs and metrics_on = Metrics.enabled metrics in
+  let p_run = Profile.start profile in
   let rng = Rng.create config.seed in
-  let race = Race.create () in
-  let exec = Execution.create ~mode:config.mode ~rng ~race in
+  let race = Race.create ~obs ~metrics () in
+  let exec =
+    Execution.create ~obs ~prof:profile ~metrics ~mode:config.mode ~rng ~race ()
+  in
   Execution.set_trace_capacity exec config.trace_depth;
   let st =
     {
@@ -414,6 +460,18 @@ let run config f =
            Schedule.pick config.sched st.sched_state rng ~enabled
              ~pending_is_rlx_store:(pending_is_rlx_store st)
          in
+         if obs_on then
+           Obs.emit obs
+             {
+               Obs.step = exec.Execution.seq;
+               tid;
+               kind = Obs.Sched_pick;
+               loc = -1;
+               mo = "";
+               value = List.length enabled;
+               detail = "";
+             };
+         if metrics_on then Metrics.incr metrics "sched.picks";
          (* assertion violations can surface while interpreting an
             operation (e.g. unlocking a mutex the thread does not hold),
             outside any fiber *)
@@ -429,6 +487,18 @@ let run config f =
   | Execution.Model_error _ as e ->
     cancel_all st;
     raise e);
+  Profile.stop profile "execution" p_run;
+  if metrics_on then begin
+    Metrics.incr metrics "engine.executions";
+    Metrics.incr metrics ~by:st.steps "engine.steps";
+    Metrics.incr metrics ~by:st.nthreads "engine.threads";
+    Metrics.observe metrics "exec.steps" (float_of_int st.steps);
+    Metrics.observe metrics "exec.graph_peak"
+      (float_of_int exec.Execution.max_graph_size);
+    if Race.races race <> [] || st.assertion_failures <> [] then
+      Metrics.incr metrics "engine.buggy_executions"
+  end;
+  Obs.flush obs;
   {
     races = Race.races race;
     assertion_failures = List.rev st.assertion_failures;

@@ -49,7 +49,20 @@ type outcome = {
 (** Did the execution expose a bug (a data race or an assertion failure)? *)
 val buggy : outcome -> bool
 
-val run : config -> (unit -> unit) -> outcome
+(** [run config f] executes [f] once.  The optional C11obs handles
+    observe the execution without perturbing it (no RNG draws, no model
+    state): [obs] receives typed events (memory accesses, sync ops,
+    scheduler picks, race reports, prune sweeps), [profile] accumulates
+    per-phase span timings, [metrics] collects counters and histograms.
+    All three default to their disabled singletons, in which case the
+    instrumentation is zero-cost. *)
+val run :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  config ->
+  (unit -> unit) ->
+  outcome
 
 (** Raised by {!Check.assert_that}; aborts the current execution and is
     recorded in the outcome.  Do not catch it inside test programs. *)

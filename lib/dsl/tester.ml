@@ -16,7 +16,7 @@ let detection_rate s =
   if s.executions = 0 then 0.0
   else 100.0 *. float_of_int s.buggy_executions /. float_of_int s.executions
 
-let run_collect ~config ~iters f =
+let run_collect ?obs ?profile ?metrics ~config ~iters f =
   let seeder = Rng.create config.Engine.seed in
   let seen = Hashtbl.create 32 in
   let distinct = ref [] in
@@ -35,7 +35,7 @@ let run_collect ~config ~iters f =
     let seed = Rng.next_int64 seeder in
     observation := None;
     let body () = observation := Some (f ()) in
-    let o = Engine.run { config with Engine.seed } body in
+    let o = Engine.run ?obs ?profile ?metrics { config with Engine.seed } body in
     if Engine.buggy o then incr buggy;
     if o.Engine.races <> [] then incr racy;
     if o.Engine.assertion_failures <> [] then incr asserts;
@@ -79,8 +79,45 @@ let run_collect ~config ~iters f =
   let hist = Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram [] in
   (summary, hist)
 
-let run ~config ~iters f =
-  fst (run_collect ~config ~iters (fun () -> f ()))
+let run ?obs ?profile ?metrics ~config ~iters f =
+  fst (run_collect ?obs ?profile ?metrics ~config ~iters (fun () -> f ()))
+
+(* Re-run single executions (fresh seeds derived from [config.seed]) until
+   one is buggy — the trace hunt previously inlined in bin/c11test.ml.
+   The tracer's ring is cleared between attempts so that, on success, it
+   holds exactly the buggy execution's events. *)
+let find_buggy ?obs ?profile ?metrics ~config ~attempts f =
+  let seeder = Rng.create (Int64.add config.Engine.seed 7L) in
+  let rec hunt n =
+    if n <= 0 then None
+    else begin
+      (match obs with Some o -> Obs.clear o | None -> ());
+      let seed = Rng.next_int64 seeder in
+      let o =
+        Engine.run ?obs ?profile ?metrics { config with Engine.seed } f
+      in
+      if Engine.buggy o then Some o else hunt (n - 1)
+    end
+  in
+  hunt attempts
+
+let summary_to_json s =
+  Jsonx.Obj
+    [
+      ("executions", Jsonx.Int s.executions);
+      ("buggy_executions", Jsonx.Int s.buggy_executions);
+      ("race_executions", Jsonx.Int s.race_executions);
+      ("assert_executions", Jsonx.Int s.assert_executions);
+      ("deadlocks", Jsonx.Int s.deadlocks);
+      ("step_limit_hits", Jsonx.Int s.step_limit_hits);
+      ("detection_rate_percent", Jsonx.Float (detection_rate s));
+      ( "distinct_races",
+        Jsonx.List (List.map Race.report_to_json s.distinct_races) );
+      ("total_atomic_ops", Jsonx.Int s.total_atomic_ops);
+      ("total_na_ops", Jsonx.Int s.total_na_ops);
+      ("max_graph_size", Jsonx.Int s.max_graph_size);
+      ("mean_steps", Jsonx.Float s.mean_steps);
+    ]
 
 let pp_summary fmt s =
   Format.fprintf fmt

@@ -24,13 +24,47 @@ type summary = {
 val detection_rate : summary -> float
 
 (** [run ~config ~iters f] executes [f] [iters] times, deriving a fresh
-    seed for each execution from [config.seed]. *)
-val run : config:Engine.config -> iters:int -> (unit -> unit) -> summary
+    seed for each execution from [config.seed].  The optional C11obs
+    handles are shared across all executions of the session (events fan
+    out continuously; metrics and span timings aggregate per session). *)
+val run :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  config:Engine.config ->
+  iters:int ->
+  (unit -> unit) ->
+  summary
 
 (** [run_collect ~config ~iters f] also collects the observation returned
     by each execution of [f] (read out of plain OCaml state by the caller's
     closure) into a histogram — the litmus-test workhorse. *)
 val run_collect :
-  config:Engine.config -> iters:int -> (unit -> 'a) -> summary * ('a * int) list
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  config:Engine.config ->
+  iters:int ->
+  (unit -> 'a) ->
+  summary * ('a * int) list
+
+(** [find_buggy ~config ~attempts f] re-runs single executions with fresh
+    seeds (derived from [config.seed], on a stream distinct from {!run}'s)
+    until one exposes a bug, and returns its outcome.  When [obs] is
+    given, its ring is cleared before every attempt, so on [Some _] the
+    ring holds exactly the buggy execution's events — ready for
+    {!Obs.drain_to_sink} into an NDJSON or pretty sink. *)
+val find_buggy :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  config:Engine.config ->
+  attempts:int ->
+  (unit -> unit) ->
+  Engine.outcome option
+
+(** JSON form of a summary (the ["summary"] object of the CLI's [--json]
+    document). *)
+val summary_to_json : summary -> Jsonx.t
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,37 @@
+(** A minimal JSON representation used by the observability layer
+    ({!Obs} NDJSON traces, {!Metrics} readouts, the CLI's [--json]
+    summaries and the bench harness reports).
+
+    No third-party JSON library is available in the build environment, so
+    this module provides just enough: a value type, a compact and a
+    pretty emitter, and a strict parser sufficient to round-trip
+    everything this library emits.  Non-finite floats are emitted as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+(** Two-space indented rendering, for human-facing [--json -] output. *)
+val to_pretty_string : t -> string
+
+(** [parse s] parses exactly one JSON document ([Error] describes the
+    first offending offset otherwise).  Numbers containing ['.'], ['e'] or
+    ['E'] parse as [Float]; everything else as [Int]. *)
+val parse : string -> (t, string) result
+
+(** [member key j] is the value bound to [key] when [j] is an object. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

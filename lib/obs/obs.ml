@@ -1,0 +1,187 @@
+type kind =
+  | Load
+  | Store
+  | Rmw
+  | Fence
+  | Na_read
+  | Na_write
+  | Sync
+  | Race_check
+  | Prune
+  | Sched_pick
+
+type event = {
+  step : int;
+  tid : int;
+  kind : kind;
+  loc : int;
+  mo : string;
+  value : int;
+  detail : string;
+}
+
+let dummy_event =
+  { step = 0; tid = -1; kind = Sync; loc = -1; mo = ""; value = 0; detail = "" }
+
+type sink = {
+  sink_name : string;
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+type t = {
+  mutable on : bool;
+  mutable sinks : sink list;  (** registration order *)
+  cap : int;  (** ring capacity; 0 = no ring *)
+  buf : event array;  (** ring storage; length = max cap 1 *)
+  mutable len : int;  (** events currently held, <= cap *)
+  mutable next : int;  (** next write index *)
+  mutable total : int;  (** events emitted since the last [clear] *)
+}
+
+let create ?(ring_capacity = 0) () =
+  let cap = max 0 ring_capacity in
+  {
+    on = cap > 0;
+    sinks = [];
+    cap;
+    buf = Array.make (max cap 1) dummy_event;
+    len = 0;
+    next = 0;
+    total = 0;
+  }
+
+let null = create ()
+let ring_capacity t = t.cap
+let enabled t = t.on
+
+let add_sink t sink =
+  if t == null then
+    invalid_arg "Obs.add_sink: the shared null tracer is immutable";
+  t.sinks <- t.sinks @ [ sink ];
+  t.on <- true
+
+let sinks t = t.sinks
+
+let clear_sinks t =
+  t.sinks <- [];
+  t.on <- t.cap > 0
+
+let flush t = List.iter (fun s -> s.flush ()) t.sinks
+
+let emit t e =
+  if t.cap > 0 then begin
+    t.buf.(t.next) <- e;
+    t.next <- (t.next + 1) mod t.cap;
+    if t.len < t.cap then t.len <- t.len + 1
+  end;
+  t.total <- t.total + 1;
+  List.iter (fun s -> s.emit e) t.sinks
+
+let total t = t.total
+
+let ring_events t =
+  let start = if t.len < t.cap then 0 else t.next in
+  List.init t.len (fun i -> t.buf.((start + i) mod t.cap))
+
+let clear t =
+  t.len <- 0;
+  t.next <- 0;
+  t.total <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Event pretty-printing and (ND)JSON codec *)
+
+let kind_to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Rmw -> "rmw"
+  | Fence -> "fence"
+  | Na_read -> "na_read"
+  | Na_write -> "na_write"
+  | Sync -> "sync"
+  | Race_check -> "race_check"
+  | Prune -> "prune"
+  | Sched_pick -> "sched_pick"
+
+let kind_of_string = function
+  | "load" -> Some Load
+  | "store" -> Some Store
+  | "rmw" -> Some Rmw
+  | "fence" -> Some Fence
+  | "na_read" -> Some Na_read
+  | "na_write" -> Some Na_write
+  | "sync" -> Some Sync
+  | "race_check" -> Some Race_check
+  | "prune" -> Some Prune
+  | "sched_pick" -> Some Sched_pick
+  | _ -> None
+
+let pp_event fmt e =
+  Format.fprintf fmt "#%d t%d %s" e.step e.tid (kind_to_string e.kind);
+  if e.loc >= 0 then Format.fprintf fmt " loc=%d" e.loc;
+  if e.mo <> "" then Format.fprintf fmt " %s" e.mo;
+  (match e.kind with
+  | Load | Store | Rmw | Na_read | Na_write -> Format.fprintf fmt " v=%d" e.value
+  | Sched_pick -> Format.fprintf fmt " enabled=%d" e.value
+  | Fence | Sync | Race_check | Prune -> ());
+  if e.detail <> "" then Format.fprintf fmt " (%s)" e.detail
+
+let event_to_json e =
+  Jsonx.Obj
+    [
+      ("step", Jsonx.Int e.step);
+      ("tid", Jsonx.Int e.tid);
+      ("kind", Jsonx.String (kind_to_string e.kind));
+      ("loc", Jsonx.Int e.loc);
+      ("mo", Jsonx.String e.mo);
+      ("value", Jsonx.Int e.value);
+      ("detail", Jsonx.String e.detail);
+    ]
+
+let event_of_json j =
+  let ( let* ) = Option.bind in
+  let* step = Option.bind (Jsonx.member "step" j) Jsonx.to_int in
+  let* tid = Option.bind (Jsonx.member "tid" j) Jsonx.to_int in
+  let* kind_s = Option.bind (Jsonx.member "kind" j) Jsonx.to_str in
+  let* kind = kind_of_string kind_s in
+  let* loc = Option.bind (Jsonx.member "loc" j) Jsonx.to_int in
+  let* mo = Option.bind (Jsonx.member "mo" j) Jsonx.to_str in
+  let* value = Option.bind (Jsonx.member "value" j) Jsonx.to_int in
+  let* detail = Option.bind (Jsonx.member "detail" j) Jsonx.to_str in
+  Some { step; tid; kind; loc; mo; value; detail }
+
+(* ------------------------------------------------------------------ *)
+(* Stock sinks *)
+
+let memory_sink () =
+  let acc = ref [] in
+  let sink =
+    {
+      sink_name = "memory";
+      emit = (fun e -> acc := e :: !acc);
+      flush = (fun () -> ());
+    }
+  in
+  (sink, fun () -> List.rev !acc)
+
+let pretty_sink fmt =
+  {
+    sink_name = "pretty";
+    emit = (fun e -> Format.fprintf fmt "%a@." pp_event e);
+    flush = (fun () -> Format.pp_print_flush fmt ());
+  }
+
+let ndjson_sink oc =
+  {
+    sink_name = "ndjson";
+    emit =
+      (fun e ->
+        Jsonx.to_channel oc (event_to_json e);
+        output_char oc '\n');
+    flush = (fun () -> Stdlib.flush oc);
+  }
+
+let drain_to_sink t sink =
+  List.iter sink.emit (ring_events t);
+  sink.flush ()

@@ -1,0 +1,99 @@
+(** C11obs — structured event tracing for the C11Tester reproduction.
+
+    The engine and the memory model emit typed {!event}s through a
+    {!t} (tracer).  A tracer buffers the most recent events in a
+    fixed-capacity ring and fans every event out to pluggable {!sink}s in
+    registration order.  With no ring and no sink attached the tracer is
+    disabled ({!enabled} is [false]) and instrumentation sites skip event
+    construction entirely, so tracing is zero-cost when off.
+
+    Events serialise to one JSON object per line (NDJSON) with the stable
+    schema
+    [{"step":..,"tid":..,"kind":..,"loc":..,"mo":..,"value":..,"detail":..}];
+    see {!event_to_json} / {!event_of_json}. *)
+
+type kind =
+  | Load  (** atomic load; [value] = value read, [detail] = rf store seq *)
+  | Store  (** atomic store; [value] = value written *)
+  | Rmw  (** successful read-modify-write; [value] = value written *)
+  | Fence  (** memory fence; [loc] is -1 *)
+  | Na_read  (** non-atomic load *)
+  | Na_write  (** non-atomic store *)
+  | Sync
+      (** thread/synchronisation operation (spawn, join, mutex, condvar);
+          [detail] names it *)
+  | Race_check  (** a data race was detected; [detail] describes it *)
+  | Prune
+      (** a pruning sweep ran; [detail] carries stores/loads/fences counts *)
+  | Sched_pick  (** scheduler decision; [value] = number of enabled threads *)
+
+type event = {
+  step : int;  (** logical time: the global sequence number *)
+  tid : int;
+  kind : kind;
+  loc : int;  (** -1 when not location-related *)
+  mo : string;  (** memory order, or [""] when not applicable *)
+  value : int;
+  detail : string;
+}
+
+type sink = {
+  sink_name : string;
+  emit : event -> unit;
+  flush : unit -> unit;
+}
+
+type t
+
+(** [create ~ring_capacity ()] makes a tracer keeping the last
+    [ring_capacity] events (default 0: no ring). *)
+val create : ?ring_capacity:int -> unit -> t
+
+(** A shared always-disabled tracer; instrumented code defaults to it.
+    Attaching a sink to it raises [Invalid_argument]. *)
+val null : t
+
+(** Cheap test used by instrumentation sites before building an event. *)
+val enabled : t -> bool
+
+val ring_capacity : t -> int
+
+(** [add_sink t s] appends [s]; sinks receive events in registration
+    order. *)
+val add_sink : t -> sink -> unit
+
+val sinks : t -> sink list
+val clear_sinks : t -> unit
+
+(** [emit t e] buffers [e] in the ring (if any) and fans it out to every
+    sink. *)
+val emit : t -> event -> unit
+
+(** Events emitted since the last {!clear} (including ones the ring has
+    already overwritten). *)
+val total : t -> int
+
+(** Buffered events, oldest first. *)
+val ring_events : t -> event list
+
+(** Reset the ring and the {!total} counter; sinks stay attached. *)
+val clear : t -> unit
+
+val flush : t -> unit
+
+(** Replay the buffered events into [sink] and flush it — used to dump
+    the ring of a completed execution, e.g. to NDJSON. *)
+val drain_to_sink : t -> sink -> unit
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val pp_event : Format.formatter -> event -> unit
+val event_to_json : event -> Jsonx.t
+val event_of_json : Jsonx.t -> event option
+
+(** Stock sinks: in-memory collector (returns the reader), pretty-printer,
+    and NDJSON writer (one JSON object per line). *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+val pretty_sink : Format.formatter -> sink
+val ndjson_sink : out_channel -> sink

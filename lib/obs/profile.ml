@@ -1,0 +1,127 @@
+let sample_cap = 4096
+
+type span_stat = {
+  mutable s_count : int;
+  mutable s_total_ns : int;
+  samples : float array;  (** last [sample_cap] durations, in ns *)
+  mutable s_len : int;
+  mutable s_next : int;
+}
+
+type t = { on : bool; spans : (string, span_stat) Hashtbl.t }
+
+let make on = { on; spans = Hashtbl.create 16 }
+let create () = make true
+let null = make false
+let enabled t = t.on
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let span_stat t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        s_count = 0;
+        s_total_ns = 0;
+        samples = Array.make sample_cap 0.0;
+        s_len = 0;
+        s_next = 0;
+      }
+    in
+    Hashtbl.add t.spans name s;
+    s
+
+(* [start]/[stop] avoid closure allocation on hot paths: when profiling
+   is off, [start] returns 0 without reading the clock and [stop] is a
+   single branch. *)
+let[@inline] start t = if t.on then now_ns () else 0
+
+let stop t name t0 =
+  if t.on then begin
+    let dt = now_ns () - t0 in
+    let s = span_stat t name in
+    s.s_count <- s.s_count + 1;
+    s.s_total_ns <- s.s_total_ns + dt;
+    s.samples.(s.s_next) <- float_of_int dt;
+    s.s_next <- (s.s_next + 1) mod sample_cap;
+    if s.s_len < sample_cap then s.s_len <- s.s_len + 1
+  end
+
+let time t name f =
+  if not t.on then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> stop t name t0) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Readout *)
+
+type snapshot = {
+  name : string;
+  count : int;
+  total_ns : int;
+  mean_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
+
+let snapshot_of name s =
+  let xs = Array.to_list (Array.sub s.samples 0 s.s_len) in
+  {
+    name;
+    count = s.s_count;
+    total_ns = s.s_total_ns;
+    mean_ns =
+      (if s.s_count = 0 then nan
+       else float_of_int s.s_total_ns /. float_of_int s.s_count);
+    p50_ns = Stats.percentile 50.0 xs;
+    p90_ns = Stats.percentile 90.0 xs;
+    p99_ns = Stats.percentile 99.0 xs;
+  }
+
+let snapshots t =
+  Hashtbl.fold (fun k s acc -> snapshot_of k s :: acc) t.spans []
+  |> List.sort (fun a b -> compare b.total_ns a.total_ns)
+
+let snapshot t name = Option.map (snapshot_of name) (Hashtbl.find_opt t.spans name)
+let reset t = Hashtbl.reset t.spans
+
+let to_json t =
+  Jsonx.Obj
+    (List.map
+       (fun s ->
+         ( s.name,
+           Jsonx.Obj
+             [
+               ("count", Jsonx.Int s.count);
+               ("total_ns", Jsonx.Int s.total_ns);
+               ("mean_ns", Jsonx.Float s.mean_ns);
+               ("p50_ns", Jsonx.Float s.p50_ns);
+               ("p90_ns", Jsonx.Float s.p90_ns);
+               ("p99_ns", Jsonx.Float s.p99_ns);
+             ] ))
+       (snapshots t))
+
+let pp_ns fmt ns =
+  if Float.is_nan ns then Format.pp_print_string fmt "n/a"
+  else if ns < 1e3 then Format.fprintf fmt "%.0fns" ns
+  else if ns < 1e6 then Format.fprintf fmt "%.2fus" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf fmt "%.2fms" (ns /. 1e6)
+  else Format.fprintf fmt "%.2fs" (ns /. 1e9)
+
+let pp_table fmt t =
+  let ns f = Format.asprintf "%a" pp_ns f in
+  Format.fprintf fmt "@[<v>%-28s %10s %12s %10s %10s %10s %10s@ " "phase"
+    "count" "total" "mean" "p50" "p90" "p99";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-28s %10d %12s %10s %10s %10s %10s@ " s.name
+        s.count
+        (ns (float_of_int s.total_ns))
+        (ns s.mean_ns) (ns s.p50_ns) (ns s.p90_ns) (ns s.p99_ns))
+    (snapshots t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,50 @@
+(** C11obs profiling: monotonic-clock span timers around the engine's hot
+    phases (mo-graph updates, clock-vector merges, release-sequence
+    resolution, race checks, pruning sweeps, whole executions).
+
+    Spans accumulate per name into count/total plus a sliding window of
+    the last 4096 durations for percentile readout.  The {!null} profiler
+    is disabled: {!start} returns without reading the clock and {!stop}
+    is a single branch, so instrumentation is effectively free when
+    profiling is off. *)
+
+type t
+
+val create : unit -> t
+val null : t
+val enabled : t -> bool
+
+(** Current monotonic time in nanoseconds. *)
+val now_ns : unit -> int
+
+(** [start t] reads the clock (0 when disabled); pair with {!stop}. *)
+val start : t -> int
+
+(** [stop t name t0] records one [name] span started at [t0]. *)
+val stop : t -> string -> int -> unit
+
+(** [time t name f] runs [f] inside a [name] span (closure-based
+    convenience; prefer {!start}/{!stop} on hot paths). *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+type snapshot = {
+  name : string;
+  count : int;
+  total_ns : int;
+  mean_ns : float;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
+
+(** Sorted by total time, descending. *)
+val snapshots : t -> snapshot list
+
+val snapshot : t -> string -> snapshot option
+val reset : t -> unit
+
+(** [{phase:{count,total_ns,mean_ns,p50_ns,p90_ns,p99_ns}}] *)
+val to_json : t -> Jsonx.t
+
+val pp_ns : Format.formatter -> float -> unit
+val pp_table : Format.formatter -> t -> unit

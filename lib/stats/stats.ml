@@ -1,35 +1,54 @@
+(* Empty-list convention: every statistic of an empty sample is [nan] —
+   there is no data, and fabricating 0.0 makes "no measurements" look
+   like a real measurement.  [rate] is the one exception (a ratio of
+   event counts, where 0/0 occurrences is genuinely a 0% rate). *)
+
 let mean = function
-  | [] -> 0.0
+  | [] -> nan
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let stddev = function
-  | [] | [ _ ] -> 0.0
+  | [] -> nan
+  | [ _ ] -> 0.0
   | xs ->
     let m = mean xs in
     let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
     sqrt (sq /. float_of_int (List.length xs - 1))
 
-let rsd_percent xs =
-  let m = mean xs in
-  if m = 0.0 then 0.0 else 100.0 *. stddev xs /. abs_float m
+let rsd_percent = function
+  | [] -> nan
+  | xs ->
+    let m = mean xs in
+    if m = 0.0 then 0.0 else 100.0 *. stddev xs /. abs_float m
 
 let geomean = function
-  | [] -> 0.0
+  | [] -> nan
   | xs ->
     let logs = List.map log xs in
     exp (mean logs)
 
-let median = function
-  | [] -> 0.0
+(* Percentile with linear interpolation between closest ranks; [p] is in
+   [0, 100].  Empty input has no percentiles: nan (see the empty-list
+   convention note in the interface). *)
+let percentile p = function
+  | [] -> nan
   | xs ->
     let arr = Array.of_list xs in
     Array.sort compare arr;
     let n = Array.length arr in
-    if n mod 2 = 1 then arr.(n / 2)
-    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+    let p = Float.min 100.0 (Float.max 0.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then arr.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+
+let median xs = percentile 50.0 xs
 
 let min_max = function
-  | [] -> (0.0, 0.0)
+  | [] -> (nan, nan)
   | x :: xs ->
     List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
 

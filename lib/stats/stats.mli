@@ -1,15 +1,27 @@
-(** Statistics used by the evaluation harness (Section 8): means, relative
-    standard deviations (the parenthesised percentages of Table 1),
-    geometric means (the speedup summary of Figure 15) and detection
-    rates. *)
+(** Statistics used by the evaluation harness (Section 8) and the C11obs
+    metrics layer: means, relative standard deviations (the parenthesised
+    percentages of Table 1), geometric means (the speedup summary of
+    Figure 15), percentiles and detection rates.
+
+    Empty-list convention: every statistic of an empty sample is [nan]
+    (no data), never a fabricated 0.0.  The one exception is {!rate},
+    which is a ratio of event counts where [0/0] is a genuine 0%. *)
 
 val mean : float list -> float
+
+(** Sample standard deviation; [0.0] for a single sample. *)
 val stddev : float list -> float
 
 (** Relative standard deviation in percent: [100 * stddev / mean]. *)
 val rsd_percent : float list -> float
 
 val geomean : float list -> float
+
+(** [percentile p xs] with [p] in [0, 100], clamped; linear interpolation
+    between closest ranks.  Backs the p50/p90/p99 readouts of the C11obs
+    metrics histograms. *)
+val percentile : float -> float list -> float
+
 val median : float list -> float
 val min_max : float list -> float * float
 

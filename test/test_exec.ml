@@ -9,7 +9,7 @@ open Memorder
 let fresh () =
   let rng = Rng.create 1L in
   let race = Race.create () in
-  Execution.create ~mode:Execution.Full_c11 ~rng ~race
+  Execution.create ~mode:Execution.Full_c11 ~rng ~race ()
 
 let test_memorder_classes () =
   check "acquire class" true

@@ -13,4 +13,5 @@ let () =
       ("pruner", Test_pruner.suite);
       ("workloads", Test_workloads.suite);
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
     ]

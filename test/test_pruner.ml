@@ -85,7 +85,7 @@ let test_aggressive_sound_on_litmus () =
 let test_cv_min () =
   let rng = Rng.create 1L in
   let race = Race.create () in
-  let exec = Execution.create ~mode:Execution.Full_c11 ~rng ~race in
+  let exec = Execution.create ~mode:Execution.Full_c11 ~rng ~race () in
   let t0 = Execution.new_thread exec ~parent:None in
   Execution.tick_sync exec ~tid:t0;
   (* the child starts with a copy of the parent's clock, so the parent's
@@ -102,7 +102,7 @@ let test_cv_min () =
 let test_no_prune_policy () =
   let rng = Rng.create 1L in
   let race = Race.create () in
-  let exec = Execution.create ~mode:Execution.Full_c11 ~rng ~race in
+  let exec = Execution.create ~mode:Execution.Full_c11 ~rng ~race () in
   check "no-prune does nothing" true
     (Pruner.maybe_prune Pruner.No_prune exec ~ops:64 = None)
 

@@ -5,7 +5,7 @@ let close a b = abs_float (a -. b) < 1e-9
 
 let test_mean () =
   check "mean" true (close (Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0);
-  check "empty mean" true (close (Stats.mean []) 0.0)
+  check "empty mean is nan" true (Float.is_nan (Stats.mean []))
 
 let test_stddev () =
   check "constant has zero stddev" true (close (Stats.stddev [ 5.0; 5.0; 5.0 ]) 0.0);
@@ -22,10 +22,26 @@ let test_geomean () =
 
 let test_median () =
   check "odd" true (close (Stats.median [ 3.0; 1.0; 2.0 ]) 2.0);
-  check "even" true (close (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]) 2.5)
+  check "even" true (close (Stats.median [ 4.0; 1.0; 3.0; 2.0 ]) 2.5);
+  check "empty median is nan" true (Float.is_nan (Stats.median []))
 
 let test_min_max () =
-  check "min max" true (Stats.min_max [ 3.0; 1.0; 2.0 ] = (1.0, 3.0))
+  check "min max" true (Stats.min_max [ 3.0; 1.0; 2.0 ] = (1.0, 3.0));
+  let lo, hi = Stats.min_max [] in
+  check "empty min_max is nan" true (Float.is_nan lo && Float.is_nan hi)
+
+let test_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check "p0 is min" true (close (Stats.percentile 0.0 xs) 10.0);
+  check "p100 is max" true (close (Stats.percentile 100.0 xs) 40.0);
+  check "p50 interpolates" true (close (Stats.percentile 50.0 xs) 25.0);
+  check "p25 interpolates low" true (close (Stats.percentile 25.0 xs) 17.5);
+  check "singleton" true (close (Stats.percentile 99.0 [ 7.0 ]) 7.0);
+  check "unsorted input" true
+    (close (Stats.percentile 50.0 [ 30.0; 10.0; 20.0 ]) 20.0);
+  check "clamped below" true (close (Stats.percentile (-5.0) xs) 10.0);
+  check "clamped above" true (close (Stats.percentile 200.0 xs) 40.0);
+  check "empty is nan" true (Float.is_nan (Stats.percentile 50.0 []))
 
 let test_rate () =
   check "rate" true (close (Stats.rate ~hits:1 ~total:4) 25.0);
@@ -55,6 +71,13 @@ let prop_median_bounds =
       let m = Stats.median xs in
       m >= lo -. 1e-9 && m <= hi +. 1e-9)
 
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair gen_floats (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p, q)) ->
+      let p, q = if p <= q then (p, q) else (q, p) in
+      Stats.percentile p xs <= Stats.percentile q xs +. 1e-9)
+
 let suite =
   [
     Alcotest.test_case "mean" `Quick test_mean;
@@ -63,8 +86,14 @@ let suite =
     Alcotest.test_case "geomean" `Quick test_geomean;
     Alcotest.test_case "median" `Quick test_median;
     Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "rate" `Quick test_rate;
     Alcotest.test_case "timed/sample" `Quick test_timed_sample;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_mean_bounds; prop_geomean_le_mean; prop_median_bounds ]
+      [
+        prop_mean_bounds;
+        prop_geomean_le_mean;
+        prop_median_bounds;
+        prop_percentile_monotone;
+      ]
