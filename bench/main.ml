@@ -23,6 +23,7 @@ let experiments : (string * (unit -> unit)) list =
     ("table4", Experiments.table4);
     ("prune", Experiments.prune);
     ("sched", Experiments.sched);
+    ("perf", Perfsuite.run);
   ]
 
 let usage () =
@@ -42,15 +43,21 @@ let rec take_json = function
     (json, a :: rest)
 
 let write_json ~quick ~todo path =
+  let perf =
+    match !Perfsuite.last_doc with
+    | Some doc -> [ ("perf", doc) ]
+    | None -> []
+  in
   let doc =
     Jsonx.Obj
-      [
-        ("schema", Jsonx.String "c11obs-bench-v1");
-        ("quick", Jsonx.Bool quick);
-        ( "experiments",
-          Jsonx.List (List.map (fun (n, _) -> Jsonx.String n) todo) );
-        ("metrics", Metrics.to_json Bench_util.metrics);
-      ]
+      ([
+         ("schema", Jsonx.String "c11obs-bench-v1");
+         ("quick", Jsonx.Bool quick);
+         ( "experiments",
+           Jsonx.List (List.map (fun (n, _) -> Jsonx.String n) todo) );
+         ("metrics", Metrics.to_json Bench_util.metrics);
+       ]
+      @ perf)
   in
   let write oc =
     output_string oc (Jsonx.to_pretty_string doc);
@@ -73,7 +80,8 @@ let () =
     Experiments.table2_iters := 150;
     Experiments.sec81_iters := 300;
     Experiments.table1_runs := 5;
-    Bench_util.quota := 0.2
+    Bench_util.quota := 0.2;
+    Perfsuite.quick ()
   end;
   if List.mem "--help" args then usage ()
   else begin

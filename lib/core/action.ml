@@ -5,6 +5,9 @@ type kind =
   | Na_store
   | Fence
 
+type graph_node = ..
+type graph_node += No_graph_node
+
 type t = {
   seq : int;
   tid : int;
@@ -17,6 +20,7 @@ type t = {
   mutable rf_cv : Clockvec.t option;
   mutable rmw_claimed : bool;
   volatile : bool;
+  mutable mo_node : graph_node;
 }
 
 let is_write a =

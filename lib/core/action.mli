@@ -19,6 +19,15 @@ type kind =
           like a plain access and never heads a release sequence. *)
   | Fence
 
+(** Extension point for the per-action mo-graph node cache.  {!Mograph}
+    extends it with its node type, letting an action carry a direct pointer
+    to its graph node without a module cycle (Action is below Mograph in
+    the dependency order).  Everyone else initialises the slot to
+    {!No_graph_node} and otherwise ignores it. *)
+type graph_node = ..
+
+type graph_node += No_graph_node
+
 type t = {
   seq : int;
   tid : int;
@@ -38,6 +47,10 @@ type t = {
   mutable rmw_claimed : bool;
       (** true once an RMW has read from this store; no second RMW may *)
   volatile : bool;
+  mutable mo_node : graph_node;
+      (** {!Mograph}'s cached node for this store ({!No_graph_node} until
+          the store enters the graph) — spares a hash lookup on every
+          prior-set edge *)
 }
 
 val is_write : t -> bool

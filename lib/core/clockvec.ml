@@ -24,17 +24,30 @@ let set t i v =
   ensure t (i + 1);
   t.data.(i) <- v
 
+(* [merge]/[leq] sit on every transition rule (thread-clock joins, mo-graph
+   propagation, shadow-cell coverage), and the vectors are short — one slot
+   per thread.  Both get a physical-equality fast path, an empty fast path,
+   and a single bounds check per loop iteration instead of one per slot. *)
 let merge dst src =
-  let changed = ref false in
-  let n = Array.length src.data in
-  ensure dst n;
-  for i = 0 to n - 1 do
-    if src.data.(i) > dst.data.(i) then begin
-      dst.data.(i) <- src.data.(i);
-      changed := true
+  if dst == src then false
+  else begin
+    let sd = src.data in
+    let n = Array.length sd in
+    if n = 0 then false
+    else begin
+      ensure dst n;
+      let dd = dst.data in
+      let changed = ref false in
+      for i = 0 to n - 1 do
+        let s = Array.unsafe_get sd i in
+        if s > Array.unsafe_get dd i then begin
+          Array.unsafe_set dd i s;
+          changed := true
+        end
+      done;
+      !changed
     end
-  done;
-  !changed
+  end
 
 let union a b =
   let t = copy a in
@@ -42,9 +55,27 @@ let union a b =
   t
 
 let leq a b =
-  let n = Array.length a.data in
-  let rec go i = i >= n || (a.data.(i) <= get b i && go (i + 1)) in
-  go 0
+  a == b
+  ||
+  let da = a.data and db = b.data in
+  let na = Array.length da and nb = Array.length db in
+  if na <= nb then begin
+    (* common case: [a] no wider than [b]; compare slot by slot, exiting on
+       the first violation *)
+    let rec go i =
+      i >= na || (Array.unsafe_get da i <= Array.unsafe_get db i && go (i + 1))
+    in
+    go 0
+  end
+  else begin
+    let rec go i =
+      i >= na
+      ||
+      let bi = if i < nb then Array.unsafe_get db i else 0 in
+      Array.unsafe_get da i <= bi && go (i + 1)
+    in
+    go 0
+  end
 
 let equal a b = leq a b && leq b a
 
@@ -56,6 +87,8 @@ let intersect a b =
 let covers t ~tid ~seq = get t tid >= seq
 
 let width t = Array.length t.data
+
+let raw t = t.data
 
 let pp fmt t =
   Format.fprintf fmt "[%a]"

@@ -50,4 +50,9 @@ val covers : t -> tid:int -> seq:int -> bool
 (** Number of slots ever touched (an upper bound on thread ids + 1). *)
 val width : t -> int
 
+(** The underlying slot array, for read-only scans on hot paths (the race
+    detector's conflict loop).  Callers must not mutate it, and must not
+    hold it across a {!set} or {!merge} (growth may reallocate). *)
+val raw : t -> int array
+
 val pp : Format.formatter -> t -> unit

@@ -23,6 +23,14 @@ type loc_cell = {
 type loc_info = {
   li_loc : int;
   mutable cells : loc_cell list;
+  mutable cell_idx : loc_cell option array;
+      (** tid-indexed view of [cells]: the per-load/store cell lookup is an
+          array probe instead of a list scan *)
+  mutable last_sc : Action.t option;
+      (** newest seq_cst store to this location, maintained incrementally
+          by [record_store] (a new store always has the global max seq) and
+          rebuilt by {!refresh_loc_caches} after pruning *)
+  mutable newest : Action.t option;  (** newest store of any order; ditto *)
   mutable store_count : int;
   mutable rel_head : (int * Clockvec.t) option;
       (** Total_mo mode only: the C++11-style release-sequence head (owner
@@ -50,9 +58,12 @@ type t = {
   mutable seq : int;
   mutable threads : thread_state array;
   mutable nthreads : int;
-  locs : (int, loc_info) Hashtbl.t;
-  values : (int, int) Hashtbl.t;
-  atomic_locs : (int, unit) Hashtbl.t;
+  (* Locations are dense small ints handed out by [fresh_loc], so all
+     loc-keyed state is direct-indexed growable arrays: the per-access
+     lookups on the non-atomic hot path are a bounds check and a load. *)
+  mutable locs : loc_info option array;
+  mutable values : int array;
+  mutable atomic_locs : bool array;
   mutable next_loc : int;
   mutable atomic_ops : int;
   mutable na_ops : int;
@@ -60,8 +71,30 @@ type t = {
   mutable pruned_count : int;
   mutable trace_cap : int;
   mutable trace_rev : Action.t list;
+  mutable trace_old : Action.t list;
   mutable trace_n : int;
+  mutable mrf_buf : Action.t array;
+      (* reusable may-read-from scratch: one growable buffer per execution
+         instead of a fresh list + array per atomic load/RMW *)
+  mutable mrf_n : int;
 }
+
+(* Placeholder for growing [mrf_buf]; never read. *)
+let dummy_action : Action.t =
+  {
+    Action.seq = 0;
+    tid = 0;
+    kind = Action.Fence;
+    loc = -1;
+    mo = Memorder.Relaxed;
+    value = 0;
+    rf = None;
+    hb_cv = Clockvec.bottom ();
+    rf_cv = None;
+    rmw_claimed = false;
+    volatile = false;
+    mo_node = Action.No_graph_node;
+  }
 
 let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
     ~mode ~rng ~race () =
@@ -79,9 +112,9 @@ let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
     seq = 0;
     threads = [||];
     nthreads = 0;
-    locs = Hashtbl.create 64;
-    values = Hashtbl.create 256;
-    atomic_locs = Hashtbl.create 64;
+    locs = [||];
+    values = [||];
+    atomic_locs = [||];
     next_loc = 0;
     atomic_ops = 0;
     na_ops = 0;
@@ -89,7 +122,10 @@ let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
     pruned_count = 0;
     trace_cap = 0;
     trace_rev = [];
+    trace_old = [];
     trace_n = 0;
+    mrf_buf = [||];
+    mrf_n = 0;
   }
 
 let thread t tid =
@@ -100,13 +136,22 @@ let thread t tid =
 let fresh_loc t ~atomic ~name =
   let loc = t.next_loc in
   t.next_loc <- loc + 1;
-  if atomic then Hashtbl.replace t.atomic_locs loc ();
+  if atomic then begin
+    let len = Array.length t.atomic_locs in
+    if loc >= len then begin
+      let arr = Array.make (max (loc + 1) (max 16 (2 * len))) false in
+      Array.blit t.atomic_locs 0 arr 0 len;
+      t.atomic_locs <- arr
+    end;
+    t.atomic_locs.(loc) <- true
+  end;
   (match name with
   | Some n -> Race.name_location t.race ~loc n
   | None -> ());
   loc
 
-let is_atomic_loc t loc = Hashtbl.mem t.atomic_locs loc
+let is_atomic_loc t loc =
+  loc < Array.length t.atomic_locs && Array.unsafe_get t.atomic_locs loc
 
 let new_thread t ~parent =
   let tid = t.nthreads in
@@ -144,84 +189,181 @@ let release_snapshot t ~tid = Clockvec.copy (thread t tid).c
 (* ------------------------------------------------------------------ *)
 (* Location bookkeeping                                               *)
 
-let find_loc t loc = Hashtbl.find_opt t.locs loc
+let find_loc t loc =
+  if loc < Array.length t.locs then Array.unsafe_get t.locs loc else None
 
 let get_loc t loc =
-  match Hashtbl.find_opt t.locs loc with
+  match find_loc t loc with
   | Some li -> li
   | None ->
-    let li = { li_loc = loc; cells = []; store_count = 0; rel_head = None } in
-    Hashtbl.add t.locs loc li;
+    let li =
+      {
+        li_loc = loc;
+        cells = [];
+        cell_idx = [||];
+        last_sc = None;
+        newest = None;
+        store_count = 0;
+        rel_head = None;
+      }
+    in
+    let len = Array.length t.locs in
+    if loc >= len then begin
+      let arr = Array.make (max (loc + 1) (max 16 (2 * len))) None in
+      Array.blit t.locs 0 arr 0 len;
+      t.locs <- arr
+    end;
+    t.locs.(loc) <- Some li;
     li
 
-let get_cell li tid =
-  match List.find_opt (fun c -> c.cell_tid = tid) li.cells with
-  | Some c -> c
-  | None ->
-    let c = { cell_tid = tid; c_stores = []; c_accesses = []; c_sc_stores = [] } in
-    li.cells <- c :: li.cells;
-    c
+(* Commit-order value of each location; what a plain non-atomic read sees. *)
+let set_value t loc v =
+  let len = Array.length t.values in
+  if loc >= len then begin
+    let arr = Array.make (max (loc + 1) (max 16 (2 * len))) 0 in
+    Array.blit t.values 0 arr 0 len;
+    t.values <- arr
+  end;
+  Array.unsafe_set t.values loc v
 
-let find_cell li tid = List.find_opt (fun c -> c.cell_tid = tid) li.cells
+let get_value t loc =
+  if loc < Array.length t.values then Array.unsafe_get t.values loc else 0
+
+let new_cell li tid =
+  let c = { cell_tid = tid; c_stores = []; c_accesses = []; c_sc_stores = [] } in
+  li.cells <- c :: li.cells;
+  let len = Array.length li.cell_idx in
+  if tid >= len then begin
+    let idx = Array.make (max (tid + 1) (max 4 (2 * len))) None in
+    Array.blit li.cell_idx 0 idx 0 len;
+    li.cell_idx <- idx
+  end;
+  li.cell_idx.(tid) <- Some c;
+  c
+
+let get_cell li tid =
+  if tid < Array.length li.cell_idx then
+    match Array.unsafe_get li.cell_idx tid with
+    | Some c -> c
+    | None -> new_cell li tid
+  else new_cell li tid
+
+let find_cell li tid =
+  if tid < Array.length li.cell_idx then Array.unsafe_get li.cell_idx tid
+  else None
 
 let record_store li (a : Action.t) =
   let cell = get_cell li a.tid in
   cell.c_stores <- a :: cell.c_stores;
   cell.c_accesses <- a :: cell.c_accesses;
-  if Memorder.is_seq_cst a.mo then cell.c_sc_stores <- a :: cell.c_sc_stores;
+  (* Sequence numbers are globally increasing, so the store being recorded
+     is the location's newest — the caches stay exact without a scan. *)
+  li.newest <- Some a;
+  if Memorder.is_seq_cst a.mo then begin
+    cell.c_sc_stores <- a :: cell.c_sc_stores;
+    li.last_sc <- Some a
+  end;
   li.store_count <- li.store_count + 1
 
 let record_load li (a : Action.t) =
   let cell = get_cell li a.tid in
   cell.c_accesses <- a :: cell.c_accesses
 
-let last_sc_store li =
-  List.fold_left
-    (fun acc cell ->
-      match cell.c_sc_stores with
-      | [] -> acc
+(* Rebuild [last_sc]/[newest] from the cell heads; the pruner calls this
+   after removing stores, the only event that can invalidate them. *)
+let refresh_loc_caches li =
+  let newest = ref None and last_sc = ref None in
+  List.iter
+    (fun cell ->
+      (match cell.c_stores with
       | (x : Action.t) :: _ -> (
-        match acc with
-        | Some (y : Action.t) when y.seq >= x.seq -> acc
-        | _ -> Some x))
-    None li.cells
+        match !newest with
+        | Some (y : Action.t) when y.seq >= x.seq -> ()
+        | _ -> newest := Some x)
+      | [] -> ());
+      match cell.c_sc_stores with
+      | (x : Action.t) :: _ -> (
+        match !last_sc with
+        | Some (y : Action.t) when y.seq >= x.seq -> ()
+        | _ -> last_sc := Some x)
+      | [] -> ())
+    li.cells;
+  li.newest <- !newest;
+  li.last_sc <- !last_sc
+
+let last_sc_store li = li.last_sc
 
 (* ------------------------------------------------------------------ *)
 (* may-read-from (Figure 12)                                           *)
 
+let mrf_push t (a : Action.t) =
+  let n = t.mrf_n in
+  if n = Array.length t.mrf_buf then begin
+    let cap = if n = 0 then 16 else 2 * n in
+    let arr = Array.make cap dummy_action in
+    Array.blit t.mrf_buf 0 arr 0 n;
+    t.mrf_buf <- arr
+  end;
+  t.mrf_buf.(n) <- a;
+  t.mrf_n <- n + 1
+
 (* For each thread's store list (newest first): every store that does not
    happen before the load is a candidate; the newest store that does happen
    before the load is the final candidate for that thread (anything older is
-   hidden behind it: X -sb-> Y -hb-> L). *)
-let build_may_read_from _t li ts ~is_sc =
-  let s_opt = if is_sc then last_sc_store li else None in
-  let ret = ref [] in
+   hidden behind it: X -sb-> Y -hb-> L).
+
+   Candidates land in [t.mrf_buf] (first [t.mrf_n] slots) — the one scratch
+   buffer replaces the list + [Array.of_list] pair the previous version
+   allocated per load.  The buffer is reversed before returning so its
+   order matches the old prepend-built list bit for bit (the seq_cst
+   filter commutes with the reversal because both preserve relative
+   order), keeping the downstream shuffle's RNG draws identical. *)
+let build_may_read_from_buf t li ts ~is_sc =
+  t.mrf_n <- 0;
+  let keep =
+    if is_sc then
+      match li.last_sc with
+      | None -> fun _ -> true
+      | Some s ->
+        (* Section 29.3 statement 3: a seq_cst load reads the last seq_cst
+           store S, or some store that neither precedes S in sc nor happens
+           before S. *)
+        fun (x : Action.t) ->
+          x == s
+          || not
+               ((Memorder.is_seq_cst x.mo && x.seq < s.seq)
+               || Action.happens_before x s)
+    else fun _ -> true
+  in
+  (* raw clock scan: [covered] is [Clockvec.covers ts.c] with the slot
+     array hoisted out of the per-store loop *)
+  let cd = Clockvec.raw ts.c in
+  let nc = Array.length cd in
   List.iter
     (fun cell ->
       let rec walk = function
         | [] -> ()
         | (x : Action.t) :: rest ->
-          if Clockvec.covers ts.c ~tid:x.tid ~seq:x.seq then ret := x :: !ret
-          else begin
-            ret := x :: !ret;
-            walk rest
-          end
+          if keep x then mrf_push t x;
+          let covered = x.tid < nc && x.seq <= Array.unsafe_get cd x.tid in
+          if not covered then walk rest
       in
       walk cell.c_stores)
     li.cells;
-  match s_opt with
-  | None -> !ret
-  | Some s ->
-    (* Section 29.3 statement 3: a seq_cst load reads the last seq_cst
-       store S, or some store that neither precedes S in sc nor happens
-       before S. *)
-    List.filter
-      (fun (x : Action.t) ->
-        x == s
-        || not
-             ((Memorder.is_seq_cst x.mo && x.seq < s.seq)
-             || Action.happens_before x s))
-      !ret
+  let buf = t.mrf_buf in
+  let i = ref 0 and j = ref (t.mrf_n - 1) in
+  while !i < !j do
+    let tmp = buf.(!i) in
+    buf.(!i) <- buf.(!j);
+    buf.(!j) <- tmp;
+    incr i;
+    decr j
+  done
+
+(* List view of the scratch buffer, for tests. *)
+let build_may_read_from t li ts ~is_sc =
+  build_may_read_from_buf t li ts ~is_sc;
+  Array.to_list (Array.sub t.mrf_buf 0 t.mrf_n)
 
 (* ------------------------------------------------------------------ *)
 (* priorsets (Figure 13)                                               *)
@@ -232,56 +374,64 @@ let get_write (a : Action.t) =
   | Action.Load -> a.rf
   | Action.Fence -> None
 
-let max_action candidates =
-  List.fold_left
-    (fun acc c ->
-      match (acc, c) with
-      | None, x -> x
-      | Some (a : Action.t), Some (b : Action.t) ->
-        if b.seq > a.seq then c else acc
-      | Some _, None -> acc)
-    None candidates
+(* First (newest) action in a newest-first list with seq below [bound]. *)
+let rec first_before bound = function
+  | [] -> None
+  | (x : Action.t) :: rest ->
+    if x.seq < bound then Some x else first_before bound rest
+
+(* [current]'s slot array with its length, hoisted by the caller. *)
+let rec first_covered cd nc = function
+  | [] -> None
+  | (x : Action.t) :: rest ->
+    if x.tid < nc && x.seq <= Array.unsafe_get cd x.tid then Some x
+    else first_covered cd nc rest
+
+let newer (acc : Action.t option) (c : Action.t option) =
+  match (acc, c) with
+  | None, x -> x
+  | Some _, None -> acc
+  | Some a, Some b -> if b.seq > a.seq then c else acc
 
 (* Shared scan over one thread's lists; [current] is the acting thread's
    clock vector used for happens-before tests against the action being
-   processed (which has no record yet). *)
+   processed (which has no record yet).  This runs once per thread per
+   candidate store tried, so the scans are direct recursions — no
+   intermediate closures or candidate list. *)
 let prior_for_thread t li ~u ~last_fence_of_actor ~is_sc_op ~current =
   let tsu = t.threads.(u) in
-  let f_t = match tsu.sc_fences with [] -> None | f :: _ -> Some f in
-  let f_b =
-    match last_fence_of_actor with
-    | None -> None
-    | Some (fl : Action.t) ->
-      List.find_opt (fun (f : Action.t) -> f.seq < fl.seq) tsu.sc_fences
-  in
-  let stores, accesses, sc_stores =
-    match find_cell li u with
-    | None -> ([], [], [])
-    | Some c -> (c.c_stores, c.c_accesses, c.c_sc_stores)
-  in
+  let cell = find_cell li u in
+  let stores = match cell with None -> [] | Some c -> c.c_stores in
   let s1 =
     if is_sc_op then
-      match f_t with
-      | None -> None
-      | Some ft -> List.find_opt (fun (x : Action.t) -> x.seq < ft.seq) stores
+      match tsu.sc_fences with
+      | [] -> None
+      | (ft : Action.t) :: _ -> first_before ft.seq stores
     else None
   in
   let s2 =
     match last_fence_of_actor with
     | None -> None
-    | Some fl -> List.find_opt (fun (x : Action.t) -> x.seq < fl.seq) sc_stores
+    | Some (fl : Action.t) -> (
+      match cell with
+      | None -> None
+      | Some c -> first_before fl.seq c.c_sc_stores)
   in
   let s3 =
-    match f_b with
+    match last_fence_of_actor with
     | None -> None
-    | Some fb -> List.find_opt (fun (x : Action.t) -> x.seq < fb.seq) stores
+    | Some (fl : Action.t) -> (
+      match first_before fl.seq tsu.sc_fences with
+      | None -> None
+      | Some fb -> first_before fb.seq stores)
   in
   let s4 =
-    List.find_opt
-      (fun (x : Action.t) -> Clockvec.covers current ~tid:x.tid ~seq:x.seq)
-      accesses
+    match cell with
+    | None -> None
+    | Some c ->
+      first_covered (Clockvec.raw current) (Clockvec.width current) c.c_accesses
   in
-  match max_action [ s1; s2; s3; s4 ] with
+  match newer (newer (newer s1 s2) s3) s4 with
   | None -> None
   | Some a -> get_write a
 
@@ -350,13 +500,21 @@ let add_edges t pset (s : Action.t) =
 (* ------------------------------------------------------------------ *)
 (* Transition rules (Figure 11)                                        *)
 
+(* Bounded trace as two generations: [trace_rev] collects the newest
+   actions (newest first); when it fills, it is demoted whole to
+   [trace_old] and the previous old generation dropped.  The newest
+   [trace_cap] actions are always available across the two lists, memory
+   stays under [2 * trace_cap], and each record is O(1) — the previous
+   version rebuilt the list with [List.filteri] every [trace_cap]
+   records. *)
 let record_trace t a =
   if t.trace_cap > 0 then begin
     t.trace_rev <- a :: t.trace_rev;
     t.trace_n <- t.trace_n + 1;
-    if t.trace_n > 2 * t.trace_cap then begin
-      t.trace_rev <- List.filteri (fun i _ -> i < t.trace_cap) t.trace_rev;
-      t.trace_n <- t.trace_cap
+    if t.trace_n >= t.trace_cap then begin
+      t.trace_old <- t.trace_rev;
+      t.trace_rev <- [];
+      t.trace_n <- 0
     end
   end
 
@@ -373,15 +531,22 @@ let mk_action t ts kind ~loc ~mo ~value ~volatile ~seq =
     rf_cv = None;
     rmw_claimed = false;
     volatile;
+    mo_node = Action.No_graph_node;
   }
   in
   record_trace t a;
   a
 
-let shuffled_candidates t candidates =
-  let arr = Array.of_list candidates in
-  Rng.shuffle_in_place t.rng arr;
-  arr
+(* Fisher–Yates over the scratch buffer, drawing from the RNG in exactly
+   the order [Rng.shuffle_in_place] does on a materialised array. *)
+let shuffle_scratch t =
+  let buf = t.mrf_buf in
+  for i = t.mrf_n - 1 downto 1 do
+    let j = Rng.int t.rng (i + 1) in
+    let tmp = buf.(i) in
+    buf.(i) <- buf.(j);
+    buf.(j) <- tmp
+  done
 
 (* All race-detector calls funnel through here so the "race_check" span
    and the check counter cover atomic and non-atomic accesses alike. *)
@@ -407,29 +572,26 @@ let atomic_load t ~tid ~loc ~mo ~volatile =
   if t.metrics_on then Metrics.incr t.metrics "ops.atomic_load";
   let li = get_loc t loc in
   let p0 = if t.prof_on then Profile.now_ns () else 0 in
-  let candidates =
-    build_may_read_from t li ts ~is_sc:(Memorder.is_seq_cst mo)
-  in
+  build_may_read_from_buf t li ts ~is_sc:(Memorder.is_seq_cst mo);
   if t.prof_on then Profile.stop t.prof "may_read_from" p0;
-  if candidates = [] then
+  if t.mrf_n = 0 then
     raise
       (Model_error
          (Printf.sprintf "load from location %d with no visible store" loc));
   if t.metrics_on then
-    Metrics.observe t.metrics "mrf.candidates"
-      (float_of_int (List.length candidates));
-  let arr = shuffled_candidates t candidates in
+    Metrics.observe t.metrics "mrf.candidates" (float_of_int t.mrf_n);
+  shuffle_scratch t;
   let chosen = ref None in
   let p1 = if t.prof_on then Profile.now_ns () else 0 in
   (try
-     Array.iter
-       (fun s ->
-         match read_prior_set t li ts ~load_mo:mo s with
-         | Some pset ->
-           chosen := Some (s, pset);
-           raise Exit
-         | None -> ())
-       arr
+     for k = 0 to t.mrf_n - 1 do
+       let s = t.mrf_buf.(k) in
+       match read_prior_set t li ts ~load_mo:mo s with
+       | Some pset ->
+         chosen := Some (s, pset);
+         raise Exit
+       | None -> ()
+     done
    with Exit -> ());
   if t.prof_on then Profile.stop t.prof "prior_set" p1;
   match !chosen with
@@ -511,7 +673,7 @@ let atomic_store t ~tid ~loc ~mo ~volatile value =
   if t.prof_on then Profile.stop t.prof "prior_set" p0;
   add_edges t pset a;
   record_store li a;
-  Hashtbl.replace t.values loc value;
+  set_value t loc value;
   race_atomic t a ~is_write:true;
   if t.obs_on then
     emit_access t Obs.Store ~tid ~loc ~mo:(Memorder.to_string mo) ~value
@@ -520,16 +682,7 @@ let atomic_store t ~tid ~loc ~mo ~volatile value =
 (* In Total_mo mode, modification order is the store commit order, so an
    RMW (pinned immediately after the store it reads) can only read the
    globally newest store — exactly tsan11's behaviour. *)
-let newest_store li =
-  List.fold_left
-    (fun acc cell ->
-      match cell.c_stores with
-      | [] -> acc
-      | (x : Action.t) :: _ -> (
-        match acc with
-        | Some (y : Action.t) when y.seq >= x.seq -> acc
-        | _ -> Some x))
-    None li.cells
+let newest_store li = li.newest
 
 let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
   let mo = effective_rmw_mo t mo in
@@ -539,17 +692,14 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
   if t.metrics_on then Metrics.incr t.metrics "ops.rmw";
   let li = get_loc t loc in
   let p0 = if t.prof_on then Profile.now_ns () else 0 in
-  let candidates =
-    build_may_read_from t li ts ~is_sc:(Memorder.is_seq_cst mo)
-  in
+  build_may_read_from_buf t li ts ~is_sc:(Memorder.is_seq_cst mo);
   if t.prof_on then Profile.stop t.prof "may_read_from" p0;
-  if candidates = [] then
+  if t.mrf_n = 0 then
     raise
       (Model_error (Printf.sprintf "rmw on location %d with no visible store" loc));
   if t.metrics_on then
-    Metrics.observe t.metrics "mrf.candidates"
-      (float_of_int (List.length candidates));
-  let arr = shuffled_candidates t candidates in
+    Metrics.observe t.metrics "mrf.candidates" (float_of_int t.mrf_n);
+  shuffle_scratch t;
   let result = ref None in
   let commit_load s pset =
     let rf_cv = match s.Action.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
@@ -588,7 +738,7 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
     let wpset = write_prior_set t li ts ~store_mo:mo in
     add_edges t wpset r;
     record_store li r;
-    Hashtbl.replace t.values loc new_value;
+    set_value t loc new_value;
     race_atomic t r ~is_write:false;
     race_atomic t r ~is_write:true;
     if t.obs_on then
@@ -599,33 +749,33 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
     s.value
   in
   (try
-     Array.iter
-       (fun (s : Action.t) ->
-         match f s.value with
-         | Rmw_keep -> (
+     for k = 0 to t.mrf_n - 1 do
+       let (s : Action.t) = t.mrf_buf.(k) in
+       match f s.value with
+       | Rmw_keep -> (
+         match read_prior_set t li ts ~load_mo:mo s with
+         | Some pset ->
+           result := Some (commit_load s pset);
+           raise Exit
+         | None -> ())
+       | Rmw_write v ->
+         let claimable =
+           (not s.rmw_claimed)
+           &&
+           match t.mode with
+           | Full_c11 -> true
+           | Total_mo -> (
+             match newest_store li with
+             | Some newest -> newest == s
+             | None -> false)
+         in
+         if claimable then (
            match read_prior_set t li ts ~load_mo:mo s with
            | Some pset ->
-             result := Some (commit_load s pset);
+             result := Some (commit_rmw s pset v);
              raise Exit
            | None -> ())
-         | Rmw_write v ->
-           let claimable =
-             (not s.rmw_claimed)
-             &&
-             match t.mode with
-             | Full_c11 -> true
-             | Total_mo -> (
-               match newest_store li with
-               | Some newest -> newest == s
-               | None -> false)
-           in
-           if claimable then
-             match read_prior_set t li ts ~load_mo:mo s with
-             | Some pset ->
-               result := Some (commit_rmw s pset v);
-               raise Exit
-             | None -> ())
-       arr
+     done
    with Exit -> ());
   match !result with
   | None ->
@@ -657,7 +807,7 @@ let na_read t ~tid ~loc =
   let seq = tick t ts in
   t.na_ops <- t.na_ops + 1;
   if t.metrics_on then Metrics.incr t.metrics "ops.na_read";
-  let v = match Hashtbl.find_opt t.values loc with Some v -> v | None -> 0 in
+  let v = get_value t loc in
   race_check t ~loc ~tid ~seq ~hb:ts.c ~is_write:false ~cls:Race.Na_access;
   if t.obs_on then
     emit_access t Obs.Na_read ~tid ~loc ~mo:"" ~value:v ~detail:"" ~seq;
@@ -683,19 +833,28 @@ let na_write t ~tid ~loc value =
     add_edges t pset a;
     record_store li a
   end;
-  Hashtbl.replace t.values loc value;
+  set_value t loc value;
   race_check t ~loc ~tid ~seq ~hb:ts.c ~is_write:true ~cls:Race.Na_access;
   if t.obs_on then
     emit_access t Obs.Na_write ~tid ~loc ~mo:"" ~value ~detail:"" ~seq
 
 let graph_footprint t =
-  Hashtbl.fold (fun _ li acc -> acc + li.store_count) t.locs 0
+  let acc = ref 0 in
+  Array.iter
+    (function Some li -> acc := !acc + li.store_count | None -> ())
+    t.locs;
+  !acc
 
 let set_trace_capacity t n = t.trace_cap <- max 0 n
 
+let rec take n l =
+  if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r
+
 let trace t =
-  let recent = List.filteri (fun i _ -> i < t.trace_cap) t.trace_rev in
-  List.rev recent
+  (* newest first: the current generation, then enough of the demoted one
+     to reach [trace_cap] actions *)
+  let newest_first = t.trace_rev @ take (t.trace_cap - t.trace_n) t.trace_old in
+  List.rev newest_first
 
 module Internal = struct
   let build_may_read_from = build_may_read_from

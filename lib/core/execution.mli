@@ -50,6 +50,13 @@ type loc_cell = {
 type loc_info = {
   li_loc : int;
   mutable cells : loc_cell list;
+  mutable cell_idx : loc_cell option array;
+      (** tid-indexed view of [cells], so per-access cell lookup is an array
+          probe; {!Pruner} may keep iterating [cells], which stays in sync *)
+  mutable last_sc : Action.t option;
+      (** newest seq_cst store, maintained incrementally by the store rules;
+          after pruning stores call {!refresh_loc_caches} *)
+  mutable newest : Action.t option;  (** newest store of any order; ditto *)
   mutable store_count : int;
   mutable rel_head : (int * Clockvec.t) option;
       (** Total_mo only: current C++11-style release-sequence head (owner
@@ -74,19 +81,28 @@ type t = {
   mutable seq : int;
   mutable threads : thread_state array;
   mutable nthreads : int;
-  locs : (int, loc_info) Hashtbl.t;
-  values : (int, int) Hashtbl.t;
-      (** commit-order value of every location; what a plain non-atomic read
-          observes *)
-  atomic_locs : (int, unit) Hashtbl.t;
+  mutable locs : loc_info option array;
+      (** loc-indexed: locations are dense small ints from {!fresh_loc}, so
+          all loc-keyed state is direct-indexed growable arrays *)
+  mutable values : int array;
+      (** commit-order value of every location (0 when never written); what
+          a plain non-atomic read observes *)
+  mutable atomic_locs : bool array;
   mutable next_loc : int;
   mutable atomic_ops : int;  (** atomic + synchronisation operations *)
   mutable na_ops : int;  (** plain shared-memory accesses *)
   mutable max_graph_size : int;
   mutable pruned_count : int;
   mutable trace_cap : int;  (** 0 = tracing off *)
-  mutable trace_rev : Action.t list;  (** newest first, capped *)
+  mutable trace_rev : Action.t list;  (** current generation, newest first *)
+  mutable trace_old : Action.t list;
+      (** previous generation; together with [trace_rev] always holds the
+          newest [trace_cap] actions *)
   mutable trace_n : int;
+  mutable mrf_buf : Action.t array;
+      (** reusable may-read-from scratch buffer; only [mrf_buf.(0..mrf_n-1)]
+          are meaningful, and only within one transition rule *)
+  mutable mrf_n : int;
 }
 
 (** [create ~mode ~rng ~race] builds a fresh execution.  The optional
@@ -150,6 +166,10 @@ val fence : t -> tid:int -> mo:Memorder.t -> unit
 
 val na_read : t -> tid:int -> loc:int -> int
 val na_write : t -> tid:int -> loc:int -> int -> unit
+
+(** Rebuild a location's [last_sc]/[newest] caches from its cell heads.
+    {!Pruner} must call this for every location it removed stores from. *)
+val refresh_loc_caches : loc_info -> unit
 
 (** Number of stores currently retained across all atomic locations. *)
 val graph_footprint : t -> int

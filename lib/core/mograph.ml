@@ -1,84 +1,165 @@
 type node = {
   action : Action.t;
-  mutable edges : node list;
+  mutable edges : node array;
+  mutable nedges : int;
   mutable rmw : node option;
   mutable cv : Clockvec.t;
   mutable pruned : bool;
+  mutable mark : int;
 }
 
-type t = { nodes : (int, node) Hashtbl.t }
+(* The per-action node cache (see Action.graph_node): the graph id guards
+   against an action being shared between two graphs (tests do this), and
+   the [pruned] flag against a stale pointer after a prune sweep. *)
+type Action.graph_node += Cached of node * int
 
-let create () = { nodes = Hashtbl.create 256 }
+type t = {
+  id : int;
+  nodes : (int, node) Hashtbl.t;
+  edge_keys : (int, unit) Hashtbl.t;
+      (* membership of the edge set as packed (from.seq, to.seq) keys:
+         [add_edge] dedup in O(1) instead of List.memq's O(out-degree) *)
+  queue : node Queue.t;  (* reusable BFS worklist for [propagate_from] *)
+  mutable gen : int;  (* current propagation generation for [mark] stamps *)
+}
+
+let next_graph_id = ref 0
+let no_edges : node array = [||]
+
+let create () =
+  incr next_graph_id;
+  (* sized for short executions — a graph is created per execution (litmus
+     tests build a handful of nodes) and Hashtbl grows itself under the
+     bigger workloads *)
+  {
+    id = !next_graph_id;
+    nodes = Hashtbl.create 16;
+    edge_keys = Hashtbl.create 16;
+    queue = Queue.create ();
+    gen = 0;
+  }
 
 let size t = Hashtbl.length t.nodes
 
-let get_node t (a : Action.t) =
-  match Hashtbl.find_opt t.nodes a.seq with
-  | Some n -> n
-  | None ->
-    let n =
-      {
-        action = a;
-        edges = [];
-        rmw = None;
-        cv = Clockvec.of_slot ~tid:a.tid ~seq:a.seq;
-        pruned = false;
-      }
-    in
-    Hashtbl.add t.nodes a.seq n;
-    n
+let new_node t (a : Action.t) =
+  let n =
+    {
+      action = a;
+      edges = no_edges;
+      nedges = 0;
+      rmw = None;
+      cv = Clockvec.of_slot ~tid:a.tid ~seq:a.seq;
+      pruned = false;
+      mark = 0;
+    }
+  in
+  Hashtbl.add t.nodes a.seq n;
+  a.mo_node <- Cached (n, t.id);
+  n
 
-let find_node t (a : Action.t) = Hashtbl.find_opt t.nodes a.seq
+let get_node t (a : Action.t) =
+  match a.mo_node with
+  | Cached (n, gid) when gid = t.id && not n.pruned -> n
+  | _ -> (
+    match Hashtbl.find_opt t.nodes a.seq with
+    | Some n ->
+      a.mo_node <- Cached (n, t.id);
+      n
+    | None -> new_node t a)
+
+let find_node t (a : Action.t) =
+  match a.mo_node with
+  | Cached (n, gid) when gid = t.id && not n.pruned -> Some n
+  | _ -> Hashtbl.find_opt t.nodes a.seq
+
+(* Sequence numbers stay well below 2^31 (they are bounded by the engine's
+   step limit), so an edge is one native int. *)
+let edge_key from to_ = (from.action.Action.seq lsl 31) lor to_.action.Action.seq
+
+let has_edge t from to_ = Hashtbl.mem t.edge_keys (edge_key from to_)
+
+let push_edge t from to_ =
+  let n = from.nedges in
+  if n = Array.length from.edges then begin
+    let cap = if n = 0 then 4 else 2 * n in
+    let arr = Array.make cap to_ in
+    Array.blit from.edges 0 arr 0 n;
+    from.edges <- arr
+  end;
+  from.edges.(n) <- to_;
+  from.nedges <- n + 1;
+  Hashtbl.replace t.edge_keys (edge_key from to_) ()
+
+let succs n =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (n.edges.(i) :: acc) in
+  go (n.nedges - 1) []
 
 (* Merge procedure of Figure 6. *)
 let merge dst src =
   if Clockvec.leq src.cv dst.cv then false else Clockvec.merge dst.cv src.cv
 
-let propagate_from start =
-  let q = Queue.create () in
+(* Breadth-first clock propagation with a generation-stamped frontier: a
+   node whose [mark] carries the current generation is already queued, so
+   repeated merges into it while it waits don't enqueue it again. *)
+let propagate_from t start =
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  let q = t.queue in
   Queue.add start q;
+  start.mark <- gen;
   while not (Queue.is_empty q) do
     let node = Queue.pop q in
-    List.iter (fun dst -> if merge dst node then Queue.add dst q) node.edges
+    node.mark <- 0;
+    for i = 0 to node.nedges - 1 do
+      let dst = node.edges.(i) in
+      if merge dst node && dst.mark <> gen then begin
+        dst.mark <- gen;
+        Queue.add dst q
+      end
+    done
   done
 
-let add_edge _t from to_ =
+(* An RMW is pinned immediately after the store it reads from, so a store
+   ordered after the head of an rmw chain is really ordered after the whole
+   chain: walk to its end (stopping short if the chain runs into [to_]
+   itself, in which case the edge lands on [to_]'s direct predecessor). *)
+let rec chain_end_before to_ n =
+  match n.rmw with
+  | None -> n
+  | Some next -> if next == to_ then n else chain_end_before to_ next
+
+let add_edge t from to_ =
   if from == to_ then ()
   else
-  let must_add_edge =
-    (match from.rmw with Some r -> r == to_ | None -> false)
-    || from.action.tid = to_.action.tid
-  in
-  if Clockvec.leq from.cv to_.cv && not must_add_edge then ()
-  else begin
-    (* An RMW is pinned immediately after the store it reads from, so a
-       store ordered after the head of an rmw chain is really ordered after
-       the whole chain: walk to its end. *)
-    let from = ref from in
-    (try
-       while !from.rmw <> None do
-         match !from.rmw with
-         | Some next -> if next == to_ then raise Exit else from := next
-         | None -> ()
-       done
-     with Exit -> ());
-    let from = !from in
-    if not (List.memq to_ from.edges) then from.edges <- to_ :: from.edges;
-    if merge to_ from then propagate_from to_
-  end
+    let must_add_edge =
+      (match from.rmw with Some r -> r == to_ | None -> false)
+      || from.action.tid = to_.action.tid
+    in
+    if Clockvec.leq from.cv to_.cv && not must_add_edge then ()
+    else begin
+      let from = chain_end_before to_ from in
+      if not (has_edge t from to_) then push_edge t from to_;
+      if merge to_ from then propagate_from t to_
+    end
 
 let add_rmw_edge t from rmw =
   from.rmw <- Some rmw;
-  List.iter
-    (fun dst -> if dst != rmw && not (List.memq dst rmw.edges) then rmw.edges <- dst :: rmw.edges)
-    from.edges;
-  from.edges <- [];
+  for i = 0 to from.nedges - 1 do
+    let dst = from.edges.(i) in
+    if dst != rmw && not (has_edge t rmw dst) then push_edge t rmw dst;
+    (* drop the key with the edge, or a stale hit would suppress a later
+       re-insertion (in particular of the [from -> rmw] edge itself, which
+       [from] often already carries as a same-thread sb edge) *)
+    Hashtbl.remove t.edge_keys (edge_key from dst)
+  done;
+  from.edges <- no_edges;
+  from.nedges <- 0;
   add_edge t from rmw;
   (* Each migrated edge is a new constraint [rmw -mo-> dst].  AddEdge's
      final merge may report no change (the rmw's clock can already cover
      the store it read), which would skip propagation, so push the rmw's
      clock over its out-edges unconditionally. *)
-  propagate_from rmw
+  propagate_from t rmw
 
 let reaches t (a : Action.t) (b : Action.t) =
   if a.seq = b.seq then true
@@ -116,10 +197,8 @@ let reaches_dfs t (a : Action.t) (b : Action.t) =
       if Hashtbl.mem visited n.action.seq then false
       else begin
         Hashtbl.add visited n.action.seq ();
-        let succs =
-          match n.rmw with Some r -> r :: n.edges | None -> n.edges
-        in
-        List.exists go succs
+        let nbrs = match n.rmw with Some r -> r :: succs n | None -> succs n in
+        List.exists go nbrs
       end
     in
     na == nb || go na
@@ -129,7 +208,12 @@ let remove_node t (a : Action.t) =
   | None -> ()
   | Some n ->
     n.pruned <- true;
-    n.edges <- [];
+    for i = 0 to n.nedges - 1 do
+      Hashtbl.remove t.edge_keys (edge_key n n.edges.(i))
+    done;
+    n.edges <- no_edges;
+    n.nedges <- 0;
+    a.mo_node <- Action.No_graph_node;
     Hashtbl.remove t.nodes a.seq
 
 let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.nodes
@@ -148,7 +232,7 @@ let to_dot t =
           Buffer.add_string buf
             (Printf.sprintf "  n%d -> n%d;\n" n.action.Action.seq
                dst.action.Action.seq))
-        n.edges;
+        (succs n);
       match n.rmw with
       | Some r ->
         Buffer.add_string buf
@@ -168,8 +252,8 @@ let check_acyclic t =
     | Some _ -> ()
     | None ->
       Hashtbl.add color n.action.seq 1;
-      let succs = match n.rmw with Some r -> r :: n.edges | None -> n.edges in
-      List.iter visit succs;
+      let nbrs = match n.rmw with Some r -> r :: succs n | None -> succs n in
+      List.iter visit nbrs;
       Hashtbl.replace color n.action.seq 2
   in
   try

@@ -13,28 +13,41 @@
 
 type node = {
   action : Action.t;
-  mutable edges : node list;  (** outgoing mo edges *)
+  mutable edges : node array;
+      (** outgoing mo edges, dynarray-style: only [edges.(0 .. nedges-1)]
+          are live — use {!succs} unless on a hot path *)
+  mutable nedges : int;
   mutable rmw : node option;  (** the RMW that reads from this store *)
   mutable cv : Clockvec.t;
   mutable pruned : bool;
+  mutable mark : int;
+      (** generation stamp: frontier membership during clock propagation *)
 }
 
 type t
 
 val create : unit -> t
 
+(** The live out-edges of a node as a list (allocates; for tests and
+    debugging output). *)
+val succs : node -> node list
+
 (** Number of live (non-pruned) nodes. *)
 val size : t -> int
 
 (** [get_node g a] returns the node for store [a], creating it (with the
-    initial clock vector [⊥_CV] of Section 4.2) on first use. *)
+    initial clock vector [⊥_CV] of Section 4.2) on first use.  The node is
+    cached on the action itself ({!Action.t.mo_node}), so repeated lookups
+    are a field read, not a hash probe. *)
 val get_node : t -> Action.t -> node
 
 val find_node : t -> Action.t -> node option
 
 (** [add_edge g from to_] — the [AddEdge] procedure of Figure 6: skip
     redundant edges, follow rmw chains, insert the edge and propagate clock
-    vectors breadth-first. *)
+    vectors breadth-first.  Duplicate-edge detection is a hashed
+    (from, to) membership probe and insertion an amortised-O(1) dynarray
+    append, so the procedure no longer scans the source's edge list. *)
 val add_edge : t -> node -> node -> unit
 
 (** [add_rmw_edge g from rmw] — the [AddRMWEdge] procedure of Figure 6:

@@ -44,8 +44,10 @@ let mo_before exec (x : Action.t) (s : Action.t) =
 
 let prune_with_anchors exec ~anchors_of_loc =
   let stores_pruned = ref 0 and loads_pruned = ref 0 in
-  Hashtbl.iter
-    (fun _loc li ->
+  Array.iter
+    (function
+      | None -> ()
+      | Some li ->
       let anchors = anchors_of_loc li in
       if anchors <> [] then begin
         let removed = Hashtbl.create 16 in
@@ -72,7 +74,7 @@ let prune_with_anchors exec ~anchors_of_loc =
                   cell.c_sc_stores
             end)
           li.cells;
-        if Hashtbl.length removed > 0 then
+        if Hashtbl.length removed > 0 then begin
           (* Drop pruned stores and any loads that read from them from the
              access lists. *)
           List.iter
@@ -92,7 +94,11 @@ let prune_with_anchors exec ~anchors_of_loc =
                   if a.kind = Action.Load then incr loads_pruned)
                 drop;
               cell.c_accesses <- keep)
-            li.cells
+            li.cells;
+          (* Removing stores may have invalidated the location's
+             incremental newest/last-sc caches. *)
+          refresh_loc_caches li
+        end
       end)
     exec.locs;
   (!stores_pruned, !loads_pruned)

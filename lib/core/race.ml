@@ -16,29 +16,39 @@ type report = {
 (* Shadow cell: slot [tid] of each vector holds the sequence number of
    thread [tid]'s most recent access of that class (0 = none).  Per-thread
    "last access" suffices because same-thread accesses are ordered by
-   sequenced-before. *)
-type shadow = {
-  na_w : Clockvec.t;
-  at_w : Clockvec.t;
-  na_r : Clockvec.t;
-  at_r : Clockvec.t;
-}
+   sequenced-before.
+
+   Each vector carries a FastTrack-style epoch witness [cov_tid]: the
+   thread whose happens-before clock was last verified to cover every
+   other thread's entry.  A thread's clock only grows, and the witness is
+   invalidated whenever a different thread writes an entry, so a re-check
+   by the witness thread is guaranteed conflict-free and skips the
+   vector-width loop entirely — the same-epoch shortcut that makes the
+   common run of same-thread accesses O(1) per access. *)
+type slot = { cv : Clockvec.t; mutable cov_tid : int }
+
+type shadow = { na_w : slot; at_w : slot; na_r : slot; at_r : slot }
 
 type t = {
-  shadows : (int, shadow) Hashtbl.t;
+  (* locations are dense small ints (Execution.fresh_loc counts from 0),
+     so the shadow store is a direct-indexed array — the per-access lookup
+     is a bounds check and a load, not a hash probe *)
+  mutable shadows : shadow option array;
   names : (int, string) Hashtbl.t;
   obs : Obs.t;
   metrics : Metrics.t;
+  metrics_on : bool;
   mutable found : report list;
   mutable count : int;
 }
 
 let create ?(obs = Obs.null) ?(metrics = Metrics.null) () =
   {
-    shadows = Hashtbl.create 256;
-    names = Hashtbl.create 64;
+    shadows = [||];
+    names = Hashtbl.create 8;
     obs;
     metrics;
+    metrics_on = Metrics.enabled metrics;
     found = [];
     count = 0;
   }
@@ -50,27 +60,49 @@ let loc_name t loc =
   | Some n -> n
   | None -> Printf.sprintf "loc%d" loc
 
-let shadow t loc =
-  match Hashtbl.find_opt t.shadows loc with
-  | Some s -> s
-  | None ->
-    let s =
-      {
-        na_w = Clockvec.bottom ();
-        at_w = Clockvec.bottom ();
-        na_r = Clockvec.bottom ();
-        at_r = Clockvec.bottom ();
-      }
-    in
-    Hashtbl.add t.shadows loc s;
-    s
+let fresh_slot () = { cv = Clockvec.bottom (); cov_tid = -1 }
 
+let new_shadow t loc =
+  let s =
+    {
+      na_w = fresh_slot ();
+      at_w = fresh_slot ();
+      na_r = fresh_slot ();
+      at_r = fresh_slot ();
+    }
+  in
+  let len = Array.length t.shadows in
+  if loc >= len then begin
+    let arr = Array.make (max (loc + 1) (max 16 (2 * len))) None in
+    Array.blit t.shadows 0 arr 0 len;
+    t.shadows <- arr
+  end;
+  t.shadows.(loc) <- Some s;
+  s
+
+let shadow t loc =
+  if loc < Array.length t.shadows then
+    match Array.unsafe_get t.shadows loc with
+    | Some s -> s
+    | None -> new_shadow t loc
+  else new_shadow t loc
+
+(* The slow path: scan the prior vector for entries unordered with [hb],
+   reporting each.  Returns whether any conflict was found, so the caller
+   can install the coverage witness on a clean scan. *)
 let report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
     ~is_write ~cls =
-  for u = 0 to Clockvec.width prior - 1 do
+  let found_any = ref false in
+  (* Raw slot scan: a never-accessed slot has width 0, so the loop is free,
+     and the common miss (entry covered by [hb]) is two loads and two
+     compares per slot.  Conflicts take the boxed slow path below. *)
+  let pd = Clockvec.raw prior and hd = Clockvec.raw hb in
+  let nh = Array.length hd in
+  for u = 0 to Array.length pd - 1 do
     if u <> tid then begin
-      let s = Clockvec.get prior u in
-      if s > 0 && not (Clockvec.covers hb ~tid:u ~seq:s) then begin
+      let s = Array.unsafe_get pd u in
+      if s > 0 && s > (if u < nh then Array.unsafe_get hd u else 0) then begin
+        found_any := true;
         let r =
           {
             loc;
@@ -102,13 +134,24 @@ let report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
             }
       end
     end
-  done
+  done;
+  !found_any
 
 let on_access t ~loc ~tid ~seq ~hb ~is_write ~cls =
   let s = shadow t loc in
-  let check prior ~prior_is_write ~prior_class =
-    report_conflicts t prior ~prior_is_write ~prior_class ~loc ~tid ~seq ~hb
-      ~is_write ~cls
+  let check slot ~prior_is_write ~prior_class =
+    if slot.cov_tid = tid then begin
+      (* Same-epoch fast path: this thread's clock already covered every
+         other entry and nothing foreign was written since. *)
+      if t.metrics_on then Metrics.incr t.metrics "race.epoch_hits"
+    end
+    else begin
+      let found =
+        report_conflicts t slot.cv ~prior_is_write ~prior_class ~loc ~tid ~seq
+          ~hb ~is_write ~cls
+      in
+      if not found then slot.cov_tid <- tid
+    end
   in
   (match (cls, is_write) with
   | Na_access, true ->
@@ -132,13 +175,14 @@ let on_access t ~loc ~tid ~seq ~hb ~is_write ~cls =
     | Atomic_access, true -> s.at_w
     | Atomic_access, false -> s.at_r
   in
-  Clockvec.set target tid seq
+  Clockvec.set target.cv tid seq;
+  if target.cov_tid <> tid then target.cov_tid <- -1
 
 let races t = List.rev t.found
 let race_count t = t.count
 
 let clear t =
-  Hashtbl.reset t.shadows;
+  t.shadows <- [||];
   t.found <- [];
   t.count <- 0
 

@@ -25,10 +25,17 @@ let note_executed st ~tid ~was_rlx_or_rel_store =
   st.last_tid <- tid;
   st.last_was_store <- was_rlx_or_rel_store
 
-let random_pick rng enabled =
-  match enabled with
-  | [ t ] -> t
-  | _ -> List.nth enabled (Rng.int rng (List.length enabled))
+(* The array variants below read [enabled.(0 .. n-1)], expected in
+   ascending tid order (as the engine builds them), and draw from the RNG
+   in exactly the order the original list-based code did — the engine's
+   fixed-seed determinism contract depends on that. *)
+
+let arr_mem x (arr : int array) n =
+  let rec go i = i < n && (Array.unsafe_get arr i = x || go (i + 1)) in
+  go 0
+
+let random_pick_n rng (enabled : int array) n =
+  if n = 1 then enabled.(0) else enabled.(Rng.int rng n)
 
 let ensure_priorities st rng n =
   let len = Array.length st.priorities in
@@ -38,48 +45,66 @@ let ensure_priorities st rng n =
     st.priorities <- p
   end
 
+let pick_n t st rng ~(enabled : int array) ~n ~pending_is_rlx_store =
+  if n <= 0 then invalid_arg "Schedule.pick: no enabled thread";
+  st.steps <- st.steps + 1;
+  match t with
+  | Controlled_random { batch_stores } ->
+    if
+      batch_stores && st.last_was_store
+      && arr_mem st.last_tid enabled n
+      && pending_is_rlx_store st.last_tid
+    then st.last_tid
+    else random_pick_n rng enabled n
+  | Bursty { mean_burst } ->
+    if st.burst_left > 0 && arr_mem st.last_tid enabled n then begin
+      st.burst_left <- st.burst_left - 1;
+      st.last_tid
+    end
+    else begin
+      let tid = random_pick_n rng enabled n in
+      st.burst_left <- Rng.geometric rng mean_burst - 1;
+      tid
+    end
+  | Priority { change_points } ->
+    let top = ref 0 in
+    for i = 0 to n - 1 do
+      if enabled.(i) > !top then top := enabled.(i)
+    done;
+    ensure_priorities st rng (!top + 1);
+    (* a change point demotes the thread that just ran *)
+    if
+      st.last_tid >= 0
+      && change_points > 0
+      (* on average [change_points] demotions per ~1000 decisions *)
+      && Rng.int rng 1000 < change_points
+    then
+      st.priorities.(st.last_tid) <-
+        st.priorities.(st.last_tid) -. 1.0;
+    let best = ref enabled.(0) in
+    for i = 1 to n - 1 do
+      let tid = enabled.(i) in
+      if st.priorities.(tid) > st.priorities.(!best) then best := tid
+    done;
+    !best
+  | Round_robin ->
+    let chosen = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         if enabled.(i) > st.last_tid then begin
+           chosen := enabled.(i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !chosen >= 0 then !chosen else enabled.(0)
+
 let pick t st rng ~enabled ~pending_is_rlx_store =
   match enabled with
   | [] -> invalid_arg "Schedule.pick: no enabled thread"
-  | _ -> (
-    st.steps <- st.steps + 1;
-    match t with
-    | Controlled_random { batch_stores } ->
-      if
-        batch_stores && st.last_was_store
-        && List.mem st.last_tid enabled
-        && pending_is_rlx_store st.last_tid
-      then st.last_tid
-      else random_pick rng enabled
-    | Bursty { mean_burst } ->
-      if st.burst_left > 0 && List.mem st.last_tid enabled then begin
-        st.burst_left <- st.burst_left - 1;
-        st.last_tid
-      end
-      else begin
-        let tid = random_pick rng enabled in
-        st.burst_left <- Rng.geometric rng mean_burst - 1;
-        tid
-      end
-    | Priority { change_points } ->
-      let top = List.fold_left max 0 enabled in
-      ensure_priorities st rng (top + 1);
-      (* a change point demotes the thread that just ran *)
-      if
-        st.last_tid >= 0
-        && change_points > 0
-        (* on average [change_points] demotions per ~1000 decisions *)
-        && Rng.int rng 1000 < change_points
-      then
-        st.priorities.(st.last_tid) <-
-          st.priorities.(st.last_tid) -. 1.0;
-      List.fold_left
-        (fun best tid ->
-          if st.priorities.(tid) > st.priorities.(best) then tid else best)
-        (List.hd enabled) enabled
-    | Round_robin ->
-      let after = List.filter (fun tid -> tid > st.last_tid) enabled in
-      (match after with next :: _ -> next | [] -> List.hd enabled))
+  | _ ->
+    let arr = Array.of_list enabled in
+    pick_n t st rng ~enabled:arr ~n:(Array.length arr) ~pending_is_rlx_store
 
 let pp fmt = function
   | Controlled_random { batch_stores } ->

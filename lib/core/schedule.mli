@@ -40,10 +40,23 @@ val make_state : unit -> state
     store-batching rule can recognise store runs. *)
 val note_executed : state -> tid:int -> was_rlx_or_rel_store:bool -> unit
 
-(** [pick t state rng ~enabled ~pending_is_rlx_store] chooses the next
-    thread.  [enabled] must be non-empty; [pending_is_rlx_store tid]
-    reports whether [tid]'s next visible operation is a release/relaxed
-    atomic store. *)
+(** [pick_n t state rng ~enabled ~n ~pending_is_rlx_store] chooses the
+    next thread among [enabled.(0 .. n-1)] (ascending tids, non-empty).
+    This is the engine's per-step entry point: the caller reuses one
+    buffer across steps and no list is allocated.  [pending_is_rlx_store
+    tid] reports whether [tid]'s next visible operation is a
+    release/relaxed atomic store.  RNG draws are made in the same order as
+    {!pick} on the equivalent list. *)
+val pick_n :
+  t ->
+  state ->
+  Rng.t ->
+  enabled:int array ->
+  n:int ->
+  pending_is_rlx_store:(int -> bool) ->
+  int
+
+(** List-based convenience wrapper over {!pick_n} (allocates; for tests). *)
 val pick :
   t ->
   state ->

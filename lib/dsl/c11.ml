@@ -6,6 +6,19 @@ type thread = int
 
 let perform = Fiber.perform
 
+(* Non-atomic accesses never reach the scheduler, so when the engine has
+   published an inline context they go straight to the model instead of
+   suspending the fiber (see Engine.inline_ctx). *)
+let na_read loc =
+  match !Engine.inline_ctx with
+  | Some c -> Engine.inline_na_read c ~loc
+  | None -> perform (Op.Na_read { loc })
+
+let na_write loc value =
+  match !Engine.inline_ctx with
+  | Some c -> Engine.inline_na_write c ~loc value
+  | None -> ignore (perform (Op.Na_write { loc; value }))
+
 module Atomic = struct
   let make ?name v = perform (Op.Alloc { atomic = true; name; init = v })
 
@@ -40,15 +53,15 @@ module Atomic = struct
     in
     old = expected
 
-  let init a v = ignore (perform (Op.Na_write { loc = a; value = v }))
+  let init a v = na_write a v
   let na_store = init
-  let na_load a = perform (Op.Na_read { loc = a })
+  let na_load a = na_read a
 end
 
 module Nonatomic = struct
   let make ?name v = perform (Op.Alloc { atomic = false; name; init = v })
-  let read l = perform (Op.Na_read { loc = l })
-  let write l v = ignore (perform (Op.Na_write { loc = l; value = v }))
+  let read l = na_read l
+  let write l v = na_write l v
 end
 
 module Volatile = struct

@@ -82,6 +82,8 @@ type state = {
   mutable condvars : condvar array;
   mutable ncondvars : int;
   sched_state : Schedule.state;
+  mutable enabled_buf : int array;
+      (* reusable per-step buffer of enabled tids, ascending *)
   mutable steps : int;
   mutable assertion_failures : string list;
   mutable uncaught : string list;
@@ -149,12 +151,21 @@ let thread_enabled st th =
   | Pending (p, _) -> op_enabled st p
   | Finished -> false
 
-let enabled_tids st =
-  let rec go i acc =
-    if i < 0 then acc
-    else go (i - 1) (if thread_enabled st st.threads.(i) then i :: acc else acc)
-  in
-  go (st.nthreads - 1) []
+(* Fill [st.enabled_buf] with the enabled tids in ascending order and
+   return how many there are — ran on every scheduling decision, so no
+   per-step list. *)
+let collect_enabled st =
+  if Array.length st.enabled_buf < st.nthreads then
+    st.enabled_buf <- Array.make (max 8 (2 * st.nthreads)) 0;
+  let buf = st.enabled_buf in
+  let n = ref 0 in
+  for i = 0 to st.nthreads - 1 do
+    if thread_enabled st st.threads.(i) then begin
+      buf.(!n) <- i;
+      incr n
+    end
+  done;
+  !n
 
 let pending_is_rlx_store st tid =
   match st.threads.(tid).status with
@@ -313,6 +324,10 @@ let record_crash st = function
     st.assertion_failures <- msg :: st.assertion_failures;
     raise Abort_execution
   | Fiber.Cancelled -> raise Abort_execution
+  | Abort_execution ->
+    (* the step limit can now trip inside the fiber (an inline fast-path
+       access, see [inline_ctx]); it is an abort, not a program crash *)
+    raise Abort_execution
   | e ->
     st.uncaught <- Printexc.to_string e :: st.uncaught;
     raise Abort_execution
@@ -324,6 +339,41 @@ let bump_steps st =
     raise Abort_execution
   end
 
+(* ------------------------------------------------------------------ *)
+(* Inline fast path.  Non-atomic reads and writes never schedule: the
+   settle loop below would absorb them without consulting the scheduler
+   or the RNG.  Suspending the fiber just to bounce straight back is the
+   dominant cost of a plain access, so while a fiber is running,
+   [inline_ctx] names the engine state and acting thread and the DSL
+   interprets those operations as direct calls — same step accounting,
+   same model calls, no effect round-trip.  The reference is [None]
+   outside fiber execution (in particular during [Fiber.cancel] unwinds),
+   where the DSL falls back to performing the effect. *)
+
+type inline_ctx = { ic_st : state; ic_tid : int }
+
+let inline_ctx : inline_ctx option ref = ref None
+
+let inline_na_read c ~loc =
+  bump_steps c.ic_st;
+  Execution.na_read c.ic_st.exec ~tid:c.ic_tid ~loc
+
+let inline_na_write c ~loc v =
+  bump_steps c.ic_st;
+  Execution.na_write c.ic_st.exec ~tid:c.ic_tid ~loc v
+
+let fiber_start st tid body =
+  inline_ctx := Some { ic_st = st; ic_tid = tid };
+  let r = Fiber.start body in
+  inline_ctx := None;
+  r
+
+let fiber_resume st tid k v =
+  inline_ctx := Some { ic_st = st; ic_tid = tid };
+  let r = Fiber.resume k v in
+  inline_ctx := None;
+  r
+
 (* Run one fiber step and keep absorbing inline (non-scheduling)
    operations; park the fiber at its next scheduling point. *)
 let rec settle st th (step : Fiber.step) =
@@ -334,7 +384,7 @@ let rec settle st th (step : Fiber.step) =
     if Op.is_inline op then begin
       bump_steps st;
       match exec_op st th op with
-      | Value v -> settle st th (Fiber.resume k v)
+      | Value v -> settle st th (fiber_resume st th.tid k v)
       | Sleep _ -> assert false
     end
     else th.status <- Pending (App_op op, k)
@@ -379,7 +429,7 @@ let run_thread st tid =
   match th.status with
   | Not_started body ->
     Schedule.note_executed st.sched_state ~tid ~was_rlx_or_rel_store:false;
-    settle st th (Fiber.start body)
+    settle st th (fiber_start st tid body)
   | Pending ((App_op op as p), k) ->
     Schedule.note_executed st.sched_state ~tid
       ~was_rlx_or_rel_store:(Op.is_rlx_or_rel_store op);
@@ -388,7 +438,7 @@ let run_thread st tid =
       (match sync_detail p with
       | Some d -> emit_sync st ~tid d
       | None -> ());
-      settle st th (Fiber.resume k v)
+      settle st th (fiber_resume st tid k v)
     | Sleep { cond; mutex = m } ->
       emit_sync st ~tid "cond_wait";
       th.status <- Pending (Sleeping { cond; mutex = m }, k))
@@ -396,7 +446,7 @@ let run_thread st tid =
     Schedule.note_executed st.sched_state ~tid ~was_rlx_or_rel_store:false;
     lock_mutex st tid (mutex st m);
     emit_sync st ~tid "relock";
-    settle st th (Fiber.resume k 0)
+    settle st th (fiber_resume st tid k 0)
   | Pending (Sleeping _, _) | Finished ->
     raise (Execution.Model_error "scheduled a disabled thread")
 
@@ -435,6 +485,7 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
       condvars = [||];
       ncondvars = 0;
       sched_state = Schedule.make_state ();
+      enabled_buf = [||];
       steps = 0;
       assertion_failures = [];
       uncaught = [];
@@ -443,22 +494,25 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
     }
   in
   ignore (add_thread st f ~parent:None);
+  let is_rlx_store = pending_is_rlx_store st in
   (try
      let continue_ = ref true in
      while !continue_ do
-       match enabled_tids st with
-       | [] ->
-         let unfinished =
-           Array.exists
-             (fun th -> th.status <> Finished)
-             (Array.sub st.threads 0 st.nthreads)
-         in
-         if unfinished then st.deadlock <- true;
+       let n = collect_enabled st in
+       if n = 0 then begin
+         let unfinished = ref false in
+         for i = 0 to st.nthreads - 1 do
+           match st.threads.(i).status with
+           | Finished -> ()
+           | Not_started _ | Pending _ -> unfinished := true
+         done;
+         if !unfinished then st.deadlock <- true;
          continue_ := false
-       | enabled ->
+       end
+       else begin
          let tid =
-           Schedule.pick config.sched st.sched_state rng ~enabled
-             ~pending_is_rlx_store:(pending_is_rlx_store st)
+           Schedule.pick_n config.sched st.sched_state rng
+             ~enabled:st.enabled_buf ~n ~pending_is_rlx_store:is_rlx_store
          in
          if obs_on then
            Obs.emit obs
@@ -468,7 +522,7 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
                kind = Obs.Sched_pick;
                loc = -1;
                mo = "";
-               value = List.length enabled;
+               value = n;
                detail = "";
              };
          if metrics_on then Metrics.incr metrics "sched.picks";
@@ -481,6 +535,7 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
             raise Abort_execution);
          ignore
            (Pruner.maybe_prune config.prune exec ~ops:exec.Execution.atomic_ops)
+       end
      done
    with
   | Abort_execution -> cancel_all st

@@ -71,4 +71,16 @@ exception Assertion_violation of string
 (** DSL support: used by {!C11}, not by user code. *)
 val assert_that : bool -> string -> unit
 
+(** DSL support: the inline-operation fast path.  While the engine runs a
+    fiber, [inline_ctx] names the engine state and acting thread;
+    non-atomic accesses — which never schedule — are then interpreted as
+    direct calls into {!Execution} instead of effect suspensions (same step
+    accounting and model behaviour, no fiber round-trip).  [None] outside
+    fiber execution, where the DSL performs the effect as usual. *)
+type inline_ctx
+
+val inline_ctx : inline_ctx option ref
+val inline_na_read : inline_ctx -> loc:int -> int
+val inline_na_write : inline_ctx -> loc:int -> int -> unit
+
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -201,6 +201,7 @@ let test_action_happens_before () =
       rf_cv = None;
       rmw_claimed = false;
       volatile = false;
+      mo_node = Action.No_graph_node;
     }
   in
   let b_cv = Clockvec.of_slot ~tid:1 ~seq:2 in

@@ -14,4 +14,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -18,6 +18,7 @@ let mk_store ?(tid = 0) ?(loc = 0) seq =
     rf_cv = None;
     rmw_claimed = false;
     volatile = false;
+    mo_node = Action.No_graph_node;
   }
 
 let test_simple_edge () =
