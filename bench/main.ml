@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- table2 fig4  # selected experiments
      dune exec bench/main.exe -- --quick      # smaller iteration counts
      dune exec bench/main.exe -- --json F     # also dump metrics as JSON
+     dune exec bench/main.exe -- --jobs N perf  # shard perf campaigns
 
    Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
    table4 prune. *)
@@ -28,7 +29,8 @@ let experiments : (string * (unit -> unit)) list =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [--quick] [--json FILE] [experiment ...]\nexperiments:\n";
+    "usage: main.exe [--quick] [--json FILE] [--jobs N] [experiment ...]\n\
+     experiments:\n";
   List.iter (fun (n, _) -> Printf.printf "  %s\n" n) experiments
 
 (* Extract "--json FILE" from the argument list, returning the file (if
@@ -41,6 +43,16 @@ let rec take_json = function
   | a :: rest ->
     let json, rest = take_json rest in
     (json, a :: rest)
+
+(* Same shape for "--jobs N" (perf-suite campaign sharding). *)
+let rec take_jobs = function
+  | [] -> (None, [])
+  | "--jobs" :: n :: rest ->
+    let _, rest = take_jobs rest in
+    (int_of_string_opt n, rest)
+  | a :: rest ->
+    let jobs, rest = take_jobs rest in
+    (jobs, a :: rest)
 
 let write_json ~quick ~todo path =
   let perf =
@@ -72,6 +84,10 @@ let write_json ~quick ~todo path =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json, args = take_json args in
+  let jobs, args = take_jobs args in
+  Option.iter
+    (fun j -> Perfsuite.jobs := if j <= 0 then Par.available_jobs () else j)
+    jobs;
   let quick = List.mem "--quick" args in
   let selected =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args

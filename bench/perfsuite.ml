@@ -19,6 +19,12 @@ let iters_ds = ref 400
 let iters_app = ref 50
 let iters_litmus = ref 2500
 
+(* Campaign sharding (`--jobs N`).  The parity observables are
+   bit-identical for every job count — only the wall times change — so
+   jobs > 1 runs are diffable against the sequential baseline exactly
+   like build-to-build comparisons. *)
+let jobs = ref 1
+
 let quick () =
   iters_ds := 20;
   iters_app := 3;
@@ -43,7 +49,7 @@ let run_workload (w : Registry.t) ~iters =
   let config = Tool.config ~seed ~max_steps:150_000 Tool.C11tester in
   let s, wall =
     Stats.timed (fun () ->
-        Tester.run ~config ~iters
+        Tester.run_parallel ~jobs:!jobs ~config ~iters
           (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale))
   in
   let ops = s.Tester.total_atomic_ops + s.Tester.total_na_ops in
@@ -82,7 +88,8 @@ let row_to_json r =
 let litmus_row (t : Litmus.t) =
   let config = Tool.config ~seed Tool.C11tester in
   let hist, wall =
-    Stats.timed (fun () -> Litmus.explore ~config ~iters:!iters_litmus t)
+    Stats.timed (fun () ->
+        Litmus.explore ~jobs:!jobs ~config ~iters:!iters_litmus t)
   in
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) hist in
   let weak = Litmus.weak_observed hist t in
@@ -113,9 +120,10 @@ let litmus_to_json (t, sorted, weak, violations, wall) =
 let run () =
   Bench_util.header
     (Printf.sprintf
-       "Fixed-seed perf suite (seed %Ld): wall time, throughput and parity \
+       "Fixed-seed perf suite (seed %Ld%s): wall time, throughput and parity \
         observables per workload"
-       seed);
+       seed
+       (if !jobs > 1 then Printf.sprintf ", %d domains" !jobs else ""));
   Printf.printf "%-16s %6s %9s %10s %12s %6s %6s %5s\n" "workload" "iters"
     "wall" "execs/s" "ops/s" "buggy" "racy" "races";
   let rows =
@@ -166,6 +174,7 @@ let run () =
          [
            ("schema", Jsonx.String "c11-perfsuite-v1");
            ("seed", Jsonx.String (Int64.to_string seed));
+           ("jobs", Jsonx.Int !jobs);
            ("total_wall_s", Jsonx.Float total_wall);
            ("total_ops", Jsonx.Int total_ops);
            ( "total_ops_per_s",

@@ -28,6 +28,16 @@ let seed_arg =
   let doc = "Base random seed (executions derive their own from it)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Shard executions across $(docv) OCaml domains.  Deterministic: the \
+     merged summary, histogram and race reports are bit-identical for \
+     every value of $(docv); 0 means one domain per core."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs j = if j <= 0 then Par.available_jobs () else j
+
 let scale_arg =
   let doc = "Workload scale override (operations per thread)." in
   Arg.(value & opt (some int) None & info [ "scale" ] ~doc)
@@ -91,8 +101,8 @@ let run_cmd =
     let doc = "Workload name (see `c11test list')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
   in
-  let run workload tool iters seed scale buggy prune verbose trace_depth json
-      trace_out profile_flag =
+  let run workload tool iters seed jobs scale buggy prune verbose trace_depth
+      json trace_out profile_flag =
     match Registry.find workload with
     | None ->
       Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
@@ -106,6 +116,7 @@ let run_cmd =
         let config =
           { (Tool.config ~prune tool) with Engine.seed = Int64.of_int seed }
         in
+        let jobs = resolve_jobs jobs in
         let scale = Option.value ~default:w.Registry.default_scale scale in
         let variant = if buggy then Variant.Buggy else Variant.Correct in
         let body = w.Registry.run ~variant ~scale in
@@ -120,10 +131,14 @@ let run_cmd =
           else Profile.null
         in
         if not quiet then
-          Printf.printf "%s (%s variant) under %s, %d executions, scale %d\n"
+          Printf.printf
+            "%s (%s variant) under %s, %d executions, scale %d%s\n"
             w.Registry.name (Variant.to_string variant) (Tool.name tool) iters
-            scale;
-        let summary = Tester.run ~profile ~metrics ~config ~iters body in
+            scale
+            (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
+        let summary =
+          Tester.run_parallel ~profile ~metrics ~jobs ~config ~iters body
+        in
         if not quiet then
           Format.printf "%a@." Tester.pp_summary summary;
         if verbose && not quiet then
@@ -133,8 +148,8 @@ let run_cmd =
         if trace_depth > 0 || trace_out <> None then begin
           let ring_capacity = max 65536 trace_depth in
           let obs = Obs.create ~ring_capacity () in
-          match Tester.find_buggy ~obs ~profile ~metrics ~config
-                  ~attempts:iters body
+          match Tester.find_buggy_parallel ~obs ~profile ~metrics ~jobs
+                  ~config ~attempts:iters body
           with
           | None ->
             if not quiet then
@@ -170,6 +185,7 @@ let run_cmd =
                 ("tool", Jsonx.String (Tool.name tool));
                 ("iters", Jsonx.Int iters);
                 ("seed", Jsonx.Int seed);
+                ("jobs", Jsonx.Int jobs);
                 ("scale", Jsonx.Int scale);
                 ("summary", Tester.summary_to_json summary);
                 ("metrics", Metrics.to_json metrics);
@@ -183,8 +199,8 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ scale_arg
-      $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg $ json_arg
+      const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
+      $ scale_arg $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg $ json_arg
       $ trace_out_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a workload repeatedly and report bugs") term
@@ -194,7 +210,7 @@ let litmus_cmd =
     let doc = "Litmus test name (see `c11test list')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LITMUS" ~doc)
   in
-  let run name tool iters seed =
+  let run name tool iters seed jobs =
     match Litmus.find name with
     | None ->
       Printf.eprintf "unknown litmus test %S; try `c11test list'\n" name;
@@ -203,9 +219,12 @@ let litmus_cmd =
       let config =
         { (Tool.config tool) with Engine.seed = Int64.of_int seed }
       in
-      Printf.printf "%s under %s, %d executions\n%s\n\n" t.Litmus.name
-        (Tool.name tool) iters t.Litmus.description;
-      let hist = Litmus.explore ~config ~iters t in
+      let jobs = resolve_jobs jobs in
+      Printf.printf "%s under %s, %d executions%s\n%s\n\n" t.Litmus.name
+        (Tool.name tool) iters
+        (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "")
+        t.Litmus.description;
+      let hist = Litmus.explore ~jobs ~config ~iters t in
       List.iter
         (fun (o, n) ->
           Format.printf "%6d  %a%s%s@." n (Litmus.pp_outcome t) o
@@ -214,7 +233,9 @@ let litmus_cmd =
         hist;
       0
   in
-  let term = Term.(const run $ name_arg $ tool_arg $ iters_arg $ seed_arg) in
+  let term =
+    Term.(const run $ name_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Explore the outcome histogram of a litmus test")
     term

@@ -23,16 +23,21 @@ type t = {
   mutable gen : int;  (* current propagation generation for [mark] stamps *)
 }
 
-let next_graph_id = ref 0
+(* Graph ids stamp the per-action node cache, so two graphs alive at once
+   (one per domain during parallel campaigns) must never share an id:
+   a plain ref could hand the same id to two domains — or, worse, repeat
+   an id within one domain after a lost update — validating stale cached
+   nodes.  Hence an atomic counter. *)
+let next_graph_id = Atomic.make 0
 let no_edges : node array = [||]
 
 let create () =
-  incr next_graph_id;
+  let id = 1 + Atomic.fetch_and_add next_graph_id 1 in
   (* sized for short executions — a graph is created per execution (litmus
      tests build a handful of nodes) and Hashtbl grows itself under the
      bigger workloads *)
   {
-    id = !next_graph_id;
+    id;
     nodes = Hashtbl.create 16;
     edge_keys = Hashtbl.create 16;
     queue = Queue.create ();

@@ -17,6 +17,16 @@ let split t =
   let s = next_int64 t in
   create (mix64 s)
 
+(* Splitmix64's stream is a pure function of the index: the i-th draw of
+   [create base] is [mix64 (base + (i+1) * gamma)].  Computing it directly
+   lets a campaign hand execution [index] its seed without replaying the
+   stream — any worker of a sharded campaign derives the same seed for the
+   same execution index, which is what makes parallel campaigns merge
+   bit-identically with sequential ones. *)
+let substream base ~index =
+  if index < 0 then invalid_arg "Rng.substream: index must be non-negative";
+  mix64 (Int64.add base (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in

@@ -13,6 +13,16 @@ val create : int64 -> t
     of a repeated test its own stream. *)
 val split : t -> t
 
+(** [substream base ~index] is the [index]-th (0-based) element of the
+    seed stream rooted at [base]: exactly the value the [index+1]-th call
+    of {!next_int64} on [create base] returns, computed in O(1) from the
+    index alone.  A campaign's executions draw their seeds from this
+    stream, so execution [index] receives the same seed no matter how the
+    campaign is sharded across workers — the foundation of the parallel
+    runner's determinism contract.  Raises [Invalid_argument] on a
+    negative index. *)
+val substream : int64 -> index:int -> int64
+
 val next_int64 : t -> int64
 
 (** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)

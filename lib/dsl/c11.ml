@@ -7,15 +7,15 @@ type thread = int
 let perform = Fiber.perform
 
 (* Non-atomic accesses never reach the scheduler, so when the engine has
-   published an inline context they go straight to the model instead of
-   suspending the fiber (see Engine.inline_ctx). *)
+   published an inline context (domain-local; see Engine.current_inline_ctx)
+   they go straight to the model instead of suspending the fiber. *)
 let na_read loc =
-  match !Engine.inline_ctx with
+  match Engine.current_inline_ctx () with
   | Some c -> Engine.inline_na_read c ~loc
   | None -> perform (Op.Na_read { loc })
 
 let na_write loc value =
-  match !Engine.inline_ctx with
+  match Engine.current_inline_ctx () with
   | Some c -> Engine.inline_na_write c ~loc value
   | None -> ignore (perform (Op.Na_write { loc; value }))
 

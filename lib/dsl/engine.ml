@@ -343,16 +343,24 @@ let bump_steps st =
 (* Inline fast path.  Non-atomic reads and writes never schedule: the
    settle loop below would absorb them without consulting the scheduler
    or the RNG.  Suspending the fiber just to bounce straight back is the
-   dominant cost of a plain access, so while a fiber is running,
-   [inline_ctx] names the engine state and acting thread and the DSL
+   dominant cost of a plain access, so while a fiber is running, the
+   inline context names the engine state and acting thread and the DSL
    interprets those operations as direct calls — same step accounting,
-   same model calls, no effect round-trip.  The reference is [None]
+   same model calls, no effect round-trip.  The context is [None]
    outside fiber execution (in particular during [Fiber.cancel] unwinds),
-   where the DSL falls back to performing the effect. *)
+   where the DSL falls back to performing the effect.
+
+   The context lives in domain-local storage, not a module-level ref:
+   parallel campaigns (Tester.run_*_parallel) run one engine per domain,
+   and a shared ref would let one domain's fiber read another domain's
+   engine state. *)
 
 type inline_ctx = { ic_st : state; ic_tid : int }
 
-let inline_ctx : inline_ctx option ref = ref None
+let inline_ctx_key : inline_ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let[@inline] current_inline_ctx () = Domain.DLS.get inline_ctx_key
 
 let inline_na_read c ~loc =
   bump_steps c.ic_st;
@@ -363,15 +371,15 @@ let inline_na_write c ~loc v =
   Execution.na_write c.ic_st.exec ~tid:c.ic_tid ~loc v
 
 let fiber_start st tid body =
-  inline_ctx := Some { ic_st = st; ic_tid = tid };
+  Domain.DLS.set inline_ctx_key (Some { ic_st = st; ic_tid = tid });
   let r = Fiber.start body in
-  inline_ctx := None;
+  Domain.DLS.set inline_ctx_key None;
   r
 
 let fiber_resume st tid k v =
-  inline_ctx := Some { ic_st = st; ic_tid = tid };
+  Domain.DLS.set inline_ctx_key (Some { ic_st = st; ic_tid = tid });
   let r = Fiber.resume k v in
-  inline_ctx := None;
+  Domain.DLS.set inline_ctx_key None;
   r
 
 (* Run one fiber step and keep absorbing inline (non-scheduling)

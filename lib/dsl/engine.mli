@@ -72,14 +72,17 @@ exception Assertion_violation of string
 val assert_that : bool -> string -> unit
 
 (** DSL support: the inline-operation fast path.  While the engine runs a
-    fiber, [inline_ctx] names the engine state and acting thread;
+    fiber, the inline context names the engine state and acting thread;
     non-atomic accesses — which never schedule — are then interpreted as
     direct calls into {!Execution} instead of effect suspensions (same step
-    accounting and model behaviour, no fiber round-trip).  [None] outside
-    fiber execution, where the DSL performs the effect as usual. *)
+    accounting and model behaviour, no fiber round-trip).
+    [current_inline_ctx] reads the running domain's context from
+    domain-local storage ({!Tester} runs one engine per domain during
+    parallel campaigns); it is [None] outside fiber execution, where the
+    DSL performs the effect as usual. *)
 type inline_ctx
 
-val inline_ctx : inline_ctx option ref
+val current_inline_ctx : unit -> inline_ctx option
 val inline_na_read : inline_ctx -> loc:int -> int
 val inline_na_write : inline_ctx -> loc:int -> int -> unit
 

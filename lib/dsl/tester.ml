@@ -16,11 +16,31 @@ let detection_rate s =
   if s.executions = 0 then 0.0
   else 100.0 *. float_of_int s.buggy_executions /. float_of_int s.executions
 
-let run_collect ?obs ?profile ?metrics ~config ~iters f =
-  let seeder = Rng.create config.Engine.seed in
-  let seen = Hashtbl.create 32 in
-  let distinct = ref [] in
-  let histogram = Hashtbl.create 32 in
+(* ------------------------------------------------------------------ *)
+(* Shards.
+
+   Both the sequential and the parallel runners are built from the same
+   unit: run the executions of one leapfrog shard (global indices
+   [worker], [worker+jobs], ... below [total]) and accumulate counters,
+   shard-local race dedup and a shard-local observation histogram, each
+   entry carrying the global index of its first occurrence.  Execution
+   [i]'s seed comes from [Rng.substream config.seed ~index:i] — a pure
+   function of the index — so what executions do is independent of how
+   they are dealt to workers; the first-occurrence indices then let the
+   merge reconstruct exactly the sequential runner's output. *)
+
+type 'a shard = {
+  sh_counters : Par.Merge.counters;
+  sh_races : (int * Race.report) list;
+      (* shard-local first occurrences, ascending global index *)
+  sh_hist : ('a * int * int) list;
+      (* (observation, count, first global index), unordered *)
+}
+
+let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
+  let seen = Hashtbl.create 16 in
+  let races = ref [] in
+  let histogram = Hashtbl.create 16 in
   let buggy = ref 0
   and racy = ref 0
   and asserts = ref 0
@@ -29,13 +49,17 @@ let run_collect ?obs ?profile ?metrics ~config ~iters f =
   and atomic_ops = ref 0
   and na_ops = ref 0
   and max_graph = ref 0
-  and steps = ref 0 in
+  and steps = ref 0
+  and executions = ref 0 in
   let observation = ref None in
-  for _ = 1 to iters do
-    let seed = Rng.next_int64 seeder in
+  let i = ref worker in
+  while !i < total do
+    let index = !i in
+    let seed = Rng.substream config.Engine.seed ~index in
     observation := None;
     let body () = observation := Some (f ()) in
-    let o = Engine.run ?obs ?profile ?metrics { config with Engine.seed } body in
+    let o = Engine.run ~obs ~profile ~metrics { config with Engine.seed } body in
+    incr executions;
     if Engine.buggy o then incr buggy;
     if o.Engine.races <> [] then incr racy;
     if o.Engine.assertion_failures <> [] then incr asserts;
@@ -51,55 +75,239 @@ let run_collect ?obs ?profile ?metrics ~config ~iters f =
         let key = Race.dedup_key r in
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.add seen key ();
-          distinct := r :: !distinct
+          races := (index, r) :: !races
         end)
       o.Engine.races;
-    match !observation with
-    | Some obs ->
-      Hashtbl.replace histogram obs
-        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram obs))
-    | None -> ()
+    (match !observation with
+    | Some obs -> (
+      match Hashtbl.find_opt histogram obs with
+      | Some (count, first) -> Hashtbl.replace histogram obs (count + 1, first)
+      | None -> Hashtbl.replace histogram obs (1, index))
+    | None -> ());
+    i := !i + jobs
   done;
-  let summary =
-    {
-      executions = iters;
-      buggy_executions = !buggy;
-      race_executions = !racy;
-      assert_executions = !asserts;
-      deadlocks = !deadlocks;
-      step_limit_hits = !limits;
-      distinct_races = List.rev !distinct;
-      total_atomic_ops = !atomic_ops;
-      total_na_ops = !na_ops;
-      max_graph_size = !max_graph;
-      mean_steps =
-        (if iters = 0 then 0.0 else float_of_int !steps /. float_of_int iters);
-    }
+  {
+    sh_counters =
+      {
+        Par.Merge.executions = !executions;
+        buggy = !buggy;
+        racy = !racy;
+        asserts = !asserts;
+        deadlocks = !deadlocks;
+        limits = !limits;
+        atomic_ops = !atomic_ops;
+        na_ops = !na_ops;
+        max_graph = !max_graph;
+        steps = !steps;
+      };
+    sh_races = List.rev !races;
+    sh_hist =
+      Hashtbl.fold (fun k (count, first) l -> (k, count, first) :: l) histogram
+        [];
+  }
+
+let summary_of_counters (c : Par.Merge.counters) distinct =
+  {
+    executions = c.Par.Merge.executions;
+    buggy_executions = c.Par.Merge.buggy;
+    race_executions = c.Par.Merge.racy;
+    assert_executions = c.Par.Merge.asserts;
+    deadlocks = c.Par.Merge.deadlocks;
+    step_limit_hits = c.Par.Merge.limits;
+    distinct_races = distinct;
+    total_atomic_ops = c.Par.Merge.atomic_ops;
+    total_na_ops = c.Par.Merge.na_ops;
+    max_graph_size = c.Par.Merge.max_graph;
+    mean_steps =
+      (if c.Par.Merge.executions = 0 then 0.0
+       else
+         float_of_int c.Par.Merge.steps /. float_of_int c.Par.Merge.executions);
+  }
+
+let merge_shards shards =
+  let counters =
+    List.fold_left
+      (fun acc s -> Par.Merge.add acc s.sh_counters)
+      Par.Merge.zero shards
   in
-  let hist = Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram [] in
-  (summary, hist)
+  let distinct =
+    Par.Merge.dedup ~key:Race.dedup_key (List.map (fun s -> s.sh_races) shards)
+  in
+  let hist = Par.Merge.histogram (List.map (fun s -> s.sh_hist) shards) in
+  (summary_of_counters counters distinct, hist)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential runners: one shard covering every index. *)
+
+let run_collect ?(obs = Obs.null) ?(profile = Profile.null)
+    ?(metrics = Metrics.null) ~config ~iters f =
+  let shard =
+    run_shard ~obs ~profile ~metrics ~config ~total:iters ~jobs:1 ~worker:0 f
+  in
+  let summary, hist = merge_shards [ shard ] in
+  ({ summary with executions = iters }, hist)
 
 let run ?obs ?profile ?metrics ~config ~iters f =
   fst (run_collect ?obs ?profile ?metrics ~config ~iters (fun () -> f ()))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel runners.
+
+   Worker [w] of [j] runs its leapfrog shard on its own domain with fully
+   private engine state (execution, mo-graph, race detector, RNG) and
+   private C11obs handles; the shards are merged with the
+   order-independent operations of {!Par.Merge}.  The contract: the
+   merged summary, histogram and distinct-race list are bit-identical to
+   the sequential runner's for every job count. *)
+
+let clamp_jobs jobs n = max 1 (min jobs (max 1 n))
+
+(* Private per-worker C11obs handles, created only when the caller's are
+   live.  A worker's tracer buffers into its own ring (rings and sinks
+   are single-domain state); the rings are absorbed into the caller's
+   tracer in worker order after the join. *)
+let worker_obs obs =
+  if Obs.enabled obs then
+    Obs.create
+      ~ring_capacity:
+        (if Obs.ring_capacity obs > 0 then Obs.ring_capacity obs else 65536)
+      ()
+  else Obs.null
+
+let worker_profile profile =
+  if Profile.enabled profile then Profile.create () else Profile.null
+
+let worker_metrics metrics =
+  if Metrics.enabled metrics then Metrics.create () else Metrics.null
+
+let absorb_worker_handles ~obs ~profile ~metrics handles =
+  Array.iter
+    (fun (o, p, m) ->
+      if Obs.enabled obs then Obs.absorb ~into:obs o;
+      if Profile.enabled profile then Profile.absorb ~into:profile p;
+      if Metrics.enabled metrics then Metrics.absorb ~into:metrics m)
+    handles
+
+let run_collect_parallel ?(obs = Obs.null) ?(profile = Profile.null)
+    ?(metrics = Metrics.null) ?(jobs = 1) ~config ~iters f =
+  let jobs = clamp_jobs jobs iters in
+  if jobs = 1 then run_collect ~obs ~profile ~metrics ~config ~iters f
+  else begin
+    let results =
+      Par.spawn_workers ~jobs (fun ~worker ->
+          let o = worker_obs obs in
+          let p = worker_profile profile in
+          let m = worker_metrics metrics in
+          let shard =
+            run_shard ~obs:o ~profile:p ~metrics:m ~config ~total:iters ~jobs
+              ~worker f
+          in
+          (shard, (o, p, m)))
+    in
+    absorb_worker_handles ~obs ~profile ~metrics (Array.map snd results);
+    Obs.flush obs;
+    let summary, hist =
+      merge_shards (Array.to_list (Array.map fst results))
+    in
+    ({ summary with executions = iters }, hist)
+  end
+
+let run_parallel ?obs ?profile ?metrics ?jobs ~config ~iters f =
+  fst
+    (run_collect_parallel ?obs ?profile ?metrics ?jobs ~config ~iters
+       (fun () -> f ()))
+
+(* ------------------------------------------------------------------ *)
+(* Bug hunts. *)
+
 (* Re-run single executions (fresh seeds derived from [config.seed]) until
    one is buggy — the trace hunt previously inlined in bin/c11test.ml.
    The tracer's ring is cleared between attempts so that, on success, it
-   holds exactly the buggy execution's events. *)
+   holds exactly the buggy execution's events.  Attempt seeds come from
+   the substream rooted at [config.seed + 7] — distinct from {!run}'s —
+   indexed by attempt number, so {!find_buggy_parallel} can derive the
+   same seeds shard-wise. *)
+
+let hunt_base config = Int64.add config.Engine.seed 7L
+
 let find_buggy ?obs ?profile ?metrics ~config ~attempts f =
-  let seeder = Rng.create (Int64.add config.Engine.seed 7L) in
-  let rec hunt n =
-    if n <= 0 then None
+  let base = hunt_base config in
+  let rec hunt index =
+    if index >= attempts then None
     else begin
       (match obs with Some o -> Obs.clear o | None -> ());
-      let seed = Rng.next_int64 seeder in
+      let seed = Rng.substream base ~index in
       let o =
         Engine.run ?obs ?profile ?metrics { config with Engine.seed } f
       in
-      if Engine.buggy o then Some o else hunt (n - 1)
+      if Engine.buggy o then Some o else hunt (index + 1)
     end
   in
-  hunt attempts
+  hunt 0
+
+let find_buggy_parallel ?obs ?profile ?metrics ?(jobs = 1) ~config ~attempts f
+    =
+  let jobs = clamp_jobs jobs attempts in
+  if jobs = 1 then find_buggy ?obs ?profile ?metrics ~config ~attempts f
+  else begin
+    let obs = Option.value ~default:Obs.null obs in
+    let profile = Option.value ~default:Profile.null profile in
+    let metrics = Option.value ~default:Metrics.null metrics in
+    let base = hunt_base config in
+    let winner = Par.Winner.create () in
+    (* Worker [w] scans attempt indices [w, w+jobs, ...] in ascending
+       order and stops at its first buggy execution (later indices of its
+       shard cannot beat it) or as soon as a strictly lower index has won
+       elsewhere (cancel-by-flag; advisory, so the eventual winner — the
+       lowest buggy attempt index overall — is worker-count-independent:
+       an index is only ever skipped when a lower buggy index exists). *)
+    let results =
+      Par.spawn_workers ~jobs (fun ~worker ->
+          let p = worker_profile profile in
+          let m = worker_metrics metrics in
+          let best = ref None in
+          let i = ref worker in
+          while
+            !i < attempts && !best = None
+            && not (Par.Winner.beaten winner ~index:!i)
+          do
+            let seed = Rng.substream base ~index:!i in
+            let o =
+              Engine.run ~profile:p ~metrics:m { config with Engine.seed } f
+            in
+            if Engine.buggy o then begin
+              Par.Winner.propose winner !i;
+              best := Some (!i, o)
+            end;
+            i := !i + jobs
+          done;
+          (!best, (p, m)))
+    in
+    Array.iter
+      (fun (_, (p, m)) ->
+        if Profile.enabled profile then Profile.absorb ~into:profile p;
+        if Metrics.enabled metrics then Metrics.absorb ~into:metrics m)
+      results;
+    match
+      Par.Merge.first_win (Array.to_list (Array.map fst results))
+    with
+    | None -> None
+    | Some (index, outcome) ->
+      if not (Obs.enabled obs) then Some outcome
+      else begin
+        (* The caller wants the buggy execution's trace in its ring.  The
+           hunt traced nothing (workers run without the caller's tracer),
+           so replay the winning seed once with it: executions are pure
+           functions of their seed, so the replayed outcome — returned for
+           consistency with the emitted events — is bit-identical to the
+           one found during the hunt. *)
+        Obs.clear obs;
+        let seed = Rng.substream base ~index in
+        Some (Engine.run ~obs { config with Engine.seed } f)
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let summary_to_json s =
   Jsonx.Obj

@@ -4,7 +4,19 @@
     application's initial state between executions (fork snapshots in the
     paper; re-invoking the OCaml closure here) while its own state — race
     deduplication, statistics, the random stream — persists across
-    executions. *)
+    executions.
+
+    Executions are numbered [0 .. iters-1] and execution [i] draws its
+    seed from [Rng.substream config.seed ~index:i], a pure function of
+    the index.  A campaign is therefore embarrassingly parallel, and the
+    [_parallel] runners shard it across OCaml 5 domains ([jobs] workers,
+    leapfrog assignment) with fully private engine state per domain.
+
+    {b Determinism contract}: the merged summary, observation histogram
+    (first-occurrence order) and deduplicated race list of a [~jobs:n]
+    campaign are bit-identical to the sequential runner's, for every [n].
+    Only wall-clock diagnostics (profile timings, metric percentile
+    windows) may differ with [jobs]. *)
 
 type summary = {
   executions : int;
@@ -13,7 +25,8 @@ type summary = {
   assert_executions : int;
   deadlocks : int;
   step_limit_hits : int;
-  distinct_races : Race.report list;  (** deduplicated across executions *)
+  distinct_races : Race.report list;
+      (** deduplicated across executions, in order of first occurrence *)
   total_atomic_ops : int;
   total_na_ops : int;
   max_graph_size : int;
@@ -38,11 +51,46 @@ val run :
 
 (** [run_collect ~config ~iters f] also collects the observation returned
     by each execution of [f] (read out of plain OCaml state by the caller's
-    closure) into a histogram — the litmus-test workhorse. *)
+    closure) into a histogram — the litmus-test workhorse.  Histogram
+    entries are listed in order of first occurrence. *)
 val run_collect :
   ?obs:Obs.t ->
   ?profile:Profile.t ->
   ?metrics:Metrics.t ->
+  config:Engine.config ->
+  iters:int ->
+  (unit -> 'a) ->
+  summary * ('a * int) list
+
+(** [run_parallel ~jobs ~config ~iters f] is {!run} sharded across [jobs]
+    domains (clamped to at least 1; [~jobs:1] is exactly {!run}).  [f]
+    runs concurrently on several domains, so it must create the state it
+    mutates per invocation — every workload and litmus test in this
+    repository already does, allocating its locations through the DSL
+    inside the closure.  When C11obs handles are given, each worker
+    records into private ones, absorbed into the caller's in worker order
+    after the join (see {!Obs.absorb}): counters and span totals merge
+    exactly; percentile windows and ring contents are deterministic for a
+    fixed [jobs] but may differ across job counts.  The summary itself is
+    bit-identical to {!run}'s for every [jobs]. *)
+val run_parallel :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  ?jobs:int ->
+  config:Engine.config ->
+  iters:int ->
+  (unit -> unit) ->
+  summary
+
+(** {!run_collect} sharded across domains; same contract as
+    {!run_parallel}, and the histogram (first-occurrence order) is
+    bit-identical to {!run_collect}'s for every [jobs]. *)
+val run_collect_parallel :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  ?jobs:int ->
   config:Engine.config ->
   iters:int ->
   (unit -> 'a) ->
@@ -58,6 +106,26 @@ val find_buggy :
   ?obs:Obs.t ->
   ?profile:Profile.t ->
   ?metrics:Metrics.t ->
+  config:Engine.config ->
+  attempts:int ->
+  (unit -> unit) ->
+  Engine.outcome option
+
+(** {!find_buggy} sharded across domains with a first-buggy-wins
+    protocol: the buggy execution with the lowest attempt index wins and
+    the other workers cancel by flag, so the returned outcome is the same
+    as {!find_buggy}'s for every [jobs] (the cancellation is advisory —
+    an attempt is only ever skipped once a strictly lower buggy attempt
+    exists).  When [obs] is given, the winning seed is replayed once with
+    the caller's tracer after the hunt, so the ring again holds exactly
+    the buggy execution's events; hunt-side executions trace nothing.
+    Metric/profile totals from the hunt depend on how far each worker ran
+    before cancelling and are not deterministic across runs. *)
+val find_buggy_parallel :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  ?jobs:int ->
   config:Engine.config ->
   attempts:int ->
   (unit -> unit) ->

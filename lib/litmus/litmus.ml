@@ -874,12 +874,15 @@ let catalog =
 
 let find name = List.find_opt (fun t -> t.name = name) catalog
 
-let explore ~config ~iters t =
-  let _, hist = Tester.run_collect ~config ~iters t.run_once in
+let explore ?jobs ~config ~iters t =
+  let _, hist = Tester.run_collect_parallel ?jobs ~config ~iters t.run_once in
+  (* frequency-descending; List.sort is stable, so ties keep the
+     histogram's first-occurrence order, which is itself independent of
+     [jobs] — the printed exploration is too *)
   List.sort (fun (_, a) (_, b) -> compare b a) hist
 
-let violations ~config ~iters t =
-  List.filter (fun (o, _) -> not (t.allowed o)) (explore ~config ~iters t)
+let violations ?jobs ~config ~iters t =
+  List.filter (fun (o, _) -> not (t.allowed o)) (explore ?jobs ~config ~iters t)
 
 let weak_observed hist t = List.exists (fun (o, _) -> t.weak o) hist
 

@@ -28,14 +28,16 @@ val find : string -> t option
 val catalog : t list
 
 (** [explore ~config ~iters t] runs the litmus test and returns its outcome
-    histogram sorted by frequency (highest first). *)
+    histogram sorted by frequency (highest first; ties in first-occurrence
+    order).  [jobs] shards the executions across domains — the histogram
+    is bit-identical for every job count (see {!Tester}). *)
 val explore :
-  config:Engine.config -> iters:int -> t -> (outcome * int) list
+  ?jobs:int -> config:Engine.config -> iters:int -> t -> (outcome * int) list
 
 (** [violations ~config ~iters t] is the sub-histogram of outcomes not
     allowed by the fragment (must be empty for a correct model). *)
 val violations :
-  config:Engine.config -> iters:int -> t -> (outcome * int) list
+  ?jobs:int -> config:Engine.config -> iters:int -> t -> (outcome * int) list
 
 val weak_observed : (outcome * int) list -> t -> bool
 

@@ -155,6 +155,33 @@ let reset t =
   Hashtbl.reset t.gauges;
   Hashtbl.reset t.histos
 
+let absorb ~into src =
+  if into.on then begin
+    Hashtbl.iter
+      (fun name (c : counter) -> incr into ~by:c.count name)
+      src.counters;
+    Hashtbl.iter
+      (fun name g ->
+        if not (Float.is_nan g.g_value) then set_gauge into name g.g_value)
+      src.gauges;
+    Hashtbl.iter
+      (fun name (h : histo) ->
+        let d = histo into name in
+        d.h_count <- d.h_count + h.h_count;
+        d.h_total <- d.h_total +. h.h_total;
+        if h.h_min < d.h_min then d.h_min <- h.h_min;
+        if h.h_max > d.h_max then d.h_max <- h.h_max;
+        (* append [h]'s window to [d]'s, oldest first, keeping the
+           sliding-window invariant (the last [sample_cap] survive) *)
+        let start = if h.s_len < sample_cap then 0 else h.s_next in
+        for i = 0 to h.s_len - 1 do
+          d.samples.(d.s_next) <- h.samples.((start + i) mod sample_cap);
+          d.s_next <- (d.s_next + 1) mod sample_cap;
+          if d.s_len < sample_cap then d.s_len <- d.s_len + 1
+        done)
+      src.histos
+  end
+
 let snapshot_to_json s =
   Jsonx.Obj
     [

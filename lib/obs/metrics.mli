@@ -53,6 +53,16 @@ val histo_snapshots : t -> snapshot list
 
 val reset : t -> unit
 
+(** [absorb ~into src] folds another registry into [into]: counters add,
+    gauges take [src]'s value (callers absorb per-worker registries in
+    worker order, so the surviving gauge is deterministic), [max_gauge]
+    semantics are preserved by taking the larger value at read sites, and
+    histograms combine exact aggregates ([count]/[total]/[min]/[max])
+    exactly while the percentile window appends [src]'s samples.  A
+    registry is single-domain state; parallel campaigns record into a
+    private registry per domain and absorb them after the join. *)
+val absorb : into:t -> t -> unit
+
 (** JSON readout:
     [{"counters":{..},"gauges":{..},"histograms":{name:{count,total,mean,
     min,max,p50,p90,p99}}}].  The same schema is used by the CLI's

@@ -185,3 +185,5 @@ let ndjson_sink oc =
 let drain_to_sink t sink =
   List.iter sink.emit (ring_events t);
   sink.flush ()
+
+let absorb ~into src = List.iter (emit into) (ring_events src)

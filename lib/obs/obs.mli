@@ -85,6 +85,14 @@ val flush : t -> unit
     the ring of a completed execution, e.g. to NDJSON. *)
 val drain_to_sink : t -> sink -> unit
 
+(** [absorb ~into src] re-emits [src]'s buffered events into [into]
+    (ring and sinks), oldest first.  Rings are single-domain state, so
+    parallel campaigns trace each domain into a private ring and absorb
+    the rings in worker order after the domains join — deterministic for
+    a fixed worker count, where live sharing would interleave events by
+    wall-clock accident (and race on the ring). *)
+val absorb : into:t -> t -> unit
+
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option
 val pp_event : Format.formatter -> event -> unit

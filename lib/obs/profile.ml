@@ -90,6 +90,21 @@ let snapshots t =
 let snapshot t name = Option.map (snapshot_of name) (Hashtbl.find_opt t.spans name)
 let reset t = Hashtbl.reset t.spans
 
+let absorb ~into src =
+  if into.on then
+    Hashtbl.iter
+      (fun name (s : span_stat) ->
+        let d = span_stat into name in
+        d.s_count <- d.s_count + s.s_count;
+        d.s_total_ns <- d.s_total_ns + s.s_total_ns;
+        let start = if s.s_len < sample_cap then 0 else s.s_next in
+        for i = 0 to s.s_len - 1 do
+          d.samples.(d.s_next) <- s.samples.((start + i) mod sample_cap);
+          d.s_next <- (d.s_next + 1) mod sample_cap;
+          if d.s_len < sample_cap then d.s_len <- d.s_len + 1
+        done)
+      src.spans
+
 let to_json t =
   Jsonx.Obj
     (List.map

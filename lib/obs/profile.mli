@@ -43,6 +43,12 @@ val snapshots : t -> snapshot list
 val snapshot : t -> string -> snapshot option
 val reset : t -> unit
 
+(** [absorb ~into src] folds another profiler's spans into [into]: counts
+    and totals add exactly; the percentile window appends [src]'s
+    samples.  Parallel campaigns profile each domain into a private
+    profiler and absorb them in worker order after the join. *)
+val absorb : into:t -> t -> unit
+
 (** [{phase:{count,total_ns,mean_ns,p50_ns,p90_ns,p99_ns}}] *)
 val to_json : t -> Jsonx.t
 

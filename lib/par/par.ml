@@ -1,0 +1,131 @@
+let available_jobs () = Domain.recommended_domain_count ()
+
+let shard_size ~jobs ~total ~worker =
+  if jobs <= 0 then invalid_arg "Par.shard_size: jobs must be positive";
+  if worker < 0 || worker >= jobs then
+    invalid_arg "Par.shard_size: worker out of range";
+  if total <= worker then 0 else 1 + ((total - 1 - worker) / jobs)
+
+let spawn_workers ~jobs f =
+  if jobs < 1 then invalid_arg "Par.spawn_workers: jobs must be at least 1";
+  if jobs = 1 then [| f ~worker:0 |]
+  else begin
+    let wrap worker () =
+      match f ~worker with v -> Ok v | exception e -> Error e
+    in
+    let domains =
+      Array.init (jobs - 1) (fun i -> Domain.spawn (wrap (i + 1)))
+    in
+    (* worker 0 runs here: the spawning domain does a full share of the
+       campaign instead of idling at the join *)
+    let r0 = wrap 0 () in
+    let results =
+      Array.init jobs (fun w ->
+          if w = 0 then r0 else Domain.join domains.(w - 1))
+    in
+    Array.map
+      (function
+        | Ok v -> v
+        | Error e ->
+          (* lowest failing worker wins (Array.map visits in index order),
+             so the surfaced exception is deterministic *)
+          raise e)
+      results
+  end
+
+module Winner = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make max_int
+
+  let rec propose t index =
+    let cur = Atomic.get t in
+    if index < cur && not (Atomic.compare_and_set t cur index) then
+      propose t index
+
+  let best t = match Atomic.get t with i when i = max_int -> None | i -> Some i
+  let beaten t ~index = Atomic.get t < index
+end
+
+module Merge = struct
+  type counters = {
+    executions : int;
+    buggy : int;
+    racy : int;
+    asserts : int;
+    deadlocks : int;
+    limits : int;
+    atomic_ops : int;
+    na_ops : int;
+    max_graph : int;
+    steps : int;
+  }
+
+  let zero =
+    {
+      executions = 0;
+      buggy = 0;
+      racy = 0;
+      asserts = 0;
+      deadlocks = 0;
+      limits = 0;
+      atomic_ops = 0;
+      na_ops = 0;
+      max_graph = 0;
+      steps = 0;
+    }
+
+  let add a b =
+    {
+      executions = a.executions + b.executions;
+      buggy = a.buggy + b.buggy;
+      racy = a.racy + b.racy;
+      asserts = a.asserts + b.asserts;
+      deadlocks = a.deadlocks + b.deadlocks;
+      limits = a.limits + b.limits;
+      atomic_ops = a.atomic_ops + b.atomic_ops;
+      na_ops = a.na_ops + b.na_ops;
+      max_graph = max a.max_graph b.max_graph;
+      steps = a.steps + b.steps;
+    }
+
+  (* Within one campaign each execution contributes at most one histogram
+     observation and one first occurrence per race key, so merged first
+     indices are distinct across keys and sorting by them is a total,
+     shard-order-independent order. *)
+
+  let histogram shards =
+    let acc = Hashtbl.create 32 in
+    List.iter
+      (List.iter (fun (k, count, first) ->
+           match Hashtbl.find_opt acc k with
+           | None -> Hashtbl.replace acc k (count, first)
+           | Some (c, f) -> Hashtbl.replace acc k (c + count, min f first)))
+      shards;
+    Hashtbl.fold (fun k (count, first) l -> (first, k, count) :: l) acc []
+    |> List.sort (fun (f1, _, _) (f2, _, _) -> compare (f1 : int) f2)
+    |> List.map (fun (_, k, count) -> (k, count))
+
+  let dedup ~key shards =
+    let acc = Hashtbl.create 32 in
+    List.iter
+      (List.iter (fun (index, item) ->
+           let k = key item in
+           match Hashtbl.find_opt acc k with
+           | None -> Hashtbl.replace acc k (index, item)
+           | Some (i, _) when index < i -> Hashtbl.replace acc k (index, item)
+           | Some _ -> ()))
+      shards;
+    Hashtbl.fold (fun _ entry l -> entry :: l) acc []
+    |> List.sort (fun (i1, _) (i2, _) -> compare (i1 : int) i2)
+    |> List.map snd
+
+  let first_win bests =
+    List.fold_left
+      (fun acc b ->
+        match (acc, b) with
+        | None, b -> b
+        | acc, None -> acc
+        | Some (i, _), Some (j, w) -> if j < i then Some (j, w) else acc)
+      None bests
+end

@@ -1,0 +1,104 @@
+(** Parallel campaign layer: shard a campaign's executions across OCaml 5
+    domains and merge the per-shard results deterministically.
+
+    A C11Tester campaign is embarrassingly parallel: each execution is a
+    pure function of its derived seed (see [Rng.substream]), so executions
+    can be dealt to workers in any pattern without changing what any one
+    execution does.  This module supplies the two halves the testers build
+    on:
+
+    - {b fan-out} — {!spawn_workers} runs one shard per domain with fully
+      private engine state, and {!Winner} implements the lowest-index-wins
+      protocol for bug hunts;
+    - {b merge} — {!Merge} provides the order-independent, associative
+      operations (counter sums, first-occurrence histograms, keyed dedup)
+      that make the merged observables of a [jobs = N] campaign
+      bit-identical to the sequential runner's, for every N.
+
+    The sharding pattern is leapfrog: worker [w] of [j] runs global
+    execution indices [w, w+j, w+2j, ...], ascending.  Ascending order is
+    what lets a worker stop early in a bug hunt the moment its next index
+    can no longer beat the current winner. *)
+
+(** Number of domains worth spawning on this machine
+    ([Domain.recommended_domain_count]). *)
+val available_jobs : unit -> int
+
+(** [shard_size ~jobs ~total ~worker] is how many of [total] executions
+    worker [worker] of [jobs] runs under leapfrog sharding. *)
+val shard_size : jobs:int -> total:int -> worker:int -> int
+
+(** [spawn_workers ~jobs f] runs [f ~worker] for [worker] in
+    [0 .. jobs-1], workers [1 .. jobs-1] each on a fresh domain and worker
+    [0] on the calling domain, and returns the results indexed by worker.
+    All domains are joined before returning.  If any worker raises, the
+    exception of the lowest-numbered failing worker is re-raised after the
+    join (so the choice of surfaced error is worker-count-deterministic,
+    not a race).  [jobs] must be at least 1. *)
+val spawn_workers : jobs:int -> (worker:int -> 'a) -> 'a array
+
+(** First-buggy-wins protocol for parallel bug hunts.  Workers propose the
+    global execution index of each buggy execution they find; the lowest
+    proposed index wins.  A worker scanning its indices in ascending order
+    may stop as soon as {!beaten} says its next index can no longer win —
+    the cancellation is advisory and never changes the winner, because an
+    index is only ever skipped when a strictly lower buggy index has
+    already been found. *)
+module Winner : sig
+  type t
+
+  val create : unit -> t
+
+  (** Propose a buggy execution at [index]; keeps the minimum. *)
+  val propose : t -> int -> unit
+
+  (** Lowest index proposed so far, or [None]. *)
+  val best : t -> int option
+
+  (** [beaten t ~index] is [true] when running execution [index] is
+      pointless: some strictly lower index already won. *)
+  val beaten : t -> index:int -> bool
+end
+
+(** Order-independent merge operations.  Each is associative and
+    commutative in its shard argument(s), so the merged result is
+    independent of worker count and completion order. *)
+module Merge : sig
+  (** Per-shard outcome counters — the additive portion of a campaign
+      summary.  [max_graph] merges by maximum, everything else by sum. *)
+  type counters = {
+    executions : int;
+    buggy : int;
+    racy : int;
+    asserts : int;
+    deadlocks : int;
+    limits : int;
+    atomic_ops : int;
+    na_ops : int;
+    max_graph : int;
+    steps : int;
+  }
+
+  val zero : counters
+
+  (** Associative, commutative, with {!zero} as identity. *)
+  val add : counters -> counters -> counters
+
+  (** [histogram shards] merges per-shard histogram entries
+      [(key, count, first_index)] — [first_index] being the lowest global
+      execution index at which the shard observed [key] — by summing
+      counts and taking the minimum first index per key.  The result lists
+      each key once, in ascending order of merged first index: exactly the
+      first-occurrence order the sequential runner produces. *)
+  val histogram : ('k * int * int) list list -> ('k * int) list
+
+  (** [dedup ~key shards] merges per-shard first-occurrence lists
+      [(first_index, item)], keeps one item per [key] (the one with the
+      lowest index), and returns the survivors in ascending index order —
+      the sequential runner's first-occurrence dedup, recovered from
+      shards. *)
+  val dedup : key:('a -> string) -> (int * 'a) list list -> 'a list
+
+  (** Lowest-index entry across per-worker bests, or [None]. *)
+  val first_win : (int * 'a) option list -> (int * 'a) option
+end

@@ -4,6 +4,7 @@ let () =
       ("clockvec", Test_clockvec.suite);
       ("mograph", Test_mograph.suite);
       ("rng", Test_rng.suite);
+      ("par", Test_par.suite);
       ("race", Test_race.suite);
       ("fiber", Test_fiber.suite);
       ("execution", Test_exec.suite);

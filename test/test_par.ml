@@ -1,0 +1,239 @@
+(* Parallel campaign layer: merge algebra and the determinism contract.
+
+   The unit tests pin the algebraic properties Par.Merge promises
+   (associativity, commutativity, order-independence of histogram and
+   dedup merges); the parity tests then check the end-to-end contract the
+   CLI's `-j N` flag advertises — merged observables bit-identical to the
+   sequential runner for every job count — on a real workload, a litmus
+   test and a bug hunt. *)
+
+let check = Alcotest.(check bool)
+
+(* ---------- Merge.add: associative, commutative, zero identity ---------- *)
+
+let counters_of (a, b, c, d) =
+  {
+    Par.Merge.executions = a;
+    buggy = b;
+    racy = c;
+    asserts = d;
+    deadlocks = a land 1;
+    limits = b land 1;
+    atomic_ops = a * 3;
+    na_ops = b * 2;
+    max_graph = c;
+    steps = d * 5;
+  }
+
+let counters_gen = QCheck.(quad small_nat small_nat small_nat small_nat)
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"Merge.add associative" ~count:100
+    QCheck.(triple counters_gen counters_gen counters_gen)
+    (fun (x, y, z) ->
+      let x = counters_of x and y = counters_of y and z = counters_of z in
+      Par.Merge.(add (add x y) z = add x (add y z)))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"Merge.add commutative" ~count:100
+    QCheck.(pair counters_gen counters_gen)
+    (fun (x, y) ->
+      let x = counters_of x and y = counters_of y in
+      Par.Merge.(add x y = add y x))
+
+let test_add_zero () =
+  let c = counters_of (3, 1, 4, 1) in
+  check "zero is identity" true
+    Par.Merge.(add c zero = c && add zero c = c)
+
+(* ---------- Merge.histogram: order-independent, first-occurrence ------- *)
+
+(* Sequential order: "a"@0, "b"@1, "c"@4; counts a=3, b=2, c=1.  Dealt to
+   two shards leapfrog-style. *)
+let shard_a = [ ("a", 2, 0); ("c", 1, 4) ]
+let shard_b = [ ("b", 2, 1); ("a", 1, 3) ]
+let merged_expected = [ ("a", 3); ("b", 2); ("c", 1) ]
+
+let test_histogram_merge () =
+  check "two shards" true
+    (Par.Merge.histogram [ shard_a; shard_b ] = merged_expected);
+  check "shard order irrelevant" true
+    (Par.Merge.histogram [ shard_b; shard_a ] = merged_expected);
+  check "extra empty shards" true
+    (Par.Merge.histogram [ []; shard_a; []; shard_b ] = merged_expected)
+
+let test_histogram_single_shard () =
+  (* A jobs=1 campaign is one shard: the merge must be the identity
+     modulo dropping the first-occurrence index. *)
+  let one = [ ("x", 5, 0); ("y", 2, 2); ("z", 1, 7) ] in
+  check "single shard passthrough" true
+    (Par.Merge.histogram [ one ] = [ ("x", 5); ("y", 2); ("z", 1) ])
+
+(* ---------- Merge.dedup: min-index per key, ascending ------------------ *)
+
+let test_dedup_across_shards () =
+  (* Sequential first occurrences: k1@0, k2@1, k3@5; shard 1 sees k2
+     later (index 3) than shard 0's... no — each shard records its own
+     first sighting; the merge keeps the global minimum. *)
+  let s0 = [ (0, "k1/a"); (4, "k3/x") ] in
+  let s1 = [ (1, "k2/b"); (3, "k1/late"); (5, "k3/late") ] in
+  let key s = String.sub s 0 2 in
+  let merged = Par.Merge.dedup ~key [ s0; s1 ] in
+  check "global first occurrence wins, ascending" true
+    (merged = [ "k1/a"; "k2/b"; "k3/x" ]);
+  check "shard order irrelevant" true
+    (Par.Merge.dedup ~key [ s1; s0 ] = merged)
+
+let test_first_win () =
+  check "lowest index wins" true
+    (Par.Merge.first_win [ Some (7, "b"); None; Some (2, "a") ] = Some (2, "a"));
+  check "all none" true (Par.Merge.first_win [ None; None ] = None)
+
+(* ---------- Winner protocol ------------------------------------------- *)
+
+let test_winner () =
+  let w = Par.Winner.create () in
+  check "empty" true (Par.Winner.best w = None);
+  check "not beaten when empty" false (Par.Winner.beaten w ~index:0);
+  Par.Winner.propose w 9;
+  Par.Winner.propose w 4;
+  Par.Winner.propose w 6;
+  check "minimum kept" true (Par.Winner.best w = Some 4);
+  check "higher index beaten" true (Par.Winner.beaten w ~index:5);
+  check "own index not beaten" false (Par.Winner.beaten w ~index:4);
+  check "lower index not beaten" false (Par.Winner.beaten w ~index:3)
+
+(* ---------- shard_size ------------------------------------------------- *)
+
+let test_shard_size () =
+  List.iter
+    (fun (jobs, total) ->
+      let sum = ref 0 in
+      for worker = 0 to jobs - 1 do
+        sum := !sum + Par.shard_size ~jobs ~total ~worker
+      done;
+      if !sum <> total then
+        Alcotest.failf "jobs=%d total=%d: shard sizes sum to %d" jobs total
+          !sum)
+    [ (1, 10); (2, 10); (3, 10); (4, 3); (7, 100); (5, 0) ]
+
+(* ---------- End-to-end parity: the determinism contract ---------------- *)
+
+let summary_string s = Jsonx.to_pretty_string (Tester.summary_to_json s)
+
+let test_workload_parity () =
+  let w =
+    match Registry.find "ms-queue" with
+    | Some w -> w
+    | None -> Alcotest.fail "ms-queue missing"
+  in
+  let config = Tool.config ~seed:99L ~max_steps:150_000 Tool.C11tester in
+  let body =
+    w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale
+  in
+  let seq = Tester.run ~config ~iters:24 body in
+  List.iter
+    (fun jobs ->
+      let par = Tester.run_parallel ~jobs ~config ~iters:24 body in
+      Alcotest.(check string)
+        (Printf.sprintf "summary jobs=%d" jobs)
+        (summary_string seq) (summary_string par);
+      check
+        (Printf.sprintf "race order jobs=%d" jobs)
+        true
+        (seq.Tester.distinct_races = par.Tester.distinct_races))
+    [ 1; 2; 4 ]
+
+let test_litmus_parity () =
+  let t =
+    match Litmus.find "mp_relaxed" with
+    | Some t -> t
+    | None -> Alcotest.fail "mp_relaxed missing"
+  in
+  let config = Tool.config ~seed:7L Tool.C11tester in
+  let seq = Litmus.explore ~config ~iters:300 t in
+  List.iter
+    (fun jobs ->
+      let par = Litmus.explore ~jobs ~config ~iters:300 t in
+      check (Printf.sprintf "histogram jobs=%d" jobs) true (seq = par))
+    [ 1; 2; 4 ]
+
+let test_find_buggy_parity () =
+  let w =
+    match Registry.find "ms-queue" with
+    | Some w -> w
+    | None -> Alcotest.fail "ms-queue missing"
+  in
+  let config = Tool.config ~seed:31L ~max_steps:150_000 Tool.C11tester in
+  let body =
+    w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale
+  in
+  let seq = Tester.find_buggy ~config ~attempts:20 body in
+  check "hunt finds a bug" true (seq <> None);
+  List.iter
+    (fun jobs ->
+      let par = Tester.find_buggy_parallel ~jobs ~config ~attempts:20 body in
+      check (Printf.sprintf "same winner jobs=%d" jobs) true (seq = par))
+    [ 1; 2; 4 ]
+
+let test_find_buggy_parallel_ring () =
+  (* The ring contract: on Some _, the caller's ring holds exactly the
+     winning execution's events — same as the sequential hunt's. *)
+  let w =
+    match Registry.find "ms-queue" with
+    | Some w -> w
+    | None -> Alcotest.fail "ms-queue missing"
+  in
+  let config = Tool.config ~seed:31L ~max_steps:150_000 Tool.C11tester in
+  let body =
+    w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale
+  in
+  let obs_seq = Obs.create ~ring_capacity:65536 () in
+  let obs_par = Obs.create ~ring_capacity:65536 () in
+  let seq = Tester.find_buggy ~obs:obs_seq ~config ~attempts:20 body in
+  let par =
+    Tester.find_buggy_parallel ~obs:obs_par ~jobs:4 ~config ~attempts:20 body
+  in
+  check "both found" true (seq <> None && par <> None);
+  let render obs =
+    List.map (Format.asprintf "%a" Obs.pp_event) (Obs.ring_events obs)
+  in
+  check "identical ring" true (render obs_seq = render obs_par)
+
+let test_collect_parity_no_bug () =
+  (* A hunt with no bug must return None for every job count. *)
+  let w =
+    match Registry.find "spsc-queue" with
+    | Some w -> w
+    | None -> Alcotest.fail "spsc-queue missing"
+  in
+  let config = Tool.config ~seed:5L ~max_steps:150_000 Tool.C11tester in
+  let body =
+    w.Registry.run ~variant:Variant.Correct ~scale:w.Registry.default_scale
+  in
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "no bug jobs=%d" jobs)
+        true
+        (Tester.find_buggy_parallel ~jobs ~config ~attempts:4 body = None))
+    [ 1; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "add zero identity" `Quick test_add_zero;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram single shard" `Quick
+      test_histogram_single_shard;
+    Alcotest.test_case "dedup across shards" `Quick test_dedup_across_shards;
+    Alcotest.test_case "first win" `Quick test_first_win;
+    Alcotest.test_case "winner protocol" `Quick test_winner;
+    Alcotest.test_case "shard sizes partition" `Quick test_shard_size;
+    Alcotest.test_case "workload parity" `Slow test_workload_parity;
+    Alcotest.test_case "litmus parity" `Quick test_litmus_parity;
+    Alcotest.test_case "find_buggy parity" `Slow test_find_buggy_parity;
+    Alcotest.test_case "find_buggy ring parity" `Slow
+      test_find_buggy_parallel_ring;
+    Alcotest.test_case "hunt without bug" `Quick test_collect_parity_no_bug;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_add_assoc; prop_add_comm ]

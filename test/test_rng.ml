@@ -69,6 +69,59 @@ let test_float_range () =
          f >= 0.0 && f < 1.0)
        (List.init 1000 Fun.id))
 
+(* Substreams: [substream base ~index:i] must be exactly the i-th draw of
+   the sequential [next_int64] stream from the same base — this identity is
+   what lets the parallel campaign runner deal execution seeds to any
+   worker in any pattern without changing what any one execution does. *)
+
+let test_substream_equals_stream () =
+  let r = Rng.create 42L in
+  let seq = List.init 200 (fun _ -> Rng.next_int64 r) in
+  let sub = List.init 200 (fun i -> Rng.substream 42L ~index:i) in
+  check "substream = sequential stream" true (seq = sub)
+
+let test_substream_negative () =
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.substream: index must be non-negative") (fun () ->
+      ignore (Rng.substream 1L ~index:(-1)))
+
+(* Leapfrog partition: worker w of j handling indices w, w+j, w+2j, ...
+   covers every global index exactly once, and the seed at each index is
+   the same for every worker count. *)
+let test_substream_leapfrog () =
+  let total = 97 in
+  let base = 20260806L in
+  let reference = Array.init total (fun i -> Rng.substream base ~index:i) in
+  List.iter
+    (fun jobs ->
+      let seen = Array.make total 0 in
+      for worker = 0 to jobs - 1 do
+        let i = ref worker in
+        while !i < total do
+          seen.(!i) <- seen.(!i) + 1;
+          let s = Rng.substream base ~index:!i in
+          if s <> reference.(!i) then
+            Alcotest.failf "jobs=%d index %d: seed differs" jobs !i;
+          i := !i + jobs
+        done
+      done;
+      if not (Array.for_all (fun n -> n = 1) seen) then
+        Alcotest.failf "jobs=%d: partition not exact" jobs)
+    [ 1; 2; 3; 4; 7 ]
+
+(* No collisions within a base (mix64 is a bijection, so distinct indices
+   give distinct seeds) and no overlap between the windows of nearby bases
+   (the gamma stride is astronomically far from +/-1). *)
+let test_substream_collisions () =
+  let module S = Set.Make (Int64) in
+  let n = 10_000 in
+  let within = List.init n (fun i -> Rng.substream 7L ~index:i) in
+  check "distinct within base" true
+    (S.cardinal (S.of_list within) = n);
+  let other = List.init n (fun i -> Rng.substream 8L ~index:i) in
+  check "no overlap across adjacent bases" true
+    (S.is_empty (S.inter (S.of_list within) (S.of_list other)))
+
 let prop_bool_balanced =
   QCheck.Test.make ~name:"bool is roughly balanced" ~count:20
     QCheck.(int_range 1 10000)
@@ -91,5 +144,10 @@ let suite =
     Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
     Alcotest.test_case "geometric" `Quick test_geometric;
     Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "substream = stream" `Quick test_substream_equals_stream;
+    Alcotest.test_case "substream negative index" `Quick test_substream_negative;
+    Alcotest.test_case "substream leapfrog partition" `Quick
+      test_substream_leapfrog;
+    Alcotest.test_case "substream collisions" `Quick test_substream_collisions;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_bool_balanced ]
