@@ -4,7 +4,13 @@
      run    — repeatedly test a workload under a tool and report races,
               assertion failures and detection rates
      litmus — explore a litmus test's outcome histogram
-     list   — list available workloads and litmus tests *)
+     list   — list available workloads and litmus tests
+
+   Exit codes (asserted by test/test_exit_codes):
+     0 — ran cleanly, nothing found
+     1 — bugs found: data races, assertion failures, certification
+         rejections (`--certify`) or forbidden litmus outcomes
+     2 — usage errors (unknown workload/litmus test/pruning policy) *)
 
 open Cmdliner
 
@@ -81,6 +87,16 @@ let profile_arg =
   let doc = "Time the engine's hot phases and print a profile table." in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let certify_arg =
+  let doc =
+    "Run the axiomatic certifier over every execution: reconstruct the \
+     declarative relations (sb, rf, mo, sw, hb, fr) from the recorded \
+     trace, independently of the engine's clock vectors, and check the \
+     C11-fragment axioms.  A rejected execution counts as buggy and makes \
+     the command exit 1."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let with_out_file path f =
   if path = "-" then f stdout
   else
@@ -102,19 +118,23 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
   in
   let run workload tool iters seed jobs scale buggy prune verbose trace_depth
-      json trace_out profile_flag =
+      json trace_out profile_flag certify =
     match Registry.find workload with
     | None ->
       Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
-      1
+      2
     | Some w -> (
       match prune_of_string prune with
       | Error e ->
         prerr_endline e;
-        1
+        2
       | Ok prune ->
         let config =
-          { (Tool.config ~prune tool) with Engine.seed = Int64.of_int seed }
+          {
+            (Tool.config ~prune tool) with
+            Engine.seed = Int64.of_int seed;
+            certify;
+          }
         in
         let jobs = resolve_jobs jobs in
         let scale = Option.value ~default:w.Registry.default_scale scale in
@@ -195,13 +215,13 @@ let run_cmd =
           with_out_file path (fun oc ->
               output_string oc (Jsonx.to_pretty_string doc);
               output_char oc '\n'));
-        0)
+        if summary.Tester.buggy_executions > 0 then 1 else 0)
   in
   let term =
     Term.(
       const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
       $ scale_arg $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg $ json_arg
-      $ trace_out_arg $ profile_arg)
+      $ trace_out_arg $ profile_arg $ certify_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a workload repeatedly and report bugs") term
 
@@ -210,31 +230,44 @@ let litmus_cmd =
     let doc = "Litmus test name (see `c11test list')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LITMUS" ~doc)
   in
-  let run name tool iters seed jobs =
+  let run name tool iters seed jobs certify =
     match Litmus.find name with
     | None ->
       Printf.eprintf "unknown litmus test %S; try `c11test list'\n" name;
-      1
+      2
     | Some t ->
       let config =
-        { (Tool.config tool) with Engine.seed = Int64.of_int seed }
+        { (Tool.config tool) with Engine.seed = Int64.of_int seed; certify }
       in
       let jobs = resolve_jobs jobs in
       Printf.printf "%s under %s, %d executions%s\n%s\n\n" t.Litmus.name
         (Tool.name tool) iters
         (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "")
         t.Litmus.description;
-      let hist = Litmus.explore ~jobs ~config ~iters t in
+      let summary, hist = Litmus.explore_summary ~jobs ~config ~iters t in
       List.iter
         (fun (o, n) ->
           Format.printf "%6d  %a%s%s@." n (Litmus.pp_outcome t) o
             (if t.Litmus.weak o then "   <- weak outcome" else "")
             (if t.Litmus.allowed o then "" else "   ** FORBIDDEN **"))
         hist;
-      0
+      if certify then begin
+        Format.printf "certified: %d, rejected: %d@."
+          summary.Tester.certified_executions
+          summary.Tester.cert_rejected_executions;
+        List.iter
+          (fun v -> Format.printf "  %a@." Check.pp_violation v)
+          summary.Tester.distinct_cert_violations
+      end;
+      let forbidden =
+        List.exists (fun (o, _) -> not (t.Litmus.allowed o)) hist
+      in
+      if forbidden || summary.Tester.buggy_executions > 0 then 1 else 0
   in
   let term =
-    Term.(const run $ name_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ name_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
+      $ certify_arg)
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Explore the outcome histogram of a litmus test")

@@ -1,0 +1,748 @@
+(* Axiomatic certification of recorded executions: an independent
+   reconstruction of the declarative C11 fragment, cross-checked against
+   both the trace itself and the engine's derived structures.  See
+   check.mli for the axiom inventory and the scope notes. *)
+
+type axiom =
+  | Hb_irreflexivity
+  | Hb_differential
+  | Rf_wf
+  | Coherence
+  | Rmw_atomicity
+  | Sc_order
+  | Theorem1_differential
+  | Sync_wf
+
+type violation = { axiom : axiom; actions : int list; detail : string }
+
+type stats = {
+  actions : int;
+  reads : int;
+  writes : int;
+  sc_actions : int;
+  sync_edges : int;
+  hb_pairs : int;
+  locations : int;
+  graph_checked : bool;
+}
+
+type verdict =
+  | Certified of stats
+  | Rejected of violation list
+  | Not_applicable of string
+
+let axiom_name = function
+  | Hb_irreflexivity -> "hb-irreflexivity"
+  | Hb_differential -> "hb-differential"
+  | Rf_wf -> "rf-wf"
+  | Coherence -> "coherence"
+  | Rmw_atomicity -> "rmw-atomicity"
+  | Sc_order -> "sc-order"
+  | Theorem1_differential -> "theorem1-differential"
+  | Sync_wf -> "sync-wf"
+
+(* Violation details embed sequence numbers as ["#<digits>"]; the dedup
+   key strips those digit runs so the same model bug found under
+   different seeds collapses to one key, while location names and the
+   shape of the explanation survive. *)
+let violation_key v =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (axiom_name v.axiom);
+  Buffer.add_char b ':';
+  let s = v.detail in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    Buffer.add_char b c;
+    incr i;
+    if c = '#' then
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done
+  done;
+  Buffer.contents b
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] %s (actions:%a)" (axiom_name v.axiom) v.detail
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       (fun fmt s -> Format.fprintf fmt " #%d" s))
+    v.actions
+
+let pp_verdict fmt = function
+  | Certified s ->
+    Format.fprintf fmt
+      "certified: %d actions (%d reads, %d writes, %d sc), %d sync edges, \
+       %d locations, %d hb pairs%s"
+      s.actions s.reads s.writes s.sc_actions s.sync_edges s.locations
+      s.hb_pairs
+      (if s.graph_checked then "" else " [mo-graph checks skipped: pruned]")
+  | Rejected vs ->
+    Format.fprintf fmt "@[<v>REJECTED (%d violations):@ %a@]" (List.length vs)
+      (Format.pp_print_list pp_violation)
+      vs
+  | Not_applicable why -> Format.fprintf fmt "not applicable: %s" why
+
+let violation_to_json v =
+  Jsonx.Obj
+    [
+      ("axiom", Jsonx.String (axiom_name v.axiom));
+      ("actions", Jsonx.List (List.map (fun s -> Jsonx.Int s) v.actions));
+      ("detail", Jsonx.String v.detail);
+      ("key", Jsonx.String (violation_key v));
+    ]
+
+let verdict_to_json = function
+  | Certified s ->
+    Jsonx.Obj
+      [
+        ("verdict", Jsonx.String "certified");
+        ("actions", Jsonx.Int s.actions);
+        ("reads", Jsonx.Int s.reads);
+        ("writes", Jsonx.Int s.writes);
+        ("sc_actions", Jsonx.Int s.sc_actions);
+        ("sync_edges", Jsonx.Int s.sync_edges);
+        ("hb_pairs", Jsonx.Int s.hb_pairs);
+        ("locations", Jsonx.Int s.locations);
+        ("graph_checked", Jsonx.Bool s.graph_checked);
+      ]
+  | Rejected vs ->
+    Jsonx.Obj
+      [
+        ("verdict", Jsonx.String "rejected");
+        ("violations", Jsonx.List (List.map violation_to_json vs));
+      ]
+  | Not_applicable why ->
+    Jsonx.Obj
+      [
+        ("verdict", Jsonx.String "not-applicable");
+        ("reason", Jsonx.String why);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Certified happens-before.
+
+   hb = (sb ∪ sw)⁺ is computed with plain integer timelines, never with
+   the engine's Clockvec: each thread carries an int array clock (slot u =
+   newest event of thread u known to happen before "here"), grown by
+   replaying the trace and the recorded synchronisation edges in global
+   sequence order.  Delayed fence synchronisation mirrors the memory
+   model: a non-acquire read banks the release sequence it observed in a
+   pending buffer that only an acquire fence publishes into the thread
+   clock.  The certified clock of every action is snapshotted so hb
+   queries are O(1) afterwards. *)
+
+type cert = {
+  nthreads : int;
+  trace : Action.t array;  (** global sequence order *)
+  by_seq : (int, Action.t) Hashtbl.t;
+  edges : Execution.sync_edge array;
+  acv : (int, int array) Hashtbl.t;  (** action seq -> certified clock *)
+  heads : (int, Action.t list) Hashtbl.t;
+      (** store seq -> release-sequence heads (C++20) *)
+  last_rel_fence : (int, Action.t) Hashtbl.t;
+      (** store seq -> the release fence feeding its thread's F^rel *)
+  mutable violations : violation list;  (** newest first *)
+}
+
+let add_violation c axiom actions detail =
+  c.violations <- { axiom; actions; detail } :: c.violations
+
+(* Per-violation-family cap: a single systematic model bug would otherwise
+   flood the report with one violation per pair. *)
+let cap = 8
+
+(* Release-sequence heads of a store, mirroring the reads-from clock
+   construction of Figure 9 exactly but in terms of events:
+   - a release store heads its own sequence;
+   - a relaxed store's sequence is headed by its thread's last release
+     fence, if any (F^rel);
+   - an RMW extends the sequence of the store it read (C++20: only RMWs
+     continue a release sequence) and may add its own head;
+   - a non-atomic store never heads or continues a sequence. *)
+let rec heads_of c (s : Action.t) =
+  match Hashtbl.find_opt c.heads s.seq with
+  | Some hs -> hs
+  | None ->
+    let own =
+      if Memorder.is_release s.mo then [ s ]
+      else
+        match Hashtbl.find_opt c.last_rel_fence s.seq with
+        | Some f -> [ f ]
+        | None -> []
+    in
+    let hs =
+      match s.kind with
+      | Action.Rmw -> (
+        match s.rf with
+        | Some prev when prev.seq < s.seq -> own @ heads_of c prev
+        | Some _ | None -> own)
+      | Action.Store -> own
+      | Action.Na_store | Action.Load | Action.Fence -> []
+    in
+    Hashtbl.replace c.heads s.seq hs;
+    hs
+
+(* Events of the forward pass, ordered by (seq, rank): a sync edge
+   snapshots its source thread's clock when the global order passes its
+   release event and merges it into the target when it passes its acquire
+   event.  Thread-start edges (to_seq = 0) apply immediately after their
+   own snapshot — the child has no events before that point. *)
+type ev =
+  | Apply of int  (** edge index, at to_seq, rank 0 *)
+  | Act of Action.t  (** rank 1 *)
+  | Snap of int  (** edge index, at from_seq, rank 2 *)
+  | Apply_start of int  (** edge index, at from_seq, rank 3 *)
+
+let ev_pos edges = function
+  | Apply i -> ((edges.(i) : Execution.sync_edge).se_to_seq, 0)
+  | Act a -> (a.Action.seq, 1)
+  | Snap i -> (edges.(i).Execution.se_from_seq, 2)
+  | Apply_start i -> (edges.(i).Execution.se_from_seq, 3)
+
+let merge_into dst src =
+  let n = Array.length src in
+  for i = 0 to n - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let build_hb c =
+  let nt = c.nthreads in
+  let clocks = Array.init nt (fun _ -> Array.make nt 0) in
+  let pending = Array.init nt (fun _ -> Array.make nt 0) in
+  let snaps = Array.make (Array.length c.edges) [||] in
+  let events =
+    Array.append
+      (Array.map (fun a -> Act a) c.trace)
+      (Array.concat
+         (Array.to_list
+            (Array.mapi
+               (fun i (e : Execution.sync_edge) ->
+                 if e.se_to_seq = 0 then [| Snap i; Apply_start i |]
+                 else [| Snap i; Apply i |])
+               c.edges)))
+  in
+  Array.sort (fun a b -> compare (ev_pos c.edges a) (ev_pos c.edges b)) events;
+  let in_range tid = tid >= 0 && tid < nt in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Snap i ->
+        let e = c.edges.(i) in
+        if in_range e.se_from_tid then begin
+          let s = Array.copy clocks.(e.se_from_tid) in
+          if e.se_from_seq > s.(e.se_from_tid) then
+            s.(e.se_from_tid) <- e.se_from_seq;
+          snaps.(i) <- s
+        end
+      | Apply i | Apply_start i ->
+        let e = c.edges.(i) in
+        if in_range e.se_to_tid && Array.length snaps.(i) > 0 then begin
+          merge_into clocks.(e.se_to_tid) snaps.(i);
+          if e.se_to_seq > clocks.(e.se_to_tid).(e.se_to_tid) then
+            clocks.(e.se_to_tid).(e.se_to_tid) <- e.se_to_seq
+        end
+      | Act a ->
+        let tid = a.Action.tid in
+        if in_range tid then begin
+          let cl = clocks.(tid) in
+          cl.(tid) <- a.seq;
+          (match a.kind with
+          | Action.Load | Action.Rmw -> (
+            match a.rf with
+            | Some s when s.seq < a.seq ->
+              let dst = if Memorder.is_acquire a.mo then cl else pending.(tid) in
+              List.iter
+                (fun (h : Action.t) ->
+                  match Hashtbl.find_opt c.acv h.seq with
+                  | Some hc -> merge_into dst hc
+                  | None -> ())
+                (heads_of c s)
+            | Some _ | None -> ())
+          | Action.Fence ->
+            if Memorder.is_acquire a.mo then merge_into cl pending.(tid)
+          | Action.Store | Action.Na_store -> ());
+          Hashtbl.replace c.acv a.seq (Array.copy cl)
+        end)
+    events
+
+(* Strict certified happens-before between two trace actions, mirroring
+   {!Action.happens_before}'s contract (an action does not happen before
+   itself). *)
+let cert_hb c (a : Action.t) (b : Action.t) =
+  a.seq <> b.seq
+  &&
+  match Hashtbl.find_opt c.acv b.seq with
+  | Some bc -> a.tid < Array.length bc && bc.(a.tid) >= a.seq
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Axiom checks *)
+
+let check_sync_wf c =
+  let count = ref 0 in
+  Array.iter
+    (fun (e : Execution.sync_edge) ->
+      if !count < cap then
+        if
+          e.se_from_tid < 0
+          || e.se_from_tid >= c.nthreads
+          || e.se_to_tid < 0
+          || e.se_to_tid >= c.nthreads
+          || e.se_from_seq <= 0
+          || (e.se_to_seq <> 0 && e.se_to_seq <= e.se_from_seq)
+        then begin
+          incr count;
+          add_violation c Sync_wf []
+            (Printf.sprintf
+               "malformed sync edge t%d@#%d -> t%d@#%d (tids in [0,%d), \
+                release must precede acquire)"
+               e.se_from_tid e.se_from_seq e.se_to_tid e.se_to_seq c.nthreads)
+        end)
+    c.edges
+
+let check_hb_irreflexive c =
+  let count = ref 0 in
+  Array.iter
+    (fun (a : Action.t) ->
+      if !count < cap then
+        match Hashtbl.find_opt c.acv a.seq with
+        | Some ac ->
+          (* the action's own slot is its own seq by construction; a
+             foreign slot at or above this action's seq means an edge ran
+             backwards in time *)
+          Array.iteri
+            (fun u v ->
+              if u <> a.tid && v >= a.seq && !count < cap then begin
+                incr count;
+                add_violation c Hb_irreflexivity [ a.seq ]
+                  (Printf.sprintf
+                     "action #%d's certified clock covers t%d@#%d, which \
+                      does not precede it"
+                     a.seq u v)
+              end)
+            ac
+        | None ->
+          incr count;
+          add_violation c Hb_irreflexivity [ a.seq ]
+            (Printf.sprintf "action #%d has no certified clock" a.seq))
+    c.trace
+
+let check_hb_differential c =
+  let n = Array.length c.trace in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && !count < cap then begin
+        let a = c.trace.(i) and b = c.trace.(j) in
+        let certified = cert_hb c a b in
+        let operational = Action.happens_before a b in
+        if certified <> operational then begin
+          incr count;
+          add_violation c Hb_differential [ a.seq; b.seq ]
+            (Printf.sprintf
+               "#%d -hb-> #%d is %b under the certified (sb ∪ sw)⁺ closure \
+                but %b under the engine's clock vectors"
+               a.seq b.seq certified operational)
+        end
+      end
+    done
+  done;
+  n * (n - 1)
+
+let check_rf_wf c =
+  let count = ref 0 in
+  Array.iter
+    (fun (r : Action.t) ->
+      if Action.is_read r && !count < cap then
+        match r.rf with
+        | None ->
+          incr count;
+          add_violation c Rf_wf [ r.seq ]
+            (Printf.sprintf "read #%d of loc %d has no reads-from store"
+               r.seq r.loc)
+        | Some s ->
+          let fail msg =
+            incr count;
+            add_violation c Rf_wf [ r.seq; s.seq ] msg
+          in
+          if not (Hashtbl.mem c.by_seq s.seq) then
+            fail
+              (Printf.sprintf "read #%d reads-from #%d, not in the trace"
+                 r.seq s.seq)
+          else if not (Action.is_write s) then
+            fail
+              (Printf.sprintf "read #%d reads-from #%d, which is not a write"
+                 r.seq s.seq)
+          else if s.loc <> r.loc then
+            fail
+              (Printf.sprintf
+                 "read #%d of loc %d reads-from #%d of loc %d" r.seq r.loc
+                 s.seq s.loc)
+          else if s.seq >= r.seq then
+            fail
+              (Printf.sprintf
+                 "read #%d reads-from #%d, which executes after it" r.seq
+                 s.seq)
+          else if r.kind = Action.Load && r.value <> s.value then
+            fail
+              (Printf.sprintf
+                 "load #%d returned %d but its reads-from store #%d wrote %d"
+                 r.seq r.value s.seq s.value))
+    c.trace
+
+(* Reachability over the final mo-graph by explicit search (edges + rmw
+   links), never by clock vectors: one traversal per write, collecting the
+   same-location writes it reaches.  [reach] maps a live write's seq to
+   the seq set of its same-location mo-successors. *)
+let graph_reach graph (writes : Action.t list) =
+  let target = Hashtbl.create 16 in
+  List.iter (fun (w : Action.t) -> Hashtbl.replace target w.seq ()) writes;
+  let reach = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Action.t) ->
+      match Mograph.find_node graph w with
+      | None -> ()
+      | Some start ->
+        let found = Hashtbl.create 16 in
+        let visited = Hashtbl.create 64 in
+        let rec go (n : Mograph.node) =
+          if not (Hashtbl.mem visited n.action.seq) then begin
+            Hashtbl.add visited n.action.seq ();
+            if n.action.seq <> w.seq && Hashtbl.mem target n.action.seq then
+              Hashtbl.replace found n.action.seq ();
+            for i = 0 to n.nedges - 1 do
+              go n.edges.(i)
+            done;
+            match n.rmw with Some r -> go r | None -> ()
+          end
+        in
+        go start;
+        Hashtbl.replace reach w.seq found)
+    writes;
+  reach
+
+let mo_dfs reach (a : Action.t) (b : Action.t) =
+  match Hashtbl.find_opt reach a.seq with
+  | Some found -> Hashtbl.mem found b.seq
+  | None -> false
+
+(* Per-location coherence: acyclicity of hb|loc ∪ rf ∪ mo ∪ fr over the
+   location's actions, plus — when the graph is exact (nothing pruned) —
+   the completeness obligations CoWW and CoWR that catch a dropped mo
+   edge (a merely missing edge never creates a cycle). *)
+let check_location c ~graph ~graph_exact ~loc (acts : Action.t list) =
+  let writes = List.filter Action.is_write acts in
+  let reach = graph_reach graph writes in
+  let live w = Mograph.find_node graph w <> None in
+  (* adjacency for the union relation *)
+  let adj = Hashtbl.create 32 in
+  let add_edge a b =
+    let l = try Hashtbl.find adj a with Not_found -> [] in
+    Hashtbl.replace adj a (b :: l)
+  in
+  List.iter
+    (fun (a : Action.t) ->
+      List.iter
+        (fun (b : Action.t) ->
+          if a.seq <> b.seq then begin
+            if cert_hb c a b then add_edge a.seq b.seq;
+            if Action.is_write a && Action.is_write b && mo_dfs reach a b then
+              add_edge a.seq b.seq
+          end)
+        acts;
+      (if Action.is_read a then
+         match a.rf with
+         | Some s when s.loc = a.loc ->
+           add_edge s.seq a.seq;
+           (* fr = rf⁻¹ ; mo *)
+           List.iter
+             (fun (w : Action.t) ->
+               if w.seq <> s.seq && w.seq <> a.seq && mo_dfs reach s w then
+                 add_edge a.seq w.seq)
+             writes
+         | Some _ | None -> ()))
+    acts;
+  (* cycle detection with path extraction *)
+  let color = Hashtbl.create 32 in
+  let cycle = ref None in
+  let rec visit path seq =
+    if !cycle = None then
+      match Hashtbl.find_opt color seq with
+      | Some 1 ->
+        let rec cut = function
+          | [] -> [ seq ]
+          | x :: rest -> if x = seq then [ x ] else x :: cut rest
+        in
+        cycle := Some (seq :: List.rev (cut path))
+      | Some _ -> ()
+      | None ->
+        Hashtbl.add color seq 1;
+        List.iter (visit (seq :: path))
+          (try Hashtbl.find adj seq with Not_found -> []);
+        Hashtbl.replace color seq 2
+  in
+  List.iter (fun (a : Action.t) -> visit [] a.seq) acts;
+  (match !cycle with
+  | Some cyc ->
+    add_violation c Coherence cyc
+      (Printf.sprintf
+         "loc %d: hb|loc ∪ rf ∪ mo ∪ fr has a cycle through %d actions" loc
+         (List.length cyc - 1))
+  | None -> ());
+  if graph_exact then begin
+    let count = ref 0 in
+    (* CoWW: hb-ordered same-location writes must be mo-ordered *)
+    List.iter
+      (fun (a : Action.t) ->
+        List.iter
+          (fun (b : Action.t) ->
+            if
+              !count < cap && a.seq <> b.seq && live a && live b
+              && cert_hb c a b
+              && not (mo_dfs reach a b)
+            then begin
+              incr count;
+              add_violation c Coherence [ a.seq; b.seq ]
+                (Printf.sprintf
+                   "loc %d: CoWW incomplete — write #%d happens before \
+                    write #%d but is not mo-before it"
+                   loc a.seq b.seq)
+            end)
+          writes)
+      writes;
+    (* CoWR: a write hb-visible to a read must be mo-before the write the
+       read actually observed *)
+    List.iter
+      (fun (r : Action.t) ->
+        if Action.is_read r then
+          match r.rf with
+          | Some s when s.loc = r.loc && live s ->
+            List.iter
+              (fun (w : Action.t) ->
+                if
+                  !count < cap && w.seq <> s.seq && w.seq <> r.seq && live w
+                  && cert_hb c w r
+                  && not (mo_dfs reach w s)
+                then begin
+                  incr count;
+                  add_violation c Coherence [ w.seq; r.seq; s.seq ]
+                    (Printf.sprintf
+                       "loc %d: CoWR incomplete — write #%d happens before \
+                        read #%d but is not mo-before its store #%d"
+                       loc w.seq r.seq s.seq)
+                end)
+              writes
+          | Some _ | None -> ())
+      acts
+  end;
+  (writes, reach)
+
+let check_rmw_atomicity c ~graph =
+  let claimed = Hashtbl.create 8 in
+  let count = ref 0 in
+  Array.iter
+    (fun (r : Action.t) ->
+      if r.kind = Action.Rmw && !count < cap then
+        match r.rf with
+        | None -> () (* already an rf-wf violation *)
+        | Some s ->
+          (match Hashtbl.find_opt claimed s.seq with
+          | Some other ->
+            incr count;
+            add_violation c Rmw_atomicity [ s.seq; other; r.seq ]
+              (Printf.sprintf
+                 "store #%d is read by two RMWs, #%d and #%d" s.seq other
+                 r.seq)
+          | None -> Hashtbl.replace claimed s.seq r.seq);
+          (match (Mograph.find_node graph s, Mograph.find_node graph r) with
+          | Some ns, Some nr ->
+            let immediate =
+              match ns.Mograph.rmw with Some x -> x == nr | None -> false
+            in
+            if not immediate then begin
+              incr count;
+              add_violation c Rmw_atomicity [ s.seq; r.seq ]
+                (Printf.sprintf
+                   "rmw #%d reads-from #%d but does not immediately \
+                    mo-follow it"
+                   r.seq s.seq)
+            end
+          | _ -> () (* a pruned end of the pair: immediacy unobservable *)))
+    c.trace
+
+let check_sc c =
+  let sc =
+    Array.to_list c.trace
+    |> List.filter (fun (a : Action.t) -> Memorder.is_seq_cst a.mo)
+  in
+  let count = ref 0 in
+  (* The total sc order is execution order restricted to sc actions; it
+     must be consistent with certified hb. *)
+  let rec pairs = function
+    | [] -> ()
+    | (a : Action.t) :: rest ->
+      List.iter
+        (fun (b : Action.t) ->
+          if !count < cap && cert_hb c b a then begin
+            incr count;
+            add_violation c Sc_order [ a.seq; b.seq ]
+              (Printf.sprintf
+                 "sc order places #%d before #%d but #%d happens before #%d"
+                 a.seq b.seq b.seq a.seq)
+          end)
+        rest;
+      pairs rest
+  in
+  pairs sc;
+  (* Section 29.3 statement 3: an sc read observes the last sc store to
+     its location, or a store that neither sc-precedes it nor happens
+     before it. *)
+  List.iter
+    (fun (r : Action.t) ->
+      if Action.is_read r && !count < cap then
+        match r.rf with
+        | None -> ()
+        | Some x ->
+          let last_sc =
+            List.fold_left
+              (fun acc (s : Action.t) ->
+                if Action.is_write s && s.loc = r.loc && s.seq < r.seq then
+                  Some s
+                else acc)
+              None sc
+          in
+          (match last_sc with
+          | Some s when x.seq <> s.seq ->
+            if
+              (Memorder.is_seq_cst x.mo && x.seq < s.seq) || cert_hb c x s
+            then begin
+              incr count;
+              add_violation c Sc_order [ r.seq; x.seq; s.seq ]
+                (Printf.sprintf
+                   "sc read #%d observes #%d, hidden behind the last sc \
+                    store #%d to loc %d"
+                   r.seq x.seq s.seq r.loc)
+            end
+          | Some _ | None -> ()))
+    sc;
+  List.length sc
+
+(* Theorem 1 differential: on the final (unpruned) graph, the engine's
+   O(threads) clock-vector reachability must agree with explicit search
+   for every live same-location write pair. *)
+let check_theorem1 c ~graph ~loc (writes : Action.t list) reach =
+  let count = ref 0 in
+  List.iter
+    (fun (a : Action.t) ->
+      List.iter
+        (fun (b : Action.t) ->
+          if
+            !count < cap && a.seq <> b.seq
+            && Mograph.find_node graph a <> None
+            && Mograph.find_node graph b <> None
+          then begin
+            let cv = Mograph.reaches graph a b in
+            let dfs = mo_dfs reach a b in
+            if cv <> dfs then begin
+              incr count;
+              add_violation c Theorem1_differential [ a.seq; b.seq ]
+                (Printf.sprintf
+                   "loc %d: #%d reaches #%d is %b by clock vectors but %b \
+                    by graph search"
+                   loc a.seq b.seq cv dfs)
+            end
+          end)
+        writes)
+    writes
+
+(* ------------------------------------------------------------------ *)
+
+let certify (exec : Execution.t) =
+  if not exec.Execution.cert_on then
+    Not_applicable "execution was not recorded for certification"
+  else if exec.Execution.mode <> Execution.Full_c11 then
+    Not_applicable
+      "Total_mo executions use 2011 release sequences, outside the \
+       certified fragment"
+  else begin
+    let trace = Array.of_list (Execution.cert_trace exec) in
+    let edges = Array.of_list (Execution.cert_sync_edges exec) in
+    let by_seq = Hashtbl.create (Array.length trace) in
+    Array.iter (fun (a : Action.t) -> Hashtbl.replace by_seq a.seq a) trace;
+    let c =
+      {
+        nthreads = exec.Execution.nthreads;
+        trace;
+        by_seq;
+        edges;
+        acv = Hashtbl.create (Array.length trace);
+        heads = Hashtbl.create 64;
+        last_rel_fence = Hashtbl.create 64;
+        violations = [];
+      }
+    in
+    (* F^rel tracking: remember, for every store, its thread's most recent
+       release fence at the moment the store executed. *)
+    let last_rel = Hashtbl.create 8 in
+    Array.iter
+      (fun (a : Action.t) ->
+        match a.kind with
+        | Action.Fence ->
+          if Memorder.is_release a.mo then Hashtbl.replace last_rel a.tid a
+        | Action.Store | Action.Rmw -> (
+          match Hashtbl.find_opt last_rel a.tid with
+          | Some f -> Hashtbl.replace c.last_rel_fence a.seq f
+          | None -> ())
+        | Action.Load | Action.Na_store -> ())
+      trace;
+    check_sync_wf c;
+    build_hb c;
+    check_hb_irreflexive c;
+    let hb_pairs = check_hb_differential c in
+    check_rf_wf c;
+    let graph = exec.Execution.graph in
+    let graph_exact = exec.Execution.pruned_count = 0 in
+    (* group actions by location (fences excluded: loc = -1) *)
+    let by_loc = Hashtbl.create 16 in
+    Array.iter
+      (fun (a : Action.t) ->
+        if a.loc >= 0 then
+          Hashtbl.replace by_loc a.loc
+            (a :: (try Hashtbl.find by_loc a.loc with Not_found -> [])))
+      trace;
+    let locs =
+      Hashtbl.fold (fun loc acts l -> (loc, List.rev acts) :: l) by_loc []
+      |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    in
+    List.iter
+      (fun (loc, acts) ->
+        let writes, reach =
+          check_location c ~graph ~graph_exact ~loc acts
+        in
+        if graph_exact then check_theorem1 c ~graph ~loc writes reach)
+      locs;
+    check_rmw_atomicity c ~graph;
+    let sc_actions = check_sc c in
+    match List.rev c.violations with
+    | [] ->
+      Certified
+        {
+          actions = Array.length trace;
+          reads =
+            Array.fold_left
+              (fun n a -> if Action.is_read a then n + 1 else n)
+              0 trace;
+          writes =
+            Array.fold_left
+              (fun n a -> if Action.is_write a then n + 1 else n)
+              0 trace;
+          sc_actions;
+          sync_edges = Array.length edges;
+          hb_pairs;
+          locations = List.length locs;
+          graph_checked = graph_exact;
+        }
+    | vs -> Rejected vs
+  end

@@ -1,0 +1,102 @@
+(** Axiomatic certification of recorded executions.
+
+    The operational engine ({!Execution}, {!Mograph}) is the only arbiter
+    of what an execution means: a bug there silently changes the memory
+    model, and the fixed-seed goldens only prove the repository is
+    consistent with itself.  This module is a second, independent
+    implementation of the declarative C11 fragment, run as a sanitizer
+    over finished executions (in the spirit of consistency-checking work
+    such as Tunç et al., "Optimal Reads-From Consistency Checking for
+    C11-Style Memory Models", and the declarative treatment of Batty et
+    al., "Overhauling SC Atomics in C11 and OpenCL").
+
+    From the recorded action trace and synchronisation edges
+    ({!Execution.cert_trace}, {!Execution.cert_sync_edges}) it
+    reconstructs the declarative relations from scratch — [sb] (program
+    order per thread), [rf] (the recorded reads-from), [mo] (read off the
+    final mo-graph by depth-first search, never by clock vectors), [sw]
+    (release sequences per C++20, including fence-based synchronisation),
+    [hb = (sb ∪ sw)⁺] (computed with its own integer timelines, entirely
+    independently of the engine's {!Clockvec}s) and [fr = rf⁻¹ ; mo] —
+    and checks the fragment's axioms:
+
+    - {b hb-irreflexivity} — no action happens before itself;
+    - {b hb-differential} — the certified [hb] must agree with the
+      engine's recorded clock-vector snapshots on {e every} ordered pair
+      of actions (this is what catches a dropped or invented
+      synchronizes-with edge);
+    - {b rf-wf} — every read observes an existing same-location write
+      that does not happen after it, and loads return the value written;
+    - {b coherence} — per location, [hb|loc ∪ rf ∪ mo ∪ fr] is acyclic
+      (subsumes CoRR/CoWR/CoRW), plus the completeness obligations CoWW
+      ([a -hb-> b] for same-location writes forces [a -mo-> b]) and CoWR
+      (an hb-visible write forces an mo edge to the write actually read);
+    - {b rmw-atomicity} — an RMW reads-from a store it immediately
+      mo-follows, and no store feeds two RMWs;
+    - {b sc} — the total seq_cst order (execution order restricted to
+      seq_cst actions) is consistent with certified hb, and a seq_cst
+      load observes the last seq_cst store to its location or a
+      non-hb-superseded non-sc store (Section 29.3 statement 3);
+    - {b theorem-1-differential} — on the final mo-graph,
+      {!Mograph.reaches} (clock-vector comparison) must agree with
+      {!Mograph.reaches_dfs} (graph search) on every live same-location
+      write pair.
+
+    Pruned executions ({!Pruner}) deliberately over-approximate node
+    clocks, so the mo-graph differential and the completeness obligations
+    are skipped once any store has been pruned (reported in the
+    statistics); the remaining axioms still run.  [Total_mo] executions
+    use the 2011 release-sequence definition the certifier does not
+    model, so they yield {!Not_applicable}. *)
+
+(** Which axiom a violation falls under. *)
+type axiom =
+  | Hb_irreflexivity
+  | Hb_differential
+  | Rf_wf
+  | Coherence
+  | Rmw_atomicity
+  | Sc_order
+  | Theorem1_differential
+  | Sync_wf  (** malformed certifier input (edges naming unknown events) *)
+
+(** A structured counterexample: the axiom violated, the sequence numbers
+    of the actions involved (in the order relevant to the axiom — e.g. a
+    coherence cycle lists the cycle), and a human-readable explanation. *)
+type violation = { axiom : axiom; actions : int list; detail : string }
+
+type stats = {
+  actions : int;  (** actions in the certified trace *)
+  reads : int;
+  writes : int;
+  sc_actions : int;
+  sync_edges : int;
+  hb_pairs : int;  (** ordered action pairs compared in the differential *)
+  locations : int;
+  graph_checked : bool;
+      (** false when pruning forced the mo-graph differential and the
+          completeness obligations to be skipped *)
+}
+
+type verdict =
+  | Certified of stats
+  | Rejected of violation list  (** non-empty, in detection order *)
+  | Not_applicable of string
+      (** nothing recorded ([~certify:false]) or an uncertified mode *)
+
+(** [certify exec] reconstructs the declarative relations of the finished
+    execution and checks every axiom, returning all violations found (it
+    does not stop at the first). *)
+val certify : Execution.t -> verdict
+
+val axiom_name : axiom -> string
+
+(** Stable cross-execution deduplication key for a violation (axiom name
+    plus location/shape, without sequence numbers — the same model bug
+    found under different seeds collapses to one key). *)
+val violation_key : violation -> string
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+val violation_to_json : violation -> Jsonx.t
+val verdict_to_json : verdict -> Jsonx.t

@@ -20,6 +20,18 @@ type loc_cell = {
   mutable c_sc_stores : Action.t list;
 }
 
+(* A synchronisation edge recorded for the certifier: the event at
+   [se_from_tid]'s sequence number [se_from_seq] released state that the
+   event at [se_to_tid]/[se_to_seq] acquired (thread spawn, join, mutex
+   hand-off).  [se_to_seq = 0] means "before the target thread's first
+   event" (thread start). *)
+type sync_edge = {
+  se_from_tid : int;
+  se_from_seq : int;
+  se_to_tid : int;
+  se_to_seq : int;
+}
+
 type loc_info = {
   li_loc : int;
   mutable cells : loc_cell list;
@@ -55,6 +67,9 @@ type t = {
   obs_on : bool;
   prof_on : bool;
   metrics_on : bool;
+  cert_on : bool;
+  mutable cert_trace_rev : Action.t list;
+  mutable cert_sync_rev : sync_edge list;
   mutable seq : int;
   mutable threads : thread_state array;
   mutable nthreads : int;
@@ -97,7 +112,7 @@ let dummy_action : Action.t =
   }
 
 let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
-    ~mode ~rng ~race () =
+    ?(certify = false) ~mode ~rng ~race () =
   {
     mode;
     rng;
@@ -109,6 +124,9 @@ let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
     obs_on = Obs.enabled obs;
     prof_on = Profile.enabled prof;
     metrics_on = Metrics.enabled metrics;
+    cert_on = certify;
+    cert_trace_rev = [];
+    cert_sync_rev = [];
     seq = 0;
     threads = [||];
     nthreads = 0;
@@ -153,6 +171,15 @@ let fresh_loc t ~atomic ~name =
 let is_atomic_loc t loc =
   loc < Array.length t.atomic_locs && Array.unsafe_get t.atomic_locs loc
 
+let cert_sync_edge t ~from_tid ~from_seq ~to_tid ~to_seq =
+  t.cert_sync_rev <-
+    { se_from_tid = from_tid; se_from_seq = from_seq; se_to_tid = to_tid; se_to_seq = to_seq }
+    :: t.cert_sync_rev
+
+(* Current sequence number of the thread's own clock slot — the seq of its
+   most recent event (action or synchronisation tick). *)
+let thread_now t ~tid = Clockvec.get (thread t tid).c tid
+
 let new_thread t ~parent =
   let tid = t.nthreads in
   let c =
@@ -167,6 +194,16 @@ let new_thread t ~parent =
   Array.blit t.threads 0 threads 0 t.nthreads;
   t.threads <- threads;
   t.nthreads <- tid + 1;
+  (* The child inherits the parent's whole clock (the
+     additional-synchronizes-with edge of thread creation); for the
+     certifier that is an edge from the parent's latest event to the
+     child's start. *)
+  (if t.cert_on then
+     match parent with
+     | Some p ->
+       cert_sync_edge t ~from_tid:p ~from_seq:(thread_now t ~tid:p) ~to_tid:tid
+         ~to_seq:0
+     | None -> ());
   tid
 
 let tick t ts =
@@ -535,6 +572,7 @@ let mk_action t ts kind ~loc ~mo ~value ~volatile ~seq =
   }
   in
   record_trace t a;
+  if t.cert_on then t.cert_trace_rev <- a :: t.cert_trace_rev;
   a
 
 (* Fisher–Yates over the scratch buffer, drawing from the RNG in exactly
@@ -797,7 +835,13 @@ let fence t ~tid ~mo =
   if Memorder.is_seq_cst mo then begin
     let a = mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq in
     ts.sc_fences <- a :: ts.sc_fences
-  end;
+  end
+  else if t.cert_on then
+    (* Weaker fences are pure clock-vector operations and normally leave no
+       action; the certifier reconstructs fence-based synchronisation from
+       the trace, so materialise them when certifying (no RNG draws, no
+       extra sequence numbers — executions are unperturbed). *)
+    ignore (mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq);
   if t.obs_on then
     emit_access t Obs.Fence ~tid ~loc:(-1) ~mo:(Memorder.to_string mo) ~value:0
       ~detail:"" ~seq
@@ -855,6 +899,9 @@ let trace t =
      to reach [trace_cap] actions *)
   let newest_first = t.trace_rev @ take (t.trace_cap - t.trace_n) t.trace_old in
   List.rev newest_first
+
+let cert_trace t = List.rev t.cert_trace_rev
+let cert_sync_edges t = List.rev t.cert_sync_rev
 
 module Internal = struct
   let build_may_read_from = build_may_read_from

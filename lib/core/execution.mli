@@ -65,6 +65,20 @@ type loc_info = {
           by the same thread continue the sequence. *)
 }
 
+(** A synchronisation edge recorded for the axiomatic certifier
+    ({!Check.certify} in [lib/check]): the event with sequence number
+    [se_from_seq] on thread [se_from_tid] released state that the event
+    [se_to_seq] on thread [se_to_tid] acquired — thread spawn, join, or a
+    mutex unlock→lock hand-off.  [se_to_seq = 0] means "before the target
+    thread's first event" (thread start).  Only recorded when the
+    execution was created with [~certify:true]. *)
+type sync_edge = {
+  se_from_tid : int;
+  se_from_seq : int;
+  se_to_tid : int;
+  se_to_seq : int;
+}
+
 type t = {
   mode : mode;
   rng : Rng.t;
@@ -78,6 +92,13 @@ type t = {
           guards on the transition rules are a field load, not a call *)
   prof_on : bool;
   metrics_on : bool;
+  cert_on : bool;
+      (** record the full action trace and synchronisation edges for the
+          axiomatic certifier; off by default (zero cost) *)
+  mutable cert_trace_rev : Action.t list;
+      (** every action, newest first (unbounded, unlike [trace_rev]);
+          mutable so certifier self-tests can corrupt a recorded execution *)
+  mutable cert_sync_rev : sync_edge list;  (** newest first; ditto *)
   mutable seq : int;
   mutable threads : thread_state array;
   mutable nthreads : int;
@@ -112,6 +133,7 @@ val create :
   ?obs:Obs.t ->
   ?prof:Profile.t ->
   ?metrics:Metrics.t ->
+  ?certify:bool ->
   mode:mode ->
   rng:Rng.t ->
   race:Race.t ->
@@ -139,6 +161,17 @@ val tick_sync : t -> tid:int -> unit
 (** [acquire_cv t ~tid cv] merges [cv] into the thread's clock — the
     acquire half of lock acquisition, condvar wakeup and thread join. *)
 val acquire_cv : t -> tid:int -> Clockvec.t -> unit
+
+(** Sequence number of the thread's most recent event (its own clock
+    slot) — what a synchronisation edge recorded right now would name. *)
+val thread_now : t -> tid:int -> int
+
+(** [cert_sync_edge t ...] records one synchronisation edge for the
+    certifier.  {!new_thread} records spawn edges itself; the engine
+    records join and mutex hand-off edges (it owns mutex identity).
+    Callers should guard on [t.cert_on]. *)
+val cert_sync_edge :
+  t -> from_tid:int -> from_seq:int -> to_tid:int -> to_seq:int -> unit
 
 (** [release_snapshot t ~tid] is a copy of the thread's current clock — the
     release half of unlock / signal / thread finish. *)
@@ -179,6 +212,13 @@ val graph_footprint : t -> int
 val set_trace_capacity : t -> int -> unit
 
 val trace : t -> Action.t list
+
+(** The certifier's inputs, oldest first: every action of the execution
+    (including materialised non-sc fences) and every synchronisation edge.
+    Both are empty unless the execution was created with [~certify:true]. *)
+val cert_trace : t -> Action.t list
+
+val cert_sync_edges : t -> sync_edge list
 
 (** Internal helpers exposed for tests. *)
 module Internal : sig

@@ -10,6 +10,7 @@ type config = {
   max_steps : int;
   seed : int64;
   trace_depth : int;
+  certify : bool;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     max_steps = 2_000_000;
     seed = 1L;
     trace_depth = 0;
+    certify = false;
   }
 
 type outcome = {
@@ -37,9 +39,13 @@ type outcome = {
   final_footprint : int;
   pruned_stores : int;
   trace : string list;
+  certificate : Check.verdict option;
+      (** [Some _] iff the execution ran with [config.certify] *)
 }
 
-let buggy o = o.races <> [] || o.assertion_failures <> []
+let buggy o =
+  o.races <> [] || o.assertion_failures <> []
+  || match o.certificate with Some (Check.Rejected _) -> true | _ -> false
 
 exception Assertion_violation of string
 
@@ -66,6 +72,11 @@ type thread = {
 type mutex = {
   mutable locked_by : int option;
   mutable m_release_cv : Clockvec.t;
+  mutable m_unlockers : (int * int) list;
+      (** certification only: tid -> latest unlock seq.  [m_release_cv]
+          accumulates every unlocker's snapshot, so a lock hand-off is one
+          sync edge per unlocking thread (per-thread snapshots are
+          monotone — the latest covers the rest). *)
 }
 
 type condvar = { mutable waiters : int list }
@@ -112,7 +123,9 @@ let add_thread st body ~parent =
   tid
 
 let add_mutex st =
-  let m = { locked_by = None; m_release_cv = Clockvec.bottom () } in
+  let m =
+    { locked_by = None; m_release_cv = Clockvec.bottom (); m_unlockers = [] }
+  in
   st.mutexes <- grow_push st.mutexes st.nmutexes m;
   st.nmutexes <- st.nmutexes + 1;
   st.nmutexes - 1
@@ -202,16 +215,33 @@ type op_result =
   | Value of int  (** resume the fiber with this result *)
   | Sleep of { cond : int; mutex : int }  (** park the fiber on a condvar *)
 
+(* Certification: the acquire half of a lock corresponds to one sync edge
+   from every thread whose unlock snapshot is folded into [m_release_cv]. *)
+let cert_lock_edges st tid mu =
+  if st.exec.Execution.cert_on then begin
+    let to_seq = Execution.thread_now st.exec ~tid in
+    List.iter
+      (fun (utid, useq) ->
+        Execution.cert_sync_edge st.exec ~from_tid:utid ~from_seq:useq
+          ~to_tid:tid ~to_seq)
+      mu.m_unlockers
+  end
+
 let lock_mutex st tid mu =
   assert (mu.locked_by = None);
   Execution.tick_sync st.exec ~tid;
   Execution.acquire_cv st.exec ~tid mu.m_release_cv;
+  cert_lock_edges st tid mu;
   mu.locked_by <- Some tid
 
 let unlock_mutex st tid mu =
   Execution.tick_sync st.exec ~tid;
   ignore
     (Clockvec.merge mu.m_release_cv (Execution.release_snapshot st.exec ~tid));
+  if st.exec.Execution.cert_on then
+    mu.m_unlockers <-
+      (tid, Execution.thread_now st.exec ~tid)
+      :: List.filter (fun (t, _) -> t <> tid) mu.m_unlockers;
   mu.locked_by <- None
 
 let exec_op st th (op : Op.t) : op_result =
@@ -258,7 +288,12 @@ let exec_op st th (op : Op.t) : op_result =
   | Op.Join child ->
     Execution.tick_sync exec ~tid;
     (match st.threads.(child).final_cv with
-    | Some cv -> Execution.acquire_cv exec ~tid cv
+    | Some cv ->
+      Execution.acquire_cv exec ~tid cv;
+      if exec.Execution.cert_on then
+        Execution.cert_sync_edge exec ~from_tid:child
+          ~from_seq:(Clockvec.get cv child) ~to_tid:tid
+          ~to_seq:(Execution.thread_now exec ~tid)
     | None -> raise (Execution.Model_error "join on unfinished thread"));
     Value 0
   | Op.Mutex_create -> Value (add_mutex st)
@@ -271,6 +306,7 @@ let exec_op st th (op : Op.t) : op_result =
     Execution.tick_sync exec ~tid;
     if mu.locked_by = None then begin
       Execution.acquire_cv exec ~tid mu.m_release_cv;
+      cert_lock_edges st tid mu;
       mu.locked_by <- Some tid;
       Value 1
     end
@@ -477,7 +513,8 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
   let rng = Rng.create config.seed in
   let race = Race.create ~obs ~metrics () in
   let exec =
-    Execution.create ~obs ~prof:profile ~metrics ~mode:config.mode ~rng ~race ()
+    Execution.create ~obs ~prof:profile ~metrics ~certify:config.certify
+      ~mode:config.mode ~rng ~race ()
   in
   Execution.set_trace_capacity exec config.trace_depth;
   let st =
@@ -551,6 +588,22 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
     cancel_all st;
     raise e);
   Profile.stop profile "execution" p_run;
+  let certificate =
+    if config.certify then begin
+      let p_cert = Profile.start profile in
+      let v = Check.certify exec in
+      Profile.stop profile "certify" p_cert;
+      if metrics_on then begin
+        Metrics.incr metrics "certify.executions";
+        match v with
+        | Check.Rejected vs ->
+          Metrics.incr metrics ~by:(List.length vs) "certify.violations"
+        | Check.Certified _ | Check.Not_applicable _ -> ()
+      end;
+      Some v
+    end
+    else None
+  in
   if metrics_on then begin
     Metrics.incr metrics "engine.executions";
     Metrics.incr metrics ~by:st.steps "engine.steps";
@@ -577,6 +630,7 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
     pruned_stores = exec.Execution.pruned_count;
     trace =
       List.map (Format.asprintf "%a" Action.pp) (Execution.trace exec);
+    certificate;
   }
 
 let pp_outcome fmt o =

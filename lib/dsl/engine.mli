@@ -25,6 +25,10 @@ type config = {
   trace_depth : int;
       (** keep the last N memory actions and return them in the outcome;
           0 (default) disables tracing *)
+  certify : bool;
+      (** record the full action trace and synchronisation edges and run
+          the axiomatic certifier ({!Check.certify}) over the finished
+          execution; off (zero-cost) by default *)
 }
 
 val default_config : config
@@ -44,9 +48,12 @@ type outcome = {
   pruned_stores : int;
   trace : string list;
       (** the last [trace_depth] memory actions, oldest first, formatted *)
+  certificate : Check.verdict option;
+      (** the axiomatic certifier's verdict; [Some _] iff [config.certify] *)
 }
 
-(** Did the execution expose a bug (a data race or an assertion failure)? *)
+(** Did the execution expose a bug (a data race, an assertion failure, or
+    a rejected certificate)? *)
 val buggy : outcome -> bool
 
 (** [run config f] executes [f] once.  The optional C11obs handles

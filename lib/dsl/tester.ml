@@ -5,7 +5,10 @@ type summary = {
   assert_executions : int;
   deadlocks : int;
   step_limit_hits : int;
+  certified_executions : int;
+  cert_rejected_executions : int;
   distinct_races : Race.report list;
+  distinct_cert_violations : Check.violation list;
   total_atomic_ops : int;
   total_na_ops : int;
   max_graph_size : int;
@@ -33,6 +36,9 @@ type 'a shard = {
   sh_counters : Par.Merge.counters;
   sh_races : (int * Race.report) list;
       (* shard-local first occurrences, ascending global index *)
+  sh_violations : (int * Check.violation) list;
+      (* certifier counterexamples, deduped by {!Check.violation_key};
+         same first-occurrence discipline as [sh_races] *)
   sh_hist : ('a * int * int) list;
       (* (observation, count, first global index), unordered *)
 }
@@ -40,12 +46,16 @@ type 'a shard = {
 let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
   let seen = Hashtbl.create 16 in
   let races = ref [] in
+  let seen_violations = Hashtbl.create 16 in
+  let violations = ref [] in
   let histogram = Hashtbl.create 16 in
   let buggy = ref 0
   and racy = ref 0
   and asserts = ref 0
   and deadlocks = ref 0
   and limits = ref 0
+  and certified = ref 0
+  and cert_rejected = ref 0
   and atomic_ops = ref 0
   and na_ops = ref 0
   and max_graph = ref 0
@@ -78,6 +88,19 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
           races := (index, r) :: !races
         end)
       o.Engine.races;
+    (match o.Engine.certificate with
+    | Some (Check.Certified _) -> incr certified
+    | Some (Check.Rejected vs) ->
+      incr cert_rejected;
+      List.iter
+        (fun v ->
+          let key = Check.violation_key v in
+          if not (Hashtbl.mem seen_violations key) then begin
+            Hashtbl.add seen_violations key ();
+            violations := (index, v) :: !violations
+          end)
+        vs
+    | Some (Check.Not_applicable _) | None -> ());
     (match !observation with
     | Some obs -> (
       match Hashtbl.find_opt histogram obs with
@@ -95,18 +118,21 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
         asserts = !asserts;
         deadlocks = !deadlocks;
         limits = !limits;
+        certified = !certified;
+        cert_rejected = !cert_rejected;
         atomic_ops = !atomic_ops;
         na_ops = !na_ops;
         max_graph = !max_graph;
         steps = !steps;
       };
     sh_races = List.rev !races;
+    sh_violations = List.rev !violations;
     sh_hist =
       Hashtbl.fold (fun k (count, first) l -> (k, count, first) :: l) histogram
         [];
   }
 
-let summary_of_counters (c : Par.Merge.counters) distinct =
+let summary_of_counters (c : Par.Merge.counters) distinct distinct_violations =
   {
     executions = c.Par.Merge.executions;
     buggy_executions = c.Par.Merge.buggy;
@@ -114,7 +140,10 @@ let summary_of_counters (c : Par.Merge.counters) distinct =
     assert_executions = c.Par.Merge.asserts;
     deadlocks = c.Par.Merge.deadlocks;
     step_limit_hits = c.Par.Merge.limits;
+    certified_executions = c.Par.Merge.certified;
+    cert_rejected_executions = c.Par.Merge.cert_rejected;
     distinct_races = distinct;
+    distinct_cert_violations = distinct_violations;
     total_atomic_ops = c.Par.Merge.atomic_ops;
     total_na_ops = c.Par.Merge.na_ops;
     max_graph_size = c.Par.Merge.max_graph;
@@ -133,8 +162,12 @@ let merge_shards shards =
   let distinct =
     Par.Merge.dedup ~key:Race.dedup_key (List.map (fun s -> s.sh_races) shards)
   in
+  let distinct_violations =
+    Par.Merge.dedup ~key:Check.violation_key
+      (List.map (fun s -> s.sh_violations) shards)
+  in
   let hist = Par.Merge.histogram (List.map (fun s -> s.sh_hist) shards) in
-  (summary_of_counters counters distinct, hist)
+  (summary_of_counters counters distinct distinct_violations, hist)
 
 (* ------------------------------------------------------------------ *)
 (* Sequential runners: one shard covering every index. *)
@@ -318,9 +351,14 @@ let summary_to_json s =
       ("assert_executions", Jsonx.Int s.assert_executions);
       ("deadlocks", Jsonx.Int s.deadlocks);
       ("step_limit_hits", Jsonx.Int s.step_limit_hits);
+      ("certified_executions", Jsonx.Int s.certified_executions);
+      ("cert_rejected_executions", Jsonx.Int s.cert_rejected_executions);
       ("detection_rate_percent", Jsonx.Float (detection_rate s));
       ( "distinct_races",
         Jsonx.List (List.map Race.report_to_json s.distinct_races) );
+      ( "distinct_cert_violations",
+        Jsonx.List (List.map Check.violation_to_json s.distinct_cert_violations)
+      );
       ("total_atomic_ops", Jsonx.Int s.total_atomic_ops);
       ("total_na_ops", Jsonx.Int s.total_na_ops);
       ("max_graph_size", Jsonx.Int s.max_graph_size);
@@ -335,4 +373,12 @@ let pp_summary fmt s =
     s.executions s.buggy_executions (detection_rate s) s.race_executions
     s.assert_executions s.deadlocks s.step_limit_hits
     (List.length s.distinct_races)
-    s.total_atomic_ops s.total_na_ops s.max_graph_size s.mean_steps
+    s.total_atomic_ops s.total_na_ops s.max_graph_size s.mean_steps;
+  if s.certified_executions > 0 || s.cert_rejected_executions > 0 then begin
+    Format.fprintf fmt "@ certified: %d, rejected: %d, distinct violations: %d"
+      s.certified_executions s.cert_rejected_executions
+      (List.length s.distinct_cert_violations);
+    List.iter
+      (fun v -> Format.fprintf fmt "@   %a" Check.pp_violation v)
+      s.distinct_cert_violations
+  end

@@ -20,13 +20,22 @@
 
 type summary = {
   executions : int;
-  buggy_executions : int;  (** executions with a race or assertion failure *)
+  buggy_executions : int;
+      (** executions with a race, an assertion failure, or a rejected
+          certificate *)
   race_executions : int;
   assert_executions : int;
   deadlocks : int;
   step_limit_hits : int;
+  certified_executions : int;
+      (** executions the axiomatic certifier certified (0 unless the
+          campaign ran with [config.certify]) *)
+  cert_rejected_executions : int;
   distinct_races : Race.report list;
       (** deduplicated across executions, in order of first occurrence *)
+  distinct_cert_violations : Check.violation list;
+      (** certifier counterexamples, deduplicated by
+          {!Check.violation_key} in order of first occurrence *)
   total_atomic_ops : int;
   total_na_ops : int;
   max_graph_size : int;

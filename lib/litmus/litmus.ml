@@ -874,12 +874,17 @@ let catalog =
 
 let find name = List.find_opt (fun t -> t.name = name) catalog
 
-let explore ?jobs ~config ~iters t =
-  let _, hist = Tester.run_collect_parallel ?jobs ~config ~iters t.run_once in
+let explore_summary ?jobs ~config ~iters t =
+  let summary, hist =
+    Tester.run_collect_parallel ?jobs ~config ~iters t.run_once
+  in
   (* frequency-descending; List.sort is stable, so ties keep the
      histogram's first-occurrence order, which is itself independent of
      [jobs] — the printed exploration is too *)
-  List.sort (fun (_, a) (_, b) -> compare b a) hist
+  (summary, List.sort (fun (_, a) (_, b) -> compare b a) hist)
+
+let explore ?jobs ~config ~iters t =
+  snd (explore_summary ?jobs ~config ~iters t)
 
 let violations ?jobs ~config ~iters t =
   List.filter (fun (o, _) -> not (t.allowed o)) (explore ?jobs ~config ~iters t)

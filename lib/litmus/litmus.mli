@@ -34,6 +34,16 @@ val catalog : t list
 val explore :
   ?jobs:int -> config:Engine.config -> iters:int -> t -> (outcome * int) list
 
+(** {!explore} plus the campaign summary — needed by callers that care
+    about races, assertion failures or certification verdicts across the
+    exploration (e.g. [c11test litmus --certify]). *)
+val explore_summary :
+  ?jobs:int ->
+  config:Engine.config ->
+  iters:int ->
+  t ->
+  Tester.summary * (outcome * int) list
+
 (** [violations ~config ~iters t] is the sub-histogram of outcomes not
     allowed by the fragment (must be empty for a correct model). *)
 val violations :

@@ -55,6 +55,8 @@ module Merge = struct
     asserts : int;
     deadlocks : int;
     limits : int;
+    certified : int;
+    cert_rejected : int;
     atomic_ops : int;
     na_ops : int;
     max_graph : int;
@@ -69,6 +71,8 @@ module Merge = struct
       asserts = 0;
       deadlocks = 0;
       limits = 0;
+      certified = 0;
+      cert_rejected = 0;
       atomic_ops = 0;
       na_ops = 0;
       max_graph = 0;
@@ -83,6 +87,8 @@ module Merge = struct
       asserts = a.asserts + b.asserts;
       deadlocks = a.deadlocks + b.deadlocks;
       limits = a.limits + b.limits;
+      certified = a.certified + b.certified;
+      cert_rejected = a.cert_rejected + b.cert_rejected;
       atomic_ops = a.atomic_ops + b.atomic_ops;
       na_ops = a.na_ops + b.na_ops;
       max_graph = max a.max_graph b.max_graph;

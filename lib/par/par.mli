@@ -73,6 +73,8 @@ module Merge : sig
     asserts : int;
     deadlocks : int;
     limits : int;
+    certified : int;
+    cert_rejected : int;
     atomic_ops : int;
     na_ops : int;
     max_graph : int;

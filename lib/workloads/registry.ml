@@ -20,6 +20,16 @@ let all =
       bench_scale = 64;
     };
     {
+      name = "seqlock-versioned";
+      description =
+        "versioned-read cache with a relaxed double read, no fence, over \
+         plain data (negative case: every successful read races)";
+      category = Injected;
+      run = Seqlock_versioned.run;
+      default_scale = 4;
+      bench_scale = 64;
+    };
+    {
       name = "rwlock";
       description =
         "reader-writer lock whose write-lock uses relaxed atomics \

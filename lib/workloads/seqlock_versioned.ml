@@ -1,0 +1,106 @@
+(** Versioned-read cache bucket (seqlock-style lock-free read).
+
+    Models the versioned-read consistency study referenced in SNIPPETS.md:
+    a single writer repeatedly updates a key/value tuple guarded by a
+    version word; readers read the tuple without locking and use a
+    double read of the version to detect concurrent writes.
+
+    The buggy variant is the pattern that study found suspicious —
+    relaxed first read, relaxed second read, {e no fence} — over {e plain
+    non-atomic} data.  Nothing orders the data reads with the writer's
+    data writes: under the C11 model every successful read races (the
+    discarded-read trick is undefined behaviour, per Boehm's "Can
+    seqlocks get along with programming language memory models?"), and
+    the broken validation admits torn reads.  The race detector must flag
+    it — it is registered as a negative case.
+
+    The correct variant is the study's working pattern mapped onto legal
+    C11: the tuple words become relaxed atomics (no data race by
+    definition), the writer separates the odd version store from the data
+    writes with a release fence, and the reader validates through an
+    acquire fence after the first version read plus a seq_cst fence
+    before the second — the fences carry all the synchronisation, every
+    data access stays relaxed. *)
+
+open Memorder
+
+type t = {
+  version : C11.atomic;
+  (* correct variant: the tuple as relaxed atomics *)
+  a_key : C11.atomic;
+  a_value : C11.atomic;
+  (* buggy variant: the tuple as plain words *)
+  na_key : C11.naloc;
+  na_value : C11.naloc;
+}
+
+let create () =
+  {
+    version = C11.Atomic.make ~name:"vcache.version" 0;
+    a_key = C11.Atomic.make ~name:"vcache.key" 0;
+    a_value = C11.Atomic.make ~name:"vcache.value" 0;
+    na_key = C11.Nonatomic.make ~name:"vcache.key" 0;
+    na_value = C11.Nonatomic.make ~name:"vcache.value" 0;
+  }
+
+(* Single writer: bump to odd, write the tuple, bump back to even. *)
+let write ~variant t g =
+  let c = C11.Atomic.load ~mo:Relaxed t.version in
+  match (variant : Variant.t) with
+  | Correct ->
+    C11.Atomic.store ~mo:Relaxed t.version (c + 1);
+    C11.Fence.release ();
+    C11.Atomic.store ~mo:Relaxed t.a_key g;
+    C11.Atomic.store ~mo:Relaxed t.a_value g;
+    C11.Atomic.store ~mo:Release t.version (c + 2)
+  | Buggy ->
+    C11.Atomic.store ~mo:Relaxed t.version (c + 1);
+    C11.Nonatomic.write t.na_key g;
+    C11.Nonatomic.write t.na_value g;
+    C11.Atomic.store ~mo:Relaxed t.version (c + 2)
+
+(* Lock-free read; [Some (k, v)] when the version validated. *)
+let read ~variant t =
+  let s1 = C11.Atomic.load ~mo:Relaxed t.version in
+  if s1 land 1 = 1 then None
+  else
+    match (variant : Variant.t) with
+    | Correct ->
+      (* acquire fence: synchronise with the release fence / release
+         store the relaxed [s1] observed, ordering the data reads after
+         the writes of generation [s1] *)
+      C11.Fence.acquire ();
+      let k = C11.Atomic.load ~mo:Relaxed t.a_key in
+      let v = C11.Atomic.load ~mo:Relaxed t.a_value in
+      C11.Fence.seq_cst ();
+      let s2 = C11.Atomic.load ~mo:Relaxed t.version in
+      if s1 = s2 then Some (k, v) else None
+    | Buggy ->
+      (* the study's "(??)" pattern: relaxed double read, no fence, over
+         plain data *)
+      let k = C11.Nonatomic.read t.na_key in
+      let v = C11.Nonatomic.read t.na_value in
+      let s2 = C11.Atomic.load ~mo:Relaxed t.version in
+      if s1 = s2 then Some (k, v) else None
+
+let run ~variant ~scale () =
+  let cache = create () in
+  let writer =
+    C11.Thread.spawn (fun () ->
+        for g = 1 to scale do
+          write ~variant cache g
+        done)
+  in
+  let reader () =
+    for _ = 1 to scale do
+      match read ~variant cache with
+      | Some (k, v) ->
+        C11.assert_that (k = v) "seqlock-versioned: torn read (key <> value)"
+      | None -> C11.Thread.yield ()
+    done
+  in
+  let r1 = C11.Thread.spawn reader in
+  let r2 = C11.Thread.spawn reader in
+  C11.Thread.join writer;
+  C11.Thread.join r1;
+  C11.Thread.join r2

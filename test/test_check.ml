@@ -1,0 +1,345 @@
+(* The axiomatic certifier (lib/check).
+
+   Positive direction: engine-produced executions — litmus programs,
+   mutex/condvar synchronisation, pruned runs — must certify, and the
+   campaign counters must agree across job counts.
+
+   Negative direction (mutation self-tests): corrupt a recorded execution
+   — drop a synchronizes-with edge, flip or drop an mo edge, rewire a
+   reads-from, break an rmw link — and the certifier must reject it with
+   a structured counterexample naming the right axiom.  These mutations
+   are exactly the silent-model-bug classes the certifier exists to
+   catch; if one stops being rejected, the certifier has gone blind. *)
+
+let check = Alcotest.(check bool)
+
+(* ---------- direct Execution-API harness for mutations ---------- *)
+
+let mk_exec () =
+  let rng = Rng.create 7L in
+  let race = Race.create () in
+  Execution.create ~certify:true ~mode:Execution.Full_c11 ~rng ~race ()
+
+(* Parent stores, spawned child relaxed-loads: the spawn edge is the ONLY
+   thing ordering the two actions in certified hb (a relaxed read forms no
+   synchronizes-with of its own), so dropping it must show up. *)
+let build_mp () =
+  let t = mk_exec () in
+  let t0 = Execution.new_thread t ~parent:None in
+  let x = Execution.fresh_loc t ~atomic:true ~name:(Some "x") in
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Release ~volatile:false
+    1;
+  let t1 = Execution.new_thread t ~parent:(Some t0) in
+  let v =
+    Execution.atomic_load t ~tid:t1 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+  in
+  check "mp read the store" true (v = 1);
+  t
+
+let axioms_of = function
+  | Check.Rejected vs -> List.map (fun v -> v.Check.axiom) vs
+  | Check.Certified _ | Check.Not_applicable _ -> []
+
+let rejected_with verdict axiom =
+  match verdict with
+  | Check.Rejected vs ->
+    List.exists
+      (fun v -> v.Check.axiom = axiom && v.Check.detail <> "")
+      vs
+  | Check.Certified _ | Check.Not_applicable _ -> false
+
+let test_positive_direct () =
+  match Check.certify (build_mp ()) with
+  | Check.Certified s ->
+    check "two actions" true (s.Check.actions = 2);
+    check "spawn edge recorded" true (s.Check.sync_edges = 1);
+    check "graph checked" true s.Check.graph_checked
+  | v -> Alcotest.failf "expected Certified, got %a" Check.pp_verdict v
+
+let test_not_applicable_off () =
+  let rng = Rng.create 7L in
+  let race = Race.create () in
+  let t = Execution.create ~mode:Execution.Full_c11 ~rng ~race () in
+  let t0 = Execution.new_thread t ~parent:None in
+  let x = Execution.fresh_loc t ~atomic:true ~name:(Some "x") in
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+    1;
+  match Check.certify t with
+  | Check.Not_applicable _ -> ()
+  | v -> Alcotest.failf "expected Not_applicable, got %a" Check.pp_verdict v
+
+(* Mutation: drop the spawn synchronizes-with edge.  The engine's clock
+   vectors still order store before load; the certified hb no longer does
+   — the differential must catch the disagreement. *)
+let test_mutation_drop_sw () =
+  let t = build_mp () in
+  t.Execution.cert_sync_rev <- [];
+  let v = Check.certify t in
+  check "rejected" true (rejected_with v Check.Hb_differential);
+  (match v with
+  | Check.Rejected (first :: _) ->
+    check "counterexample names actions" true (first.Check.actions <> [])
+  | _ -> Alcotest.fail "expected violations")
+
+(* Mutation: rewire a load's reads-from to a store of a different value. *)
+let test_mutation_rewire_rf () =
+  let t = mk_exec () in
+  let t0 = Execution.new_thread t ~parent:None in
+  let x = Execution.fresh_loc t ~atomic:true ~name:(Some "x") in
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Release ~volatile:false
+    1;
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Release ~volatile:false
+    2;
+  let t1 = Execution.new_thread t ~parent:(Some t0) in
+  let v =
+    Execution.atomic_load t ~tid:t1 ~loc:x ~mo:Memorder.Acquire ~volatile:false
+  in
+  let trace = Execution.cert_trace t in
+  let load =
+    List.find (fun (a : Action.t) -> a.kind = Action.Load) trace
+  in
+  let other =
+    List.find
+      (fun (a : Action.t) -> a.kind = Action.Store && a.value <> v)
+      trace
+  in
+  load.Action.rf <- Some other;
+  check "rejected: rf-wf" true (rejected_with (Check.certify t) Check.Rf_wf)
+
+(* Mutation: reverse an mo edge behind the engine's back (writing the
+   node's edge array directly, so the clock vectors are NOT updated).
+   Both the per-location coherence cycle and the Theorem-1 differential
+   see the corruption. *)
+let test_mutation_flip_mo () =
+  let t = mk_exec () in
+  let t0 = Execution.new_thread t ~parent:None in
+  let x = Execution.fresh_loc t ~atomic:true ~name:(Some "x") in
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+    1;
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+    2;
+  let trace = Execution.cert_trace t in
+  let s1 = List.nth trace 0 and s2 = List.nth trace 1 in
+  let n1 = Option.get (Mograph.find_node t.Execution.graph s1) in
+  let n2 = Option.get (Mograph.find_node t.Execution.graph s2) in
+  check "sanity: s1 -mo-> s2" true (Mograph.reaches t.Execution.graph s1 s2);
+  n2.Mograph.edges <- [| n1 |];
+  n2.Mograph.nedges <- 1;
+  let v = Check.certify t in
+  check "rejected: coherence cycle" true (rejected_with v Check.Coherence)
+
+(* Mutation: drop an mo edge (same-thread writes must stay mo-ordered).
+   A merely-missing edge creates no cycle, so this exercises the CoWW
+   completeness obligation and the Theorem-1 differential instead. *)
+let test_mutation_drop_mo () =
+  let t = mk_exec () in
+  let t0 = Execution.new_thread t ~parent:None in
+  let x = Execution.fresh_loc t ~atomic:true ~name:(Some "x") in
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+    1;
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+    2;
+  let trace = Execution.cert_trace t in
+  let s1 = List.nth trace 0 in
+  let n1 = Option.get (Mograph.find_node t.Execution.graph s1) in
+  n1.Mograph.nedges <- 0;
+  let v = Check.certify t in
+  check "rejected" true (axioms_of v <> []);
+  check "CoWW or Theorem-1 names it" true
+    (rejected_with v Check.Coherence
+    || rejected_with v Check.Theorem1_differential)
+
+(* Mutation: sever the rmw link that pins an RMW immediately after the
+   store it read. *)
+let test_mutation_break_rmw () =
+  let t = mk_exec () in
+  let t0 = Execution.new_thread t ~parent:None in
+  let x = Execution.fresh_loc t ~atomic:true ~name:(Some "x") in
+  Execution.atomic_store t ~tid:t0 ~loc:x ~mo:Memorder.Relaxed ~volatile:false
+    1;
+  let read =
+    Execution.atomic_rmw t ~tid:t0 ~loc:x ~mo:Memorder.Acq_rel ~volatile:false
+      ~f:(fun v -> Execution.Rmw_write (v + 1))
+  in
+  check "rmw read the store" true (read = 1);
+  let trace = Execution.cert_trace t in
+  let s = List.nth trace 0 in
+  let ns = Option.get (Mograph.find_node t.Execution.graph s) in
+  ns.Mograph.rmw <- None;
+  check "rejected: rmw-atomicity" true
+    (rejected_with (Check.certify t) Check.Rmw_atomicity)
+
+(* Mutation: malformed synchronisation edge (unknown thread). *)
+let test_mutation_bad_edge () =
+  let t = build_mp () in
+  Execution.cert_sync_edge t ~from_tid:99 ~from_seq:1 ~to_tid:0 ~to_seq:2;
+  check "rejected: sync-wf" true
+    (rejected_with (Check.certify t) Check.Sync_wf)
+
+(* ---------- violation plumbing ---------- *)
+
+let test_violation_key_strips_seqs () =
+  let v1 =
+    { Check.axiom = Check.Coherence; actions = [ 3; 7 ];
+      detail = "loc 2: CoWW incomplete — write #3 happens before write #7" }
+  in
+  let v2 =
+    { Check.axiom = Check.Coherence; actions = [ 10; 52 ];
+      detail = "loc 2: CoWW incomplete — write #10 happens before write #52" }
+  in
+  let v3 = { v1 with detail = "loc 9: CoWW incomplete — write #3 happens before write #7" } in
+  check "same shape, same key" true
+    (Check.violation_key v1 = Check.violation_key v2);
+  check "different loc, different key" true
+    (Check.violation_key v1 <> Check.violation_key v3)
+
+let test_verdict_json () =
+  let v = Check.certify (build_mp ()) in
+  match Check.verdict_to_json v with
+  | Jsonx.Obj fields ->
+    check "verdict field" true
+      (List.assoc_opt "verdict" fields = Some (Jsonx.String "certified"))
+  | _ -> Alcotest.fail "expected object"
+
+(* ---------- engine-driven positive campaigns ---------- *)
+
+let certify_config seed =
+  { Engine.default_config with certify = true; seed }
+
+let test_certify_litmus_campaign () =
+  let t = Option.get (Litmus.find "mp_fences") in
+  let config = certify_config 11L in
+  let summary, _ = Litmus.explore_summary ~config ~iters:60 t in
+  check "all certified" true
+    (summary.Tester.certified_executions = 60
+    && summary.Tester.cert_rejected_executions = 0)
+
+let test_certify_parallel_parity () =
+  let t = Option.get (Litmus.find "release_sequence_rmw") in
+  let config = certify_config 13L in
+  let s1, h1 = Litmus.explore_summary ~jobs:1 ~config ~iters:80 t in
+  let s4, h4 = Litmus.explore_summary ~jobs:4 ~config ~iters:80 t in
+  check "summaries identical" true (s1 = s4);
+  check "histograms identical" true (h1 = h4);
+  check "all certified" true (s1.Tester.certified_executions = 80)
+
+(* Mutex hand-off and join edges: contended critical sections certify. *)
+let test_certify_mutex_program () =
+  let config = certify_config 17L in
+  let summary =
+    Tester.run ~config ~iters:40 (fun () ->
+        let m = C11.Mutex.create () in
+        let counter = C11.Nonatomic.make 0 in
+        let worker () =
+          C11.Mutex.lock m;
+          C11.Nonatomic.write counter (C11.Nonatomic.read counter + 1);
+          C11.Mutex.unlock m
+        in
+        let ts = List.init 3 (fun _ -> C11.Thread.spawn worker) in
+        List.iter C11.Thread.join ts;
+        C11.assert_that
+          (C11.Nonatomic.read counter = 3)
+          "mutex counter lost an increment")
+  in
+  check "no bugs" true (summary.Tester.buggy_executions = 0);
+  check "all certified" true (summary.Tester.certified_executions = 40)
+
+(* Condvar wakeups synchronise through the mutex relock hand-off. *)
+let test_certify_condvar_program () =
+  let config = certify_config 19L in
+  let summary =
+    Tester.run ~config ~iters:40 (fun () ->
+        let m = C11.Mutex.create () in
+        let cv = C11.Condvar.create () in
+        let ready = C11.Nonatomic.make 0 in
+        let consumer =
+          C11.Thread.spawn (fun () ->
+              C11.Mutex.lock m;
+              while C11.Nonatomic.read ready = 0 do
+                C11.Condvar.wait cv m
+              done;
+              C11.Mutex.unlock m)
+        in
+        C11.Mutex.lock m;
+        C11.Nonatomic.write ready 1;
+        C11.Condvar.signal cv;
+        C11.Mutex.unlock m;
+        C11.Thread.join consumer)
+  in
+  check "no bugs" true (summary.Tester.buggy_executions = 0);
+  check "all certified" true (summary.Tester.certified_executions = 40)
+
+(* Pruned executions: the graph checks are skipped but everything else
+   still runs — and still certifies. *)
+let test_certify_pruned () =
+  let config =
+    {
+      (certify_config 23L) with
+      Engine.prune = Pruner.Aggressive { window = 8; interval = 8 };
+    }
+  in
+  let summary =
+    Tester.run ~config ~iters:20 (fun () ->
+        let x = C11.Atomic.make ~name:"x" 0 in
+        let w =
+          C11.Thread.spawn (fun () ->
+              for i = 1 to 40 do
+                C11.Atomic.store ~mo:Memorder.Release x i
+              done)
+        in
+        for _ = 1 to 10 do
+          ignore (C11.Atomic.load ~mo:Memorder.Acquire x)
+        done;
+        C11.Thread.join w)
+  in
+  check "all certified" true
+    (summary.Tester.certified_executions = 20
+    && summary.Tester.cert_rejected_executions = 0)
+
+(* The buggy versioned-read workload must be flagged by the race detector
+   yet still certify (racy executions are still model-consistent). *)
+let test_versioned_workload_flagged () =
+  let w = Option.get (Registry.find "seqlock-versioned") in
+  let config = certify_config 29L in
+  let summary =
+    Tester.run ~config ~iters:50
+      (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+  in
+  check "races flagged" true (summary.Tester.race_executions > 0);
+  check "still certifies" true (summary.Tester.cert_rejected_executions = 0);
+  let correct =
+    Tester.run ~config ~iters:50
+      (w.Registry.run ~variant:Variant.Correct ~scale:w.Registry.default_scale)
+  in
+  check "correct variant clean" true (correct.Tester.buggy_executions = 0);
+  check "correct variant certified" true
+    (correct.Tester.certified_executions = 50)
+
+let suite =
+  [
+    Alcotest.test_case "certify: direct mp" `Quick test_positive_direct;
+    Alcotest.test_case "certify off -> not applicable" `Quick
+      test_not_applicable_off;
+    Alcotest.test_case "mutation: drop sw edge" `Quick test_mutation_drop_sw;
+    Alcotest.test_case "mutation: rewire rf" `Quick test_mutation_rewire_rf;
+    Alcotest.test_case "mutation: flip mo edge" `Quick test_mutation_flip_mo;
+    Alcotest.test_case "mutation: drop mo edge" `Quick test_mutation_drop_mo;
+    Alcotest.test_case "mutation: break rmw link" `Quick
+      test_mutation_break_rmw;
+    Alcotest.test_case "mutation: malformed sync edge" `Quick
+      test_mutation_bad_edge;
+    Alcotest.test_case "violation key strips seqs" `Quick
+      test_violation_key_strips_seqs;
+    Alcotest.test_case "verdict json" `Quick test_verdict_json;
+    Alcotest.test_case "litmus campaign certifies" `Quick
+      test_certify_litmus_campaign;
+    Alcotest.test_case "parallel certify parity" `Quick
+      test_certify_parallel_parity;
+    Alcotest.test_case "mutex program certifies" `Quick
+      test_certify_mutex_program;
+    Alcotest.test_case "condvar program certifies" `Quick
+      test_certify_condvar_program;
+    Alcotest.test_case "pruned run certifies" `Quick test_certify_pruned;
+    Alcotest.test_case "versioned workload flagged" `Quick
+      test_versioned_workload_flagged;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
+      ("check", Test_check.suite);
     ]

@@ -217,6 +217,85 @@ let prop_theorem_1 =
                nodes)
            nodes)
 
+(* edge_would_close_cycle must agree with a from-scratch DFS oracle: chase
+   [from]'s rmw chain exactly as AddEdge would (the chain running into
+   [to_] means the edge is redundant), then ask whether [to_] reaches the
+   chain's end by searching the edge arrays and rmw links directly —
+   never through clock vectors.  The agreement must survive pruning: the
+   pruner only ever removes predecessor-closed sets (everything mo-before
+   an anchor), which is exactly what keeps Theorem 1 valid on the live
+   nodes, so we prune the same way and re-check every live pair. *)
+
+let node_dfs_reaches (start : Mograph.node) (target : Mograph.node) =
+  let visited = Hashtbl.create 16 in
+  let rec go (n : Mograph.node) =
+    n == target
+    ||
+    if Hashtbl.mem visited n.Mograph.action.Action.seq then false
+    else begin
+      Hashtbl.add visited n.Mograph.action.Action.seq ();
+      let hit = ref false in
+      for i = 0 to n.Mograph.nedges - 1 do
+        if (not !hit) && go n.Mograph.edges.(i) then hit := true
+      done;
+      (match n.Mograph.rmw with
+      | Some r when not !hit -> hit := go r
+      | _ -> ());
+      !hit
+    end
+  in
+  go start
+
+let close_cycle_oracle g ~from ~to_ =
+  if from.Action.seq = to_.Action.seq then false
+  else
+    match (Mograph.find_node g from, Mograph.find_node g to_) with
+    | Some nf, Some nt ->
+      let rec chain_end (n : Mograph.node) =
+        match n.Mograph.rmw with
+        | Some r -> if r == nt then None else chain_end r
+        | None -> Some n
+      in
+      (match chain_end nf with
+      | None -> false
+      | Some eff -> node_dfs_reaches nt eff)
+    | _ -> QCheck.Test.fail_report "oracle queried on a pruned action"
+
+let prop_would_close_cycle =
+  QCheck.Test.make
+    ~name:"edge_would_close_cycle = DFS feasibility oracle (incl. pruned)"
+    ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_ops (int_range 0 1000)))
+    (fun (ops, anchor_pick) ->
+      let g, nodes = build ops in
+      let agree ns =
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                Mograph.edge_would_close_cycle g ~from:a ~to_:b
+                = close_cycle_oracle g ~from:a ~to_:b)
+              ns)
+          ns
+      in
+      agree nodes
+      &&
+      match nodes with
+      | [] -> true
+      | _ ->
+        let anchor = List.nth nodes (anchor_pick mod List.length nodes) in
+        let doomed =
+          List.filter
+            (fun (x : Action.t) ->
+              x.Action.seq <> anchor.Action.seq && Mograph.reaches g x anchor)
+            nodes
+        in
+        List.iter (Mograph.remove_node g) doomed;
+        let live =
+          List.filter (fun x -> Mograph.find_node g x <> None) nodes
+        in
+        agree live)
+
 let prop_acyclic_invariant =
   QCheck.Test.make ~name:"construction discipline keeps the graph acyclic"
     ~count:200
@@ -234,4 +313,5 @@ let suite =
     Alcotest.test_case "to_dot" `Quick test_to_dot;
     Alcotest.test_case "self edge ignored" `Quick test_self_edge_ignored;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_theorem_1; prop_acyclic_invariant ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_theorem_1; prop_would_close_cycle; prop_acyclic_invariant ]

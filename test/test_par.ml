@@ -19,6 +19,8 @@ let counters_of (a, b, c, d) =
     asserts = d;
     deadlocks = a land 1;
     limits = b land 1;
+    certified = c land 1;
+    cert_rejected = d land 1;
     atomic_ops = a * 3;
     na_ops = b * 2;
     max_graph = c;

@@ -226,7 +226,7 @@ let test_registry_lookup () =
   check "find silo" true (Registry.find "silo" <> None);
   check "find nothing" true (Registry.find "nope" = None);
   check "category partition" true
-    (List.length Registry.injected = 2
+    (List.length Registry.injected = 3
     && List.length Registry.data_structures = 9
     && List.length Registry.applications = 5)
 
