@@ -1,0 +1,101 @@
+(* Fuzzing throughput bench.
+
+   Fixed-seed fuzz campaigns per generation profile, reporting wall
+   time, programs/sec (from the fuzz_execute profiling span, the same
+   readout the CLI prints), certification rate and generated-op volume —
+   plus a mutant-detection latency row: how many programs the
+   certifier-backed oracle needs before it catches each seeded engine
+   fault.  Numbers are comparable build-to-build on one machine, like
+   the perf suite's. *)
+
+let seed = 20260806L
+let programs = ref 2_000
+let quick () = programs := 300
+
+(* The last document produced, picked up by main.ml's --json writer. *)
+let last_doc : Jsonx.t option ref = ref None
+
+let campaign_cfg ?(mutation = None) ?(programs = !programs) profile =
+  {
+    Fuzz.default_campaign_cfg with
+    Fuzz.c_programs = programs;
+    c_seed = seed;
+    c_jobs = !Perfsuite.jobs;
+    c_gen = { Fuzz.default_gen_cfg with Fuzz.g_profile = profile };
+    c_mutation = mutation;
+  }
+
+let run_profile profile =
+  let prof = Profile.create () in
+  let t0 = Unix.gettimeofday () in
+  let report = Fuzz.campaign ~profile:prof (campaign_cfg profile) in
+  let wall = Unix.gettimeofday () -. t0 in
+  (report, prof, wall)
+
+(* Lowest finding index + 1 = programs the campaign needed to see the
+   fault; the shards make this jobs-independent. *)
+let detection_budget mutation =
+  let report =
+    Fuzz.campaign (campaign_cfg ~mutation:(Some mutation) ~programs:500 Fuzz.Mixed)
+  in
+  match report.Fuzz.r_findings with
+  | [] -> None
+  | f :: _ -> Some (f.Fuzz.f_index + 1, List.length report.Fuzz.r_findings)
+
+let run () =
+  Printf.printf "\n== fuzz: differential campaign throughput (%d programs, seed %Ld%s) ==\n"
+    !programs seed
+    (if !Perfsuite.jobs > 1 then Printf.sprintf ", %d domains" !Perfsuite.jobs
+     else "");
+  Printf.printf "%-18s %10s %12s %12s %10s %10s\n" "profile" "wall" "prog/s"
+    "exec prog/s" "certified" "gen ops";
+  let rows =
+    List.map
+      (fun profile ->
+        let report, prof, wall = run_profile profile in
+        let exec_rate = Profile.rate prof "fuzz_execute" in
+        let overall = float_of_int report.Fuzz.r_programs /. wall in
+        Printf.printf "%-18s %9.2fs %12.0f %12.0f %10d %10d\n"
+          (Fuzz.profile_name profile)
+          wall overall
+          (if Float.is_nan exec_rate then 0.0 else exec_rate)
+          report.Fuzz.r_certified report.Fuzz.r_gen_ops;
+        if report.Fuzz.r_cert_rejected > 0 || report.Fuzz.r_crashes > 0 then
+          Printf.printf "  ** %d rejections, %d crashes on the clean engine **\n"
+            report.Fuzz.r_cert_rejected report.Fuzz.r_crashes;
+        ( Fuzz.profile_name profile,
+          Jsonx.Obj
+            [
+              ("wall_s", Jsonx.Float wall);
+              ("programs_per_s", Jsonx.Float overall);
+              ("exec_programs_per_s", Jsonx.Float exec_rate);
+              ("certified", Jsonx.Int report.Fuzz.r_certified);
+              ("cert_rejected", Jsonx.Int report.Fuzz.r_cert_rejected);
+              ("crashes", Jsonx.Int report.Fuzz.r_crashes);
+              ("generated_ops", Jsonx.Int report.Fuzz.r_gen_ops);
+            ] ))
+      Fuzz.all_profiles
+  in
+  Printf.printf "\n%-22s %18s %10s\n" "mutant" "detected after" "findings";
+  let mutants =
+    List.map
+      (fun m ->
+        let name = Execution.mutation_name m in
+        match detection_budget m with
+        | Some (budget, findings) ->
+          Printf.printf "%-22s %14d pgms %10d\n" name budget findings;
+          (name, Jsonx.Obj [ ("programs", Jsonx.Int budget); ("findings", Jsonx.Int findings) ])
+        | None ->
+          Printf.printf "%-22s %18s %10d\n" name "NOT DETECTED" 0;
+          (name, Jsonx.Null))
+      Execution.all_mutations
+  in
+  last_doc :=
+    Some
+      (Jsonx.Obj
+         [
+           ("programs", Jsonx.Int !programs);
+           ("jobs", Jsonx.Int !Perfsuite.jobs);
+           ("profiles", Jsonx.Obj rows);
+           ("mutants", Jsonx.Obj mutants);
+         ])

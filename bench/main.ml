@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --jobs N perf  # shard perf campaigns
 
    Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
-   table4 prune. *)
+   table4 prune sched perf fuzz. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -25,6 +25,7 @@ let experiments : (string * (unit -> unit)) list =
     ("prune", Experiments.prune);
     ("sched", Experiments.sched);
     ("perf", Perfsuite.run);
+    ("fuzz", Fuzzbench.run);
   ]
 
 let usage () =
@@ -58,6 +59,13 @@ let write_json ~quick ~todo path =
   let perf =
     match !Perfsuite.last_doc with
     | Some doc -> [ ("perf", doc) ]
+    | None -> []
+  in
+  let perf =
+    perf
+    @
+    match !Fuzzbench.last_doc with
+    | Some doc -> [ ("fuzz", doc) ]
     | None -> []
   in
   let doc =
@@ -97,7 +105,8 @@ let () =
     Experiments.sec81_iters := 300;
     Experiments.table1_runs := 5;
     Bench_util.quota := 0.2;
-    Perfsuite.quick ()
+    Perfsuite.quick ();
+    Fuzzbench.quick ()
   end;
   if List.mem "--help" args then usage ()
   else begin

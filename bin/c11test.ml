@@ -4,13 +4,17 @@
      run    — repeatedly test a workload under a tool and report races,
               assertion failures and detection rates
      litmus — explore a litmus test's outcome histogram
+     fuzz   — generate random programs and differential-test the engine
+              against the axiomatic certifier, shrinking any finding
      list   — list available workloads and litmus tests
 
    Exit codes (asserted by test/test_exit_codes):
      0 — ran cleanly, nothing found
      1 — bugs found: data races, assertion failures, certification
-         rejections (`--certify`) or forbidden litmus outcomes
-     2 — usage errors (unknown workload/litmus test/pruning policy) *)
+         rejections (`--certify`), forbidden litmus outcomes or fuzz
+         findings
+     2 — usage errors (unknown workload/litmus test/pruning policy/fuzz
+         profile/mutant, non-positive --jobs) *)
 
 open Cmdliner
 
@@ -38,11 +42,20 @@ let jobs_arg =
   let doc =
     "Shard executions across $(docv) OCaml domains.  Deterministic: the \
      merged summary, histogram and race reports are bit-identical for \
-     every value of $(docv); 0 means one domain per core."
+     every value of $(docv).  Must be positive."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let resolve_jobs j = if j <= 0 then Par.available_jobs () else j
+(* Validated in command bodies, not an Arg.conv: cmdliner reports conv
+   failures with its own CLI-error exit code, and the contract here is
+   that every usage error exits 2. *)
+let validate_jobs jobs k =
+  if jobs <= 0 then begin
+    Printf.eprintf
+      "--jobs must be positive (got %d); pick 1 for a sequential run\n" jobs;
+    2
+  end
+  else k jobs
 
 let scale_arg =
   let doc = "Workload scale override (operations per thread)." in
@@ -129,6 +142,7 @@ let run_cmd =
         prerr_endline e;
         2
       | Ok prune ->
+        validate_jobs jobs @@ fun jobs ->
         let config =
           {
             (Tool.config ~prune tool) with
@@ -136,7 +150,6 @@ let run_cmd =
             certify;
           }
         in
-        let jobs = resolve_jobs jobs in
         let scale = Option.value ~default:w.Registry.default_scale scale in
         let variant = if buggy then Variant.Buggy else Variant.Correct in
         let body = w.Registry.run ~variant ~scale in
@@ -236,10 +249,10 @@ let litmus_cmd =
       Printf.eprintf "unknown litmus test %S; try `c11test list'\n" name;
       2
     | Some t ->
+      validate_jobs jobs @@ fun jobs ->
       let config =
         { (Tool.config tool) with Engine.seed = Int64.of_int seed; certify }
       in
-      let jobs = resolve_jobs jobs in
       Printf.printf "%s under %s, %d executions%s\n%s\n\n" t.Litmus.name
         (Tool.name tool) iters
         (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "")
@@ -273,6 +286,169 @@ let litmus_cmd =
     (Cmd.info "litmus" ~doc:"Explore the outcome histogram of a litmus test")
     term
 
+let fuzz_cmd =
+  let programs_arg =
+    let doc = "Number of random programs to generate and test." in
+    Arg.(value & opt int 500 & info [ "programs" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Maximum operations per generated thread body." in
+    Arg.(value & opt int 8 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let threads_arg =
+    let doc = "Maximum spawned threads per generated program." in
+    Arg.(value & opt int 3 & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  let fuzz_profile_arg =
+    let doc =
+      "Generation profile: mixed, sc-heavy, rmw-chain or mixed-atomicity."
+    in
+    Arg.(value & opt string "mixed" & info [ "profile" ] ~docv:"PROFILE" ~doc)
+  in
+  let certify_every_arg =
+    let doc =
+      "Run the axiomatic certifier on every $(docv)-th program (1 certifies \
+       all, 0 none — leaving only the crash/deadlock oracle)."
+    in
+    Arg.(value & opt int 1 & info [ "certify-every" ] ~docv:"N" ~doc)
+  in
+  let findings_arg =
+    let doc =
+      "Write findings as NDJSON (one JSON object per line, shrunk repro \
+       included) to $(docv); `-' means stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "findings" ] ~docv:"FILE" ~doc)
+  in
+  let mutant_arg =
+    let doc =
+      "Test-only: install a seeded engine fault (skip-acquire-merge, \
+       drop-mo-edge or weak-release-store) to prove the oracle catches it."
+    in
+    Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"MUTANT" ~doc)
+  in
+  let run programs ops threads profile_name certify_every seed jobs findings
+      json mutant_name =
+    match Fuzz.profile_of_string profile_name with
+    | None ->
+      Printf.eprintf
+        "unknown fuzz profile %S; try mixed, sc-heavy, rmw-chain or \
+         mixed-atomicity\n"
+        profile_name;
+      2
+    | Some profile -> (
+      let mutation =
+        match mutant_name with
+        | None -> Ok None
+        | Some s -> (
+          match Execution.mutation_of_string s with
+          | Some m -> Ok (Some m)
+          | None -> Error s)
+      in
+      match mutation with
+      | Error s ->
+        Printf.eprintf
+          "unknown mutant %S; try skip-acquire-merge, drop-mo-edge or \
+           weak-release-store\n"
+          s;
+        2
+      | Ok mutation ->
+        validate_jobs jobs @@ fun jobs ->
+        if programs < 0 || ops < 1 || threads < 1 || certify_every < 0 then begin
+          Printf.eprintf
+            "--programs must be >= 0, --ops and --threads >= 1, \
+             --certify-every >= 0\n";
+          2
+        end
+        else begin
+          let cfg =
+            {
+              Fuzz.default_campaign_cfg with
+              Fuzz.c_programs = programs;
+              c_seed = Int64.of_int seed;
+              c_jobs = jobs;
+              c_certify_every = certify_every;
+              c_gen =
+                {
+                  Fuzz.default_gen_cfg with
+                  Fuzz.g_threads = threads;
+                  g_ops = ops;
+                  g_profile = profile;
+                };
+              c_mutation = mutation;
+            }
+          in
+          let quiet = json = Some "-" || findings = Some "-" in
+          let metrics = if json <> None then Metrics.create () else Metrics.null in
+          let profiler = Profile.create () in
+          if not quiet then
+            Printf.printf
+              "fuzzing %d programs (profile %s, <=%d threads, <=%d ops%s%s)%s\n"
+              programs (Fuzz.profile_name profile) threads ops
+              (match certify_every with
+              | 0 -> ", uncertified"
+              | 1 -> ", certifying all"
+              | n -> Printf.sprintf ", certifying every %dth" n)
+              (match mutation with
+              | None -> ""
+              | Some m -> ", mutant " ^ Execution.mutation_name m)
+              (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "");
+          let report = Fuzz.campaign ~profile:profiler ~metrics cfg in
+          if not quiet then begin
+            Format.printf "%a@." Fuzz.pp_report report;
+            let rate = Profile.rate profiler "fuzz_execute" in
+            if not (Float.is_nan rate) then
+              Printf.printf "throughput: %.0f programs/sec (execution phase)\n"
+                rate
+          end;
+          (match findings with
+          | None -> ()
+          | Some path ->
+            with_out_file path (fun oc ->
+                List.iter
+                  (fun f ->
+                    output_string oc (Jsonx.to_string (Fuzz.finding_to_json f));
+                    output_char oc '\n')
+                  report.Fuzz.r_findings));
+          (match json with
+          | None -> ()
+          | Some path ->
+            let doc =
+              Jsonx.Obj
+                [
+                  ("schema", Jsonx.String "c11fuzz-v1");
+                  ("programs", Jsonx.Int programs);
+                  ("seed", Jsonx.Int seed);
+                  ("jobs", Jsonx.Int jobs);
+                  ("gen_profile", Jsonx.String (Fuzz.profile_name profile));
+                  ("certify_every", Jsonx.Int certify_every);
+                  ( "mutant",
+                    match mutation with
+                    | None -> Jsonx.Null
+                    | Some m -> Jsonx.String (Execution.mutation_name m) );
+                  ("report", Fuzz.report_to_json report);
+                  ("metrics", Metrics.to_json metrics);
+                  ("profile", Profile.to_json profiler);
+                ]
+            in
+            with_out_file path (fun oc ->
+                output_string oc (Jsonx.to_pretty_string doc);
+                output_char oc '\n'));
+          if report.Fuzz.r_findings <> [] then 1 else 0
+        end)
+  in
+  let term =
+    Term.(
+      const run $ programs_arg $ ops_arg $ threads_arg $ fuzz_profile_arg
+      $ certify_every_arg $ seed_arg $ jobs_arg $ findings_arg $ json_arg
+      $ mutant_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential-test the engine against the axiomatic certifier on \
+          random programs")
+    term
+
 let list_cmd =
   let run () =
     print_endline "Workloads:";
@@ -294,4 +470,4 @@ let list_cmd =
 let () =
   let doc = "C11Tester reproduction: a race detector for C/C++ atomics" in
   let info = Cmd.info "c11test" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; litmus_cmd; list_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; litmus_cmd; fuzz_cmd; list_cmd ]))

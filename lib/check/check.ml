@@ -63,6 +63,20 @@ let violation_key v =
   done;
   Buffer.contents b
 
+(* One seed-stable key for a whole rejection: the distinct violation keys,
+   sorted and joined.  Two executions rejected for the same set of model
+   bugs — under different seeds, programs or job counts — collapse to the
+   same key; the fuzzer uses this as its finding identity. *)
+(* The dominant key, not a join of all of them: one engine bug usually
+   trips several axioms at once (a dropped mo edge fails CoWW and the
+   Theorem 1 differential, on however many locations the program has),
+   and keying on the combination would count every subset as a distinct
+   finding. *)
+let rejection_key vs =
+  match List.sort compare (List.map violation_key vs) with
+  | [] -> "none"
+  | k :: _ -> k
+
 let pp_violation fmt v =
   Format.fprintf fmt "[%s] %s (actions:%a)" (axiom_name v.axiom) v.detail
     (Format.pp_print_list

@@ -96,6 +96,13 @@ val axiom_name : axiom -> string
     found under different seeds collapses to one key). *)
 val violation_key : violation -> string
 
+(** [rejection_key vs] is one seed-stable key for a whole {!Rejected}
+    verdict: the lexicographically least {!violation_key} — the dominant
+    axiom.  The fuzzer ([lib/fuzz]) uses it as the identity of a finding,
+    so one engine bug that trips several axioms at once (or secondary
+    axioms only on larger programs) deduplicates to one finding. *)
+val rejection_key : violation list -> string
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
 val violation_to_json : violation -> Jsonx.t

@@ -1,5 +1,24 @@
 type mode = Full_c11 | Total_mo
 
+(* Deliberate, test-only engine faults (see the .mli).  Each one removes a
+   piece of bookkeeping the memory model depends on; the axiomatic
+   certifier (lib/check) and the fuzz oracle (lib/fuzz) must detect all of
+   them from the outside. *)
+type mutation = Skip_acquire_merge | Drop_mo_edge | Weak_release_store
+
+let mutation_name = function
+  | Skip_acquire_merge -> "skip-acquire-merge"
+  | Drop_mo_edge -> "drop-mo-edge"
+  | Weak_release_store -> "weak-release-store"
+
+let mutation_of_string = function
+  | "skip-acquire-merge" -> Some Skip_acquire_merge
+  | "drop-mo-edge" -> Some Drop_mo_edge
+  | "weak-release-store" -> Some Weak_release_store
+  | _ -> None
+
+let all_mutations = [ Skip_acquire_merge; Drop_mo_edge; Weak_release_store ]
+
 exception Model_error of string
 
 type rmw_decision = Rmw_keep | Rmw_write of int
@@ -68,6 +87,9 @@ type t = {
   prof_on : bool;
   metrics_on : bool;
   cert_on : bool;
+  mutation : mutation option;
+      (** test-only seeded engine fault; [None] (the default) is the
+          correct engine *)
   mutable cert_trace_rev : Action.t list;
   mutable cert_sync_rev : sync_edge list;
   mutable seq : int;
@@ -112,7 +134,7 @@ let dummy_action : Action.t =
   }
 
 let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
-    ?(certify = false) ~mode ~rng ~race () =
+    ?(certify = false) ?mutation ~mode ~rng ~race () =
   {
     mode;
     rng;
@@ -125,6 +147,7 @@ let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
     prof_on = Profile.enabled prof;
     metrics_on = Metrics.enabled metrics;
     cert_on = certify;
+    mutation;
     cert_trace_rev = [];
     cert_sync_rev = [];
     seq = 0;
@@ -499,9 +522,13 @@ let read_prior_set t li ts ~load_mo (s : Action.t) =
     None
   else Some !priorset
 
-(* WritePriorSet (Figure 13).  The new store cannot create a cycle (it has
-   no outgoing edges yet), so no feasibility check is needed. *)
-let write_prior_set t li ts ~store_mo =
+(* WritePriorSet (Figure 13).  A plain store goes to the end of mo and
+   cannot create a cycle (it has no outgoing edges yet), so its callers
+   need no feasibility check; an RMW's write is pinned mid-order and must
+   pre-check with [rmw_write_feasible].  [current] is the acting thread's
+   clock to run the happens-before scans against — [ts.c] at commit time,
+   or a what-if clock for the RMW pre-check. *)
+let write_prior_set t li ts ~store_mo ~current =
   let f_s = match ts.sc_fences with [] -> None | f :: _ -> Some f in
   let is_sc_op = Memorder.is_seq_cst store_mo in
   let priorset = ref [] in
@@ -511,18 +538,48 @@ let write_prior_set t li ts ~store_mo =
     | None -> ()
   end;
   for u = 0 to t.nthreads - 1 do
-    match
-      prior_for_thread t li ~u ~last_fence_of_actor:f_s ~is_sc_op ~current:ts.c
-    with
+    match prior_for_thread t li ~u ~last_fence_of_actor:f_s ~is_sc_op ~current with
     | Some w -> priorset := w :: !priorset
     | None -> ()
   done;
   !priorset
 
+(* The write half of an RMW reading [s] is pinned immediately mo-after
+   [s] (AddRmwEdge migrates [s]'s existing successors behind it), so a
+   WritePriorSet constraint [w -mo-> rmw] with [w] already strictly
+   mo-after [s] would close a cycle — e.g. a seq_cst RMW reading a stale
+   store when a later seq_cst store already sits further down mo.  Such a
+   candidate must be rejected before anything is committed.  The what-if
+   clock mirrors the acquire merge [commit_rmw] will perform, so the set
+   checked here is the set that commit will install. *)
+let rmw_write_feasible t li ts ~mo (s : Action.t) =
+  match t.mode with
+  | Total_mo -> true (* candidates are already restricted to the newest store *)
+  | Full_c11 ->
+    let current =
+      if Memorder.is_acquire mo && t.mutation <> Some Skip_acquire_merge then
+        match s.rf_cv with
+        | Some cv -> Clockvec.union ts.c cv
+        | None -> ts.c
+      else ts.c
+    in
+    List.for_all
+      (fun (w : Action.t) ->
+        w == s || w.seq = s.seq || not (Mograph.reaches t.graph s w))
+      (write_prior_set t li ts ~store_mo:mo ~current)
+
 let add_edges t pset (s : Action.t) =
   match t.mode with
   | Total_mo -> ()
   | Full_c11 ->
+    (* [Drop_mo_edge] fault: silently lose one modification-order
+       constraint per update; the certifier's coherence completeness
+       obligations (CoWW/CoWR) must notice the missing edges. *)
+    let pset =
+      match (t.mutation, pset) with
+      | Some Drop_mo_edge, _ :: tl -> tl
+      | _, _ -> pset
+    in
     let p0 = if t.prof_on then Profile.now_ns () else 0 in
     let ns = Mograph.get_node t.graph s in
     List.iter (fun e -> Mograph.add_edge t.graph (Mograph.get_node t.graph e) ns) pset;
@@ -603,6 +660,17 @@ let race_atomic t (a : Action.t) ~is_write =
 let emit_access t kind ~tid ~loc ~mo ~value ~detail ~seq =
   Obs.emit t.obs { Obs.step = seq; tid; kind; loc; mo; value; detail }
 
+(* The acquire half of a load/RMW: merge the observed store's reads-from
+   clock into the thread clock (acquire or stronger) or, for weaker
+   orders, into the pending acquire-fence clock.  The [Skip_acquire_merge]
+   fault downgrades every acquire-side merge to the relaxed path — a
+   dropped synchronizes-with edge the certifier's hb differential must
+   catch. *)
+let acquire_merge t ts ~mo rf_cv =
+  if Memorder.is_acquire mo && t.mutation <> Some Skip_acquire_merge then
+    ignore (Clockvec.merge ts.c rf_cv)
+  else ignore (Clockvec.merge ts.facq rf_cv)
+
 let atomic_load t ~tid ~loc ~mo ~volatile =
   let ts = thread t tid in
   let seq = tick t ts in
@@ -640,8 +708,7 @@ let atomic_load t ~tid ~loc ~mo ~volatile =
   | Some (s, pset) ->
     let rf_cv = match s.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
     let p2 = if t.prof_on then Profile.now_ns () else 0 in
-    if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv)
-    else ignore (Clockvec.merge ts.facq rf_cv);
+    acquire_merge t ts ~mo rf_cv;
     if t.prof_on then Profile.stop t.prof "cv_merge" p2;
     let a = mk_action t ts Action.Load ~loc ~mo ~value:s.value ~volatile ~seq in
     a.rf <- Some s;
@@ -655,8 +722,14 @@ let atomic_load t ~tid ~loc ~mo ~volatile =
         ~seq;
     s.value
 
-let store_rf_cv ts ~mo =
-  if Memorder.is_release mo then Clockvec.copy ts.c else Clockvec.copy ts.frel
+(* [Weak_release_store] fault: a release store publishes only the
+   release-fence clock, as if it were relaxed — acquirers synchronise
+   with a stale clock, which the certifier's reconstructed sw/hb must
+   expose. *)
+let store_rf_cv t ts ~mo =
+  if Memorder.is_release mo && t.mutation <> Some Weak_release_store then
+    Clockvec.copy ts.c
+  else Clockvec.copy ts.frel
 
 (* The reads-from clock of a plain store, and the C++11-style
    release-sequence bookkeeping used by the Total_mo baselines: a release
@@ -665,7 +738,7 @@ let store_rf_cv ts ~mo =
    store breaks it. *)
 let store_rf_cv_with_relseq_inner t li ts ~mo =
   match t.mode with
-  | Full_c11 -> store_rf_cv ts ~mo
+  | Full_c11 -> store_rf_cv t ts ~mo
   | Total_mo ->
     if Memorder.is_release mo then begin
       let cv = Clockvec.copy ts.c in
@@ -707,7 +780,7 @@ let atomic_store t ~tid ~loc ~mo ~volatile value =
   let a = mk_action t ts Action.Store ~loc ~mo ~value ~volatile ~seq in
   a.rf_cv <- Some (store_rf_cv_with_relseq t li ts ~mo);
   let p0 = if t.prof_on then Profile.now_ns () else 0 in
-  let pset = write_prior_set t li ts ~store_mo:mo in
+  let pset = write_prior_set t li ts ~store_mo:mo ~current:ts.c in
   if t.prof_on then Profile.stop t.prof "prior_set" p0;
   add_edges t pset a;
   record_store li a;
@@ -741,8 +814,7 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
   let result = ref None in
   let commit_load s pset =
     let rf_cv = match s.Action.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
-    if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv)
-    else ignore (Clockvec.merge ts.facq rf_cv);
+    acquire_merge t ts ~mo rf_cv;
     let a = mk_action t ts Action.Load ~loc ~mo ~value:s.Action.value ~volatile ~seq in
     a.rf <- Some s;
     add_edges t pset s;
@@ -758,14 +830,13 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
   let commit_rmw (s : Action.t) pset new_value =
     s.rmw_claimed <- true;
     let rf_cv_s = match s.rf_cv with Some cv -> cv | None -> Clockvec.bottom () in
-    if Memorder.is_acquire mo then ignore (Clockvec.merge ts.c rf_cv_s)
-    else ignore (Clockvec.merge ts.facq rf_cv_s);
+    acquire_merge t ts ~mo rf_cv_s;
     let r = mk_action t ts Action.Rmw ~loc ~mo ~value:new_value ~volatile ~seq in
     r.rf <- Some s;
     (* Release sequences: the RMW carries its own release clock (if any)
        joined with the clock of the sequence it extends (Figure 9,
        RELEASE/RELAXED RMW). *)
-    r.rf_cv <- Some (Clockvec.union (store_rf_cv ts ~mo) rf_cv_s);
+    r.rf_cv <- Some (Clockvec.union (store_rf_cv t ts ~mo) rf_cv_s);
     add_edges t pset s;
     (match t.mode with
     | Full_c11 ->
@@ -773,7 +844,7 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
         (Mograph.get_node t.graph s)
         (Mograph.get_node t.graph r)
     | Total_mo -> ());
-    let wpset = write_prior_set t li ts ~store_mo:mo in
+    let wpset = write_prior_set t li ts ~store_mo:mo ~current:ts.c in
     add_edges t wpset r;
     record_store li r;
     set_value t loc new_value;
@@ -799,13 +870,13 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
        | Rmw_write v ->
          let claimable =
            (not s.rmw_claimed)
-           &&
-           match t.mode with
-           | Full_c11 -> true
-           | Total_mo -> (
-             match newest_store li with
-             | Some newest -> newest == s
-             | None -> false)
+           && (match t.mode with
+              | Full_c11 -> true
+              | Total_mo -> (
+                match newest_store li with
+                | Some newest -> newest == s
+                | None -> false))
+           && rmw_write_feasible t li ts ~mo s
          in
          if claimable then (
            match read_prior_set t li ts ~load_mo:mo s with
@@ -873,7 +944,7 @@ let na_write t ~tid ~loc value =
     in
     a.rf_cv <- Some (Clockvec.bottom ());
     li.rel_head <- None;
-    let pset = write_prior_set t li ts ~store_mo:Memorder.Relaxed in
+    let pset = write_prior_set t li ts ~store_mo:Memorder.Relaxed ~current:ts.c in
     add_edges t pset a;
     record_store li a
   end;

@@ -23,6 +23,30 @@
 
 type mode = Full_c11 | Total_mo
 
+(** Deliberate, test-only engine faults.  Each mutation removes one piece
+    of memory-model bookkeeping while leaving the rest of the engine
+    intact; they exist so the oracle pipeline (axiomatic certifier +
+    fuzzer, see [lib/fuzz]) can prove end-to-end that it detects a real
+    engine bug.  [None] — the default everywhere — is the correct
+    engine; production code never sets a mutation.
+
+    - [Skip_acquire_merge] — acquire loads/RMWs merge the observed
+      reads-from clock into the acquire-fence clock instead of the thread
+      clock, i.e. every rf-induced synchronizes-with edge is dropped on
+      the reader side;
+    - [Drop_mo_edge] — every mo-graph update silently loses one of its
+      constraint edges;
+    - [Weak_release_store] — release stores publish the release-fence
+      clock instead of the thread clock, as if they were relaxed (a stale
+      clock merge on the writer side). *)
+type mutation = Skip_acquire_merge | Drop_mo_edge | Weak_release_store
+
+val mutation_name : mutation -> string
+val mutation_of_string : string -> mutation option
+
+(** All mutations, for tests that must detect every one. *)
+val all_mutations : mutation list
+
 exception Model_error of string
 
 (** Decision returned by an RMW functor: [Rmw_keep] models a failed
@@ -95,6 +119,9 @@ type t = {
   cert_on : bool;
       (** record the full action trace and synchronisation edges for the
           axiomatic certifier; off by default (zero cost) *)
+  mutation : mutation option;
+      (** test-only seeded engine fault; [None] (the default) is the
+          correct engine *)
   mutable cert_trace_rev : Action.t list;
       (** every action, newest first (unbounded, unlike [trace_rev]);
           mutable so certifier self-tests can corrupt a recorded execution *)
@@ -134,6 +161,7 @@ val create :
   ?prof:Profile.t ->
   ?metrics:Metrics.t ->
   ?certify:bool ->
+  ?mutation:mutation ->
   mode:mode ->
   rng:Rng.t ->
   race:Race.t ->

@@ -11,6 +11,7 @@ type config = {
   seed : int64;
   trace_depth : int;
   certify : bool;
+  mutation : Execution.mutation option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     seed = 1L;
     trace_depth = 0;
     certify = false;
+    mutation = None;
   }
 
 type outcome = {
@@ -514,7 +516,7 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
   let race = Race.create ~obs ~metrics () in
   let exec =
     Execution.create ~obs ~prof:profile ~metrics ~certify:config.certify
-      ~mode:config.mode ~rng ~race ()
+      ?mutation:config.mutation ~mode:config.mode ~rng ~race ()
   in
   Execution.set_trace_capacity exec config.trace_depth;
   let st =

@@ -29,6 +29,10 @@ type config = {
       (** record the full action trace and synchronisation edges and run
           the axiomatic certifier ({!Check.certify}) over the finished
           execution; off (zero-cost) by default *)
+  mutation : Execution.mutation option;
+      (** test-only seeded engine fault ({!Execution.mutation}), used to
+          prove the oracle pipeline detects real engine bugs; [None] (the
+          default) is the correct engine *)
 }
 
 val default_config : config

@@ -1,0 +1,1025 @@
+(* C11fuzz — see fuzz.mli for the overall contract.
+
+   Everything here is deterministic: no wall clock, no global RNG, no
+   shared mutable state between shards.  A program is a pure function of
+   (gen_cfg, seed); an execution of (program, exec seed); a campaign's
+   observables of (campaign_cfg) alone. *)
+
+(* ------------------------------------------------------------------ *)
+(* Programs *)
+
+type profile = Mixed | Sc_heavy | Rmw_chain | Mixed_atomicity
+
+let profile_name = function
+  | Mixed -> "mixed"
+  | Sc_heavy -> "sc-heavy"
+  | Rmw_chain -> "rmw-chain"
+  | Mixed_atomicity -> "mixed-atomicity"
+
+let profile_of_string = function
+  | "mixed" -> Some Mixed
+  | "sc-heavy" -> Some Sc_heavy
+  | "rmw-chain" -> Some Rmw_chain
+  | "mixed-atomicity" -> Some Mixed_atomicity
+  | _ -> None
+
+let all_profiles = [ Mixed; Sc_heavy; Rmw_chain; Mixed_atomicity ]
+
+type gen_cfg = {
+  g_threads : int;
+  g_ops : int;
+  g_atomic_locs : int;
+  g_na_locs : int;
+  g_mutexes : int;
+  g_profile : profile;
+  g_sc_bias : int;
+}
+
+let default_gen_cfg =
+  {
+    g_threads = 3;
+    g_ops = 8;
+    g_atomic_locs = 3;
+    g_na_locs = 2;
+    g_mutexes = 2;
+    g_profile = Mixed;
+    g_sc_bias = 0;
+  }
+
+type op =
+  | Load of { loc : int; mo : Memorder.t }
+  | Store of { loc : int; mo : Memorder.t; value : int }
+  | Add of { loc : int; mo : Memorder.t; delta : int }
+  | Cas of { loc : int; mo : Memorder.t; expected : int; desired : int }
+  | Xchg of { loc : int; mo : Memorder.t; value : int }
+  | Fence of Memorder.t
+  | Na_read of { na : int }
+  | Na_write of { na : int; value : int }
+  | Reuse_load of { loc : int }
+  | Reuse_store of { loc : int; value : int }
+  | Lock of { m : int }
+  | Unlock of { m : int }
+  | Yield
+
+type program = {
+  p_seed : int64;
+  p_profile : profile;
+  p_atomic_locs : int;
+  p_na_locs : int;
+  p_mutexes : int;
+  p_threads : op array array;
+}
+
+let op_count p =
+  Array.fold_left (fun acc ops -> acc + Array.length ops) 0 p.p_threads
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+(* Weighted draw; weights of 0 drop an alternative entirely, so kind
+   tables can gate alternatives on availability (no mutex to unlock, no
+   plain locations configured, ...). *)
+let pick rng choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Fuzz.pick: no choice has positive weight";
+  let r = Rng.int rng total in
+  let rec walk acc = function
+    | [] -> assert false
+    | (w, x) :: rest -> if r < acc + w then x else walk (acc + w) rest
+  in
+  walk 0 choices
+
+(* Memory orders by access category.  The sc bias (profile or knob) adds
+   weight to seq_cst without removing any alternative, so every order
+   stays reachable under every profile. *)
+let sc_weight cfg = (if cfg.g_profile = Sc_heavy then 60 else 0) + cfg.g_sc_bias
+
+let load_mo cfg rng =
+  pick rng
+    [
+      (15 + sc_weight cfg, Memorder.Seq_cst);
+      (30, Memorder.Acquire);
+      (10, Memorder.Consume);
+      (45, Memorder.Relaxed);
+    ]
+
+let store_mo cfg rng =
+  pick rng
+    [
+      (15 + sc_weight cfg, Memorder.Seq_cst);
+      (35, Memorder.Release);
+      (50, Memorder.Relaxed);
+    ]
+
+let rmw_mo cfg rng =
+  pick rng
+    [
+      (15 + sc_weight cfg, Memorder.Seq_cst);
+      (25, Memorder.Acq_rel);
+      (15, Memorder.Acquire);
+      (15, Memorder.Release);
+      (30, Memorder.Relaxed);
+    ]
+
+let fence_mo cfg rng =
+  pick rng
+    [
+      (25 + sc_weight cfg, Memorder.Seq_cst);
+      (25, Memorder.Acq_rel);
+      (25, Memorder.Acquire);
+      (25, Memorder.Release);
+    ]
+
+(* rmw-chain contends on location 0 so chains of RMWs stack up in the
+   mo-graph (the release-sequence-heavy shape of Figure 11). *)
+let atomic_loc cfg rng n =
+  if cfg.g_profile = Rmw_chain && n > 1 && Rng.int rng 100 < 70 then 0
+  else Rng.int rng n
+
+type kind_tag =
+  | K_load
+  | K_store
+  | K_add
+  | K_cas
+  | K_xchg
+  | K_fence
+  | K_na_read
+  | K_na_write
+  | K_reuse_load
+  | K_reuse_store
+  | K_lock
+  | K_unlock
+  | K_yield
+
+let kind_weights cfg ~na_locs ~mutexes ~can_lock ~can_unlock =
+  let rmw = if cfg.g_profile = Rmw_chain then 3 else 1 in
+  let reuse = if cfg.g_profile = Mixed_atomicity then 6 else 0 in
+  let na = if na_locs > 0 then 10 else 0 in
+  let mu w = if mutexes > 0 then w else 0 in
+  [
+    (20, K_load);
+    (20, K_store);
+    (6 * rmw, K_add);
+    (4 * rmw, K_cas);
+    (3 * rmw, K_xchg);
+    (6, K_fence);
+    (na, K_na_read);
+    (na, K_na_write);
+    (reuse, K_reuse_load);
+    (reuse, K_reuse_store);
+    (mu (if can_lock then 6 else 0), K_lock);
+    (mu (if can_unlock then 8 else 0), K_unlock);
+    (3, K_yield);
+  ]
+
+let gen_value rng = Rng.int rng 8
+
+(* One thread body.  [held] is the stack of currently-held mutexes; the
+   ordered discipline (lock only mutexes with an index above the
+   innermost held one, unlock innermost-first) makes any interleaving of
+   generated bodies deadlock-free, and the trailing unlocks balance every
+   path. *)
+let gen_body cfg rng ~atomic_locs ~na_locs ~mutexes ~ops =
+  let body = ref [] in
+  let emit o = body := o :: !body in
+  let held = ref [] in
+  for _ = 1 to ops do
+    let top = match !held with [] -> -1 | m :: _ -> m in
+    let can_lock = mutexes > 0 && top < mutexes - 1 in
+    let can_unlock = !held <> [] in
+    match kind_weights cfg ~na_locs ~mutexes ~can_lock ~can_unlock |> pick rng with
+    | K_load -> emit (Load { loc = atomic_loc cfg rng atomic_locs; mo = load_mo cfg rng })
+    | K_store ->
+      emit
+        (Store
+           {
+             loc = atomic_loc cfg rng atomic_locs;
+             mo = store_mo cfg rng;
+             value = gen_value rng;
+           })
+    | K_add ->
+      emit
+        (Add
+           {
+             loc = atomic_loc cfg rng atomic_locs;
+             mo = rmw_mo cfg rng;
+             delta = 1 + Rng.int rng 3;
+           })
+    | K_cas ->
+      emit
+        (Cas
+           {
+             loc = atomic_loc cfg rng atomic_locs;
+             mo = rmw_mo cfg rng;
+             expected = gen_value rng;
+             desired = gen_value rng;
+           })
+    | K_xchg ->
+      emit
+        (Xchg
+           {
+             loc = atomic_loc cfg rng atomic_locs;
+             mo = rmw_mo cfg rng;
+             value = gen_value rng;
+           })
+    | K_fence -> emit (Fence (fence_mo cfg rng))
+    | K_na_read -> emit (Na_read { na = Rng.int rng na_locs })
+    | K_na_write -> emit (Na_write { na = Rng.int rng na_locs; value = gen_value rng })
+    | K_reuse_load -> emit (Reuse_load { loc = atomic_loc cfg rng atomic_locs })
+    | K_reuse_store ->
+      emit (Reuse_store { loc = atomic_loc cfg rng atomic_locs; value = gen_value rng })
+    | K_lock ->
+      let m = top + 1 + Rng.int rng (mutexes - top - 1) in
+      held := m :: !held;
+      emit (Lock { m })
+    | K_unlock ->
+      let m = List.hd !held in
+      held := List.tl !held;
+      emit (Unlock { m })
+    | K_yield -> emit Yield
+  done;
+  List.iter (fun m -> emit (Unlock { m })) !held;
+  Array.of_list (List.rev !body)
+
+let generate ~cfg ~seed =
+  if cfg.g_threads < 1 || cfg.g_ops < 1 || cfg.g_atomic_locs < 1 then
+    invalid_arg "Fuzz.generate: g_threads, g_ops, g_atomic_locs must be >= 1";
+  if cfg.g_na_locs < 0 || cfg.g_mutexes < 0 || cfg.g_sc_bias < 0 then
+    invalid_arg "Fuzz.generate: negative knob";
+  let rng = Rng.create seed in
+  let spawned = 1 + Rng.int rng cfg.g_threads in
+  let atomic_locs = 1 + Rng.int rng cfg.g_atomic_locs in
+  let na_locs = if cfg.g_na_locs = 0 then 0 else Rng.int rng (cfg.g_na_locs + 1) in
+  let mutexes = if cfg.g_mutexes = 0 then 0 else Rng.int rng (cfg.g_mutexes + 1) in
+  let threads =
+    Array.init (spawned + 1) (fun t ->
+        (* main runs a possibly-empty body between the spawns and joins *)
+        let ops =
+          if t = 0 then Rng.int rng (cfg.g_ops + 1) else 1 + Rng.int rng cfg.g_ops
+        in
+        gen_body cfg rng ~atomic_locs ~na_locs ~mutexes ~ops)
+  in
+  {
+    p_seed = seed;
+    p_profile = cfg.g_profile;
+    p_atomic_locs = atomic_locs;
+    p_na_locs = na_locs;
+    p_mutexes = mutexes;
+    p_threads = threads;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validate p =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_op t i held op =
+    let in_range what v n =
+      if v < 0 || v >= n then err "thread %d op %d: %s %d out of range [0,%d)" t i what v n
+      else Ok held
+    in
+    match op with
+    | Load { loc; _ } | Reuse_load { loc } -> in_range "atomic loc" loc p.p_atomic_locs
+    | Store { loc; _ } | Add { loc; _ } | Cas { loc; _ } | Xchg { loc; _ }
+    | Reuse_store { loc; _ } ->
+      in_range "atomic loc" loc p.p_atomic_locs
+    | Na_read { na } | Na_write { na; _ } -> in_range "plain loc" na p.p_na_locs
+    | Fence _ | Yield -> Ok held
+    | Lock { m } ->
+      if m < 0 || m >= p.p_mutexes then
+        err "thread %d op %d: mutex %d out of range [0,%d)" t i m p.p_mutexes
+      else begin
+        match held with
+        | top :: _ when m <= top ->
+          err "thread %d op %d: lock %d violates order (holding %d)" t i m top
+        | _ -> Ok (m :: held)
+      end
+    | Unlock { m } -> (
+      match held with
+      | top :: rest when top = m -> Ok rest
+      | top :: _ -> err "thread %d op %d: unlock %d but innermost held is %d" t i m top
+      | [] -> err "thread %d op %d: unlock %d while holding nothing" t i m)
+  in
+  if Array.length p.p_threads = 0 then Error "no main thread"
+  else if p.p_atomic_locs < 0 || p.p_na_locs < 0 || p.p_mutexes < 0 then
+    Error "negative location count"
+  else begin
+    let result = ref (Ok ()) in
+    Array.iteri
+      (fun t ops ->
+        if !result = Ok () then begin
+          let held = ref (Ok []) in
+          Array.iteri
+            (fun i op ->
+              match !held with
+              | Error _ -> ()
+              | Ok h -> held := check_op t i h op)
+            ops;
+          match !held with
+          | Error e -> result := Error e
+          | Ok [] -> ()
+          | Ok (m :: _) -> result := Error (Printf.sprintf "thread %d exits holding mutex %d" t m)
+        end)
+      p.p_threads;
+    !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Interpretation *)
+
+let to_closure p () =
+  let atomics =
+    Array.init p.p_atomic_locs (fun i -> C11.Atomic.make ~name:(Printf.sprintf "a%d" i) 0)
+  in
+  let nas =
+    Array.init p.p_na_locs (fun i -> C11.Nonatomic.make ~name:(Printf.sprintf "n%d" i) 0)
+  in
+  let mutexes = Array.init p.p_mutexes (fun _ -> C11.Mutex.create ()) in
+  (* results are accumulated so loads are not dead code, but never used
+     for control flow: the program's shape is schedule-independent *)
+  let sink = ref 0 in
+  let run_op = function
+    | Load { loc; mo } -> sink := !sink + C11.Atomic.load ~mo atomics.(loc)
+    | Store { loc; mo; value } -> C11.Atomic.store ~mo atomics.(loc) value
+    | Add { loc; mo; delta } -> sink := !sink + C11.Atomic.fetch_add ~mo atomics.(loc) delta
+    | Cas { loc; mo; expected; desired } ->
+      if C11.Atomic.compare_exchange ~mo atomics.(loc) ~expected ~desired then incr sink
+    | Xchg { loc; mo; value } -> sink := !sink + C11.Atomic.exchange ~mo atomics.(loc) value
+    | Fence mo -> C11.Fence.fence mo
+    | Na_read { na } -> sink := !sink + C11.Nonatomic.read nas.(na)
+    | Na_write { na; value } -> C11.Nonatomic.write nas.(na) value
+    | Reuse_load { loc } -> sink := !sink + C11.Atomic.na_load atomics.(loc)
+    | Reuse_store { loc; value } -> C11.Atomic.na_store atomics.(loc) value
+    | Lock { m } -> C11.Mutex.lock mutexes.(m)
+    | Unlock { m } -> C11.Mutex.unlock mutexes.(m)
+    | Yield -> C11.Thread.yield ()
+  in
+  let run_body t () = Array.iter run_op p.p_threads.(t) in
+  let handles =
+    Array.init
+      (Array.length p.p_threads - 1)
+      (fun i -> C11.Thread.spawn (run_body (i + 1)))
+  in
+  run_body 0 ();
+  Array.iter C11.Thread.join handles
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing as a DSL snippet *)
+
+let pp_mo fmt mo =
+  Format.fprintf fmt "Memorder.%s"
+    (match mo with
+    | Memorder.Relaxed -> "Relaxed"
+    | Memorder.Consume -> "Consume"
+    | Memorder.Acquire -> "Acquire"
+    | Memorder.Release -> "Release"
+    | Memorder.Acq_rel -> "Acq_rel"
+    | Memorder.Seq_cst -> "Seq_cst")
+
+let pp_op fmt = function
+  | Load { loc; mo } ->
+    Format.fprintf fmt "ignore (C11.Atomic.load ~mo:%a a%d);" pp_mo mo loc
+  | Store { loc; mo; value } ->
+    Format.fprintf fmt "C11.Atomic.store ~mo:%a a%d %d;" pp_mo mo loc value
+  | Add { loc; mo; delta } ->
+    Format.fprintf fmt "ignore (C11.Atomic.fetch_add ~mo:%a a%d %d);" pp_mo mo loc delta
+  | Cas { loc; mo; expected; desired } ->
+    Format.fprintf fmt
+      "ignore (C11.Atomic.compare_exchange ~mo:%a a%d ~expected:%d ~desired:%d);" pp_mo
+      mo loc expected desired
+  | Xchg { loc; mo; value } ->
+    Format.fprintf fmt "ignore (C11.Atomic.exchange ~mo:%a a%d %d);" pp_mo mo loc value
+  | Fence mo -> Format.fprintf fmt "C11.Fence.fence %a;" pp_mo mo
+  | Na_read { na } -> Format.fprintf fmt "ignore (C11.Nonatomic.read n%d);" na
+  | Na_write { na; value } -> Format.fprintf fmt "C11.Nonatomic.write n%d %d;" na value
+  | Reuse_load { loc } -> Format.fprintf fmt "ignore (C11.Atomic.na_load a%d);" loc
+  | Reuse_store { loc; value } -> Format.fprintf fmt "C11.Atomic.na_store a%d %d;" loc value
+  | Lock { m } -> Format.fprintf fmt "C11.Mutex.lock m%d;" m
+  | Unlock { m } -> Format.fprintf fmt "C11.Mutex.unlock m%d;" m
+  | Yield -> Format.fprintf fmt "C11.Thread.yield ();"
+
+let pp_body fmt ops =
+  if Array.length ops = 0 then Format.fprintf fmt "()"
+  else
+    Array.iteri
+      (fun i op ->
+        if i > 0 then Format.fprintf fmt "@ ";
+        pp_op fmt op)
+      ops
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v 2>let repro () =@ ";
+  Format.fprintf fmt "(* seed 0x%Lx, profile %s *)@ " p.p_seed (profile_name p.p_profile);
+  for i = 0 to p.p_atomic_locs - 1 do
+    Format.fprintf fmt "let a%d = C11.Atomic.make ~name:\"a%d\" 0 in@ " i i
+  done;
+  for i = 0 to p.p_na_locs - 1 do
+    Format.fprintf fmt "let n%d = C11.Nonatomic.make ~name:\"n%d\" 0 in@ " i i
+  done;
+  for i = 0 to p.p_mutexes - 1 do
+    Format.fprintf fmt "let m%d = C11.Mutex.create () in@ " i
+  done;
+  for t = 1 to Array.length p.p_threads - 1 do
+    Format.fprintf fmt "@[<v 2>let t%d =@ @[<v 2>C11.Thread.spawn (fun () ->@ %a)@]@]@ in@ "
+      t pp_body p.p_threads.(t)
+  done;
+  let main = p.p_threads.(0) in
+  let joins = Array.length p.p_threads - 1 in
+  if Array.length main > 0 then begin
+    pp_body fmt main;
+    if joins > 0 then Format.fprintf fmt "@ "
+  end;
+  for t = 1 to joins do
+    Format.fprintf fmt "C11.Thread.join t%d%s" t (if t < joins then ";" else "");
+    if t < joins then Format.fprintf fmt "@ "
+  done;
+  if Array.length main = 0 && joins = 0 then Format.fprintf fmt "()";
+  Format.fprintf fmt "@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+
+(* ------------------------------------------------------------------ *)
+(* Oracle *)
+
+type finding_kind =
+  | Cert_rejected of Check.violation list
+  | Engine_crash of string
+  | Deadlock
+
+(* Strip digit runs so keys survive renumbering across programs, shrink
+   steps and shards (same normalisation as Check.violation_key). *)
+let strip_digits s =
+  let b = Buffer.create (String.length s) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      if c >= '0' && c <= '9' then begin
+        if not !in_digits then Buffer.add_char b '#';
+        in_digits := true
+      end
+      else begin
+        in_digits := false;
+        Buffer.add_char b c
+      end)
+    s;
+  Buffer.contents b
+
+(* Location numbers inside violation details are per-program; strip them
+   too so the same axiom violated on different generated programs is one
+   finding. *)
+let finding_key = function
+  | Cert_rejected vs -> "cert:" ^ strip_digits (Check.rejection_key vs)
+  | Engine_crash msg -> "crash:" ^ strip_digits msg
+  | Deadlock -> "deadlock"
+
+type status = Passed of { certified : bool } | Failed of finding_kind
+
+let engine_config ~mutation =
+  {
+    Engine.default_config with
+    Engine.max_steps = 200_000;
+    (* probes replace the seed per execution *)
+    mutation;
+  }
+
+let exec_seed p ~attempt = Rng.substream p.p_seed ~index:attempt
+
+let run_one ~config ~certify ~seed p =
+  let config = { config with Engine.seed; certify } in
+  match Engine.run config (to_closure p) with
+  | outcome ->
+    if outcome.Engine.uncaught_exceptions <> [] then
+      Failed (Engine_crash (List.hd outcome.Engine.uncaught_exceptions))
+    else if outcome.Engine.assertion_failures <> [] then
+      Failed (Engine_crash ("assertion: " ^ List.hd outcome.Engine.assertion_failures))
+    else if outcome.Engine.deadlock then Failed Deadlock
+    else begin
+      match outcome.Engine.certificate with
+      | Some (Check.Rejected vs) -> Failed (Cert_rejected vs)
+      | Some (Check.Certified _) -> Passed { certified = true }
+      | Some (Check.Not_applicable _) | None -> Passed { certified = false }
+    end
+  | exception Execution.Model_error msg -> Failed (Engine_crash ("model error: " ^ msg))
+  | exception Engine.Assertion_violation msg ->
+    Failed (Engine_crash ("assertion: " ^ msg))
+  | exception e -> Failed (Engine_crash (Printexc.to_string e))
+
+let reproduces ~config ~execs ~key p =
+  let rec go attempt =
+    if attempt >= execs then None
+    else begin
+      let seed = exec_seed p ~attempt in
+      match run_one ~config ~certify:true ~seed p with
+      | Failed kind when String.equal (finding_key kind) key -> Some seed
+      | _ -> go (attempt + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+(* A lock and its matching unlock form one deletion unit: deleting either
+   alone would break the discipline [validate] checks. *)
+let lock_pairs ops =
+  let pairs = Hashtbl.create 4 in
+  let stack = ref [] in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Lock _ -> stack := i :: !stack
+      | Unlock _ ->
+        let l = List.hd !stack in
+        stack := List.tl !stack;
+        Hashtbl.replace pairs l i;
+        Hashtbl.replace pairs i l
+      | _ -> ())
+    ops;
+  pairs
+
+let remove_indices ops to_remove =
+  let keep = ref [] in
+  Array.iteri (fun i op -> if not (List.mem i to_remove) then keep := op :: !keep) ops;
+  Array.of_list (List.rev !keep)
+
+let with_thread p t ops =
+  let threads = Array.copy p.p_threads in
+  threads.(t) <- ops;
+  { p with p_threads = threads }
+
+let without_thread p t =
+  if t = 0 then with_thread p 0 [||]
+  else begin
+    let threads =
+      Array.init
+        (Array.length p.p_threads - 1)
+        (fun i -> p.p_threads.(if i < t then i else i + 1))
+    in
+    { p with p_threads = threads }
+  end
+
+(* Deletion units of one thread body, as index lists (op [i] alone, or a
+   lock/unlock pair), in ascending order of first index. *)
+let units_of ops =
+  let pairs = lock_pairs ops in
+  let units = ref [] in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Unlock _ -> ()  (* handled with its lock *)
+      | Lock _ -> units := [ i; Hashtbl.find pairs i ] :: !units
+      | _ -> units := [ i ] :: !units)
+    ops;
+  List.rev !units
+
+let deletion_candidates p =
+  let thread_cands =
+    List.filter_map
+      (fun t ->
+        if t = 0 && Array.length p.p_threads.(0) = 0 then None
+        else if t > 0 || Array.length p.p_threads.(0) > 0 then Some (without_thread p t)
+        else None)
+      (List.init (Array.length p.p_threads) Fun.id)
+  in
+  let op_cands =
+    List.concat_map
+      (fun t ->
+        List.map
+          (fun unit -> with_thread p t (remove_indices p.p_threads.(t) unit))
+          (units_of p.p_threads.(t)))
+      (List.init (Array.length p.p_threads) Fun.id)
+  in
+  (* drop the degenerate candidate equal to deleting the main body twice *)
+  List.filter (fun c -> Array.length c.p_threads >= 1) (thread_cands @ op_cands)
+
+(* One-step-weaker memory orders per access category; shrinking walks
+   these chains downwards while the failure keeps reproducing, so the
+   final repro names the weakest orders that still expose the bug. *)
+let weaker_load = function
+  | Memorder.Seq_cst -> [ Memorder.Acquire ]
+  | Memorder.Acquire -> [ Memorder.Relaxed ]
+  | Memorder.Consume -> [ Memorder.Relaxed ]
+  | _ -> []
+
+let weaker_store = function
+  | Memorder.Seq_cst -> [ Memorder.Release ]
+  | Memorder.Release -> [ Memorder.Relaxed ]
+  | _ -> []
+
+let weaker_rmw = function
+  | Memorder.Seq_cst -> [ Memorder.Acq_rel ]
+  | Memorder.Acq_rel -> [ Memorder.Acquire; Memorder.Release ]
+  | Memorder.Acquire -> [ Memorder.Relaxed ]
+  | Memorder.Release -> [ Memorder.Relaxed ]
+  | Memorder.Consume -> [ Memorder.Relaxed ]
+  | _ -> []
+
+let weaker_fence = function
+  | Memorder.Seq_cst -> [ Memorder.Acq_rel ]
+  | Memorder.Acq_rel -> [ Memorder.Acquire; Memorder.Release ]
+  | _ -> []
+
+let weakenings_of = function
+  | Load f -> List.map (fun mo -> Load { f with mo }) (weaker_load f.mo)
+  | Store f -> List.map (fun mo -> Store { f with mo }) (weaker_store f.mo)
+  | Add f -> List.map (fun mo -> Add { f with mo }) (weaker_rmw f.mo)
+  | Cas f -> List.map (fun mo -> Cas { f with mo }) (weaker_rmw f.mo)
+  | Xchg f -> List.map (fun mo -> Xchg { f with mo }) (weaker_rmw f.mo)
+  | Fence mo -> List.map (fun mo -> Fence mo) (weaker_fence mo)
+  | Na_read _ | Na_write _ | Reuse_load _ | Reuse_store _ | Lock _ | Unlock _ | Yield
+    ->
+    []
+
+(* Drop locations and mutexes no surviving op references, renumbering
+   the rest in declaration order.  Allocation is visible to the model
+   ([Atomic.make] performs an init store), so compaction can change the
+   execution and is offered as a shrink candidate like any other, kept
+   only while the failure reproduces. *)
+let compact p =
+  let used_a = Array.make p.p_atomic_locs false in
+  let used_n = Array.make p.p_na_locs false in
+  let used_m = Array.make p.p_mutexes false in
+  Array.iter
+    (Array.iter (function
+      | Load { loc; _ }
+      | Store { loc; _ }
+      | Add { loc; _ }
+      | Cas { loc; _ }
+      | Xchg { loc; _ }
+      | Reuse_load { loc }
+      | Reuse_store { loc; _ } ->
+        used_a.(loc) <- true
+      | Na_read { na } | Na_write { na; _ } -> used_n.(na) <- true
+      | Lock { m } | Unlock { m } -> used_m.(m) <- true
+      | Fence _ | Yield -> ()))
+    p.p_threads;
+  let remap used =
+    let next = ref 0 in
+    Array.map (fun u -> if u then (incr next; !next - 1) else -1) used
+  in
+  let map_a = remap used_a and map_n = remap used_n and map_m = remap used_m in
+  let count m = Array.fold_left (fun acc i -> if i >= 0 then acc + 1 else acc) 0 m in
+  if count map_a = p.p_atomic_locs && count map_n = p.p_na_locs
+     && count map_m = p.p_mutexes
+  then None
+  else
+    Some
+      {
+        p with
+        p_atomic_locs = count map_a;
+        p_na_locs = count map_n;
+        p_mutexes = count map_m;
+        p_threads =
+          Array.map
+            (Array.map (function
+              | Load f -> Load { f with loc = map_a.(f.loc) }
+              | Store f -> Store { f with loc = map_a.(f.loc) }
+              | Add f -> Add { f with loc = map_a.(f.loc) }
+              | Cas f -> Cas { f with loc = map_a.(f.loc) }
+              | Xchg f -> Xchg { f with loc = map_a.(f.loc) }
+              | Reuse_load f -> Reuse_load { loc = map_a.(f.loc) }
+              | Reuse_store f -> Reuse_store { f with loc = map_a.(f.loc) }
+              | Na_read f -> Na_read { na = map_n.(f.na) }
+              | Na_write f -> Na_write { f with na = map_n.(f.na) }
+              | Lock f -> Lock { m = map_m.(f.m) }
+              | Unlock f -> Unlock { m = map_m.(f.m) }
+              | (Fence _ | Yield) as o -> o))
+            p.p_threads;
+      }
+
+let shrink ?(on_accept = fun _ -> ()) ~config ~execs ~key p =
+  let steps = ref 0 in
+  let cur = ref p in
+  let best_seed = ref (exec_seed p ~attempt:0) in
+  let accept candidate seed =
+    cur := candidate;
+    best_seed := seed;
+    incr steps;
+    on_accept candidate
+  in
+  let try_candidate candidate =
+    match reproduces ~config ~execs ~key candidate with
+    | Some seed ->
+      accept candidate seed;
+      true
+    | None -> false
+  in
+  (* Passes repeat to a fixpoint.  Within a pass, positions are re-tried
+     in place after an acceptance (indices shift under deletion; an order
+     may admit a further weakening), so one pass does as much work as it
+     can before the next full scan. *)
+  let thread_pass () =
+    let changed = ref false in
+    let t = ref (Array.length !cur.p_threads - 1) in
+    while !t >= 0 do
+      let deletable =
+        if !t = 0 then Array.length !cur.p_threads.(0) > 0
+        else !t < Array.length !cur.p_threads
+      in
+      if deletable && try_candidate (without_thread !cur !t) then changed := true;
+      decr t
+    done;
+    !changed
+  in
+  let op_pass () =
+    let changed = ref false in
+    let t = ref 0 in
+    while !t < Array.length !cur.p_threads do
+      let u = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let units = units_of !cur.p_threads.(!t) in
+        if !u >= List.length units then continue := false
+        else begin
+          let unit = List.nth units !u in
+          let candidate = with_thread !cur !t (remove_indices !cur.p_threads.(!t) unit) in
+          if try_candidate candidate then changed := true
+            (* stay at [u]: the next unit slid into this position *)
+          else incr u
+        end
+      done;
+      incr t
+    done;
+    !changed
+  in
+  let weaken_pass () =
+    let changed = ref false in
+    Array.iteri
+      (fun t _ ->
+        let i = ref 0 in
+        while !i < Array.length !cur.p_threads.(t) do
+          let op = !cur.p_threads.(t).(!i) in
+          let accepted =
+            List.exists
+              (fun op' ->
+                let ops = Array.copy !cur.p_threads.(t) in
+                ops.(!i) <- op';
+                try_candidate (with_thread !cur t ops))
+              (weakenings_of op)
+          in
+          if accepted then changed := true  (* retry same op: may weaken further *)
+          else incr i
+        done)
+      !cur.p_threads;
+    !changed
+  in
+  let compact_pass () =
+    match compact !cur with
+    | None -> false
+    | Some candidate -> try_candidate candidate
+  in
+  let progress = ref true in
+  while !progress do
+    let a = thread_pass () in
+    let b = op_pass () in
+    let c = weaken_pass () in
+    let d = compact_pass () in
+    progress := a || b || c || d
+  done;
+  (!cur, !best_seed, !steps)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns *)
+
+type finding = {
+  f_index : int;
+  f_seed : int64;
+  f_key : string;
+  f_kind : finding_kind;
+  f_repro : program;
+  f_exec_seed : int64;
+  f_shrink_steps : int;
+  f_ops_before : int;
+  f_ops_after : int;
+}
+
+type campaign_cfg = {
+  c_programs : int;
+  c_seed : int64;
+  c_jobs : int;
+  c_certify_every : int;
+  c_shrink_execs : int;
+  c_gen : gen_cfg;
+  c_mutation : Execution.mutation option;
+}
+
+let default_campaign_cfg =
+  {
+    c_programs = 200;
+    c_seed = 1L;
+    c_jobs = 1;
+    c_certify_every = 1;
+    c_shrink_execs = 8;
+    c_gen = default_gen_cfg;
+    c_mutation = None;
+  }
+
+type report = {
+  r_programs : int;
+  r_certified : int;
+  r_cert_rejected : int;
+  r_crashes : int;
+  r_findings : finding list;
+  r_shrink_steps : int;
+  r_gen_ops : int;
+}
+
+type shard = {
+  sh_certified : int;
+  sh_cert_rejected : int;
+  sh_crashes : int;
+  sh_gen_ops : int;
+  sh_findings : (int * finding) list;  (** ascending global index *)
+}
+
+(* One worker's leapfrog shard: global indices worker, worker+jobs, ...
+   Shrinking happens at the first local occurrence of a key; the merge
+   keeps the lowest global index per key, whose shrink is a pure function
+   of that program, so the merged findings match the sequential run's. *)
+let run_shard ~obs ~profile ~metrics ~cfg ~jobs ~worker =
+  let config = engine_config ~mutation:cfg.c_mutation in
+  let certified = ref 0 in
+  let cert_rejected = ref 0 in
+  let crashes = ref 0 in
+  let gen_ops = ref 0 in
+  let findings = ref [] in
+  let seen = Hashtbl.create 8 in
+  let index = ref worker in
+  while !index < cfg.c_programs do
+    let i = !index in
+    let seed = Rng.substream cfg.c_seed ~index:i in
+    let t0 = Profile.start profile in
+    let prog = generate ~cfg:cfg.c_gen ~seed in
+    Profile.stop profile "fuzz_generate" t0;
+    gen_ops := !gen_ops + op_count prog;
+    Metrics.incr metrics "fuzz.programs";
+    let certify = cfg.c_certify_every > 0 && i mod cfg.c_certify_every = 0 in
+    let t1 = Profile.start profile in
+    let status = run_one ~config ~certify ~seed:(exec_seed prog ~attempt:0) prog in
+    Profile.stop profile "fuzz_execute" t1;
+    (match status with
+    | Passed { certified = c } ->
+      if c then begin
+        incr certified;
+        Metrics.incr metrics "fuzz.certified"
+      end
+    | Failed kind ->
+      (match kind with
+      | Cert_rejected _ ->
+        incr cert_rejected;
+        Metrics.incr metrics "fuzz.cert_rejected"
+      | Engine_crash _ | Deadlock ->
+        incr crashes;
+        Metrics.incr metrics "fuzz.crashes");
+      let key = finding_key kind in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        Metrics.incr metrics "fuzz.findings";
+        if Obs.enabled obs then
+          Obs.emit obs
+            {
+              Obs.step = i;
+              tid = 0;
+              kind = Obs.Sync;
+              loc = -1;
+              mo = "";
+              value = 0;
+              detail = Printf.sprintf "fuzz-finding %s (program %d)" key i;
+            };
+        let t2 = Profile.start profile in
+        let repro, rseed, steps =
+          shrink ~config ~execs:cfg.c_shrink_execs ~key prog
+        in
+        Profile.stop profile "fuzz_shrink" t2;
+        Metrics.incr metrics ~by:steps "fuzz.shrink_steps";
+        findings :=
+          ( i,
+            {
+              f_index = i;
+              f_seed = seed;
+              f_key = key;
+              f_kind = kind;
+              f_repro = repro;
+              f_exec_seed = rseed;
+              f_shrink_steps = steps;
+              f_ops_before = op_count prog;
+              f_ops_after = op_count repro;
+            } )
+          :: !findings
+      end);
+    index := !index + jobs
+  done;
+  {
+    sh_certified = !certified;
+    sh_cert_rejected = !cert_rejected;
+    sh_crashes = !crashes;
+    sh_gen_ops = !gen_ops;
+    sh_findings = List.rev !findings;
+  }
+
+let merge_shards cfg shards =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+  let findings =
+    Par.Merge.dedup_indexed ~key:(fun f -> f.f_key) (List.map (fun s -> s.sh_findings) shards)
+    |> List.map snd
+  in
+  {
+    r_programs = cfg.c_programs;
+    r_certified = sum (fun s -> s.sh_certified);
+    r_cert_rejected = sum (fun s -> s.sh_cert_rejected);
+    r_crashes = sum (fun s -> s.sh_crashes);
+    r_findings = findings;
+    (* summed over the merged findings, not the shards, so the readout is
+       jobs-independent (losing shards shrink duplicates of a key) *)
+    r_shrink_steps = List.fold_left (fun acc f -> acc + f.f_shrink_steps) 0 findings;
+    r_gen_ops = sum (fun s -> s.sh_gen_ops);
+  }
+
+let worker_obs obs =
+  if Obs.enabled obs then
+    Obs.create
+      ~ring_capacity:(if Obs.ring_capacity obs > 0 then Obs.ring_capacity obs else 65536)
+      ()
+  else Obs.null
+
+let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null) cfg
+    =
+  if cfg.c_programs < 0 then invalid_arg "Fuzz.campaign: c_programs must be >= 0";
+  if cfg.c_jobs < 1 then invalid_arg "Fuzz.campaign: c_jobs must be >= 1";
+  if cfg.c_shrink_execs < 1 then invalid_arg "Fuzz.campaign: c_shrink_execs must be >= 1";
+  let jobs = max 1 (min cfg.c_jobs (max 1 cfg.c_programs)) in
+  let shards =
+    if jobs = 1 then [ run_shard ~obs ~profile ~metrics ~cfg ~jobs:1 ~worker:0 ]
+    else begin
+      let results =
+        Par.spawn_workers ~jobs (fun ~worker ->
+            let o = worker_obs obs in
+            let p = if Profile.enabled profile then Profile.create () else Profile.null in
+            let m = if Metrics.enabled metrics then Metrics.create () else Metrics.null in
+            let shard = run_shard ~obs:o ~profile:p ~metrics:m ~cfg ~jobs ~worker in
+            (shard, (o, p, m)))
+      in
+      Array.iter
+        (fun (_, (o, p, m)) ->
+          if Obs.enabled obs then Obs.absorb ~into:obs o;
+          if Profile.enabled profile then Profile.absorb ~into:profile p;
+          if Metrics.enabled metrics then Metrics.absorb ~into:metrics m)
+        results;
+      Obs.flush obs;
+      Array.to_list (Array.map fst results)
+    end
+  in
+  merge_shards cfg shards
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+let kind_to_json = function
+  | Cert_rejected vs ->
+    Jsonx.Obj
+      [ ("kind", Jsonx.String "cert_rejected");
+        ("violations", Jsonx.List (List.map Check.violation_to_json vs)) ]
+  | Engine_crash msg ->
+    Jsonx.Obj [ ("kind", Jsonx.String "engine_crash"); ("message", Jsonx.String msg) ]
+  | Deadlock -> Jsonx.Obj [ ("kind", Jsonx.String "deadlock") ]
+
+let finding_to_json f =
+  Jsonx.Obj
+    [
+      ("index", Jsonx.Int f.f_index);
+      ("seed", Jsonx.String (Printf.sprintf "0x%Lx" f.f_seed));
+      ("key", Jsonx.String f.f_key);
+      ("finding", kind_to_json f.f_kind);
+      ("exec_seed", Jsonx.String (Printf.sprintf "0x%Lx" f.f_exec_seed));
+      ("shrink_steps", Jsonx.Int f.f_shrink_steps);
+      ("ops_before", Jsonx.Int f.f_ops_before);
+      ("ops_after", Jsonx.Int f.f_ops_after);
+      ("repro", Jsonx.String (program_to_string f.f_repro));
+    ]
+
+let report_to_json r =
+  Jsonx.Obj
+    [
+      ("programs", Jsonx.Int r.r_programs);
+      ("certified", Jsonx.Int r.r_certified);
+      ("cert_rejected", Jsonx.Int r.r_cert_rejected);
+      ("crashes", Jsonx.Int r.r_crashes);
+      ("findings", Jsonx.List (List.map finding_to_json r.r_findings));
+      ("shrink_steps", Jsonx.Int r.r_shrink_steps);
+      ("generated_ops", Jsonx.Int r.r_gen_ops);
+    ]
+
+let pp_finding fmt f =
+  Format.fprintf fmt
+    "@[<v>finding at program %d (seed 0x%Lx)@   key: %s@   shrunk %d -> %d ops in %d \
+     steps; replay exec seed 0x%Lx@   %a@]"
+    f.f_index f.f_seed f.f_key f.f_ops_before f.f_ops_after f.f_shrink_steps
+    f.f_exec_seed pp_program f.f_repro
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>programs:      %d@ certified:     %d@ cert rejected: %d@ crashes:       \
+     %d@ generated ops: %d@ findings:      %d@]"
+    r.r_programs r.r_certified r.r_cert_rejected r.r_crashes r.r_gen_ops
+    (List.length r.r_findings);
+  List.iter (fun f -> Format.fprintf fmt "@ @ %a" pp_finding f) r.r_findings

@@ -88,6 +88,13 @@ let snapshots t =
   |> List.sort (fun a b -> compare b.total_ns a.total_ns)
 
 let snapshot t name = Option.map (snapshot_of name) (Hashtbl.find_opt t.spans name)
+
+let rate t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s when s.s_total_ns > 0 ->
+    float_of_int s.s_count /. (float_of_int s.s_total_ns /. 1e9)
+  | Some _ | None -> nan
+
 let reset t = Hashtbl.reset t.spans
 
 let absorb ~into src =

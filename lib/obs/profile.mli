@@ -41,6 +41,12 @@ type snapshot = {
 val snapshots : t -> snapshot list
 
 val snapshot : t -> string -> snapshot option
+
+(** [rate t name] is spans per second of wall time spent inside [name]
+    (count / total), or [nan] when the span never ran — the
+    throughput readout behind the fuzzer's programs/sec reporting. *)
+val rate : t -> string -> float
+
 val reset : t -> unit
 
 (** [absorb ~into src] folds another profiler's spans into [into]: counts

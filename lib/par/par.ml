@@ -112,7 +112,7 @@ module Merge = struct
     |> List.sort (fun (f1, _, _) (f2, _, _) -> compare (f1 : int) f2)
     |> List.map (fun (_, k, count) -> (k, count))
 
-  let dedup ~key shards =
+  let dedup_indexed ~key shards =
     let acc = Hashtbl.create 32 in
     List.iter
       (List.iter (fun (index, item) ->
@@ -124,7 +124,8 @@ module Merge = struct
       shards;
     Hashtbl.fold (fun _ entry l -> entry :: l) acc []
     |> List.sort (fun (i1, _) (i2, _) -> compare (i1 : int) i2)
-    |> List.map snd
+
+  let dedup ~key shards = List.map snd (dedup_indexed ~key shards)
 
   let first_win bests =
     List.fold_left

@@ -101,6 +101,12 @@ module Merge : sig
       shards. *)
   val dedup : key:('a -> string) -> (int * 'a) list list -> 'a list
 
+  (** {!dedup}, but each survivor keeps the (merged-minimum) global index
+      of its first occurrence — for reports that must name the winning
+      index, e.g. the fuzzer's lowest-index-wins finding protocol. *)
+  val dedup_indexed :
+    key:('a -> string) -> (int * 'a) list list -> (int * 'a) list
+
   (** Lowest-index entry across per-worker bests, or [None]. *)
   val first_win : (int * 'a) option list -> (int * 'a) option
 end

@@ -17,4 +17,5 @@ let () =
       ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
       ("check", Test_check.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
