@@ -30,7 +30,9 @@ let run_profile profile =
   let t0 = Unix.gettimeofday () in
   let report = Fuzz.campaign ~profile:prof (campaign_cfg profile) in
   let wall = Unix.gettimeofday () -. t0 in
-  (report, prof, wall)
+  (* exact GC readout after the timed region (see perfsuite.ml) *)
+  let gc = Gc.stat () in
+  (report, prof, wall, gc)
 
 (* Lowest finding index + 1 = programs the campaign needed to see the
    fault; the shards make this jobs-independent. *)
@@ -52,7 +54,7 @@ let run () =
   let rows =
     List.map
       (fun profile ->
-        let report, prof, wall = run_profile profile in
+        let report, prof, wall, gc = run_profile profile in
         let exec_rate = Profile.rate prof "fuzz_execute" in
         let overall = float_of_int report.Fuzz.r_programs /. wall in
         Printf.printf "%-18s %9.2fs %12.0f %12.0f %10d %10d\n"
@@ -73,6 +75,8 @@ let run () =
               ("cert_rejected", Jsonx.Int report.Fuzz.r_cert_rejected);
               ("crashes", Jsonx.Int report.Fuzz.r_crashes);
               ("generated_ops", Jsonx.Int report.Fuzz.r_gen_ops);
+              ("gc_top_heap_words", Jsonx.Int gc.Gc.top_heap_words);
+              ("gc_live_words", Jsonx.Int gc.Gc.live_words);
             ] ))
       Fuzz.all_profiles
   in

@@ -43,6 +43,8 @@ type row = {
   r_racy : int;
   r_distinct : int;
   r_mean_steps : float;
+  r_top_heap_words : int;  (* GC high-water after the campaign *)
+  r_live_words : int;
 }
 
 let run_workload (w : Registry.t) ~iters =
@@ -52,6 +54,10 @@ let run_workload (w : Registry.t) ~iters =
         Tester.run_parallel ~jobs:!jobs ~config ~iters
           (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale))
   in
+  (* memory high-water next to ops/s: Gc.stat is the expensive exact
+     readout (live_words walks the heap), taken once per campaign after
+     the timed region so it never perturbs the wall numbers *)
+  let gc = Gc.stat () in
   let ops = s.Tester.total_atomic_ops + s.Tester.total_na_ops in
   {
     r_name = w.Registry.name;
@@ -63,6 +69,8 @@ let run_workload (w : Registry.t) ~iters =
     r_racy = s.Tester.race_executions;
     r_distinct = List.length s.Tester.distinct_races;
     r_mean_steps = s.Tester.mean_steps;
+    r_top_heap_words = gc.Gc.top_heap_words;
+    r_live_words = gc.Gc.live_words;
   }
 
 let row_to_json r =
@@ -81,6 +89,8 @@ let row_to_json r =
       ("race_executions", Jsonx.Int r.r_racy);
       ("distinct_races", Jsonx.Int r.r_distinct);
       ("mean_steps", Jsonx.Float r.r_mean_steps);
+      ("gc_top_heap_words", Jsonx.Int r.r_top_heap_words);
+      ("gc_live_words", Jsonx.Int r.r_live_words);
     ]
 
 (* Deterministically ordered litmus histogram: sorted by outcome, not by
@@ -168,6 +178,11 @@ let run () =
   Metrics.set_gauge Bench_util.metrics "perf.total_wall_s" total_wall;
   Metrics.set_gauge Bench_util.metrics "perf.total_ops_per_s"
     (float_of_int total_ops /. total_wall);
+  let gc = Gc.stat () in
+  Printf.printf "memory high-water: %d top-heap words, %d live\n%!"
+    gc.Gc.top_heap_words gc.Gc.live_words;
+  Metrics.set_gauge Bench_util.metrics "perf.gc_top_heap_words"
+    (float_of_int gc.Gc.top_heap_words);
   last_doc :=
     Some
       (Jsonx.Obj
@@ -179,6 +194,8 @@ let run () =
            ("total_ops", Jsonx.Int total_ops);
            ( "total_ops_per_s",
              Jsonx.Float (float_of_int total_ops /. total_wall) );
+           ("gc_top_heap_words", Jsonx.Int gc.Gc.top_heap_words);
+           ("gc_live_words", Jsonx.Int gc.Gc.live_words);
            ("workloads", Jsonx.List (List.map row_to_json rows));
            ("litmus", Jsonx.List (List.map litmus_to_json litmus));
          ])

@@ -6,6 +6,8 @@
      litmus — explore a litmus test's outcome histogram
      fuzz   — generate random programs and differential-test the engine
               against the axiomatic certifier, shrinking any finding
+     report — render coverage/progress/findings NDJSON artifacts as a
+              human-readable campaign summary
      list   — list available workloads and litmus tests
 
    Exit codes (asserted by test/test_exit_codes):
@@ -14,7 +16,8 @@
          rejections (`--certify`), forbidden litmus outcomes or fuzz
          findings
      2 — usage errors (unknown workload/litmus test/pruning policy/fuzz
-         profile/mutant, non-positive --jobs) *)
+         profile/mutant, non-positive --jobs, unwritable --coverage or
+         --progress path, missing or malformed `report' input) *)
 
 open Cmdliner
 
@@ -110,6 +113,34 @@ let certify_arg =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let coverage_arg =
+  let doc =
+    "Fingerprint every execution into a canonical shape signature \
+     (deduplicated rf/mo/sw edge patterns with threads and locations \
+     renamed to first-appearance order) and write the merged coverage \
+     tables as c11cov-v1 NDJSON to $(docv); `-' or the bare flag means \
+     stdout (use the glued `--coverage=FILE' form to name a file).  Also \
+     adds novel-shape counters to the $(b,--json) report.  Coverage is \
+     bit-identical for every $(b,--jobs) value."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "coverage" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Stream live campaign heartbeats (c11progress-v1 NDJSON: executions \
+     done, exec/s, shard-novel coverage count, findings so far, GC \
+     high-water words) to $(docv); `-' or the bare flag means stdout (use \
+     the glued `--progress=FILE' form to name a file).  The stream ends \
+     with one `final' record carrying the exact merged counts."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "progress" ] ~docv:"FILE" ~doc)
+
 let with_out_file path f =
   if path = "-" then f stdout
   else
@@ -118,6 +149,62 @@ let with_out_file path f =
     | exception Sys_error msg ->
       Printf.eprintf "cannot write %s: %s\n" path msg;
       exit 1
+
+(* Coverage/progress sinks are opened before the campaign starts, so an
+   unwritable path is a usage error (exit 2) rather than a failure after
+   minutes of work.  Returns the channel and whether we own (must close)
+   it. *)
+let open_sink = function
+  | "-" -> Ok (stdout, false)
+  | path -> (
+    match open_out path with
+    | oc -> Ok (oc, true)
+    | exception Sys_error msg -> Error msg)
+
+let close_sink = function
+  | None -> ()
+  | Some (oc, owned) -> if owned then close_out oc else flush oc
+
+(* [with_sinks ~coverage ~progress k] opens both optional sinks and calls
+   [k cov_sink progress_handle]; [usage] errors exit 2.  [total] sizes the
+   progress stream's `total' field. *)
+let with_sinks ~coverage ~progress ~total k =
+  let open_opt = function
+    | None -> Ok None
+    | Some path -> (
+      match open_sink path with
+      | Ok s -> Ok (Some s)
+      | Error msg ->
+        Printf.eprintf "cannot write %s: %s\n" path msg;
+        Error ())
+  in
+  match (open_opt coverage, open_opt progress) with
+  | Error (), _ | _, Error () -> 2
+  | Ok cov_sink, Ok prog_sink ->
+    let progress_handle =
+      match prog_sink with
+      | None -> Progress.null
+      | Some (oc, _) ->
+        Progress.create ~out:oc ~interval_ns:250_000_000 ~total
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        close_sink cov_sink;
+        close_sink prog_sink)
+      (fun () -> k cov_sink progress_handle)
+
+let emit_coverage cov_sink = function
+  | None -> ()
+  | Some summary -> (
+    match cov_sink with
+    | None -> ()
+    | Some (oc, _) ->
+      List.iter
+        (fun j ->
+          output_string oc (Jsonx.to_string j);
+          output_char oc '\n')
+        (Cov.summary_to_ndjson summary);
+      flush oc)
 
 let prune_of_string = function
   | "none" -> Ok Pruner.No_prune
@@ -131,7 +218,7 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
   in
   let run workload tool iters seed jobs scale buggy prune verbose trace_depth
-      json trace_out profile_flag certify =
+      json trace_out profile_flag certify coverage progress =
     match Registry.find workload with
     | None ->
       Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
@@ -143,19 +230,25 @@ let run_cmd =
         2
       | Ok prune ->
         validate_jobs jobs @@ fun jobs ->
+        with_sinks ~coverage ~progress ~total:iters
+        @@ fun cov_sink progress_handle ->
         let config =
           {
             (Tool.config ~prune tool) with
             Engine.seed = Int64.of_int seed;
             certify;
+            coverage = coverage <> None;
           }
         in
         let scale = Option.value ~default:w.Registry.default_scale scale in
         let variant = if buggy then Variant.Buggy else Variant.Correct in
         let body = w.Registry.run ~variant ~scale in
-        (* `--json -' owns stdout: the report must stay a single JSON
-           document, so the human-readable output is suppressed. *)
-        let quiet = json = Some "-" in
+        (* any NDJSON stream aimed at `-' owns stdout: the human-readable
+           report would corrupt it, so it is suppressed *)
+        let quiet =
+          json = Some "-" || trace_out = Some "-" || coverage = Some "-"
+          || progress = Some "-"
+        in
         let metrics =
           if json <> None then Metrics.create () else Metrics.null
         in
@@ -170,8 +263,10 @@ let run_cmd =
             scale
             (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
         let summary =
-          Tester.run_parallel ~profile ~metrics ~jobs ~config ~iters body
+          Tester.run_parallel ~profile ~metrics ~progress:progress_handle
+            ~jobs ~config ~iters body
         in
+        emit_coverage cov_sink summary.Tester.coverage;
         if not quiet then
           Format.printf "%a@." Tester.pp_summary summary;
         if verbose && not quiet then
@@ -234,7 +329,8 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
       $ scale_arg $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg $ json_arg
-      $ trace_out_arg $ profile_arg $ certify_arg)
+      $ trace_out_arg $ profile_arg $ certify_arg $ coverage_arg
+      $ progress_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a workload repeatedly and report bugs") term
 
@@ -243,34 +339,49 @@ let litmus_cmd =
     let doc = "Litmus test name (see `c11test list')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LITMUS" ~doc)
   in
-  let run name tool iters seed jobs certify =
+  let run name tool iters seed jobs certify coverage progress =
     match Litmus.find name with
     | None ->
       Printf.eprintf "unknown litmus test %S; try `c11test list'\n" name;
       2
     | Some t ->
       validate_jobs jobs @@ fun jobs ->
+      with_sinks ~coverage ~progress ~total:iters
+      @@ fun cov_sink progress_handle ->
       let config =
-        { (Tool.config tool) with Engine.seed = Int64.of_int seed; certify }
+        {
+          (Tool.config tool) with
+          Engine.seed = Int64.of_int seed;
+          certify;
+          coverage = coverage <> None;
+        }
       in
-      Printf.printf "%s under %s, %d executions%s\n%s\n\n" t.Litmus.name
-        (Tool.name tool) iters
-        (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "")
-        t.Litmus.description;
-      let summary, hist = Litmus.explore_summary ~jobs ~config ~iters t in
-      List.iter
-        (fun (o, n) ->
-          Format.printf "%6d  %a%s%s@." n (Litmus.pp_outcome t) o
-            (if t.Litmus.weak o then "   <- weak outcome" else "")
-            (if t.Litmus.allowed o then "" else "   ** FORBIDDEN **"))
-        hist;
-      if certify then begin
-        Format.printf "certified: %d, rejected: %d@."
-          summary.Tester.certified_executions
-          summary.Tester.cert_rejected_executions;
+      let quiet = coverage = Some "-" || progress = Some "-" in
+      if not quiet then
+        Printf.printf "%s under %s, %d executions%s\n%s\n\n" t.Litmus.name
+          (Tool.name tool) iters
+          (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "")
+          t.Litmus.description;
+      let summary, hist =
+        Litmus.explore_summary ~progress:progress_handle ~jobs ~config ~iters
+          t
+      in
+      emit_coverage cov_sink summary.Tester.coverage;
+      if not quiet then begin
         List.iter
-          (fun v -> Format.printf "  %a@." Check.pp_violation v)
-          summary.Tester.distinct_cert_violations
+          (fun (o, n) ->
+            Format.printf "%6d  %a%s%s@." n (Litmus.pp_outcome t) o
+              (if t.Litmus.weak o then "   <- weak outcome" else "")
+              (if t.Litmus.allowed o then "" else "   ** FORBIDDEN **"))
+          hist;
+        if certify then begin
+          Format.printf "certified: %d, rejected: %d@."
+            summary.Tester.certified_executions
+            summary.Tester.cert_rejected_executions;
+          List.iter
+            (fun v -> Format.printf "  %a@." Check.pp_violation v)
+            summary.Tester.distinct_cert_violations
+        end
       end;
       let forbidden =
         List.exists (fun (o, _) -> not (t.Litmus.allowed o)) hist
@@ -280,7 +391,7 @@ let litmus_cmd =
   let term =
     Term.(
       const run $ name_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
-      $ certify_arg)
+      $ certify_arg $ coverage_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Explore the outcome histogram of a litmus test")
@@ -327,7 +438,7 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"MUTANT" ~doc)
   in
   let run programs ops threads profile_name certify_every seed jobs findings
-      json mutant_name =
+      json mutant_name coverage progress =
     match Fuzz.profile_of_string profile_name with
     | None ->
       Printf.eprintf
@@ -360,6 +471,8 @@ let fuzz_cmd =
           2
         end
         else begin
+          with_sinks ~coverage ~progress ~total:programs
+          @@ fun cov_sink progress_handle ->
           let cfg =
             {
               Fuzz.default_campaign_cfg with
@@ -377,7 +490,10 @@ let fuzz_cmd =
               c_mutation = mutation;
             }
           in
-          let quiet = json = Some "-" || findings = Some "-" in
+          let quiet =
+            json = Some "-" || findings = Some "-" || coverage = Some "-"
+            || progress = Some "-"
+          in
           let metrics = if json <> None then Metrics.create () else Metrics.null in
           let profiler = Profile.create () in
           if not quiet then
@@ -392,7 +508,11 @@ let fuzz_cmd =
               | None -> ""
               | Some m -> ", mutant " ^ Execution.mutation_name m)
               (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "");
-          let report = Fuzz.campaign ~profile:profiler ~metrics cfg in
+          let report =
+            Fuzz.campaign ~profile:profiler ~metrics
+              ~coverage:(coverage <> None) ~progress:progress_handle cfg
+          in
+          emit_coverage cov_sink report.Fuzz.r_coverage;
           if not quiet then begin
             Format.printf "%a@." Fuzz.pp_report report;
             let rate = Profile.rate profiler "fuzz_execute" in
@@ -440,7 +560,7 @@ let fuzz_cmd =
     Term.(
       const run $ programs_arg $ ops_arg $ threads_arg $ fuzz_profile_arg
       $ certify_every_arg $ seed_arg $ jobs_arg $ findings_arg $ json_arg
-      $ mutant_arg)
+      $ mutant_arg $ coverage_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -448,6 +568,200 @@ let fuzz_cmd =
          "Differential-test the engine against the axiomatic certifier on \
           random programs")
     term
+
+(* ------------------------------------------------------------------ *)
+(* `c11test report' — read the NDJSON artifacts a campaign wrote
+   (coverage, progress heartbeats, findings) back into one table. *)
+
+let report_cmd =
+  let files_arg =
+    let doc =
+      "NDJSON artifact(s) to render: c11cov-v1 coverage, c11progress-v1 \
+       heartbeats and c11fuzz-finding-v1 findings, in any mix and order; \
+       `-' means stdin.  Missing files and malformed lines are usage \
+       errors (exit 2)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let read_lines path =
+    let read_channel ic =
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then lines := line :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines
+    in
+    if path = "-" then Ok (read_channel stdin)
+    else
+      match open_in path with
+      | ic ->
+        Ok
+          (Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> read_channel ic))
+      | exception Sys_error msg -> Error msg
+  in
+  let schema_of j =
+    match Option.bind (Jsonx.member "schema" j) Jsonx.to_str with
+    | Some s -> Ok s
+    | None -> Error "record has no \"schema\" member"
+  in
+  let pp_int_row label n = Printf.printf "  %-22s %d\n" label n in
+  let run files =
+    let fail path msg =
+      Printf.eprintf "report: %s: %s\n" path msg;
+      2
+    in
+    (* parse every line of every file first: a malformed artifact is
+       rejected whole (exit 2) rather than half-rendered *)
+    let rec load acc = function
+      | [] -> Ok (List.rev acc)
+      | path :: rest -> (
+        match read_lines path with
+        | Error msg -> Error (path, msg)
+        | Ok lines -> (
+          let rec parse_all n acc' = function
+            | [] -> Ok acc'
+            | line :: more -> (
+              match Jsonx.parse line with
+              | Error e -> Error (path, Printf.sprintf "line %d: %s" n e)
+              | Ok j -> (
+                match schema_of j with
+                | Error e -> Error (path, Printf.sprintf "line %d: %s" n e)
+                | Ok schema -> parse_all (n + 1) ((schema, j) :: acc') more))
+          in
+          match parse_all 1 [] lines with
+          | Error (p, e) -> Error (p, e)
+          | Ok docs -> load (List.rev_append docs acc) rest))
+    in
+    match load [] files with
+    | Error (path, msg) -> fail path msg
+    | Ok docs -> (
+      let of_schema s = List.filter_map
+          (fun (sch, j) -> if sch = s then Some j else None) docs
+      in
+      let cov_docs = of_schema "c11cov-v1" in
+      let progress_docs = of_schema "c11progress-v1" in
+      let finding_docs = of_schema "c11fuzz-finding-v1" in
+      let known = List.length cov_docs + List.length progress_docs
+                  + List.length finding_docs in
+      if known < List.length docs then begin
+        let unknown =
+          List.find_map
+            (fun (sch, _) ->
+              if sch <> "c11cov-v1" && sch <> "c11progress-v1"
+                 && sch <> "c11fuzz-finding-v1" then Some sch else None)
+            docs
+        in
+        fail "input"
+          (Printf.sprintf "unknown schema %S"
+             (Option.value ~default:"?" unknown))
+      end
+      else begin
+        let bad = ref None in
+        (* coverage *)
+        (match cov_docs with
+        | [] -> ()
+        | docs -> (
+          match Cov.summary_of_ndjson docs with
+          | Error e -> bad := Some ("coverage", e)
+          | Ok c ->
+            print_endline "coverage (c11cov-v1):";
+            pp_int_row "executions" c.Cov.s_executions;
+            pp_int_row "trace events" c.Cov.s_events;
+            pp_int_row "distinct shapes" (Cov.distinct_shapes c);
+            pp_int_row "distinct race sites" (List.length c.Cov.s_races);
+            pp_int_row "distinct violations" (List.length c.Cov.s_violations);
+            if c.Cov.s_mo <> [] then begin
+              print_string "  memory orders:        ";
+              List.iter
+                (fun (k, n) -> Printf.printf "%s=%d " k n)
+                c.Cov.s_mo;
+              print_newline ()
+            end;
+            let top = List.filteri (fun i _ -> i < 5) c.Cov.s_shapes in
+            if top <> [] then begin
+              print_endline "  top shapes (key, count, first seen):";
+              List.iter
+                (fun e ->
+                  Printf.printf "    %s  %6d  @%d\n" e.Cov.e_key e.Cov.e_count
+                    e.Cov.e_first)
+                top
+            end));
+        (* progress *)
+        (match progress_docs with
+        | [] -> ()
+        | docs ->
+          let int_of j k =
+            Option.bind (Jsonx.member k j) Jsonx.to_int
+          in
+          let float_of j k =
+            Option.bind (Jsonx.member k j) Jsonx.to_float
+          in
+          let high_water =
+            List.fold_left
+              (fun acc j ->
+                max acc (Option.value ~default:0 (int_of j "gc_top_heap_words")))
+              0 docs
+          in
+          let final =
+            List.find_opt
+              (fun j ->
+                Option.bind (Jsonx.member "kind" j) Jsonx.to_str
+                = Some "final")
+              docs
+          in
+          print_endline "progress (c11progress-v1):";
+          pp_int_row "heartbeats" (List.length docs);
+          (match final with
+          | None -> print_endline "  (no final record)"
+          | Some j ->
+            (match int_of j "done" with
+            | Some d -> pp_int_row "executions done" d
+            | None -> ());
+            (match int_of j "novel" with
+            | Some n -> pp_int_row "novel shapes" n
+            | None -> ());
+            (match int_of j "findings" with
+            | Some n -> pp_int_row "findings" n
+            | None -> ());
+            (match float_of j "exec_per_s" with
+            | Some r -> Printf.printf "  %-22s %.0f\n" "exec/s" r
+            | None -> ()));
+          pp_int_row "gc high-water words" high_water);
+        (* findings *)
+        (match finding_docs with
+        | [] -> ()
+        | docs ->
+          Printf.printf "findings (c11fuzz-finding-v1): %d\n"
+            (List.length docs);
+          List.iter
+            (fun j ->
+              let str k =
+                Option.value ~default:"?"
+                  (Option.bind (Jsonx.member k j) Jsonx.to_str)
+              in
+              let int k =
+                Option.value ~default:(-1)
+                  (Option.bind (Jsonx.member k j) Jsonx.to_int)
+              in
+              Printf.printf "  program %d  %s  (%d -> %d ops)\n" (int "index")
+                (str "key") (int "ops_before") (int "ops_after"))
+            docs);
+        match !bad with
+        | Some (what, e) -> fail what e
+        | None -> 0
+      end)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render coverage / progress / findings NDJSON artifacts as a \
+          campaign summary")
+    Term.(const run $ files_arg)
 
 let list_cmd =
   let run () =
@@ -470,4 +784,6 @@ let list_cmd =
 let () =
   let doc = "C11Tester reproduction: a race detector for C/C++ atomics" in
   let info = Cmd.info "c11test" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; litmus_cmd; fuzz_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; litmus_cmd; fuzz_cmd; report_cmd; list_cmd ]))

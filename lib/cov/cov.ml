@@ -1,0 +1,390 @@
+(* C11cov — see cov.mli for the contract.
+
+   Everything here is deterministic and wall-clock-free: a signature is a
+   pure function of the event array, an accumulator of the observations
+   fed to it, and the merge of its shards (first-occurrence indices make
+   the sharded order reconstructible). *)
+
+type ev = {
+  ev_tid : int;
+  ev_kind : Action.kind;
+  ev_loc : int;
+  ev_mo : Memorder.t;
+  ev_rf : int option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalisation.
+
+   Threads and locations are renamed to their first-appearance index in
+   the event array (then, for threads, the sync-edge list).  A pure
+   relabeling changes neither event order nor edge structure, so the
+   canonical indices — and therefore the signature — are invariant; this
+   is the property test/test_cov.ml checks. *)
+
+type renaming = { table : (int, int) Hashtbl.t; mutable next : int }
+
+let renaming () = { table = Hashtbl.create 16; next = 0 }
+
+let canon r x =
+  match Hashtbl.find_opt r.table x with
+  | Some c -> c
+  | None ->
+    let c = r.next in
+    r.next <- c + 1;
+    Hashtbl.replace r.table x c;
+    c
+
+let mo_tag = Memorder.to_string
+
+let is_write_kind = function
+  | Action.Store | Action.Rmw | Action.Na_store -> true
+  | Action.Load | Action.Fence -> false
+
+let edges evs ~sync =
+  let tids = renaming () and locs = renaming () in
+  Array.iter
+    (fun e ->
+      ignore (canon tids e.ev_tid);
+      if e.ev_loc >= 0 then ignore (canon locs e.ev_loc))
+    evs;
+  List.iter
+    (fun (a, b) ->
+      ignore (canon tids a);
+      ignore (canon tids b))
+    sync;
+  let out = ref [] in
+  let add s = out := s :: !out in
+  (* rf (and its release/acquire subset, the rf-induced sw edges) *)
+  Array.iter
+    (fun e ->
+      match e.ev_rf with
+      | None -> ()
+      | Some j ->
+        let w = evs.(j) in
+        let ct_w = canon tids w.ev_tid and ct_r = canon tids e.ev_tid in
+        let cl = canon locs e.ev_loc in
+        add
+          (Printf.sprintf "rf:t%d>t%d@l%d:%s>%s" ct_w ct_r cl (mo_tag w.ev_mo)
+             (mo_tag e.ev_mo));
+        if Memorder.is_release w.ev_mo && Memorder.is_acquire e.ev_mo then
+          add (Printf.sprintf "sw:t%d>t%d@l%d" ct_w ct_r cl))
+    evs;
+  (* mo: per-location adjacent write pairs in commit (event) order *)
+  let last_writer = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      if e.ev_loc >= 0 && is_write_kind e.ev_kind then begin
+        let cl = canon locs e.ev_loc in
+        let ct = canon tids e.ev_tid in
+        (match Hashtbl.find_opt last_writer cl with
+        | Some prev -> add (Printf.sprintf "mo:t%d>t%d@l%d" prev ct cl)
+        | None -> ());
+        Hashtbl.replace last_writer cl ct
+      end)
+    evs;
+  (* recorded synchronisation edges (spawn / join / mutex hand-off) *)
+  List.iter
+    (fun (a, b) ->
+      add (Printf.sprintf "st:t%d>t%d" (canon tids a) (canon tids b)))
+    sync;
+  List.sort_uniq String.compare !out
+
+let signature evs ~sync = String.concat ";" (edges evs ~sync)
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+type shape = {
+  sg_digest : string;
+  sg_edges : int;
+  sg_events : int;
+  sg_mo : (string * int) list;
+}
+
+let shape_of_execution exec =
+  let trace = Array.of_list (Execution.cert_trace exec) in
+  let idx_of_seq = Hashtbl.create (Array.length trace) in
+  Array.iteri
+    (fun i (a : Action.t) -> Hashtbl.replace idx_of_seq a.Action.seq i)
+    trace;
+  let evs =
+    Array.map
+      (fun (a : Action.t) ->
+        {
+          ev_tid = a.Action.tid;
+          ev_kind = a.Action.kind;
+          ev_loc = a.Action.loc;
+          ev_mo = a.Action.mo;
+          ev_rf =
+            (match a.Action.rf with
+            | None -> None
+            | Some w -> Hashtbl.find_opt idx_of_seq w.Action.seq);
+        })
+      trace
+  in
+  let sync =
+    List.map
+      (fun (se : Execution.sync_edge) ->
+        (se.Execution.se_from_tid, se.Execution.se_to_tid))
+      (Execution.cert_sync_edges exec)
+  in
+  let es = edges evs ~sync in
+  let mo = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      match e.ev_kind with
+      | Action.Load | Action.Store | Action.Rmw | Action.Fence ->
+        let k = mo_tag e.ev_mo in
+        Hashtbl.replace mo k (1 + Option.value ~default:0 (Hashtbl.find_opt mo k))
+      | Action.Na_store -> ())
+    evs;
+  {
+    sg_digest = digest_hex (String.concat ";" es);
+    sg_edges = List.length es;
+    sg_events = Array.length evs;
+    sg_mo =
+      Hashtbl.fold (fun k v l -> (k, v) :: l) mo []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accumulation *)
+
+type acc = {
+  mutable a_execs : int;
+  mutable a_events : int;
+  a_shapes : (string, int * int) Hashtbl.t;  (* key -> count, first index *)
+  a_races : (string, int * int) Hashtbl.t;
+  a_violations : (string, int * int) Hashtbl.t;
+  a_mo : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    a_execs = 0;
+    a_events = 0;
+    a_shapes = Hashtbl.create 32;
+    a_races = Hashtbl.create 8;
+    a_violations = Hashtbl.create 8;
+    a_mo = Hashtbl.create 8;
+  }
+
+let observe_key table ~index key =
+  match Hashtbl.find_opt table key with
+  | Some (count, first) ->
+    Hashtbl.replace table key (count + 1, min first index);
+    false
+  | None ->
+    Hashtbl.replace table key (1, index);
+    true
+
+let observe acc ~index shape =
+  acc.a_execs <- acc.a_execs + 1;
+  acc.a_events <- acc.a_events + shape.sg_events;
+  List.iter
+    (fun (k, n) ->
+      Hashtbl.replace acc.a_mo k
+        (n + Option.value ~default:0 (Hashtbl.find_opt acc.a_mo k)))
+    shape.sg_mo;
+  observe_key acc.a_shapes ~index shape.sg_digest
+
+let observe_race acc ~index key = observe_key acc.a_races ~index key
+let observe_violation acc ~index key = observe_key acc.a_violations ~index key
+
+type shard = {
+  d_execs : int;
+  d_events : int;
+  d_shapes : (string * int * int) list;
+  d_races : (string * int * int) list;
+  d_violations : (string * int * int) list;
+  d_mo : (string * int) list;
+}
+
+let table_entries t =
+  Hashtbl.fold (fun k (count, first) l -> (k, count, first) :: l) t []
+
+let shard acc =
+  {
+    d_execs = acc.a_execs;
+    d_events = acc.a_events;
+    d_shapes = table_entries acc.a_shapes;
+    d_races = table_entries acc.a_races;
+    d_violations = table_entries acc.a_violations;
+    d_mo = Hashtbl.fold (fun k v l -> (k, v) :: l) acc.a_mo [];
+  }
+
+type entry = { e_key : string; e_count : int; e_first : int }
+
+type summary = {
+  s_executions : int;
+  s_events : int;
+  s_shapes : entry list;
+  s_races : entry list;
+  s_violations : entry list;
+  s_mo : (string * int) list;
+}
+
+let merge_table proj shards =
+  Par.Merge.histogram_indexed (List.map proj shards)
+  |> List.map (fun (k, count, first) ->
+         { e_key = k; e_count = count; e_first = first })
+
+let merge shards =
+  let mo = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (k, n) ->
+          Hashtbl.replace mo k (n + Option.value ~default:0 (Hashtbl.find_opt mo k)))
+        s.d_mo)
+    shards;
+  {
+    s_executions = List.fold_left (fun acc s -> acc + s.d_execs) 0 shards;
+    s_events = List.fold_left (fun acc s -> acc + s.d_events) 0 shards;
+    s_shapes = merge_table (fun s -> s.d_shapes) shards;
+    s_races = merge_table (fun s -> s.d_races) shards;
+    s_violations = merge_table (fun s -> s.d_violations) shards;
+    s_mo =
+      Hashtbl.fold (fun k v l -> (k, v) :: l) mo []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+let distinct_shapes s = List.length s.s_shapes
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation *)
+
+let entries_to_json entries =
+  Jsonx.List
+    (List.map
+       (fun e ->
+         Jsonx.Obj
+           [
+             ("key", Jsonx.String e.e_key);
+             ("count", Jsonx.Int e.e_count);
+             ("first", Jsonx.Int e.e_first);
+           ])
+       entries)
+
+let summary_to_json s =
+  Jsonx.Obj
+    [
+      ("executions", Jsonx.Int s.s_executions);
+      ("events", Jsonx.Int s.s_events);
+      ("distinct_shapes", Jsonx.Int (List.length s.s_shapes));
+      ("distinct_race_sites", Jsonx.Int (List.length s.s_races));
+      ("distinct_violations", Jsonx.Int (List.length s.s_violations));
+      ("shapes", entries_to_json s.s_shapes);
+      ("race_sites", entries_to_json s.s_races);
+      ("violations", entries_to_json s.s_violations);
+      ( "mo_histogram",
+        Jsonx.Obj (List.map (fun (k, n) -> (k, Jsonx.Int n)) s.s_mo) );
+    ]
+
+let schema = "c11cov-v1"
+
+let record kind fields =
+  Jsonx.Obj
+    (("schema", Jsonx.String schema) :: ("kind", Jsonx.String kind) :: fields)
+
+let entry_records kind entries =
+  List.map
+    (fun e ->
+      record kind
+        [
+          ("key", Jsonx.String e.e_key);
+          ("count", Jsonx.Int e.e_count);
+          ("first", Jsonx.Int e.e_first);
+        ])
+    entries
+
+let summary_to_ndjson s =
+  record "campaign"
+    [
+      ("executions", Jsonx.Int s.s_executions);
+      ("events", Jsonx.Int s.s_events);
+      ("distinct_shapes", Jsonx.Int (List.length s.s_shapes));
+      ("distinct_race_sites", Jsonx.Int (List.length s.s_races));
+      ("distinct_violations", Jsonx.Int (List.length s.s_violations));
+    ]
+  :: entry_records "shape" s.s_shapes
+  @ entry_records "race_site" s.s_races
+  @ entry_records "violation" s.s_violations
+  @ List.map
+      (fun (k, n) ->
+        record "mo" [ ("order", Jsonx.String k); ("count", Jsonx.Int n) ])
+      s.s_mo
+
+let summary_of_ndjson docs =
+  let ( let* ) = Result.bind in
+  let int_field j k =
+    match Option.bind (Jsonx.member k j) Jsonx.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "missing integer field %S" k)
+  in
+  let str_field j k =
+    match Option.bind (Jsonx.member k j) Jsonx.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" k)
+  in
+  let entry_of j =
+    let* key = str_field j "key" in
+    let* count = int_field j "count" in
+    let* first = int_field j "first" in
+    Ok { e_key = key; e_count = count; e_first = first }
+  in
+  let rec go docs campaign shapes races violations mo =
+    match docs with
+    | [] -> (
+      match campaign with
+      | None -> Error "no c11cov-v1 campaign record"
+      | Some (executions, events) ->
+        let order l = List.sort (fun a b -> compare a.e_first b.e_first) l in
+        Ok
+          {
+            s_executions = executions;
+            s_events = events;
+            s_shapes = order (List.rev shapes);
+            s_races = order (List.rev races);
+            s_violations = order (List.rev violations);
+            s_mo = List.sort (fun (a, _) (b, _) -> String.compare a b) mo;
+          })
+    | j :: rest -> (
+      let* sch = str_field j "schema" in
+      if sch <> schema then
+        Error (Printf.sprintf "unexpected schema %S (want %s)" sch schema)
+      else
+        let* kind = str_field j "kind" in
+        match kind with
+        | "campaign" ->
+          if campaign <> None then Error "duplicate campaign record"
+          else
+            let* executions = int_field j "executions" in
+            let* events = int_field j "events" in
+            go rest (Some (executions, events)) shapes races violations mo
+        | "shape" ->
+          let* e = entry_of j in
+          go rest campaign (e :: shapes) races violations mo
+        | "race_site" ->
+          let* e = entry_of j in
+          go rest campaign shapes (e :: races) violations mo
+        | "violation" ->
+          let* e = entry_of j in
+          go rest campaign shapes races (e :: violations) mo
+        | "mo" ->
+          let* order = str_field j "order" in
+          let* count = int_field j "count" in
+          go rest campaign shapes races violations ((order, count) :: mo)
+        | k -> Error (Printf.sprintf "unknown record kind %S" k))
+  in
+  go docs None [] [] [] []
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>coverage: %d distinct shapes over %d executions (%d trace events)@ \
+     race sites: %d, violation keys: %d@]"
+    (List.length s.s_shapes) s.s_executions s.s_events (List.length s.s_races)
+    (List.length s.s_violations);
+  if s.s_mo <> [] then begin
+    Format.fprintf fmt "@ memory orders:";
+    List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) s.s_mo
+  end

@@ -1,0 +1,90 @@
+type state = {
+  out : out_channel;
+  interval_ns : int;
+  total : int;
+  started_ns : int;
+  done_ : int Atomic.t;
+  novel : int Atomic.t;
+  findings : int Atomic.t;
+  next_due_ns : int Atomic.t;
+  finished : bool Atomic.t;
+  emit_lock : Mutex.t;
+}
+
+type t = state option
+
+let null = None
+let enabled t = t <> None
+
+let create ~out ~interval_ns ~total =
+  let now = Profile.now_ns () in
+  Some
+    {
+      out;
+      interval_ns;
+      total;
+      started_ns = now;
+      done_ = Atomic.make 0;
+      novel = Atomic.make 0;
+      findings = Atomic.make 0;
+      next_due_ns = Atomic.make (now + interval_ns);
+      finished = Atomic.make false;
+      emit_lock = Mutex.create ();
+    }
+
+let schema = "c11progress-v1"
+
+let record s kind ~done_ ~novel ~findings ~now =
+  let elapsed_ns = max 1 (now - s.started_ns) in
+  let elapsed_s = float_of_int elapsed_ns /. 1e9 in
+  let q = Gc.quick_stat () in
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String schema);
+      ("kind", Jsonx.String kind);
+      ("done", Jsonx.Int done_);
+      ("total", Jsonx.Int s.total);
+      ("novel", Jsonx.Int novel);
+      ("findings", Jsonx.Int findings);
+      ("elapsed_s", Jsonx.Float elapsed_s);
+      ("exec_per_s", Jsonx.Float (float_of_int done_ /. elapsed_s));
+      ("gc_top_heap_words", Jsonx.Int q.Gc.top_heap_words);
+      ("gc_heap_words", Jsonx.Int q.Gc.heap_words);
+    ]
+
+let emit s kind ~now =
+  Mutex.lock s.emit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.emit_lock)
+    (fun () ->
+      let j =
+        record s kind ~done_:(Atomic.get s.done_) ~novel:(Atomic.get s.novel)
+          ~findings:(Atomic.get s.findings) ~now
+      in
+      output_string s.out (Jsonx.to_string j);
+      output_char s.out '\n';
+      flush s.out)
+
+let tick t ~novel ~finding =
+  match t with
+  | None -> ()
+  | Some s ->
+    Atomic.incr s.done_;
+    if novel then Atomic.incr s.novel;
+    if finding then Atomic.incr s.findings;
+    let due = Atomic.get s.next_due_ns in
+    let now = Profile.now_ns () in
+    if
+      now >= due
+      && Atomic.compare_and_set s.next_due_ns due (now + s.interval_ns)
+    then emit s "heartbeat" ~now
+
+let finish ?novel ?findings t =
+  match t with
+  | None -> ()
+  | Some s ->
+    if Atomic.compare_and_set s.finished false true then begin
+      (match novel with Some n -> Atomic.set s.novel n | None -> ());
+      (match findings with Some n -> Atomic.set s.findings n | None -> ());
+      emit s "final" ~now:(Profile.now_ns ())
+    end

@@ -1,0 +1,35 @@
+(** Live campaign progress streaming — the [c11progress-v1] NDJSON
+    heartbeat wire format behind [--progress[=FILE|-]] (and, per ROADMAP
+    item 5, what [c11test serve] will eventually speak).
+
+    One {!t} serves a whole campaign: workers bump atomic counters from
+    their domains; a heartbeat record is emitted (under a mutex, so lines
+    never interleave) whenever a bump notices the emission interval has
+    elapsed.  Heartbeats carry wall-clock-dependent fields (elapsed
+    seconds, exec/s, GC words) and shard-local novelty overapproximations,
+    so they are {e not} part of the deterministic surface; the one [final]
+    record is, once those wall fields are stripped — parity tests compare
+    exactly that. *)
+
+type t
+
+(** [create ~out ~interval_ns ~total] streams heartbeats to [out] at
+    most every [interval_ns] (monotonic).  [total] is the planned number
+    of executions, [-1] when open-ended. *)
+val create : out:out_channel -> interval_ns:int -> total:int -> t
+
+(** Disabled singleton: every operation is a no-op.  [enabled] is the
+    cached boolean the instrumentation sites guard on. *)
+val null : t
+
+val enabled : t -> bool
+
+(** Record one finished execution; [novel] when it produced a
+    shard-novel coverage shape, [finding] when it surfaced a deduplicated
+    finding.  Emits a heartbeat when due.  Safe from any domain. *)
+val tick : t -> novel:bool -> finding:bool -> unit
+
+(** Emit the [final] record.  When the campaign's merged summary is
+    known, [?novel] / [?findings] override the shard-local sums with the
+    exact merged counts.  Idempotent: only the first call emits. *)
+val finish : ?novel:int -> ?findings:int -> t -> unit

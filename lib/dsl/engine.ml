@@ -12,6 +12,7 @@ type config = {
   trace_depth : int;
   certify : bool;
   mutation : Execution.mutation option;
+  coverage : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     trace_depth = 0;
     certify = false;
     mutation = None;
+    coverage = false;
   }
 
 type outcome = {
@@ -43,6 +45,8 @@ type outcome = {
   trace : string list;
   certificate : Check.verdict option;
       (** [Some _] iff the execution ran with [config.certify] *)
+  shape : Cov.shape option;
+      (** [Some _] iff the execution ran with [config.coverage] *)
 }
 
 let buggy o =
@@ -515,7 +519,8 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
   let rng = Rng.create config.seed in
   let race = Race.create ~obs ~metrics () in
   let exec =
-    Execution.create ~obs ~prof:profile ~metrics ~certify:config.certify
+    Execution.create ~obs ~prof:profile ~metrics
+      ~certify:(config.certify || config.coverage)
       ?mutation:config.mutation ~mode:config.mode ~rng ~race ()
   in
   Execution.set_trace_capacity exec config.trace_depth;
@@ -606,6 +611,15 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
     end
     else None
   in
+  let shape =
+    if config.coverage then begin
+      let p_cov = Profile.start profile in
+      let sg = Cov.shape_of_execution exec in
+      Profile.stop profile "coverage" p_cov;
+      Some sg
+    end
+    else None
+  in
   if metrics_on then begin
     Metrics.incr metrics "engine.executions";
     Metrics.incr metrics ~by:st.steps "engine.steps";
@@ -633,6 +647,7 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
     trace =
       List.map (Format.asprintf "%a" Action.pp) (Execution.trace exec);
     certificate;
+    shape;
   }
 
 let pp_outcome fmt o =

@@ -33,6 +33,10 @@ type config = {
       (** test-only seeded engine fault ({!Execution.mutation}), used to
           prove the oracle pipeline detects real engine bugs; [None] (the
           default) is the correct engine *)
+  coverage : bool;
+      (** record the certifier-grade trace and fingerprint the finished
+          execution into a canonical {!Cov.shape} (returned in the
+          outcome); off (zero-cost) by default *)
 }
 
 val default_config : config
@@ -54,6 +58,8 @@ type outcome = {
       (** the last [trace_depth] memory actions, oldest first, formatted *)
   certificate : Check.verdict option;
       (** the axiomatic certifier's verdict; [Some _] iff [config.certify] *)
+  shape : Cov.shape option;
+      (** canonical coverage fingerprint; [Some _] iff [config.coverage] *)
 }
 
 (** Did the execution expose a bug (a data race, an assertion failure, or

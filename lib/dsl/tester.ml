@@ -13,6 +13,7 @@ type summary = {
   total_na_ops : int;
   max_graph_size : int;
   mean_steps : float;
+  coverage : Cov.summary option;
 }
 
 let detection_rate s =
@@ -41,9 +42,13 @@ type 'a shard = {
          same first-occurrence discipline as [sh_races] *)
   sh_hist : ('a * int * int) list;
       (* (observation, count, first global index), unordered *)
+  sh_cov : Cov.shard option;
+      (* shard-local coverage accumulation; [Some _] iff the campaign ran
+         with [config.coverage] *)
 }
 
-let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
+let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
+    ~total ~jobs ~worker f =
   let seen = Hashtbl.create 16 in
   let races = ref [] in
   let seen_violations = Hashtbl.create 16 in
@@ -62,6 +67,10 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
   and steps = ref 0
   and executions = ref 0 in
   let observation = ref None in
+  let cov =
+    if config.Engine.coverage then Some (Cov.create ()) else None
+  in
+  let progress_on = Progress.enabled progress in
   let i = ref worker in
   while !i < total do
     let index = !i in
@@ -80,11 +89,16 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
     if o.Engine.max_graph_size > !max_graph then
       max_graph := o.Engine.max_graph_size;
     steps := !steps + o.Engine.steps;
+    let new_finding = ref false in
     List.iter
       (fun r ->
         let key = Race.dedup_key r in
+        (match cov with
+        | Some acc -> ignore (Cov.observe_race acc ~index key)
+        | None -> ());
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.add seen key ();
+          new_finding := true;
           races := (index, r) :: !races
         end)
       o.Engine.races;
@@ -92,11 +106,16 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
     | Some (Check.Certified _) -> incr certified
     | Some (Check.Rejected vs) ->
       incr cert_rejected;
+      (match cov with
+      | Some acc ->
+        ignore (Cov.observe_violation acc ~index (Check.rejection_key vs))
+      | None -> ());
       List.iter
         (fun v ->
           let key = Check.violation_key v in
           if not (Hashtbl.mem seen_violations key) then begin
             Hashtbl.add seen_violations key ();
+            new_finding := true;
             violations := (index, v) :: !violations
           end)
         vs
@@ -107,6 +126,12 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
       | Some (count, first) -> Hashtbl.replace histogram obs (count + 1, first)
       | None -> Hashtbl.replace histogram obs (1, index))
     | None -> ());
+    let novel =
+      match (cov, o.Engine.shape) with
+      | Some acc, Some sg -> Cov.observe acc ~index sg
+      | _ -> false
+    in
+    if progress_on then Progress.tick progress ~novel ~finding:!new_finding;
     i := !i + jobs
   done;
   {
@@ -130,6 +155,7 @@ let run_shard ~obs ~profile ~metrics ~config ~total ~jobs ~worker f =
     sh_hist =
       Hashtbl.fold (fun k (count, first) l -> (k, count, first) :: l) histogram
         [];
+    sh_cov = Option.map Cov.shard cov;
   }
 
 let summary_of_counters (c : Par.Merge.counters) distinct distinct_violations =
@@ -151,6 +177,7 @@ let summary_of_counters (c : Par.Merge.counters) distinct distinct_violations =
       (if c.Par.Merge.executions = 0 then 0.0
        else
          float_of_int c.Par.Merge.steps /. float_of_int c.Par.Merge.executions);
+    coverage = None;
   }
 
 let merge_shards shards =
@@ -167,21 +194,43 @@ let merge_shards shards =
       (List.map (fun s -> s.sh_violations) shards)
   in
   let hist = Par.Merge.histogram (List.map (fun s -> s.sh_hist) shards) in
-  (summary_of_counters counters distinct distinct_violations, hist)
+  let coverage =
+    match List.filter_map (fun s -> s.sh_cov) shards with
+    | [] -> None
+    | cov_shards -> Some (Cov.merge cov_shards)
+  in
+  ( { (summary_of_counters counters distinct distinct_violations) with coverage },
+    hist )
 
 (* ------------------------------------------------------------------ *)
 (* Sequential runners: one shard covering every index. *)
 
+(* The final progress record carries the campaign's exact merged novelty
+   counts (heartbeats only ever saw shard-local overapproximations). *)
+let finish_progress progress summary =
+  if Progress.enabled progress then
+    Progress.finish
+      ?novel:(Option.map Cov.distinct_shapes summary.coverage)
+      ~findings:
+        (List.length summary.distinct_races
+        + List.length summary.distinct_cert_violations)
+      progress
+
 let run_collect ?(obs = Obs.null) ?(profile = Profile.null)
-    ?(metrics = Metrics.null) ~config ~iters f =
+    ?(metrics = Metrics.null) ?(progress = Progress.null) ~config ~iters f =
   let shard =
-    run_shard ~obs ~profile ~metrics ~config ~total:iters ~jobs:1 ~worker:0 f
+    run_shard ~progress ~obs ~profile ~metrics ~config ~total:iters ~jobs:1
+      ~worker:0 f
   in
   let summary, hist = merge_shards [ shard ] in
-  ({ summary with executions = iters }, hist)
+  let summary = { summary with executions = iters } in
+  finish_progress progress summary;
+  (summary, hist)
 
-let run ?obs ?profile ?metrics ~config ~iters f =
-  fst (run_collect ?obs ?profile ?metrics ~config ~iters (fun () -> f ()))
+let run ?obs ?profile ?metrics ?progress ~config ~iters f =
+  fst
+    (run_collect ?obs ?profile ?metrics ?progress ~config ~iters (fun () ->
+         f ()))
 
 (* ------------------------------------------------------------------ *)
 (* Parallel runners.
@@ -222,18 +271,21 @@ let absorb_worker_handles ~obs ~profile ~metrics handles =
     handles
 
 let run_collect_parallel ?(obs = Obs.null) ?(profile = Profile.null)
-    ?(metrics = Metrics.null) ?(jobs = 1) ~config ~iters f =
+    ?(metrics = Metrics.null) ?(progress = Progress.null) ?(jobs = 1) ~config
+    ~iters f =
   let jobs = clamp_jobs jobs iters in
-  if jobs = 1 then run_collect ~obs ~profile ~metrics ~config ~iters f
+  if jobs = 1 then run_collect ~obs ~profile ~metrics ~progress ~config ~iters f
   else begin
     let results =
       Par.spawn_workers ~jobs (fun ~worker ->
           let o = worker_obs obs in
           let p = worker_profile profile in
           let m = worker_metrics metrics in
+          (* [progress] is shared: its counters are atomic and emission is
+             mutex-serialised, so workers tick it directly *)
           let shard =
-            run_shard ~obs:o ~profile:p ~metrics:m ~config ~total:iters ~jobs
-              ~worker f
+            run_shard ~progress ~obs:o ~profile:p ~metrics:m ~config
+              ~total:iters ~jobs ~worker f
           in
           (shard, (o, p, m)))
     in
@@ -242,13 +294,15 @@ let run_collect_parallel ?(obs = Obs.null) ?(profile = Profile.null)
     let summary, hist =
       merge_shards (Array.to_list (Array.map fst results))
     in
-    ({ summary with executions = iters }, hist)
+    let summary = { summary with executions = iters } in
+    finish_progress progress summary;
+    (summary, hist)
   end
 
-let run_parallel ?obs ?profile ?metrics ?jobs ~config ~iters f =
+let run_parallel ?obs ?profile ?metrics ?progress ?jobs ~config ~iters f =
   fst
-    (run_collect_parallel ?obs ?profile ?metrics ?jobs ~config ~iters
-       (fun () -> f ()))
+    (run_collect_parallel ?obs ?profile ?metrics ?progress ?jobs ~config
+       ~iters (fun () -> f ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bug hunts. *)
@@ -343,8 +397,19 @@ let find_buggy_parallel ?obs ?profile ?metrics ?(jobs = 1) ~config ~attempts f
 (* ------------------------------------------------------------------ *)
 
 let summary_to_json s =
+  (* [coverage] is appended only when the campaign ran with coverage on, so
+     coverage-off reports (and their goldens) are byte-identical to before *)
+  let coverage_fields =
+    match s.coverage with
+    | None -> []
+    | Some c ->
+      [
+        ("distinct_shapes", Jsonx.Int (Cov.distinct_shapes c));
+        ("coverage", Cov.summary_to_json c);
+      ]
+  in
   Jsonx.Obj
-    [
+    ([
       ("executions", Jsonx.Int s.executions);
       ("buggy_executions", Jsonx.Int s.buggy_executions);
       ("race_executions", Jsonx.Int s.race_executions);
@@ -363,7 +428,8 @@ let summary_to_json s =
       ("total_na_ops", Jsonx.Int s.total_na_ops);
       ("max_graph_size", Jsonx.Int s.max_graph_size);
       ("mean_steps", Jsonx.Float s.mean_steps);
-    ]
+     ]
+    @ coverage_fields)
 
 let pp_summary fmt s =
   Format.fprintf fmt
@@ -381,4 +447,7 @@ let pp_summary fmt s =
     List.iter
       (fun v -> Format.fprintf fmt "@   %a" Check.pp_violation v)
       s.distinct_cert_violations
-  end
+  end;
+  match s.coverage with
+  | None -> ()
+  | Some c -> Format.fprintf fmt "@ %a" Cov.pp_summary c

@@ -40,6 +40,10 @@ type summary = {
   total_na_ops : int;
   max_graph_size : int;
   mean_steps : float;
+  coverage : Cov.summary option;
+      (** merged execution-shape coverage; [Some _] iff the campaign ran
+          with [config.coverage].  Bit-identical across job counts (same
+          {!Par.Merge} discipline as the rest of the summary). *)
 }
 
 (** Detection rate in percent, as reported in Tables 2 and Section 8.1. *)
@@ -48,11 +52,14 @@ val detection_rate : summary -> float
 (** [run ~config ~iters f] executes [f] [iters] times, deriving a fresh
     seed for each execution from [config.seed].  The optional C11obs
     handles are shared across all executions of the session (events fan
-    out continuously; metrics and span timings aggregate per session). *)
+    out continuously; metrics and span timings aggregate per session).
+    [progress], when given, is ticked once per execution and receives a
+    [final] record with the campaign's exact merged novelty counts. *)
 val run :
   ?obs:Obs.t ->
   ?profile:Profile.t ->
   ?metrics:Metrics.t ->
+  ?progress:Progress.t ->
   config:Engine.config ->
   iters:int ->
   (unit -> unit) ->
@@ -66,6 +73,7 @@ val run_collect :
   ?obs:Obs.t ->
   ?profile:Profile.t ->
   ?metrics:Metrics.t ->
+  ?progress:Progress.t ->
   config:Engine.config ->
   iters:int ->
   (unit -> 'a) ->
@@ -86,6 +94,7 @@ val run_parallel :
   ?obs:Obs.t ->
   ?profile:Profile.t ->
   ?metrics:Metrics.t ->
+  ?progress:Progress.t ->
   ?jobs:int ->
   config:Engine.config ->
   iters:int ->
@@ -99,6 +108,7 @@ val run_collect_parallel :
   ?obs:Obs.t ->
   ?profile:Profile.t ->
   ?metrics:Metrics.t ->
+  ?progress:Progress.t ->
   ?jobs:int ->
   config:Engine.config ->
   iters:int ->

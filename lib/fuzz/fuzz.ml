@@ -484,25 +484,35 @@ let engine_config ~mutation =
 
 let exec_seed p ~attempt = Rng.substream p.p_seed ~index:attempt
 
-let run_one ~config ~certify ~seed p =
+(* [run_one_full] also returns the engine outcome (when the execution
+   finished at all) so the campaign can read coverage fingerprints and
+   race reports out of it; crash paths have no outcome. *)
+let run_one_full ~config ~certify ~seed p =
   let config = { config with Engine.seed; certify } in
   match Engine.run config (to_closure p) with
   | outcome ->
-    if outcome.Engine.uncaught_exceptions <> [] then
-      Failed (Engine_crash (List.hd outcome.Engine.uncaught_exceptions))
-    else if outcome.Engine.assertion_failures <> [] then
-      Failed (Engine_crash ("assertion: " ^ List.hd outcome.Engine.assertion_failures))
-    else if outcome.Engine.deadlock then Failed Deadlock
-    else begin
-      match outcome.Engine.certificate with
-      | Some (Check.Rejected vs) -> Failed (Cert_rejected vs)
-      | Some (Check.Certified _) -> Passed { certified = true }
-      | Some (Check.Not_applicable _) | None -> Passed { certified = false }
-    end
-  | exception Execution.Model_error msg -> Failed (Engine_crash ("model error: " ^ msg))
+    let status =
+      if outcome.Engine.uncaught_exceptions <> [] then
+        Failed (Engine_crash (List.hd outcome.Engine.uncaught_exceptions))
+      else if outcome.Engine.assertion_failures <> [] then
+        Failed (Engine_crash ("assertion: " ^ List.hd outcome.Engine.assertion_failures))
+      else if outcome.Engine.deadlock then Failed Deadlock
+      else begin
+        match outcome.Engine.certificate with
+        | Some (Check.Rejected vs) -> Failed (Cert_rejected vs)
+        | Some (Check.Certified _) -> Passed { certified = true }
+        | Some (Check.Not_applicable _) | None -> Passed { certified = false }
+      end
+    in
+    (status, Some outcome)
+  | exception Execution.Model_error msg ->
+    (Failed (Engine_crash ("model error: " ^ msg)), None)
   | exception Engine.Assertion_violation msg ->
-    Failed (Engine_crash ("assertion: " ^ msg))
-  | exception e -> Failed (Engine_crash (Printexc.to_string e))
+    (Failed (Engine_crash ("assertion: " ^ msg)), None)
+  | exception e -> (Failed (Engine_crash (Printexc.to_string e)), None)
+
+let run_one ~config ~certify ~seed p =
+  fst (run_one_full ~config ~certify ~seed p)
 
 let reproduces ~config ~execs ~key p =
   let rec go attempt =
@@ -822,6 +832,7 @@ type report = {
   r_findings : finding list;
   r_shrink_steps : int;
   r_gen_ops : int;
+  r_coverage : Cov.summary option;
 }
 
 type shard = {
@@ -830,14 +841,21 @@ type shard = {
   sh_crashes : int;
   sh_gen_ops : int;
   sh_findings : (int * finding) list;  (** ascending global index *)
+  sh_cov : Cov.shard option;
 }
 
 (* One worker's leapfrog shard: global indices worker, worker+jobs, ...
    Shrinking happens at the first local occurrence of a key; the merge
    keeps the lowest global index per key, whose shrink is a pure function
    of that program, so the merged findings match the sequential run's. *)
-let run_shard ~obs ~profile ~metrics ~cfg ~jobs ~worker =
+let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
+    ~metrics ~cfg ~jobs ~worker () =
+  (* shrinking replays use the base config: coverage fingerprints are only
+     wanted for the campaign's primary executions *)
   let config = engine_config ~mutation:cfg.c_mutation in
+  let exec_config = { config with Engine.coverage } in
+  let cov = if coverage then Some (Cov.create ()) else None in
+  let progress_on = Progress.enabled progress in
   let certified = ref 0 in
   let cert_rejected = ref 0 in
   let crashes = ref 0 in
@@ -855,8 +873,29 @@ let run_shard ~obs ~profile ~metrics ~cfg ~jobs ~worker =
     Metrics.incr metrics "fuzz.programs";
     let certify = cfg.c_certify_every > 0 && i mod cfg.c_certify_every = 0 in
     let t1 = Profile.start profile in
-    let status = run_one ~config ~certify ~seed:(exec_seed prog ~attempt:0) prog in
+    let status, outcome =
+      run_one_full ~config:exec_config ~certify
+        ~seed:(exec_seed prog ~attempt:0) prog
+    in
     Profile.stop profile "fuzz_execute" t1;
+    let novel =
+      match (cov, outcome) with
+      | Some acc, Some o ->
+        List.iter
+          (fun r -> ignore (Cov.observe_race acc ~index:i (Race.dedup_key r)))
+          o.Engine.races;
+        (match status with
+        | Failed (Cert_rejected vs) ->
+          ignore
+            (Cov.observe_violation acc ~index:i
+               (strip_digits (Check.rejection_key vs)))
+        | _ -> ());
+        (match o.Engine.shape with
+        | Some sg -> Cov.observe acc ~index:i sg
+        | None -> false)
+      | _ -> false
+    in
+    let new_finding = ref false in
     (match status with
     | Passed { certified = c } ->
       if c then begin
@@ -874,6 +913,7 @@ let run_shard ~obs ~profile ~metrics ~cfg ~jobs ~worker =
       let key = finding_key kind in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
+        new_finding := true;
         Metrics.incr metrics "fuzz.findings";
         if Obs.enabled obs then
           Obs.emit obs
@@ -907,6 +947,7 @@ let run_shard ~obs ~profile ~metrics ~cfg ~jobs ~worker =
             } )
           :: !findings
       end);
+    if progress_on then Progress.tick progress ~novel ~finding:!new_finding;
     index := !index + jobs
   done;
   {
@@ -915,6 +956,7 @@ let run_shard ~obs ~profile ~metrics ~cfg ~jobs ~worker =
     sh_crashes = !crashes;
     sh_gen_ops = !gen_ops;
     sh_findings = List.rev !findings;
+    sh_cov = Option.map Cov.shard cov;
   }
 
 let merge_shards cfg shards =
@@ -933,6 +975,10 @@ let merge_shards cfg shards =
        jobs-independent (losing shards shrink duplicates of a key) *)
     r_shrink_steps = List.fold_left (fun acc f -> acc + f.f_shrink_steps) 0 findings;
     r_gen_ops = sum (fun s -> s.sh_gen_ops);
+    r_coverage =
+      (match List.filter_map (fun s -> s.sh_cov) shards with
+      | [] -> None
+      | cov_shards -> Some (Cov.merge cov_shards));
   }
 
 let worker_obs obs =
@@ -942,21 +988,27 @@ let worker_obs obs =
       ()
   else Obs.null
 
-let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null) cfg
-    =
+let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
+    ?(coverage = false) ?(progress = Progress.null) cfg =
   if cfg.c_programs < 0 then invalid_arg "Fuzz.campaign: c_programs must be >= 0";
   if cfg.c_jobs < 1 then invalid_arg "Fuzz.campaign: c_jobs must be >= 1";
   if cfg.c_shrink_execs < 1 then invalid_arg "Fuzz.campaign: c_shrink_execs must be >= 1";
   let jobs = max 1 (min cfg.c_jobs (max 1 cfg.c_programs)) in
   let shards =
-    if jobs = 1 then [ run_shard ~obs ~profile ~metrics ~cfg ~jobs:1 ~worker:0 ]
+    if jobs = 1 then
+      [ run_shard ~coverage ~progress ~obs ~profile ~metrics ~cfg ~jobs:1 ~worker:0 () ]
     else begin
       let results =
         Par.spawn_workers ~jobs (fun ~worker ->
             let o = worker_obs obs in
             let p = if Profile.enabled profile then Profile.create () else Profile.null in
             let m = if Metrics.enabled metrics then Metrics.create () else Metrics.null in
-            let shard = run_shard ~obs:o ~profile:p ~metrics:m ~cfg ~jobs ~worker in
+            (* [progress] is shared across workers: atomic counters,
+               mutex-serialised emission *)
+            let shard =
+              run_shard ~coverage ~progress ~obs:o ~profile:p ~metrics:m ~cfg
+                ~jobs ~worker ()
+            in
             (shard, (o, p, m)))
       in
       Array.iter
@@ -969,7 +1021,13 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
       Array.to_list (Array.map fst results)
     end
   in
-  merge_shards cfg shards
+  let report = merge_shards cfg shards in
+  if Progress.enabled progress then
+    Progress.finish
+      ?novel:(Option.map Cov.distinct_shapes report.r_coverage)
+      ~findings:(List.length report.r_findings)
+      progress;
+  report
 
 (* ------------------------------------------------------------------ *)
 (* Reports *)
@@ -986,6 +1044,7 @@ let kind_to_json = function
 let finding_to_json f =
   Jsonx.Obj
     [
+      ("schema", Jsonx.String "c11fuzz-finding-v1");
       ("index", Jsonx.Int f.f_index);
       ("seed", Jsonx.String (Printf.sprintf "0x%Lx" f.f_seed));
       ("key", Jsonx.String f.f_key);
@@ -999,15 +1058,23 @@ let finding_to_json f =
 
 let report_to_json r =
   Jsonx.Obj
-    [
-      ("programs", Jsonx.Int r.r_programs);
-      ("certified", Jsonx.Int r.r_certified);
-      ("cert_rejected", Jsonx.Int r.r_cert_rejected);
-      ("crashes", Jsonx.Int r.r_crashes);
-      ("findings", Jsonx.List (List.map finding_to_json r.r_findings));
-      ("shrink_steps", Jsonx.Int r.r_shrink_steps);
-      ("generated_ops", Jsonx.Int r.r_gen_ops);
-    ]
+    ([
+       ("programs", Jsonx.Int r.r_programs);
+       ("certified", Jsonx.Int r.r_certified);
+       ("cert_rejected", Jsonx.Int r.r_cert_rejected);
+       ("crashes", Jsonx.Int r.r_crashes);
+       ("findings", Jsonx.List (List.map finding_to_json r.r_findings));
+       ("shrink_steps", Jsonx.Int r.r_shrink_steps);
+       ("generated_ops", Jsonx.Int r.r_gen_ops);
+     ]
+    @
+    match r.r_coverage with
+    | None -> []
+    | Some c ->
+      [
+        ("distinct_shapes", Jsonx.Int (Cov.distinct_shapes c));
+        ("coverage", Cov.summary_to_json c);
+      ])
 
 let pp_finding fmt f =
   Format.fprintf fmt
@@ -1022,4 +1089,7 @@ let pp_report fmt r =
      %d@ generated ops: %d@ findings:      %d@]"
     r.r_programs r.r_certified r.r_cert_rejected r.r_crashes r.r_gen_ops
     (List.length r.r_findings);
+  (match r.r_coverage with
+  | None -> ()
+  | Some c -> Format.fprintf fmt "@ %a" Cov.pp_summary c);
   List.iter (fun f -> Format.fprintf fmt "@ @ %a" pp_finding f) r.r_findings

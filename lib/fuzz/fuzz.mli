@@ -219,6 +219,10 @@ type report = {
   r_findings : finding list;  (** deduped by key, ascending index *)
   r_shrink_steps : int;  (** accepted reductions over [r_findings] *)
   r_gen_ops : int;  (** total ops generated *)
+  r_coverage : Cov.summary option;
+      (** merged execution-shape coverage of the primary (non-shrink)
+          executions; [Some _] iff the campaign ran with [~coverage:true].
+          Bit-identical across [c_jobs]. *)
 }
 
 (** [campaign cfg] generates and probes [c_programs] programs, shrinks
@@ -226,9 +230,17 @@ type report = {
     with the lowest-index-wins protocol.  The C11obs handles observe
     without perturbing: [metrics] gains [fuzz.*] counters and [profile]
     the [fuzz_generate]/[fuzz_execute]/[fuzz_shrink] spans (from which
-    {!Profile.rate} reads programs/sec). *)
+    {!Profile.rate} reads programs/sec).  [coverage] fingerprints every
+    primary execution into {!Cov} shapes ([r_coverage]); [progress] is
+    ticked once per program and receives a [final] record with the merged
+    novelty counts. *)
 val campaign :
-  ?obs:Obs.t -> ?profile:Profile.t -> ?metrics:Metrics.t -> campaign_cfg ->
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  ?coverage:bool ->
+  ?progress:Progress.t ->
+  campaign_cfg ->
   report
 
 val finding_to_json : finding -> Jsonx.t

@@ -874,9 +874,9 @@ let catalog =
 
 let find name = List.find_opt (fun t -> t.name = name) catalog
 
-let explore_summary ?jobs ~config ~iters t =
+let explore_summary ?progress ?jobs ~config ~iters t =
   let summary, hist =
-    Tester.run_collect_parallel ?jobs ~config ~iters t.run_once
+    Tester.run_collect_parallel ?progress ?jobs ~config ~iters t.run_once
   in
   (* frequency-descending; List.sort is stable, so ties keep the
      histogram's first-occurrence order, which is itself independent of

@@ -165,12 +165,22 @@ let parse s =
              | 'f' -> Buffer.add_char buf '\012'
              | 'u' ->
                if !pos + 4 > n then fail "truncated \\u escape";
-               let hex = String.sub s !pos 4 in
-               pos := !pos + 4;
-               let code =
-                 try int_of_string ("0x" ^ hex)
-                 with _ -> fail "bad \\u escape"
+               (* strict: exactly four hex digits ([int_of_string "0x..."]
+                  would also accept OCaml underscore separators) *)
+               let hex_digit c =
+                 match c with
+                 | '0' .. '9' -> Char.code c - Char.code '0'
+                 | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                 | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                 | _ -> fail "bad \\u escape"
                in
+               let code =
+                 (hex_digit s.[!pos] lsl 12)
+                 lor (hex_digit s.[!pos + 1] lsl 8)
+                 lor (hex_digit s.[!pos + 2] lsl 4)
+                 lor hex_digit s.[!pos + 3]
+               in
+               pos := !pos + 4;
                (* keep it byte-oriented: sub-0x80 maps directly, the rest
                   is encoded as UTF-8 *)
                if code < 0x80 then Buffer.add_char buf (Char.chr code)

@@ -100,7 +100,7 @@ module Merge = struct
      indices are distinct across keys and sorting by them is a total,
      shard-order-independent order. *)
 
-  let histogram shards =
+  let histogram_indexed shards =
     let acc = Hashtbl.create 32 in
     List.iter
       (List.iter (fun (k, count, first) ->
@@ -108,9 +108,11 @@ module Merge = struct
            | None -> Hashtbl.replace acc k (count, first)
            | Some (c, f) -> Hashtbl.replace acc k (c + count, min f first)))
       shards;
-    Hashtbl.fold (fun k (count, first) l -> (first, k, count) :: l) acc []
-    |> List.sort (fun (f1, _, _) (f2, _, _) -> compare (f1 : int) f2)
-    |> List.map (fun (_, k, count) -> (k, count))
+    Hashtbl.fold (fun k (count, first) l -> (k, count, first) :: l) acc []
+    |> List.sort (fun (_, _, f1) (_, _, f2) -> compare (f1 : int) f2)
+
+  let histogram shards =
+    List.map (fun (k, count, _) -> (k, count)) (histogram_indexed shards)
 
   let dedup_indexed ~key shards =
     let acc = Hashtbl.create 32 in

@@ -94,6 +94,12 @@ module Merge : sig
       first-occurrence order the sequential runner produces. *)
   val histogram : ('k * int * int) list list -> ('k * int) list
 
+  (** Like {!histogram}, but each merged entry keeps its (merged-minimum)
+      first-occurrence index — for coverage tables that must name when a
+      key was first seen. *)
+  val histogram_indexed :
+    ('k * int * int) list list -> ('k * int * int) list
+
   (** [dedup ~key shards] merges per-shard first-occurrence lists
       [(first_index, item)], keeps one item per [key] (the one with the
       lowest index), and returns the survivors in ascending index order —

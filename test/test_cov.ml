@@ -1,0 +1,312 @@
+(* C11cov: canonicalisation invariance, merge determinism (j1 ≡ jN for
+   tester and fuzz campaigns), NDJSON round-trip, progress final-record
+   parity, and the zero-cost-when-off contract. *)
+
+let check = Alcotest.(check bool)
+
+(* ---------- canonical signatures ---------- *)
+
+(* A small random "execution": events over a handful of thread and
+   location ids, loads/rmws optionally reading from an earlier event, a
+   few sync edges.  The property under test only needs well-formed input
+   (rf indices in range), not a model-valid execution. *)
+
+let kind_of_int = function
+  | 0 -> Action.Load
+  | 1 -> Action.Store
+  | 2 -> Action.Rmw
+  | 3 -> Action.Na_store
+  | _ -> Action.Fence
+
+let mo_of_int i = List.nth Memorder.all (i mod List.length Memorder.all)
+
+let exec_gen =
+  QCheck.Gen.(
+    let* nev = int_range 0 12 in
+    let* evs =
+      list_repeat nev
+        (let* tid = int_range 0 3 in
+         let* k = int_range 0 4 in
+         let kind = kind_of_int k in
+         let* loc = int_range 0 3 in
+         let loc = if kind = Action.Fence then -1 else loc in
+         let* mo = int_range 0 5 in
+         let* rf_raw = int_range 0 20 in
+         return (tid, kind, loc, mo_of_int mo, rf_raw))
+    in
+    let evs =
+      List.mapi
+        (fun i (tid, kind, loc, mo, rf_raw) ->
+          let rf =
+            (* only reads read-from, and only from a strictly earlier
+               event *)
+            match kind with
+            | Action.Load | Action.Rmw when i > 0 && rf_raw mod 3 = 0 ->
+              Some (rf_raw mod i)
+            | _ -> None
+          in
+          { Cov.ev_tid = tid; ev_kind = kind; ev_loc = loc; ev_mo = mo; ev_rf = rf })
+        evs
+    in
+    let* nsync = int_range 0 3 in
+    let* sync =
+      list_repeat nsync
+        (let* a = int_range 0 3 in
+         let* b = int_range 0 3 in
+         return (a, b))
+    in
+    return (Array.of_list evs, sync))
+
+let exec_arb =
+  QCheck.make
+    ~print:(fun (evs, sync) ->
+      Printf.sprintf "%d events, %d sync edges: %s" (Array.length evs)
+        (List.length sync)
+        (Cov.signature evs ~sync))
+    exec_gen
+
+(* Injective renamings: add a generated offset and flip parity, which is
+   injective on ints; locations keep -1 (fences) fixed. *)
+let rename_tid ~off ~flip t = (if flip then 1000 - t else t) + off
+let rename_loc ~off ~flip l =
+  if l < 0 then l else (if flip then 1000 - l else l) + off
+
+let prop_signature_rename_invariant =
+  QCheck.Test.make
+    ~name:"canonical signature invariant under thread/location renaming"
+    ~count:300
+    QCheck.(
+      pair exec_arb (pair (pair (int_bound 50) bool) (pair (int_bound 50) bool)))
+    (fun ((evs, sync), ((toff, tflip), (loff, lflip))) ->
+      let evs' =
+        Array.map
+          (fun e ->
+            {
+              e with
+              Cov.ev_tid = rename_tid ~off:toff ~flip:tflip e.Cov.ev_tid;
+              ev_loc = rename_loc ~off:loff ~flip:lflip e.Cov.ev_loc;
+            })
+          evs
+      in
+      let sync' =
+        List.map
+          (fun (a, b) ->
+            (rename_tid ~off:toff ~flip:tflip a, rename_tid ~off:toff ~flip:tflip b))
+          sync
+      in
+      Cov.signature evs ~sync = Cov.signature evs' ~sync:sync')
+
+let test_signature_distinguishes () =
+  (* sanity: the signature is not a constant — rf direction matters *)
+  let ev tid kind loc rf =
+    { Cov.ev_tid = tid; ev_kind = kind; ev_loc = loc; ev_mo = Memorder.Relaxed; ev_rf = rf }
+  in
+  let a =
+    [| ev 0 Action.Store 0 None; ev 1 Action.Load 0 (Some 0) |]
+  in
+  let b = [| ev 0 Action.Store 0 None; ev 1 Action.Load 0 None |] in
+  check "rf edge changes the signature" true
+    (Cov.signature a ~sync:[] <> Cov.signature b ~sync:[]);
+  check "edges are deduplicated and sorted" true
+    (Cov.edges a ~sync:[] = List.sort_uniq String.compare (Cov.edges a ~sync:[]))
+
+(* ---------- campaign parity: j1 ≡ jN ---------- *)
+
+let find_workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None -> Alcotest.fail ("workload not in registry: " ^ name)
+
+let run_with_jobs ~jobs =
+  let w = find_workload "seqlock" in
+  let config =
+    {
+      (Tool.config Tool.C11tester) with
+      Engine.seed = 42L;
+      coverage = true;
+      certify = true;
+    }
+  in
+  Tester.run_parallel ~jobs ~config ~iters:40
+    (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+
+let test_tester_coverage_parity () =
+  let s1 = run_with_jobs ~jobs:1 in
+  (match s1.Tester.coverage with
+  | None -> Alcotest.fail "coverage on but summary.coverage = None"
+  | Some c ->
+    check "every execution fingerprinted" true (c.Cov.s_executions = 40);
+    check "at least one shape" true (Cov.distinct_shapes c > 0));
+  List.iter
+    (fun jobs ->
+      let sn = run_with_jobs ~jobs in
+      check
+        (Printf.sprintf "coverage summary identical j1 vs j%d" jobs)
+        true
+        (s1.Tester.coverage = sn.Tester.coverage))
+    [ 2; 4 ]
+
+let fuzz_cfg ~jobs =
+  {
+    Fuzz.default_campaign_cfg with
+    Fuzz.c_programs = 60;
+    c_seed = 11L;
+    c_jobs = jobs;
+  }
+
+let test_fuzz_coverage_parity () =
+  let r1 = Fuzz.campaign ~coverage:true (fuzz_cfg ~jobs:1) in
+  (match r1.Fuzz.r_coverage with
+  | None -> Alcotest.fail "coverage on but r_coverage = None"
+  | Some c -> check "every program fingerprinted" true (c.Cov.s_executions = 60));
+  List.iter
+    (fun jobs ->
+      let rn = Fuzz.campaign ~coverage:true (fuzz_cfg ~jobs) in
+      check
+        (Printf.sprintf "fuzz coverage identical j1 vs j%d" jobs)
+        true
+        (r1.Fuzz.r_coverage = rn.Fuzz.r_coverage))
+    [ 2; 4 ]
+
+(* ---------- NDJSON round-trip ---------- *)
+
+let test_ndjson_roundtrip () =
+  let r = Fuzz.campaign ~coverage:true (fuzz_cfg ~jobs:2) in
+  match r.Fuzz.r_coverage with
+  | None -> Alcotest.fail "no coverage"
+  | Some c -> (
+    let lines = Cov.summary_to_ndjson c in
+    (* every line must survive a textual round-trip too *)
+    let reparsed =
+      List.map
+        (fun j ->
+          match Jsonx.parse (Jsonx.to_string j) with
+          | Ok j' -> j'
+          | Error e -> Alcotest.fail ("unparseable NDJSON line: " ^ e))
+        lines
+    in
+    match Cov.summary_of_ndjson reparsed with
+    | Error e -> Alcotest.fail ("round-trip failed: " ^ e)
+    | Ok c' -> check "summary round-trips through c11cov-v1" true (c = c'))
+
+let test_ndjson_rejects_malformed () =
+  check "empty input rejected" true
+    (Result.is_error (Cov.summary_of_ndjson []));
+  check "wrong schema rejected" true
+    (Result.is_error
+       (Cov.summary_of_ndjson
+          [ Jsonx.Obj [ ("schema", Jsonx.String "bogus-v1") ] ]));
+  check "missing campaign record rejected" true
+    (Result.is_error
+       (Cov.summary_of_ndjson
+          [
+            Jsonx.Obj
+              [
+                ("schema", Jsonx.String "c11cov-v1");
+                ("kind", Jsonx.String "shape");
+                ("key", Jsonx.String "k");
+                ("count", Jsonx.Int 1);
+                ("first", Jsonx.Int 0);
+              ];
+          ]))
+
+(* ---------- progress stream ---------- *)
+
+(* Heartbeat counts and all wall-clock fields are timing-dependent; the
+   deterministic surface is the single `final' record with the wall
+   fields stripped.  That is exactly what the parity below compares. *)
+let wall_fields = [ "elapsed_s"; "exec_per_s"; "gc_top_heap_words"; "gc_heap_words" ]
+
+let final_record_stripped path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let finals =
+    List.filter_map
+      (fun line ->
+        match Jsonx.parse line with
+        | Error e -> Alcotest.fail ("bad progress line: " ^ e)
+        | Ok (Jsonx.Obj fields) ->
+          if List.assoc_opt "kind" fields = Some (Jsonx.String "final") then
+            Some
+              (List.filter
+                 (fun (k, _) -> not (List.mem k wall_fields))
+                 fields)
+          else None
+        | Ok _ -> Alcotest.fail "progress line is not an object")
+      (List.rev !lines)
+  in
+  match finals with
+  | [ f ] -> f
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 final record, got %d" (List.length l))
+
+let progress_campaign ~jobs path =
+  let oc = open_out path in
+  let progress = Progress.create ~out:oc ~interval_ns:1_000_000 ~total:60 in
+  let r = Fuzz.campaign ~coverage:true ~progress (fuzz_cfg ~jobs) in
+  close_out oc;
+  r
+
+let test_progress_final_parity () =
+  let p1 = Filename.temp_file "c11prog" "j1.ndjson" in
+  let p4 = Filename.temp_file "c11prog" "j4.ndjson" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove p1;
+      Sys.remove p4)
+    (fun () ->
+      ignore (progress_campaign ~jobs:1 p1);
+      ignore (progress_campaign ~jobs:4 p4);
+      let f1 = final_record_stripped p1 and f4 = final_record_stripped p4 in
+      check "final record identical j1 vs j4 (wall fields stripped)" true
+        (f1 = f4);
+      check "final record carries schema" true
+        (List.assoc_opt "schema" f1 = Some (Jsonx.String "c11progress-v1"));
+      check "done = total" true
+        (List.assoc_opt "done" f1 = Some (Jsonx.Int 60)))
+
+let test_progress_null_is_noop () =
+  check "null disabled" true (not (Progress.enabled Progress.null));
+  Progress.tick Progress.null ~novel:true ~finding:true;
+  Progress.finish Progress.null
+
+(* ---------- zero-cost-when-off ---------- *)
+
+let test_zero_cost_off () =
+  let w = find_workload "seqlock" in
+  let config = { (Tool.config Tool.C11tester) with Engine.seed = 42L } in
+  check "coverage off by default" true (not config.Engine.coverage);
+  let summary =
+    Tester.run ~config ~iters:5
+      (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+  in
+  check "summary.coverage = None when off" true
+    (summary.Tester.coverage = None);
+  let o = Engine.run config (fun () -> ()) in
+  check "outcome.shape = None when off" true (o.Engine.shape = None);
+  let r = Fuzz.campaign (fuzz_cfg ~jobs:1) in
+  check "r_coverage = None when off" true (r.Fuzz.r_coverage = None)
+
+let suite =
+  [
+    Alcotest.test_case "signature distinguishes" `Quick
+      test_signature_distinguishes;
+    Alcotest.test_case "tester coverage parity j1/j2/j4" `Slow
+      test_tester_coverage_parity;
+    Alcotest.test_case "fuzz coverage parity j1/j2/j4" `Slow
+      test_fuzz_coverage_parity;
+    Alcotest.test_case "c11cov-v1 NDJSON round-trip" `Quick
+      test_ndjson_roundtrip;
+    Alcotest.test_case "malformed c11cov-v1 rejected" `Quick
+      test_ndjson_rejects_malformed;
+    Alcotest.test_case "progress final-record parity j1/j4" `Slow
+      test_progress_final_parity;
+    Alcotest.test_case "null progress is a no-op" `Quick
+      test_progress_null_is_noop;
+    Alcotest.test_case "zero-cost when off" `Quick test_zero_cost_off;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_signature_rename_invariant ]

@@ -15,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("cov", Test_cov.suite);
       ("determinism", Test_determinism.suite);
       ("check", Test_check.suite);
       ("fuzz", Test_fuzz.suite);

@@ -226,6 +226,54 @@ let test_tracing_does_not_perturb () =
         (Obs.total obs > 0))
     Litmus.catalog
 
+(* --- Jsonx string hardening: control characters and strict \u --- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_jsonx_control_chars () =
+  (* unit cases: tab and newline use their short escapes, other control
+     characters (U+0000–U+001F) the \u%04x form; all round-trip *)
+  List.iter
+    (fun (s, fragment) ->
+      let emitted = Jsonx.to_string (Jsonx.String s) in
+      check
+        (Printf.sprintf "emits %s" (String.escaped fragment))
+        true
+        (contains emitted fragment);
+      check
+        (Printf.sprintf "%s round-trips" (String.escaped s))
+        true
+        (Jsonx.parse emitted = Ok (Jsonx.String s)))
+    [
+      ("tab\tsep", "\\t");
+      ("line\nbreak", "\\n");
+      ("cr\rend", "\\r");
+      ("bell\007x", "\\u0007");
+      ("nul\000end", "\\u0000");
+      ("esc\027[0m", "\\u001b");
+    ]
+
+let test_jsonx_strict_unicode_escape () =
+  check "\\u0041 parses as A" true
+    (Jsonx.parse "\"\\u0041\"" = Ok (Jsonx.String "A"));
+  check "uppercase hex accepted" true
+    (Jsonx.parse "\"\\u000A\"" = Ok (Jsonx.String "\n"));
+  (* int_of_string would have accepted these *)
+  check "underscore in \\u rejected" true
+    (Result.is_error (Jsonx.parse "\"\\u001_\""));
+  check "0x-prefixed \\u rejected" true
+    (Result.is_error (Jsonx.parse "\"\\u0x41\""));
+  check "non-hex \\u rejected" true
+    (Result.is_error (Jsonx.parse "\"\\u00zz\""))
+
+let prop_jsonx_string_roundtrip =
+  QCheck.Test.make ~name:"Jsonx string round-trip (all byte values)"
+    ~count:500 QCheck.string (fun s ->
+      Jsonx.parse (Jsonx.to_string (Jsonx.String s)) = Ok (Jsonx.String s))
+
 let suite =
   [
     Alcotest.test_case "ring wrap-around" `Quick test_ring_wraparound;
@@ -240,4 +288,9 @@ let suite =
     Alcotest.test_case "profile spans" `Quick test_profile;
     Alcotest.test_case "tracing does not perturb" `Quick
       test_tracing_does_not_perturb;
+    Alcotest.test_case "Jsonx control-char escapes" `Quick
+      test_jsonx_control_chars;
+    Alcotest.test_case "Jsonx strict \\u escapes" `Quick
+      test_jsonx_strict_unicode_escape;
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_jsonx_string_roundtrip ]
