@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --jobs N perf  # shard perf campaigns
 
    Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
-   table4 prune sched perf fuzz. *)
+   table4 prune sched perf scale fuzz. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -25,6 +25,7 @@ let experiments : (string * (unit -> unit)) list =
     ("prune", Experiments.prune);
     ("sched", Experiments.sched);
     ("perf", Perfsuite.run);
+    ("scale", Perfsuite.run_scale);
     ("fuzz", Fuzzbench.run);
   ]
 
@@ -59,6 +60,13 @@ let write_json ~quick ~todo path =
   let perf =
     match !Perfsuite.last_doc with
     | Some doc -> [ ("perf", doc) ]
+    | None -> []
+  in
+  let perf =
+    perf
+    @
+    match !Perfsuite.last_scale_doc with
+    | Some doc -> [ ("scale", doc) ]
     | None -> []
   in
   let perf =

@@ -61,8 +61,14 @@ let validate_jobs jobs k =
   else k jobs
 
 let scale_arg =
-  let doc = "Workload scale override (operations per thread)." in
-  Arg.(value & opt (some int) None & info [ "scale" ] ~doc)
+  let doc =
+    "Workload scale override (operations per thread), or the word \
+     $(b,tier) for the workload's paper-scale tier: one execution in the \
+     1M-10M-op range with streaming certification always on and \
+     aggressive pruning (unless --prune says otherwise).  Only workloads \
+     with a registered tier scale accept $(b,tier); see `c11test list'."
+  in
+  Arg.(value & opt (some string) None & info [ "scale" ] ~docv:"N|tier" ~doc)
 
 let buggy_arg =
   let doc = "Run the seeded-bug variant (default) or the correct one." in
@@ -224,23 +230,53 @@ let run_cmd =
       Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
       2
     | Some w -> (
-      match prune_of_string prune with
-      | Error e ->
+      let scale_spec =
+        match scale with
+        | None -> Ok (w.Registry.default_scale, false)
+        | Some "tier" -> (
+          match w.Registry.scale_tier with
+          | Some s -> Ok (s, true)
+          | None ->
+            Error
+              (Printf.sprintf
+                 "workload %S has no paper-scale tier; see `c11test list'"
+                 w.Registry.name))
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some n -> Ok (n, false)
+          | None ->
+            Error
+              (Printf.sprintf "--scale expects an integer or `tier', got %S" s))
+      in
+      match (prune_of_string prune, scale_spec) with
+      | Error e, _ | _, Error e ->
         prerr_endline e;
         2
-      | Ok prune ->
+      | Ok prune, Ok (scale, tier) ->
         validate_jobs jobs @@ fun jobs ->
+        (* the tier contract: streaming certification always on, graph
+           pruning on (the engine is quadratic without it), and a step
+           budget that fits a 10M-op execution *)
+        let iters = if tier then 1 else iters in
+        let prune =
+          if tier && prune = Pruner.No_prune then
+            Pruner.Aggressive { window = 4096; interval = 64 }
+          else prune
+        in
+        let certify = certify || tier in
         with_sinks ~coverage ~progress ~total:iters
         @@ fun cov_sink progress_handle ->
         let config =
           {
-            (Tool.config ~prune tool) with
+            (Tool.config ~prune
+               ?max_steps:(if tier then Some 30_000_000 else None)
+               tool)
+            with
             Engine.seed = Int64.of_int seed;
             certify;
             coverage = coverage <> None;
           }
         in
-        let scale = Option.value ~default:w.Registry.default_scale scale in
         let variant = if buggy then Variant.Buggy else Variant.Correct in
         let body = w.Registry.run ~variant ~scale in
         (* any NDJSON stream aimed at `-' owns stdout: the human-readable
@@ -304,6 +340,7 @@ let run_cmd =
         (match json with
         | None -> ()
         | Some path ->
+          let gc = Gc.quick_stat () in
           let doc =
             Jsonx.Obj
               [
@@ -315,6 +352,8 @@ let run_cmd =
                 ("seed", Jsonx.Int seed);
                 ("jobs", Jsonx.Int jobs);
                 ("scale", Jsonx.Int scale);
+                ("scale_tier", Jsonx.Bool tier);
+                ("gc_top_heap_words", Jsonx.Int gc.Gc.top_heap_words);
                 ("summary", Tester.summary_to_json summary);
                 ("metrics", Metrics.to_json metrics);
                 ("profile", Profile.to_json profile);
@@ -418,8 +457,10 @@ let fuzz_cmd =
   in
   let certify_every_arg =
     let doc =
-      "Run the axiomatic certifier on every $(docv)-th program (1 certifies \
-       all, 0 none — leaving only the crash/deadlock oracle)."
+      "Deprecated no-op: streaming certification is always on, so every \
+       program is certified regardless of $(docv).  Kept as an alias so \
+       existing invocations keep working (a stderr warning is printed when \
+       the value differs from 1)."
     in
     Arg.(value & opt int 1 & info [ "certify-every" ] ~docv:"N" ~doc)
   in
@@ -500,10 +541,7 @@ let fuzz_cmd =
             Printf.printf
               "fuzzing %d programs (profile %s, <=%d threads, <=%d ops%s%s)%s\n"
               programs (Fuzz.profile_name profile) threads ops
-              (match certify_every with
-              | 0 -> ", uncertified"
-              | 1 -> ", certifying all"
-              | n -> Printf.sprintf ", certifying every %dth" n)
+              ", certifying all"
               (match mutation with
               | None -> ""
               | Some m -> ", mutant " ^ Execution.mutation_name m)

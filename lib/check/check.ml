@@ -673,13 +673,15 @@ let check_theorem1 c ~graph ~loc (writes : Action.t list) reach =
 
 (* ------------------------------------------------------------------ *)
 
+let na_total_mo =
+  "Total_mo executions use 2011 release sequences, outside the certified \
+   fragment"
+
 let certify (exec : Execution.t) =
-  if not exec.Execution.cert_on then
+  if not (exec.Execution.cert_on && exec.Execution.cert_record) then
     Not_applicable "execution was not recorded for certification"
   else if exec.Execution.mode <> Execution.Full_c11 then
-    Not_applicable
-      "Total_mo executions use 2011 release sequences, outside the \
-       certified fragment"
+    Not_applicable na_total_mo
   else begin
     let trace = Array.of_list (Execution.cert_trace exec) in
     let edges = Array.of_list (Execution.cert_sync_edges exec) in
@@ -760,3 +762,869 @@ let certify (exec : Execution.t) =
         }
     | vs -> Rejected vs
   end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming incremental certification.
+
+   The post-hoc certifier above rebuilds everything from the complete
+   retained trace — an O(n²)-ish pass that caps execution size.  The
+   stream below consumes the same inputs *as the execution produces
+   them* (via an [Execution.cert_sink]), maintains the certified clock
+   replica incrementally, runs the per-action axiom checks online, and
+   — the point of the exercise — *retires* actions whose every future
+   obligation is provably discharged, freeing their window storage so
+   certification memory is bounded by the live window, not the run
+   length.
+
+   Equivalence with [certify] (checked by the QCheck differential in the
+   test suite, key-level on rejections, bit-level on certified stats):
+
+   - The certified clocks are replayed in arrival order, which coincides
+     with the post-hoc (seq, rank) event order because every release
+     point is announced (and snapshotted) at the instant the engine
+     passes it — [cs_release] plays the role of the post-hoc [Snap]
+     event, eagerly.
+   - Backward hb pairs (later action as source) can never produce a
+     differential violation — every clock entry is bounded by the seq of
+     the event that wrote it — so checking each new action against the
+     live window covers exactly the pairs the post-hoc double loop does.
+   - An action retires only when (a) the certified and operational
+     clocks of every live thread *agree* on whether they cover it — so
+     no future snapshot can disagree about it either (merges only
+     propagate existing coverage), (b) it is not a release-sequence head
+     of an unretired store, (c) a write is additionally unreadable (a
+     newer same-cell store is covered by every runnable thread's engine
+     clock) and cv-mo-before every still-readable same-location store —
+     which discharges its CoWW/CoWR obligations against all future
+     actions, because a future write's prior set always contains a cover
+     of it, and (d) no coherence obligation is pending anywhere (a
+     pending obligation — a window pair whose mo edge [Mograph.reaches]
+     cannot yet confirm — pauses retirement wholesale, so a dropped mo
+     edge freezes the window into the full trace and finalize degenerates
+     to the exact post-hoc per-location checks).
+   - Mo-graph-dependent families (coherence cycle, CoWW/CoWR residue,
+     Theorem 1) run at [finalize] with the *same* code as the post-hoc
+     pass, over the unretired window; retired actions are exactly those
+     proven unable to participate in a violation.
+
+   Known, deliberate divergence: a synthetically corrupted trace whose
+   read names a *future* store is reported as "not in the trace" here
+   but "executes after" post-hoc; the real engine (and its seeded
+   mutants) never produces such an rf.  Violation *keys* still differ
+   only in stripped digits. *)
+
+module Stream = struct
+  type tstate = {
+    mutable cl : int array;  (* certified clock replica, grown on demand *)
+    mutable pend : int array;  (* pending acquire-fence buffer *)
+    mutable relf_cv : int array option;
+        (* the certified clock of this thread's last release fence (F^rel),
+           copied at the fence so the fence itself can retire *)
+  }
+
+  (* A window coherence pair whose mo edge isn't (yet) confirmed by
+     clock-vector reachability: retirement pauses until it discharges. *)
+  type oblig = { o_src : Action.t; o_dst : Action.t }
+
+  (* Live writes of one location by one thread, ascending by seq: the
+     feed-time completeness checks and the retirement barrier only ever
+     ask for "the newest write at or below a bound", so cells are arrays
+     binary-searched in O(log n) — a list walk from the newest end is
+     O(window) for a bound that trails far behind (a spinning thread's
+     relaxed stores as seen by everyone else). *)
+  type cell = { mutable cws : Action.t array; mutable cn : int }
+
+  type lstate = {
+    mutable l_acts_rev : Action.t list;  (* live window actions, newest first *)
+    l_cells : (int, cell) Hashtbl.t;
+    mutable l_last_sc_w : Action.t option;  (* pinned: 29.3/3 witness *)
+    mutable l_barrier : int array;
+        (* per cell tid: newest store seq covered by every runnable
+           thread's engine clock (monotone); strictly older same-cell
+           stores are unreadable forever *)
+  }
+
+  type t = {
+    exec : Execution.t;
+    counted : int -> bool;
+        (* thread contributes to the readability frontier: live and not
+           parked on an unconditional acquire (join / held mutex) *)
+    mutable nthreads : int;
+    mutable ts : tstate array;
+    acv : (int, int array) Hashtbl.t;
+    rel_cv : (int, int array) Hashtbl.t;
+        (* store seq -> pre-merged release clock: the union of the
+           certified clocks of the store's release-sequence heads.  The
+           post-hoc pass merges acv(h) per head at each read; the union
+           is associative and each acv(h) is fixed at h's feed, so
+           folding it store-by-store (own head ∪ predecessor's clock
+           along the RMW chain) reads back identically — and unlike a
+           head list it pins nothing: an RMW chain would otherwise keep
+           every head back to the chain start unretirable. *)
+    rel_snaps : (int, int array) Hashtbl.t;  (* release seq -> snapshot *)
+    claimed : (int, int) Hashtbl.t;  (* store seq -> claiming rmw seq *)
+    by_loc : (int, lstate) Hashtbl.t;
+    mutable live : Action.t list;  (* global window, newest first *)
+    mutable obligs : oblig list;
+    mutable fed : Bytes.t;  (* bitset over seqs: action membership *)
+    (* online violation buckets, newest first, post-hoc family caps *)
+    mutable v_sync : violation list;
+    mutable c_sync : int;
+    mutable v_irr : violation list;
+    mutable c_irr : int;
+    mutable v_diff : violation list;
+    mutable c_diff : int;
+    mutable v_rf : violation list;
+    mutable c_rf : int;
+    mutable v_rmw : (violation * (Action.t * Action.t) option) list;
+        (* [Some (store, rmw)]: immediacy candidate, re-probed against the
+           final graph at finalize (a pruned end drops it, as post-hoc) *)
+    mutable c_rmw : int;
+    mutable v_sc_pair : violation list;
+    mutable v_sc_read : violation list;
+    mutable c_sc : int;
+    mutable max_cv_entry : int;  (* sc backward-pair scan guard *)
+    mutable n_actions : int;
+    mutable n_reads : int;
+    mutable n_writes : int;
+    mutable n_sc : int;
+    mutable n_edges : int;
+    mutable n_retired : int;
+    mutable frozen : bool;  (* any violation: retirement halts for good *)
+    mutable finalized : verdict option;
+  }
+
+  let mk_tstate () = { cl = [||]; pend = [||]; relf_cv = None }
+
+  let create ~exec ~counted =
+    {
+      exec;
+      counted;
+      nthreads = 0;
+      ts = [||];
+      acv = Hashtbl.create 4096;
+      rel_cv = Hashtbl.create 1024;
+      rel_snaps = Hashtbl.create 64;
+      claimed = Hashtbl.create 256;
+      by_loc = Hashtbl.create 64;
+      live = [];
+      obligs = [];
+      fed = Bytes.create 1024;
+      v_sync = [];
+      c_sync = 0;
+      v_irr = [];
+      c_irr = 0;
+      v_diff = [];
+      c_diff = 0;
+      v_rf = [];
+      c_rf = 0;
+      v_rmw = [];
+      c_rmw = 0;
+      v_sc_pair = [];
+      v_sc_read = [];
+      c_sc = 0;
+      max_cv_entry = 0;
+      n_actions = 0;
+      n_reads = 0;
+      n_writes = 0;
+      n_sc = 0;
+      n_edges = 0;
+      n_retired = 0;
+      frozen = false;
+      finalized = None;
+    }
+
+  let certified_ops s = s.n_actions
+  let retired_ops s = s.n_retired
+  let anomalous s = s.frozen || s.obligs <> []
+
+  (* growable int arrays, zero-filled: a short array reads as 0s, exactly
+     like the post-hoc fixed-width clocks *)
+  let grown arr n =
+    let len = Array.length arr in
+    if len >= n then arr
+    else begin
+      let a = Array.make (max n ((2 * len) + 4)) 0 in
+      Array.blit arr 0 a 0 len;
+      a
+    end
+
+  let sget arr u = if u < Array.length arr then arr.(u) else 0
+
+  let merge_grow dst src =
+    let d = grown dst (Array.length src) in
+    merge_into d src;
+    d
+
+  let ensure_tid s tid =
+    if tid >= s.nthreads then begin
+      let n = tid + 1 in
+      let ts = Array.make n (mk_tstate ()) in
+      Array.blit s.ts 0 ts 0 s.nthreads;
+      for i = s.nthreads to n - 1 do
+        ts.(i) <- mk_tstate ()
+      done;
+      s.ts <- ts;
+      s.nthreads <- n
+    end
+
+  let mark_fed s seq =
+    let byte = seq lsr 3 in
+    if byte >= Bytes.length s.fed then begin
+      let b = Bytes.make (max (byte + 1) (2 * Bytes.length s.fed)) '\000' in
+      Bytes.blit s.fed 0 b 0 (Bytes.length s.fed);
+      s.fed <- b
+    end;
+    Bytes.set s.fed byte
+      (Char.chr (Char.code (Bytes.get s.fed byte) lor (1 lsl (seq land 7))))
+
+  let is_fed s seq =
+    let byte = seq lsr 3 in
+    byte < Bytes.length s.fed
+    && Char.code (Bytes.get s.fed byte) land (1 lsl (seq land 7)) <> 0
+
+  let lstate s loc =
+    match Hashtbl.find_opt s.by_loc loc with
+    | Some l -> l
+    | None ->
+      let l =
+        {
+          l_acts_rev = [];
+          l_cells = Hashtbl.create 4;
+          l_last_sc_w = None;
+          l_barrier = [||];
+        }
+      in
+      Hashtbl.replace s.by_loc loc l;
+      l
+
+  let cell_push c a =
+    if c.cn = Array.length c.cws then begin
+      let arr = Array.make (max 8 (2 * c.cn)) a in
+      Array.blit c.cws 0 arr 0 c.cn;
+      c.cws <- arr
+    end;
+    c.cws.(c.cn) <- a;
+    c.cn <- c.cn + 1
+
+  (* index of the newest write with seq <= bound, or -1 *)
+  let cell_newest_le c bound =
+    if c.cn = 0 || c.cws.(0).Action.seq > bound then -1
+    else begin
+      let lo = ref 0 and hi = ref (c.cn - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if c.cws.(mid).Action.seq <= bound then lo := mid else hi := mid - 1
+      done;
+      !lo
+    end
+
+  (* mo confirmation for a window pair; trusting Theorem 1 here is fine —
+     the Theorem-1 differential still validates cv-vs-DFS agreement on
+     the live residue at finalize. *)
+  let mo_confirmed s (a : Action.t) (b : Action.t) =
+    s.exec.Execution.pruned_count > 0
+    ||
+    let graph = s.exec.Execution.graph in
+    match (Mograph.find_node graph a, Mograph.find_node graph b) with
+    | Some _, Some _ -> Mograph.reaches graph a b
+    | _ -> true (* a pruned end: the post-hoc completeness checks skip it *)
+
+  let require_mo s src dst =
+    if not (mo_confirmed s src dst) then
+      s.obligs <- { o_src = src; o_dst = dst } :: s.obligs
+
+  (* --- feeds ----------------------------------------------------- *)
+
+  let feed_release s ~tid ~seq =
+    ensure_tid s tid;
+    let snap = Array.copy s.ts.(tid).cl in
+    let snap = grown snap (tid + 1) in
+    if seq > snap.(tid) then snap.(tid) <- seq;
+    if seq > s.max_cv_entry then s.max_cv_entry <- seq;
+    Hashtbl.replace s.rel_snaps seq snap
+
+  let feed_release_drop s ~seq = Hashtbl.remove s.rel_snaps seq
+
+  let feed_edge s (e : Execution.sync_edge) =
+    s.n_edges <- s.n_edges + 1;
+    let nt = s.exec.Execution.nthreads in
+    if s.c_sync < cap then
+      if
+        e.se_from_tid < 0 || e.se_from_tid >= nt || e.se_to_tid < 0
+        || e.se_to_tid >= nt || e.se_from_seq <= 0
+        || (e.se_to_seq <> 0 && e.se_to_seq <= e.se_from_seq)
+      then begin
+        s.c_sync <- s.c_sync + 1;
+        s.v_sync <-
+          {
+            axiom = Sync_wf;
+            actions = [];
+            detail =
+              Printf.sprintf
+                "malformed sync edge t%d@#%d -> t%d@#%d (tids in [0,%d), \
+                 release must precede acquire)"
+                e.se_from_tid e.se_from_seq e.se_to_tid e.se_to_seq nt;
+          }
+          :: s.v_sync;
+        s.frozen <- true
+      end;
+    if e.se_to_tid >= 0 && e.se_to_tid < nt then begin
+      ensure_tid s e.se_to_tid;
+      match Hashtbl.find_opt s.rel_snaps e.se_from_seq with
+      | Some snap ->
+        let ts = s.ts.(e.se_to_tid) in
+        ts.cl <- merge_grow ts.cl snap;
+        let cl = grown ts.cl (e.se_to_tid + 1) in
+        ts.cl <- cl;
+        if e.se_to_seq > cl.(e.se_to_tid) then begin
+          cl.(e.se_to_tid) <- e.se_to_seq;
+          if e.se_to_seq > s.max_cv_entry then s.max_cv_entry <- e.se_to_seq
+        end
+      | None -> ()
+    end
+
+  let push_diff s (a_seq : int) (b_seq : int) certified operational =
+    s.c_diff <- s.c_diff + 1;
+    s.v_diff <-
+      {
+        axiom = Hb_differential;
+        actions = [ a_seq; b_seq ];
+        detail =
+          Printf.sprintf
+            "#%d -hb-> #%d is %b under the certified (sb ∪ sw)⁺ closure \
+             but %b under the engine's clock vectors"
+            a_seq b_seq certified operational;
+      }
+      :: s.v_diff;
+    s.frozen <- true
+
+  let check_action_online s (a : Action.t) snap ~pre_max =
+    (* hb irreflexivity: a foreign slot at or above the action's seq *)
+    Array.iteri
+      (fun u v ->
+        if u <> a.tid && v >= a.seq && s.c_irr < cap then begin
+          s.c_irr <- s.c_irr + 1;
+          s.v_irr <-
+            {
+              axiom = Hb_irreflexivity;
+              actions = [ a.seq ];
+              detail =
+                Printf.sprintf
+                  "action #%d's certified clock covers t%d@#%d, which does \
+                   not precede it"
+                  a.seq u v;
+            }
+            :: s.v_irr;
+          s.frozen <- true
+        end)
+      snap;
+    (* hb differential, forward pairs only: per-thread certified vs
+       operational coverage; a mismatched slot is enumerated over the
+       live window (empty in clean runs: the slots agree) *)
+    for u = 0 to s.nthreads - 1 do
+      if s.c_diff < cap then begin
+        let cs = sget snap u and oc = Clockvec.get a.hb_cv u in
+        if cs <> oc then begin
+          s.frozen <- true;
+          let lo = min cs oc and hi = max cs oc in
+          List.iter
+            (fun (x : Action.t) ->
+              if
+                s.c_diff < cap && x.tid = u && x.seq > lo && x.seq <= hi
+                && x.seq <> a.seq
+              then push_diff s x.seq a.seq (cs >= x.seq) (oc >= x.seq))
+            s.live
+        end
+      end
+    done;
+    (* rf well-formedness *)
+    (if Action.is_read a && s.c_rf < cap then
+       let fail actions msg =
+         s.c_rf <- s.c_rf + 1;
+         s.v_rf <- { axiom = Rf_wf; actions; detail = msg } :: s.v_rf;
+         s.frozen <- true
+       in
+       match a.rf with
+       | None ->
+         fail [ a.seq ]
+           (Printf.sprintf "read #%d of loc %d has no reads-from store"
+              a.seq a.loc)
+       | Some st ->
+         if not (is_fed s st.seq) then
+           fail [ a.seq; st.seq ]
+             (Printf.sprintf "read #%d reads-from #%d, not in the trace"
+                a.seq st.seq)
+         else if not (Action.is_write st) then
+           fail [ a.seq; st.seq ]
+             (Printf.sprintf "read #%d reads-from #%d, which is not a write"
+                a.seq st.seq)
+         else if st.loc <> a.loc then
+           fail [ a.seq; st.seq ]
+             (Printf.sprintf "read #%d of loc %d reads-from #%d of loc %d"
+                a.seq a.loc st.seq st.loc)
+         else if st.seq >= a.seq then
+           fail [ a.seq; st.seq ]
+             (Printf.sprintf
+                "read #%d reads-from #%d, which executes after it" a.seq
+                st.seq)
+         else if a.kind = Action.Load && a.value <> st.value then
+           fail [ a.seq; st.seq ]
+             (Printf.sprintf
+                "load #%d returned %d but its reads-from store #%d wrote %d"
+                a.seq a.value st.seq st.value));
+    (* rmw atomicity: double claim + mo immediacy (re-probed at finalize
+       against the final graph, mirroring the post-hoc pruning skip) *)
+    (if a.kind = Action.Rmw && s.c_rmw < cap then
+       match a.rf with
+       | None -> ()
+       | Some st ->
+         (match Hashtbl.find_opt s.claimed st.seq with
+         | Some other ->
+           s.c_rmw <- s.c_rmw + 1;
+           s.v_rmw <-
+             ( {
+                 axiom = Rmw_atomicity;
+                 actions = [ st.seq; other; a.seq ];
+                 detail =
+                   Printf.sprintf "store #%d is read by two RMWs, #%d and #%d"
+                     st.seq other a.seq;
+               },
+               None )
+             :: s.v_rmw;
+           s.frozen <- true
+         | None -> Hashtbl.replace s.claimed st.seq a.seq);
+         let graph = s.exec.Execution.graph in
+         (match (Mograph.find_node graph st, Mograph.find_node graph a) with
+         | Some ns, Some nr ->
+           let immediate =
+             match ns.Mograph.rmw with Some x -> x == nr | None -> false
+           in
+           if not immediate then begin
+             s.c_rmw <- s.c_rmw + 1;
+             s.v_rmw <-
+               ( {
+                   axiom = Rmw_atomicity;
+                   actions = [ st.seq; a.seq ];
+                   detail =
+                     Printf.sprintf
+                       "rmw #%d reads-from #%d but does not immediately \
+                        mo-follow it"
+                       a.seq st.seq;
+                 },
+                 Some (st, a) )
+               :: s.v_rmw;
+             s.frozen <- true
+           end
+         | _ -> ()));
+    (* sc order *)
+    if Memorder.is_seq_cst a.mo then begin
+      s.n_sc <- s.n_sc + 1;
+      (* backward pairs: an earlier sc action whose snapshot covers this
+         one.  Impossible unless some clock entry already reached this
+         seq — the guard keeps clean runs O(1). *)
+      if s.c_sc < cap && pre_max >= a.seq then
+        List.iter
+          (fun (x : Action.t) ->
+            if Memorder.is_seq_cst x.mo && x.seq < a.seq && s.c_sc < cap then
+              match Hashtbl.find_opt s.acv x.seq with
+              | Some xc when sget xc a.tid >= a.seq ->
+                s.c_sc <- s.c_sc + 1;
+                s.v_sc_pair <-
+                  {
+                    axiom = Sc_order;
+                    actions = [ x.seq; a.seq ];
+                    detail =
+                      Printf.sprintf
+                        "sc order places #%d before #%d but #%d happens \
+                         before #%d"
+                        x.seq a.seq a.seq x.seq;
+                  }
+                  :: s.v_sc_pair;
+                s.frozen <- true
+              | _ -> ())
+          s.live;
+      (* 29.3/3: an sc read must not observe a store hidden behind the
+         last sc store to its location (the pinned per-loc witness) *)
+      (if Action.is_read a && s.c_sc < cap then
+         match a.rf with
+         | None -> ()
+         | Some x when a.loc >= 0 -> (
+           match (lstate s a.loc).l_last_sc_w with
+           | Some sw when x.seq <> sw.seq ->
+             let hidden =
+               (Memorder.is_seq_cst x.mo && x.seq < sw.seq)
+               || (x.seq <> sw.seq
+                  &&
+                  match Hashtbl.find_opt s.acv sw.seq with
+                  | Some sc' -> sget sc' x.tid >= x.seq
+                  | None -> false)
+             in
+             if hidden then begin
+               s.c_sc <- s.c_sc + 1;
+               s.v_sc_read <-
+                 {
+                   axiom = Sc_order;
+                   actions = [ a.seq; x.seq; sw.seq ];
+                   detail =
+                     Printf.sprintf
+                       "sc read #%d observes #%d, hidden behind the last \
+                        sc store #%d to loc %d"
+                       a.seq x.seq sw.seq a.loc;
+                 }
+                 :: s.v_sc_read;
+               s.frozen <- true
+             end
+           | Some _ | None -> ())
+         | Some _ -> ());
+      if Action.is_write a && a.loc >= 0 then
+        (lstate s a.loc).l_last_sc_w <- Some a
+    end
+
+  (* Coherence completeness obligations for a new window action, using
+     per-cell newest-covered representatives: older same-cell writes are
+     chained through them (mo is transitive under cv reachability), so
+     each feed checks O(threads) pairs, not O(window). *)
+  let coherence_obligations s (a : Action.t) snap =
+    if a.loc >= 0 then begin
+      let l = lstate s a.loc in
+      (if Action.is_write a then
+         Hashtbl.iter
+           (fun tid c ->
+             if tid = a.tid then begin
+               if c.cn > 0 then begin
+                 let prev = c.cws.(c.cn - 1) in
+                 if prev.Action.seq <> a.seq then require_mo s prev a
+               end
+             end
+             else begin
+               let i = cell_newest_le c (sget snap tid) in
+               if i >= 0 then begin
+                 let w = c.cws.(i) in
+                 if w.Action.seq <> a.seq then require_mo s w a
+               end
+             end)
+           l.l_cells);
+      (if Action.is_read a then
+         match a.rf with
+         | Some st when st.loc = a.loc ->
+           Hashtbl.iter
+             (fun tid c ->
+               let i = cell_newest_le c (sget snap tid) in
+               if i >= 0 then begin
+                 let w = c.cws.(i) in
+                 if w.Action.seq <> st.Action.seq && w.Action.seq <> a.seq
+                 then require_mo s w st
+               end)
+             l.l_cells
+         | Some _ | None -> ());
+      (* window bookkeeping after the checks: the action joins its loc *)
+      l.l_acts_rev <- a :: l.l_acts_rev;
+      if Action.is_write a then
+        match Hashtbl.find_opt l.l_cells a.tid with
+        | Some c -> cell_push c a
+        | None ->
+          let c = { cws = Array.make 8 a; cn = 1 } in
+          Hashtbl.replace l.l_cells a.tid c
+    end
+
+  let rec feed_action s (a : Action.t) =
+    ensure_tid s a.tid;
+    let pre_max = s.max_cv_entry in
+    let ts = s.ts.(a.tid) in
+    (* certified clock replica: own tick, then the Act merge rules *)
+    let cl = grown ts.cl (a.tid + 1) in
+    ts.cl <- cl;
+    cl.(a.tid) <- a.seq;
+    if a.seq > s.max_cv_entry then s.max_cv_entry <- a.seq;
+    (match a.kind with
+    | Action.Load | Action.Rmw -> (
+      match a.rf with
+      | Some st when st.Action.seq < a.seq -> (
+        match Hashtbl.find_opt s.rel_cv st.Action.seq with
+        | Some rc when Array.length rc > 0 ->
+          if Memorder.is_acquire a.mo then ts.cl <- merge_grow ts.cl rc
+          else ts.pend <- merge_grow ts.pend rc
+        | Some _ | None -> ())
+      | Some _ | None -> ())
+    | Action.Fence ->
+      if Memorder.is_acquire a.mo then ts.cl <- merge_grow ts.cl ts.pend
+    | Action.Store | Action.Na_store -> ());
+    let snap = Array.copy ts.cl in
+    Hashtbl.replace s.acv a.seq snap;
+    (* the store's release clock: what a reads-from of this store (or of
+       a later RMW in its release sequence) synchronises with *)
+    (match a.kind with
+    | Action.Fence ->
+      if Memorder.is_release a.mo then ts.relf_cv <- Some snap
+    | Action.Store | Action.Rmw ->
+      let chain =
+        match a.kind with
+        | Action.Rmw -> (
+          match a.rf with
+          | Some prev when prev.Action.seq < a.seq ->
+            Hashtbl.find_opt s.rel_cv prev.Action.seq
+          | Some _ | None -> None)
+        | _ -> None
+      in
+      let own =
+        if Memorder.is_release a.mo then Some snap else ts.relf_cv
+      in
+      (match (own, chain) with
+      | None, None -> ()
+      | Some rc, None | None, Some rc -> Hashtbl.replace s.rel_cv a.seq rc
+      | Some o, Some c -> Hashtbl.replace s.rel_cv a.seq (merge_grow (Array.copy o) c))
+    | Action.Na_store | Action.Load -> ());
+    mark_fed s a.seq;
+    s.n_actions <- s.n_actions + 1;
+    if Action.is_read a then s.n_reads <- s.n_reads + 1;
+    if Action.is_write a then s.n_writes <- s.n_writes + 1;
+    check_action_online s a snap ~pre_max;
+    coherence_obligations s a snap;
+    s.live <- a :: s.live;
+    if s.n_actions land 4095 = 0 then sweep s
+
+  (* --- retirement ------------------------------------------------- *)
+
+  and sweep s =
+    (* re-try pending obligations first: mo only grows *)
+    s.obligs <-
+      List.filter
+        (fun o -> not (mo_confirmed s o.o_src o.o_dst))
+        s.obligs;
+    if (not s.frozen) && s.obligs = [] then begin
+      let exec = s.exec in
+      let nt = exec.Execution.nthreads in
+      (* engine-clock frontier over runnable threads: what every possible
+         future reader is guaranteed to cover *)
+      let omin = Array.make nt max_int in
+      let any_counted = ref false in
+      for v = 0 to nt - 1 do
+        let tv = exec.Execution.threads.(v) in
+        if tv.Execution.live && s.counted v then begin
+          any_counted := true;
+          for u = 0 to nt - 1 do
+            let x = Clockvec.get tv.Execution.c u in
+            if x < omin.(u) then omin.(u) <- x
+          done
+        end
+      done;
+      if !any_counted then begin
+        (* advance per-cell readability barriers (monotone) *)
+        Hashtbl.iter
+          (fun _ l ->
+            l.l_barrier <- grown l.l_barrier nt;
+            Hashtbl.iter
+              (fun tid c ->
+                if tid < nt then begin
+                  let i = cell_newest_le c omin.(tid) in
+                  if i >= 0 && c.cws.(i).Action.seq > l.l_barrier.(tid) then
+                    l.l_barrier.(tid) <- c.cws.(i).Action.seq
+                end)
+              l.l_cells)
+          s.by_loc;
+        (* certified/operational agreement per live thread: no future
+           snapshot can disagree about an action both sides agree on *)
+        let agree (a : Action.t) =
+          let ok = ref true in
+          for v = 0 to nt - 1 do
+            if !ok then begin
+              let tv = exec.Execution.threads.(v) in
+              if tv.Execution.live then begin
+                let cc = sget s.ts.(v).cl a.tid in
+                let oc = Clockvec.get tv.Execution.c a.tid in
+                if cc >= a.seq <> (oc >= a.seq) then ok := false
+              end
+            end
+          done;
+          !ok
+        in
+        let store_ok (w : Action.t) =
+          let l = lstate s w.loc in
+          let unreadable =
+            sget l.l_barrier w.tid > w.seq
+            || (exec.Execution.pruned_count > 0
+               && Mograph.find_node exec.Execution.graph w = None)
+          in
+          unreadable
+          && (match l.l_last_sc_w with
+             | Some sw -> sw.seq <> w.seq
+             | None -> true)
+          &&
+          (* cv-mo-before every still-readable same-location store: this
+             discharges CoWW/CoWR against every future action *)
+          (exec.Execution.pruned_count > 0
+          ||
+          let ok = ref true in
+          Hashtbl.iter
+            (fun tid c ->
+              if !ok then begin
+                (* still-readable = at or past the barrier; the newest
+                   write strictly below it starts the scan *)
+                let b = sget l.l_barrier tid in
+                let start = 1 + cell_newest_le c (b - 1) in
+                let i = ref (max 0 start) in
+                while !ok && !i < c.cn do
+                  let y = c.cws.(!i) in
+                  if y.Action.seq <> w.seq && not (mo_confirmed s w y) then
+                    ok := false;
+                  incr i
+                done
+              end)
+            l.l_cells;
+          !ok)
+        in
+        let to_retire = Hashtbl.create 64 in
+        List.iter
+          (fun (a : Action.t) ->
+            if
+              agree a
+              && (not (Action.is_write a && a.loc >= 0) || store_ok a)
+            then Hashtbl.replace to_retire a.seq ())
+          s.live;
+        if Hashtbl.length to_retire > 0 then begin
+          List.iter
+            (fun (a : Action.t) ->
+              if Hashtbl.mem to_retire a.seq then begin
+                Hashtbl.remove s.acv a.seq;
+                Hashtbl.remove s.claimed a.seq;
+                Hashtbl.remove s.rel_cv a.seq;
+                s.n_retired <- s.n_retired + 1
+              end)
+            s.live;
+          s.live <-
+            List.filter
+              (fun (a : Action.t) -> not (Hashtbl.mem to_retire a.seq))
+              s.live;
+          Hashtbl.iter
+            (fun _ l ->
+              l.l_acts_rev <-
+                List.filter
+                  (fun (a : Action.t) -> not (Hashtbl.mem to_retire a.seq))
+                  l.l_acts_rev;
+              Hashtbl.iter
+                (fun _ c ->
+                  let j = ref 0 in
+                  for i = 0 to c.cn - 1 do
+                    let w = c.cws.(i) in
+                    if not (Hashtbl.mem to_retire w.Action.seq) then begin
+                      c.cws.(!j) <- w;
+                      incr j
+                    end
+                  done;
+                  if !j < c.cn then begin
+                    (* exact copy: capacity slots past [cn] would pin
+                       retired actions against the GC *)
+                    c.cws <- Array.sub c.cws 0 (max 1 !j);
+                    c.cn <- !j
+                  end)
+                l.l_cells)
+            s.by_loc
+        end
+      end
+    end
+
+  (* --- finalize ---------------------------------------------------- *)
+
+  let finalize_now s =
+    let exec = s.exec in
+    if exec.Execution.mode <> Execution.Full_c11 then Not_applicable na_total_mo
+    else begin
+      let graph = exec.Execution.graph in
+      let graph_exact = exec.Execution.pruned_count = 0 in
+      (* mo-graph families over the live residue, with the exact post-hoc
+         code: build a window-scoped cert whose acv is the stream's *)
+      let mini =
+        {
+          nthreads = s.nthreads;
+          trace = [||];
+          by_seq = Hashtbl.create 1;
+          edges = [||];
+          acv = s.acv;
+          heads = Hashtbl.create 1;
+          last_rel_fence = Hashtbl.create 1;
+          violations = [];
+        }
+      in
+      let locs =
+        Hashtbl.fold
+          (fun loc l acc ->
+            if l.l_acts_rev = [] && Hashtbl.length s.by_loc > 0 then
+              (loc, []) :: acc
+            else (loc, List.rev l.l_acts_rev) :: acc)
+          s.by_loc []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      List.iter
+        (fun (loc, acts) ->
+          if acts <> [] then begin
+            let writes, reach =
+              check_location mini ~graph ~graph_exact ~loc acts
+            in
+            if graph_exact then check_theorem1 mini ~graph ~loc writes reach
+          end)
+        locs;
+      (* rmw immediacy candidates re-probed against the final graph: a
+         pruned end makes immediacy unobservable, as post-hoc *)
+      let rmw =
+        List.rev s.v_rmw
+        |> List.filter_map (fun (v, probe) ->
+               match probe with
+               | None -> Some v
+               | Some (st, r) -> (
+                 match (Mograph.find_node graph st, Mograph.find_node graph r)
+                 with
+                 | Some ns, Some nr ->
+                   let immediate =
+                     match ns.Mograph.rmw with
+                     | Some x -> x == nr
+                     | None -> false
+                   in
+                   if immediate then None else Some v
+                 | _ -> None))
+      in
+      let violations =
+        List.concat
+          [
+            List.rev s.v_sync;
+            List.rev s.v_irr;
+            List.rev s.v_diff;
+            List.rev s.v_rf;
+            List.rev mini.violations;
+            rmw;
+            List.rev s.v_sc_pair;
+            List.rev s.v_sc_read;
+          ]
+      in
+      match violations with
+      | [] ->
+        Certified
+          {
+            actions = s.n_actions;
+            reads = s.n_reads;
+            writes = s.n_writes;
+            sc_actions = s.n_sc;
+            sync_edges = s.n_edges;
+            hb_pairs = s.n_actions * (s.n_actions - 1);
+            locations = List.length locs;
+            graph_checked = graph_exact;
+          }
+      | vs -> Rejected vs
+    end
+
+  let finalize s =
+    match s.finalized with
+    | Some v -> v
+    | None ->
+      let v = finalize_now s in
+      s.finalized <- Some v;
+      v
+
+  let sink s =
+    {
+      Execution.cs_action = (fun a -> feed_action s a);
+      cs_edge = (fun e -> feed_edge s e);
+      cs_release = (fun ~tid ~seq -> feed_release s ~tid ~seq);
+      cs_release_drop = (fun ~seq -> feed_release_drop s ~seq);
+    }
+end

@@ -107,3 +107,42 @@ val pp_violation : Format.formatter -> violation -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
 val violation_to_json : violation -> Jsonx.t
 val verdict_to_json : verdict -> Jsonx.t
+
+(** Streaming incremental certification: the same axiom checks as
+    {!certify}, run online against an {!Execution.cert_sink} as the
+    execution produces actions and sync edges, with hb-closed prefix
+    retirement so certification memory is bounded by the live window
+    rather than the run length.
+
+    Equivalence with the post-hoc pass is key-level on rejections (same
+    verdict constructor; same sorted set of {!violation_key}s, hence the
+    same {!rejection_key}) and bit-level on {!Certified} stats; the
+    QCheck differential in the test suite enforces this, including under
+    the seeded engine mutants and pruned executions. *)
+module Stream : sig
+  type t
+
+  (** [create ~exec ~counted] builds a stream for [exec].  [counted tid]
+      must say whether thread [tid] still contributes to the readability
+      frontier — live and not parked on an unconditional acquire (a join,
+      or a lock of a mutex someone holds); retirement only trusts the
+      engine clocks of counted threads. *)
+  val create : exec:Execution.t -> counted:(int -> bool) -> t
+
+  (** The sink to install with {!Execution.set_cert_sink}. *)
+  val sink : t -> Execution.cert_sink
+
+  (** Verdict over everything fed so far.  Idempotent; runs the residual
+      window through the exact post-hoc mo-graph checks. *)
+  val finalize : t -> verdict
+
+  (** Actions certified so far (progress counter). *)
+  val certified_ops : t -> int
+
+  (** Actions whose window storage has been retired (freed). *)
+  val retired_ops : t -> int
+
+  (** True when a violation froze the window or coherence obligations are
+      pending — the window is no longer shrinking. *)
+  val anomalous : t -> bool
+end

@@ -51,6 +51,20 @@ type sync_edge = {
   se_to_seq : int;
 }
 
+(* Incremental certification sink (the streaming certifier in lib/check
+   implements one; this module only drives it).  Actions are fed once
+   their reads-from field is final; release points are fed for every
+   event a future sync edge may name as its source (thread spawn and
+   finish, mutex unlock), so the sink can snapshot its own clocks at the
+   release instead of retaining history.  [cs_release_drop] retires a
+   release snapshot that can no longer be named (a superseded unlock). *)
+type cert_sink = {
+  cs_action : Action.t -> unit;
+  cs_edge : sync_edge -> unit;
+  cs_release : tid:int -> seq:int -> unit;
+  cs_release_drop : seq:int -> unit;
+}
+
 type loc_info = {
   li_loc : int;
   mutable cells : loc_cell list;
@@ -90,6 +104,10 @@ type t = {
   mutation : mutation option;
       (** test-only seeded engine fault; [None] (the default) is the
           correct engine *)
+  cert_record : bool;
+      (** retain the full [cert_trace_rev]/[cert_sync_rev] history; off
+          when a streaming sink consumes events instead (scale tier) *)
+  mutable cert_sink : cert_sink option;
   mutable cert_trace_rev : Action.t list;
   mutable cert_sync_rev : sync_edge list;
   mutable seq : int;
@@ -134,7 +152,10 @@ let dummy_action : Action.t =
   }
 
 let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
-    ?(certify = false) ?mutation ~mode ~rng ~race () =
+    ?(certify = false) ?cert_record ?mutation ~mode ~rng ~race () =
+  let cert_record =
+    match cert_record with Some b -> b | None -> certify
+  in
   {
     mode;
     rng;
@@ -148,6 +169,8 @@ let create ?(obs = Obs.null) ?(prof = Profile.null) ?(metrics = Metrics.null)
     metrics_on = Metrics.enabled metrics;
     cert_on = certify;
     mutation;
+    cert_record = certify && cert_record;
+    cert_sink = None;
     cert_trace_rev = [];
     cert_sync_rev = [];
     seq = 0;
@@ -195,13 +218,31 @@ let is_atomic_loc t loc =
   loc < Array.length t.atomic_locs && Array.unsafe_get t.atomic_locs loc
 
 let cert_sync_edge t ~from_tid ~from_seq ~to_tid ~to_seq =
-  t.cert_sync_rev <-
+  let e =
     { se_from_tid = from_tid; se_from_seq = from_seq; se_to_tid = to_tid; se_to_seq = to_seq }
-    :: t.cert_sync_rev
+  in
+  if t.cert_record then t.cert_sync_rev <- e :: t.cert_sync_rev;
+  match t.cert_sink with Some s -> s.cs_edge e | None -> ()
 
 (* Current sequence number of the thread's own clock slot — the seq of its
    most recent event (action or synchronisation tick). *)
 let thread_now t ~tid = Clockvec.get (thread t tid).c tid
+
+let set_cert_sink t sink = t.cert_sink <- Some sink
+
+let cert_feed t a =
+  match t.cert_sink with Some s -> s.cs_action a | None -> ()
+
+(* Announce a release point (thread spawn/finish, mutex unlock): the
+   streaming certifier snapshots its replica clocks here so a later sync
+   edge naming this (tid, seq) needs no retained history. *)
+let cert_release t ~tid =
+  match t.cert_sink with
+  | Some s -> s.cs_release ~tid ~seq:(thread_now t ~tid)
+  | None -> ()
+
+let cert_release_drop t ~seq =
+  match t.cert_sink with Some s -> s.cs_release_drop ~seq | None -> ()
 
 let new_thread t ~parent =
   let tid = t.nthreads in
@@ -224,6 +265,7 @@ let new_thread t ~parent =
   (if t.cert_on then
      match parent with
      | Some p ->
+       cert_release t ~tid:p;
        cert_sync_edge t ~from_tid:p ~from_seq:(thread_now t ~tid:p) ~to_tid:tid
          ~to_seq:0
      | None -> ());
@@ -629,7 +671,7 @@ let mk_action t ts kind ~loc ~mo ~value ~volatile ~seq =
   }
   in
   record_trace t a;
-  if t.cert_on then t.cert_trace_rev <- a :: t.cert_trace_rev;
+  if t.cert_record then t.cert_trace_rev <- a :: t.cert_trace_rev;
   a
 
 (* Fisher–Yates over the scratch buffer, drawing from the RNG in exactly
@@ -714,6 +756,7 @@ let atomic_load t ~tid ~loc ~mo ~volatile =
     a.rf <- Some s;
     add_edges t pset s;
     record_load li a;
+    if t.cert_on then cert_feed t a;
     race_atomic t a ~is_write:false;
     if t.obs_on then
       emit_access t Obs.Load ~tid ~loc ~mo:(Memorder.to_string mo)
@@ -784,6 +827,7 @@ let atomic_store t ~tid ~loc ~mo ~volatile value =
   if t.prof_on then Profile.stop t.prof "prior_set" p0;
   add_edges t pset a;
   record_store li a;
+  if t.cert_on then cert_feed t a;
   set_value t loc value;
   race_atomic t a ~is_write:true;
   if t.obs_on then
@@ -819,6 +863,7 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
     a.rf <- Some s;
     add_edges t pset s;
     record_load li a;
+    if t.cert_on then cert_feed t a;
     race_atomic t a ~is_write:false;
     if t.obs_on then
       emit_access t Obs.Load ~tid ~loc ~mo:(Memorder.to_string mo)
@@ -847,6 +892,7 @@ let atomic_rmw t ~tid ~loc ~mo ~volatile ~f =
     let wpset = write_prior_set t li ts ~store_mo:mo ~current:ts.c in
     add_edges t wpset r;
     record_store li r;
+    if t.cert_on then cert_feed t r;
     set_value t loc new_value;
     race_atomic t r ~is_write:false;
     race_atomic t r ~is_write:true;
@@ -905,14 +951,17 @@ let fence t ~tid ~mo =
   if Memorder.is_release mo then ts.frel <- Clockvec.copy ts.c;
   if Memorder.is_seq_cst mo then begin
     let a = mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq in
-    ts.sc_fences <- a :: ts.sc_fences
+    ts.sc_fences <- a :: ts.sc_fences;
+    if t.cert_on then cert_feed t a
   end
-  else if t.cert_on then
+  else if t.cert_on then begin
     (* Weaker fences are pure clock-vector operations and normally leave no
        action; the certifier reconstructs fence-based synchronisation from
        the trace, so materialise them when certifying (no RNG draws, no
        extra sequence numbers — executions are unperturbed). *)
-    ignore (mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq);
+    let a = mk_action t ts Action.Fence ~loc:(-1) ~mo ~value:0 ~volatile:false ~seq in
+    cert_feed t a
+  end;
   if t.obs_on then
     emit_access t Obs.Fence ~tid ~loc:(-1) ~mo:(Memorder.to_string mo) ~value:0
       ~detail:"" ~seq
@@ -946,7 +995,8 @@ let na_write t ~tid ~loc value =
     li.rel_head <- None;
     let pset = write_prior_set t li ts ~store_mo:Memorder.Relaxed ~current:ts.c in
     add_edges t pset a;
-    record_store li a
+    record_store li a;
+    if t.cert_on then cert_feed t a
   end;
   set_value t loc value;
   race_check t ~loc ~tid ~seq ~hb:ts.c ~is_write:true ~cls:Race.Na_access;

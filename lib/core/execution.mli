@@ -103,6 +103,21 @@ type sync_edge = {
   se_to_seq : int;
 }
 
+(** Incremental certification sink (implemented by [Check.Stream] in
+    [lib/check]; this module only drives it).  [cs_action] is called once
+    per action, after its reads-from field and mo-graph edges are final;
+    [cs_edge] once per synchronisation edge, after the source release was
+    announced via [cs_release] — so the sink can snapshot its replica
+    clocks at the release point instead of retaining history.
+    [cs_release_drop] retires a release snapshot that no future edge can
+    name (a superseded mutex unlock). *)
+type cert_sink = {
+  cs_action : Action.t -> unit;
+  cs_edge : sync_edge -> unit;
+  cs_release : tid:int -> seq:int -> unit;
+  cs_release_drop : seq:int -> unit;
+}
+
 type t = {
   mode : mode;
   rng : Rng.t;
@@ -122,6 +137,11 @@ type t = {
   mutation : mutation option;
       (** test-only seeded engine fault; [None] (the default) is the
           correct engine *)
+  cert_record : bool;
+      (** retain the full certification history below; off when a
+          streaming sink consumes events instead, so recording no longer
+          holds the whole run (scale tier) *)
+  mutable cert_sink : cert_sink option;
   mutable cert_trace_rev : Action.t list;
       (** every action, newest first (unbounded, unlike [trace_rev]);
           mutable so certifier self-tests can corrupt a recorded execution *)
@@ -161,6 +181,7 @@ val create :
   ?prof:Profile.t ->
   ?metrics:Metrics.t ->
   ?certify:bool ->
+  ?cert_record:bool ->
   ?mutation:mutation ->
   mode:mode ->
   rng:Rng.t ->
@@ -200,6 +221,19 @@ val thread_now : t -> tid:int -> int
     Callers should guard on [t.cert_on]. *)
 val cert_sync_edge :
   t -> from_tid:int -> from_seq:int -> to_tid:int -> to_seq:int -> unit
+
+(** Install a streaming certification sink.  Must be done before the
+    first transition; only meaningful with [~certify:true]. *)
+val set_cert_sink : t -> cert_sink -> unit
+
+(** [cert_release t ~tid] announces the thread's current clock slot as a
+    release point to the sink (thread finish, mutex unlock; spawn is
+    announced by {!new_thread} itself).  No-op without a sink. *)
+val cert_release : t -> tid:int -> unit
+
+(** [cert_release_drop t ~seq] tells the sink the release snapshot taken
+    at [seq] can no longer be named by a future edge. *)
+val cert_release_drop : t -> seq:int -> unit
 
 (** [release_snapshot t ~tid] is a copy of the thread's current clock — the
     release half of unlock / signal / thread finish. *)
@@ -241,9 +275,11 @@ val set_trace_capacity : t -> int -> unit
 
 val trace : t -> Action.t list
 
-(** The certifier's inputs, oldest first: every action of the execution
-    (including materialised non-sc fences) and every synchronisation edge.
-    Both are empty unless the execution was created with [~certify:true]. *)
+(** The post-hoc certifier's inputs, oldest first: every action of the
+    execution (including materialised non-sc fences) and every
+    synchronisation edge.  Both are empty unless the execution was created
+    with [~certify:true] and recording on (the default; a streaming sink
+    with [~cert_record:false] consumes the events instead). *)
 val cert_trace : t -> Action.t list
 
 val cert_sync_edges : t -> sync_edge list

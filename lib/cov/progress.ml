@@ -6,6 +6,8 @@ type state = {
   done_ : int Atomic.t;
   novel : int Atomic.t;
   findings : int Atomic.t;
+  certified_ops : int Atomic.t;
+  retired_prefix_ops : int Atomic.t;
   next_due_ns : int Atomic.t;
   finished : bool Atomic.t;
   emit_lock : Mutex.t;
@@ -27,6 +29,8 @@ let create ~out ~interval_ns ~total =
       done_ = Atomic.make 0;
       novel = Atomic.make 0;
       findings = Atomic.make 0;
+      certified_ops = Atomic.make 0;
+      retired_prefix_ops = Atomic.make 0;
       next_due_ns = Atomic.make (now + interval_ns);
       finished = Atomic.make false;
       emit_lock = Mutex.create ();
@@ -38,19 +42,35 @@ let record s kind ~done_ ~novel ~findings ~now =
   let elapsed_ns = max 1 (now - s.started_ns) in
   let elapsed_s = float_of_int elapsed_ns /. 1e9 in
   let q = Gc.quick_stat () in
+  let certified = Atomic.get s.certified_ops in
+  let retired = Atomic.get s.retired_prefix_ops in
+  (* The streaming-certification counters appear only once the streaming
+     certifier has consumed at least one action, so certify-off campaigns
+     emit records byte-identical to earlier schema versions. *)
+  let stream_fields =
+    if certified > 0 || retired > 0 then
+      [
+        ("certified_ops", Jsonx.Int certified);
+        ("retired_prefix_ops", Jsonx.Int retired);
+      ]
+    else []
+  in
   Jsonx.Obj
-    [
-      ("schema", Jsonx.String schema);
-      ("kind", Jsonx.String kind);
-      ("done", Jsonx.Int done_);
-      ("total", Jsonx.Int s.total);
-      ("novel", Jsonx.Int novel);
-      ("findings", Jsonx.Int findings);
-      ("elapsed_s", Jsonx.Float elapsed_s);
-      ("exec_per_s", Jsonx.Float (float_of_int done_ /. elapsed_s));
-      ("gc_top_heap_words", Jsonx.Int q.Gc.top_heap_words);
-      ("gc_heap_words", Jsonx.Int q.Gc.heap_words);
-    ]
+    ([
+       ("schema", Jsonx.String schema);
+       ("kind", Jsonx.String kind);
+       ("done", Jsonx.Int done_);
+       ("total", Jsonx.Int s.total);
+       ("novel", Jsonx.Int novel);
+       ("findings", Jsonx.Int findings);
+     ]
+    @ stream_fields
+    @ [
+        ("elapsed_s", Jsonx.Float elapsed_s);
+        ("exec_per_s", Jsonx.Float (float_of_int done_ /. elapsed_s));
+        ("gc_top_heap_words", Jsonx.Int q.Gc.top_heap_words);
+        ("gc_heap_words", Jsonx.Int q.Gc.heap_words);
+      ])
 
 let emit s kind ~now =
   Mutex.lock s.emit_lock;
@@ -64,6 +84,14 @@ let emit s kind ~now =
       output_string s.out (Jsonx.to_string j);
       output_char s.out '\n';
       flush s.out)
+
+let account_certified t ~certified ~retired =
+  match t with
+  | None -> ()
+  | Some s ->
+    if certified > 0 then ignore (Atomic.fetch_and_add s.certified_ops certified);
+    if retired > 0 then
+      ignore (Atomic.fetch_and_add s.retired_prefix_ops retired)
 
 let tick t ~novel ~finding =
   match t with

@@ -24,6 +24,15 @@ val null : t
 
 val enabled : t -> bool
 
+(** Credit one execution's streaming-certification work: [certified]
+    actions consumed by the streaming certifier and [retired] actions
+    whose window storage was freed by hb-closed prefix retirement.  Once
+    either campaign total is nonzero, heartbeat and [final] records carry
+    [certified_ops] / [retired_prefix_ops] fields; certify-off campaigns
+    emit records identical to earlier schema versions.  Safe from any
+    domain. *)
+val account_certified : t -> certified:int -> retired:int -> unit
+
 (** Record one finished execution; [novel] when it produced a
     shard-novel coverage shape, [finding] when it surfaced a deduplicated
     finding.  Emits a heartbeat when due.  Safe from any domain. *)

@@ -11,6 +11,10 @@ type config = {
   seed : int64;
   trace_depth : int;
   certify : bool;
+  cert_stream : bool;
+      (** certify incrementally (streaming window + prefix retirement)
+          instead of the post-hoc full-trace pass; on by default, only
+          meaningful with [certify] *)
   mutation : Execution.mutation option;
   coverage : bool;
 }
@@ -25,6 +29,7 @@ let default_config =
     seed = 1L;
     trace_depth = 0;
     certify = false;
+    cert_stream = true;
     mutation = None;
     coverage = false;
   }
@@ -45,6 +50,10 @@ type outcome = {
   trace : string list;
   certificate : Check.verdict option;
       (** [Some _] iff the execution ran with [config.certify] *)
+  certified_ops : int;
+      (** actions consumed by the streaming certifier (0 post-hoc/off) *)
+  retired_prefix_ops : int;
+      (** actions whose certification window storage was retired *)
   shape : Cov.shape option;
       (** [Some _] iff the execution ran with [config.coverage] *)
 }
@@ -244,10 +253,17 @@ let unlock_mutex st tid mu =
   Execution.tick_sync st.exec ~tid;
   ignore
     (Clockvec.merge mu.m_release_cv (Execution.release_snapshot st.exec ~tid));
-  if st.exec.Execution.cert_on then
+  if st.exec.Execution.cert_on then begin
+    (* a newer unlock by the same thread supersedes the old snapshot: no
+       future lock edge can reference it (streaming frees it eagerly) *)
+    (match List.assoc_opt tid mu.m_unlockers with
+    | Some old_seq -> Execution.cert_release_drop st.exec ~seq:old_seq
+    | None -> ());
+    Execution.cert_release st.exec ~tid;
     mu.m_unlockers <-
       (tid, Execution.thread_now st.exec ~tid)
-      :: List.filter (fun (t, _) -> t <> tid) mu.m_unlockers;
+      :: List.filter (fun (t, _) -> t <> tid) mu.m_unlockers
+  end;
   mu.locked_by <- None
 
 let exec_op st th (op : Op.t) : op_result =
@@ -358,6 +374,7 @@ exception Abort_execution
 let finish_thread st th =
   Execution.tick_sync st.exec ~tid:th.tid;
   th.final_cv <- Some (Execution.release_snapshot st.exec ~tid:th.tid);
+  if st.exec.Execution.cert_on then Execution.cert_release st.exec ~tid:th.tid;
   (Execution.thread st.exec th.tid).Execution.live <- false;
   th.status <- Finished
 
@@ -518,9 +535,13 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
   let p_run = Profile.start profile in
   let rng = Rng.create config.seed in
   let race = Race.create ~obs ~metrics () in
+  (* streaming certification consumes events as they happen, so the full
+     history only needs retaining for the post-hoc pass or coverage *)
+  let streaming = config.certify && config.cert_stream in
   let exec =
     Execution.create ~obs ~prof:profile ~metrics
       ~certify:(config.certify || config.coverage)
+      ~cert_record:(config.coverage || (config.certify && not streaming))
       ?mutation:config.mutation ~mode:config.mode ~rng ~race ()
   in
   Execution.set_trace_capacity exec config.trace_depth;
@@ -544,6 +565,30 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
       deadlock = false;
       step_limit_hit = false;
     }
+  in
+  let stream =
+    if streaming then begin
+      (* a thread's engine clock bounds what it can still read only while
+         it may run: finished threads are out, and a thread parked on an
+         unconditional acquire (join, lock of a held mutex) will merge the
+         releaser's snapshot before its next read, so its stale clock need
+         not hold the retirement frontier back *)
+      let counted tid =
+        tid < st.nthreads
+        &&
+        match st.threads.(tid).status with
+        | Finished -> false
+        | Not_started _ -> true
+        | Pending ((App_op (Op.Mutex_lock _ | Op.Join _) | Relock _) as p, _)
+          ->
+          op_enabled st p
+        | Pending _ -> true
+      in
+      let s = Check.Stream.create ~exec ~counted in
+      Execution.set_cert_sink exec (Check.Stream.sink s);
+      Some s
+    end
+    else None
   in
   ignore (add_thread st f ~parent:None);
   let is_rlx_store = pending_is_rlx_store st in
@@ -598,7 +643,11 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
   let certificate =
     if config.certify then begin
       let p_cert = Profile.start profile in
-      let v = Check.certify exec in
+      let v =
+        match stream with
+        | Some s -> Check.Stream.finalize s
+        | None -> Check.certify exec
+      in
       Profile.stop profile "certify" p_cert;
       if metrics_on then begin
         Metrics.incr metrics "certify.executions";
@@ -647,6 +696,10 @@ let run ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.null)
     trace =
       List.map (Format.asprintf "%a" Action.pp) (Execution.trace exec);
     certificate;
+    certified_ops =
+      (match stream with Some s -> Check.Stream.certified_ops s | None -> 0);
+    retired_prefix_ops =
+      (match stream with Some s -> Check.Stream.retired_ops s | None -> 0);
     shape;
   }
 

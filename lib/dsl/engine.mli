@@ -26,9 +26,15 @@ type config = {
       (** keep the last N memory actions and return them in the outcome;
           0 (default) disables tracing *)
   certify : bool;
-      (** record the full action trace and synchronisation edges and run
-          the axiomatic certifier ({!Check.certify}) over the finished
-          execution; off (zero-cost) by default *)
+      (** run the axiomatic certifier over the execution; off (zero-cost)
+          by default.  With [cert_stream] (the default) actions and sync
+          edges are certified incrementally as they happen
+          ({!Check.Stream}); otherwise the full trace is retained and
+          {!Check.certify} runs post-hoc *)
+  cert_stream : bool;
+      (** streaming incremental certification with hb-closed prefix
+          retirement instead of the post-hoc full-trace pass; on by
+          default, only meaningful with [certify] *)
   mutation : Execution.mutation option;
       (** test-only seeded engine fault ({!Execution.mutation}), used to
           prove the oracle pipeline detects real engine bugs; [None] (the
@@ -58,6 +64,12 @@ type outcome = {
       (** the last [trace_depth] memory actions, oldest first, formatted *)
   certificate : Check.verdict option;
       (** the axiomatic certifier's verdict; [Some _] iff [config.certify] *)
+  certified_ops : int;
+      (** actions consumed by the streaming certifier; 0 when certifying
+          post-hoc or not at all *)
+  retired_prefix_ops : int;
+      (** actions whose certification window storage was freed by
+          hb-closed prefix retirement *)
   shape : Cov.shape option;
       (** canonical coverage fingerprint; [Some _] iff [config.coverage] *)
 }

@@ -7,6 +7,8 @@ type summary = {
   step_limit_hits : int;
   certified_executions : int;
   cert_rejected_executions : int;
+  certified_ops : int;
+  retired_prefix_ops : int;
   distinct_races : Race.report list;
   distinct_cert_violations : Check.violation list;
   total_atomic_ops : int;
@@ -61,6 +63,8 @@ let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
   and limits = ref 0
   and certified = ref 0
   and cert_rejected = ref 0
+  and certified_ops = ref 0
+  and retired_prefix_ops = ref 0
   and atomic_ops = ref 0
   and na_ops = ref 0
   and max_graph = ref 0
@@ -89,6 +93,11 @@ let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
     if o.Engine.max_graph_size > !max_graph then
       max_graph := o.Engine.max_graph_size;
     steps := !steps + o.Engine.steps;
+    certified_ops := !certified_ops + o.Engine.certified_ops;
+    retired_prefix_ops := !retired_prefix_ops + o.Engine.retired_prefix_ops;
+    if progress_on then
+      Progress.account_certified progress ~certified:o.Engine.certified_ops
+        ~retired:o.Engine.retired_prefix_ops;
     let new_finding = ref false in
     List.iter
       (fun r ->
@@ -145,6 +154,8 @@ let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
         limits = !limits;
         certified = !certified;
         cert_rejected = !cert_rejected;
+        certified_ops = !certified_ops;
+        retired_prefix_ops = !retired_prefix_ops;
         atomic_ops = !atomic_ops;
         na_ops = !na_ops;
         max_graph = !max_graph;
@@ -168,6 +179,8 @@ let summary_of_counters (c : Par.Merge.counters) distinct distinct_violations =
     step_limit_hits = c.Par.Merge.limits;
     certified_executions = c.Par.Merge.certified;
     cert_rejected_executions = c.Par.Merge.cert_rejected;
+    certified_ops = c.Par.Merge.certified_ops;
+    retired_prefix_ops = c.Par.Merge.retired_prefix_ops;
     distinct_races = distinct;
     distinct_cert_violations = distinct_violations;
     total_atomic_ops = c.Par.Merge.atomic_ops;
@@ -408,6 +421,17 @@ let summary_to_json s =
         ("coverage", Cov.summary_to_json c);
       ]
   in
+  (* streaming-certification counters appear only when the streaming
+     certifier ran, keeping certify-off and post-hoc reports (and their
+     goldens) byte-identical to before *)
+  let stream_fields =
+    if s.certified_ops > 0 || s.retired_prefix_ops > 0 then
+      [
+        ("certified_ops", Jsonx.Int s.certified_ops);
+        ("retired_prefix_ops", Jsonx.Int s.retired_prefix_ops);
+      ]
+    else []
+  in
   Jsonx.Obj
     ([
       ("executions", Jsonx.Int s.executions);
@@ -418,6 +442,9 @@ let summary_to_json s =
       ("step_limit_hits", Jsonx.Int s.step_limit_hits);
       ("certified_executions", Jsonx.Int s.certified_executions);
       ("cert_rejected_executions", Jsonx.Int s.cert_rejected_executions);
+    ]
+    @ stream_fields
+    @ [
       ("detection_rate_percent", Jsonx.Float (detection_rate s));
       ( "distinct_races",
         Jsonx.List (List.map Race.report_to_json s.distinct_races) );
@@ -444,6 +471,9 @@ let pp_summary fmt s =
     Format.fprintf fmt "@ certified: %d, rejected: %d, distinct violations: %d"
       s.certified_executions s.cert_rejected_executions
       (List.length s.distinct_cert_violations);
+    if s.certified_ops > 0 then
+      Format.fprintf fmt "@ streaming: %d ops certified, %d retired"
+        s.certified_ops s.retired_prefix_ops;
     List.iter
       (fun v -> Format.fprintf fmt "@   %a" Check.pp_violation v)
       s.distinct_cert_violations

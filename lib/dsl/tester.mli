@@ -31,6 +31,12 @@ type summary = {
       (** executions the axiomatic certifier certified (0 unless the
           campaign ran with [config.certify]) *)
   cert_rejected_executions : int;
+  certified_ops : int;
+      (** actions consumed by the streaming certifier across the campaign
+          (0 when certifying post-hoc or not at all) *)
+  retired_prefix_ops : int;
+      (** actions whose certification window storage was freed by
+          hb-closed prefix retirement *)
   distinct_races : Race.report list;
       (** deduplicated across executions, in order of first occurrence *)
   distinct_cert_violations : Check.violation list;

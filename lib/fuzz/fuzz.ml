@@ -871,13 +871,20 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
     Profile.stop profile "fuzz_generate" t0;
     gen_ops := !gen_ops + op_count prog;
     Metrics.incr metrics "fuzz.programs";
-    let certify = cfg.c_certify_every > 0 && i mod cfg.c_certify_every = 0 in
+    (* Certification is always on: streaming retirement made the
+       per-execution cost cheap enough that c_certify_every rationing is
+       obsolete (the field survives only as a no-op alias). *)
     let t1 = Profile.start profile in
     let status, outcome =
-      run_one_full ~config:exec_config ~certify
+      run_one_full ~config:exec_config ~certify:true
         ~seed:(exec_seed prog ~attempt:0) prog
     in
     Profile.stop profile "fuzz_execute" t1;
+    (match outcome with
+    | Some o when progress_on ->
+      Progress.account_certified progress ~certified:o.Engine.certified_ops
+        ~retired:o.Engine.retired_prefix_ops
+    | _ -> ());
     let novel =
       match (cov, outcome) with
       | Some acc, Some o ->
@@ -992,6 +999,10 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
     ?(coverage = false) ?(progress = Progress.null) cfg =
   if cfg.c_programs < 0 then invalid_arg "Fuzz.campaign: c_programs must be >= 0";
   if cfg.c_jobs < 1 then invalid_arg "Fuzz.campaign: c_jobs must be >= 1";
+  if cfg.c_certify_every <> 1 then
+    prerr_endline
+      "c11test: warning: certify-every is deprecated and ignored; streaming \
+       certification is always on";
   if cfg.c_shrink_execs < 1 then invalid_arg "Fuzz.campaign: c_shrink_execs must be >= 1";
   let jobs = max 1 (min cfg.c_jobs (max 1 cfg.c_programs)) in
   let shards =

@@ -57,6 +57,8 @@ module Merge = struct
     limits : int;
     certified : int;
     cert_rejected : int;
+    certified_ops : int;
+    retired_prefix_ops : int;
     atomic_ops : int;
     na_ops : int;
     max_graph : int;
@@ -73,6 +75,8 @@ module Merge = struct
       limits = 0;
       certified = 0;
       cert_rejected = 0;
+      certified_ops = 0;
+      retired_prefix_ops = 0;
       atomic_ops = 0;
       na_ops = 0;
       max_graph = 0;
@@ -89,6 +93,8 @@ module Merge = struct
       limits = a.limits + b.limits;
       certified = a.certified + b.certified;
       cert_rejected = a.cert_rejected + b.cert_rejected;
+      certified_ops = a.certified_ops + b.certified_ops;
+      retired_prefix_ops = a.retired_prefix_ops + b.retired_prefix_ops;
       atomic_ops = a.atomic_ops + b.atomic_ops;
       na_ops = a.na_ops + b.na_ops;
       max_graph = max a.max_graph b.max_graph;

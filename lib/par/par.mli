@@ -75,6 +75,10 @@ module Merge : sig
     limits : int;
     certified : int;
     cert_rejected : int;
+    certified_ops : int;
+        (** actions consumed by the streaming certifier across the shard *)
+    retired_prefix_ops : int;
+        (** actions whose certification window storage was retired *)
     atomic_ops : int;
     na_ops : int;
     max_graph : int;

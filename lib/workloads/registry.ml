@@ -7,6 +7,12 @@ type t = {
   run : variant:Variant.t -> scale:int -> unit -> unit;
   default_scale : int;
   bench_scale : int;
+  scale_tier : int option;
+      (* paper-scale tier: a scale driving one execution into the >= 1M
+         shared-memory-op range with bounded per-location store sets (so
+         the aggressive pruner keeps the engine linear); None = the
+         workload's step count or location count grows too fast with
+         scale to be usable there *)
 }
 
 let all =
@@ -18,6 +24,7 @@ let all =
       run = Seqlock.run;
       default_scale = 4;
       bench_scale = 64;
+      scale_tier = None;
     };
     {
       name = "seqlock-versioned";
@@ -28,6 +35,7 @@ let all =
       run = Seqlock_versioned.run;
       default_scale = 4;
       bench_scale = 64;
+      scale_tier = None;
     };
     {
       name = "rwlock";
@@ -38,6 +46,7 @@ let all =
       run = Rwlock_bug.run;
       default_scale = 3;
       bench_scale = 48;
+      scale_tier = None;
     };
     {
       name = "barrier";
@@ -46,6 +55,7 @@ let all =
       run = Barrier.run;
       default_scale = 2;
       bench_scale = 32;
+      scale_tier = None;
     };
     {
       name = "chase-lev-deque";
@@ -54,6 +64,7 @@ let all =
       run = Chase_lev.run;
       default_scale = 6;
       bench_scale = 64;
+      scale_tier = None;
     };
     {
       name = "dekker-fences";
@@ -62,6 +73,7 @@ let all =
       run = Dekker.run;
       default_scale = 4;
       bench_scale = 64;
+      scale_tier = None;
     };
     {
       name = "linuxrwlocks";
@@ -70,6 +82,7 @@ let all =
       run = Linuxrwlocks.run;
       default_scale = 3;
       bench_scale = 48;
+      scale_tier = None;
     };
     {
       name = "mcs-lock";
@@ -78,6 +91,7 @@ let all =
       run = Mcs_lock.run;
       default_scale = 3;
       bench_scale = 32;
+      scale_tier = Some 22000;
     };
     {
       name = "mpmc-queue";
@@ -86,6 +100,7 @@ let all =
       run = Mpmc_queue.run;
       default_scale = 3;
       bench_scale = 24;
+      scale_tier = Some 35000;
     };
     {
       name = "ms-queue";
@@ -94,6 +109,7 @@ let all =
       run = Ms_queue.run;
       default_scale = 4;
       bench_scale = 32;
+      scale_tier = None;
     };
     {
       name = "treiber-stack";
@@ -102,6 +118,7 @@ let all =
       run = Treiber_stack.run;
       default_scale = 4;
       bench_scale = 48;
+      scale_tier = None;
     };
     {
       name = "spsc-queue";
@@ -110,6 +127,7 @@ let all =
       run = Spsc_queue.run;
       default_scale = 6;
       bench_scale = 64;
+      scale_tier = Some 95000;
     };
     {
       name = "silo";
@@ -118,6 +136,7 @@ let all =
       run = Silo_lite.run;
       default_scale = 6;
       bench_scale = 300;
+      scale_tier = None;
     };
     {
       name = "gdax";
@@ -126,6 +145,7 @@ let all =
       run = Gdax_lite.run;
       default_scale = 6;
       bench_scale = 200;
+      scale_tier = None;
     };
     {
       name = "mabain";
@@ -134,6 +154,7 @@ let all =
       run = Mabain_lite.run;
       default_scale = 4;
       bench_scale = 300;
+      scale_tier = None;
     };
     {
       name = "iris";
@@ -142,6 +163,7 @@ let all =
       run = Iris_lite.run;
       default_scale = 6;
       bench_scale = 250;
+      scale_tier = None;
     };
     {
       name = "jsbench";
@@ -150,6 +172,7 @@ let all =
       run = Jsbench_lite.run;
       default_scale = 2;
       bench_scale = 8;
+      scale_tier = None;
     };
   ]
 
@@ -158,3 +181,4 @@ let by_category c = List.filter (fun t -> t.category = c) all
 let data_structures = by_category Data_structure
 let injected = by_category Injected
 let applications = by_category Application
+let scale_tier = List.filter (fun t -> t.scale_tier <> None) all

@@ -11,10 +11,18 @@ type t = {
   run : variant:Variant.t -> scale:int -> unit -> unit;
   default_scale : int;  (** scale used by the Table 2 / Section 8.1 rates *)
   bench_scale : int;  (** scale used by the timing benchmarks *)
+  scale_tier : int option;
+      (** paper-scale tier: a scale driving one execution into the ≥ 1M
+          shared-memory-op range (with the aggressive pruner and streaming
+          certification always on); [None] for workloads whose step or
+          location count grows too fast with scale to be usable there *)
 }
 
 val all : t list
 val find : string -> t option
+
+(** The workloads with a [scale_tier] scale, in registry order. *)
+val scale_tier : t list
 val data_structures : t list
 val injected : t list
 val applications : t list

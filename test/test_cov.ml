@@ -267,7 +267,16 @@ let test_progress_final_parity () =
       check "final record carries schema" true
         (List.assoc_opt "schema" f1 = Some (Jsonx.String "c11progress-v1"));
       check "done = total" true
-        (List.assoc_opt "done" f1 = Some (Jsonx.Int 60)))
+        (List.assoc_opt "done" f1 = Some (Jsonx.Int 60));
+      (* certification is always on in fuzz campaigns, so the streaming
+         counters must appear — and, being plain sums, they are part of
+         the j1 = j4 parity surface compared above *)
+      check "final record carries certified_ops" true
+        (match List.assoc_opt "certified_ops" f1 with
+        | Some (Jsonx.Int n) -> n > 0
+        | _ -> false);
+      check "final record carries retired_prefix_ops" true
+        (List.assoc_opt "retired_prefix_ops" f1 <> None))
 
 let test_progress_null_is_noop () =
   check "null disabled" true (not (Progress.enabled Progress.null));

@@ -156,12 +156,13 @@ let test_clean_campaign () =
   check_int "no findings" 0 (List.length report.Fuzz.r_findings)
 
 let test_certify_every () =
+  (* c_certify_every is a deprecated no-op alias: streaming certification
+     is always on, so stride 3 and even 0 certify every program. *)
   let cfg = campaign_cfg ~seed:99L () in
   let report = Fuzz.campaign { cfg with Fuzz.c_certify_every = 3 } in
-  (* indices 0, 3, ..., 297 *)
-  check_int "certified every third" 100 report.Fuzz.r_certified;
+  check_int "stride 3 ignored: certified all" 300 report.Fuzz.r_certified;
   let report = Fuzz.campaign { cfg with Fuzz.c_certify_every = 0 } in
-  check_int "certify disabled" 0 report.Fuzz.r_certified
+  check_int "stride 0 ignored: certified all" 300 report.Fuzz.r_certified
 
 (* ---------- mutation testing: the fuzzer finds seeded engine bugs ------ *)
 

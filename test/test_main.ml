@@ -18,5 +18,6 @@ let () =
       ("cov", Test_cov.suite);
       ("determinism", Test_determinism.suite);
       ("check", Test_check.suite);
+      ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -21,6 +21,8 @@ let counters_of (a, b, c, d) =
     limits = b land 1;
     certified = c land 1;
     cert_rejected = d land 1;
+    certified_ops = (a * 7) + c;
+    retired_prefix_ops = (b * 4) + d;
     atomic_ops = a * 3;
     na_ops = b * 2;
     max_graph = c;

@@ -1,0 +1,220 @@
+(* Streaming incremental certification (Check.Stream).
+
+   The streaming certifier consumes actions and sync edges as the engine
+   produces them and retires hb-closed prefixes, so it never holds the
+   whole trace — but its verdicts must be EQUIVALENT to the post-hoc
+   certifier's on the same execution:
+
+     Certified      -> bit-identical stats
+     Rejected       -> same sorted set of violation keys (and hence the
+                       same rejection key)
+     Not_applicable -> same reason
+
+   Both modes run from the same seed, so they see the very same
+   execution; the only difference is when the relations are computed.
+   The sweeps below cover the litmus catalog, the workload registry, the
+   three seeded engine mutants (real rejections, not just clean runs),
+   pruned executions, and QCheck-random fuzz programs.  A final parity
+   test checks that campaign counters — including the new certified_ops /
+   retired_prefix_ops — merge order-independently under -j N. *)
+
+let check = Alcotest.(check bool)
+
+let violation_keys vs =
+  List.sort_uniq compare (List.map Check.violation_key vs)
+
+let verdicts_equiv post stream =
+  match (post, stream) with
+  | Check.Certified a, Check.Certified b -> a = b
+  | Check.Rejected a, Check.Rejected b ->
+    violation_keys a = violation_keys b
+    && Check.rejection_key a = Check.rejection_key b
+  | Check.Not_applicable a, Check.Not_applicable b -> a = b
+  | _ -> false
+
+let pp_pair name seed post stream =
+  Alcotest.failf "%s (seed %Ld): post-hoc %a but streaming %a" name seed
+    Check.pp_verdict post Check.pp_verdict stream
+
+(* Run [body] twice from the same seed — post-hoc then streaming — and
+   return both verdicts. *)
+let both ?(prune = Pruner.No_prune) ?(mutation = None) ~seed body =
+  let base =
+    { Engine.default_config with certify = true; seed; prune; mutation }
+  in
+  let post = Engine.run { base with cert_stream = false } body in
+  let stream = Engine.run { base with cert_stream = true } body in
+  ((Option.get post.Engine.certificate, Option.get stream.Engine.certificate),
+   stream)
+
+let assert_equiv name ~seed (post, stream) =
+  if not (verdicts_equiv post stream) then pp_pair name seed post stream
+
+(* ---------- litmus catalog ---------- *)
+
+let test_litmus_catalog () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      for s = 1 to 8 do
+        let seed = Int64.of_int s in
+        let pair, _ =
+          both ~seed (fun () -> ignore (t.Litmus.run_once ()))
+        in
+        assert_equiv t.Litmus.name ~seed pair
+      done)
+    Litmus.catalog
+
+(* ---------- workload registry, both variants ---------- *)
+
+let test_workload_sweep () =
+  (* 200 seeds spread over the registry: every workload, both variants,
+     small scale (the per-execution verdict is what's compared; CI's
+     certify job does the full-scale 200-seed sweep per target). *)
+  List.iter
+    (fun (w : Registry.t) ->
+      let scale = max 2 (w.Registry.default_scale / 4) in
+      List.iter
+        (fun variant ->
+          for s = 1 to 6 do
+            let seed = Int64.of_int (s * 31) in
+            let pair, _ = both ~seed (w.Registry.run ~variant ~scale) in
+            assert_equiv w.Registry.name ~seed pair
+          done)
+        [ Variant.Correct; Variant.Buggy ])
+    Registry.all
+
+(* ---------- seeded engine mutants: equivalence on real rejections ----- *)
+
+(* Random fuzz programs under a mutated engine: the first [budget] program
+   seeds are compared in both modes, and at least one must actually be
+   rejected — otherwise the equivalence claim would be vacuous for this
+   mutant. *)
+let test_mutant mutation () =
+  let rejections = ref 0 in
+  let budget = 150 in
+  for i = 0 to budget - 1 do
+    let seed = Rng.substream 42L ~index:i in
+    let prog = Fuzz.generate ~cfg:Fuzz.default_gen_cfg ~seed in
+    let body = Fuzz.to_closure prog in
+    let exec_seed = Fuzz.exec_seed prog ~attempt:0 in
+    let pair, _ = both ~mutation:(Some mutation) ~seed:exec_seed body in
+    assert_equiv
+      (Printf.sprintf "mutant %s program %d"
+         (Execution.mutation_name mutation) i)
+      ~seed:exec_seed pair;
+    (match fst pair with Check.Rejected _ -> incr rejections | _ -> ())
+  done;
+  check
+    (Printf.sprintf "mutant %s rejected at least once in %d programs"
+       (Execution.mutation_name mutation) budget)
+    true (!rejections > 0)
+
+(* ---------- pruned executions ---------- *)
+
+let test_pruned_equiv () =
+  let w = Option.get (Registry.find "ms-queue") in
+  List.iter
+    (fun prune ->
+      for s = 1 to 5 do
+        let seed = Int64.of_int (s * 7) in
+        let pair, _ =
+          both ~prune ~seed
+            (w.Registry.run ~variant:Variant.Correct
+               ~scale:w.Registry.default_scale)
+        in
+        assert_equiv "ms-queue pruned" ~seed pair
+      done)
+    [
+      Pruner.Conservative { interval = 8 };
+      Pruner.Aggressive { window = 16; interval = 8 };
+    ]
+
+(* ---------- QCheck: random programs ---------- *)
+
+let prop_random_programs =
+  QCheck.Test.make ~name:"streaming == post-hoc on random programs"
+    ~count:60
+    QCheck.(pair small_nat small_nat)
+    (fun (pi, si) ->
+      let prog =
+        Fuzz.generate ~cfg:Fuzz.default_gen_cfg
+          ~seed:(Rng.substream 7L ~index:pi)
+      in
+      let seed = Int64.add (Fuzz.exec_seed prog ~attempt:0) (Int64.of_int si) in
+      let pair, _ = both ~seed (Fuzz.to_closure prog) in
+      verdicts_equiv (fst pair) (snd pair))
+
+(* ---------- retirement and zero-cost-off counters ---------- *)
+
+let test_counters () =
+  (* A long produce/consume run: the streaming certifier must consume
+     every atomic action and retire the overwhelming majority of them
+     (the live window is bounded, the run is not). *)
+  let w = Option.get (Registry.find "spsc-queue") in
+  let body = w.Registry.run ~variant:Variant.Correct ~scale:400 in
+  let config =
+    {
+      Engine.default_config with
+      certify = true;
+      seed = 3L;
+      prune = Pruner.Aggressive { window = 4096; interval = 64 };
+    }
+  in
+  let o = Engine.run config body in
+  check "verdict present" true (o.Engine.certificate <> None);
+  (* certified_ops counts actions the stream consumed; it tracks the
+     engine's atomic-op count up to a handful of bookkeeping actions
+     (thread bootstrap, final assertion reads) *)
+  check "essentially every atomic op certified" true
+    (o.Engine.certified_ops > 0
+    && abs (o.Engine.atomic_ops - o.Engine.certified_ops) <= 64);
+  check "most ops retired" true
+    (float_of_int o.Engine.retired_prefix_ops
+    >= 0.8 *. float_of_int o.Engine.certified_ops);
+  (* certification off: the streaming counters must stay at zero *)
+  let off = Engine.run { config with Engine.certify = false } body in
+  check "off: no certified ops" true (off.Engine.certified_ops = 0);
+  check "off: no retired ops" true (off.Engine.retired_prefix_ops = 0);
+  (* post-hoc: the execution is certified but nothing streams *)
+  let post = Engine.run { config with Engine.cert_stream = false } body in
+  check "post-hoc: no streaming counters" true
+    (post.Engine.certified_ops = 0 && post.Engine.retired_prefix_ops = 0)
+
+(* ---------- -j parity with certification always on ---------- *)
+
+let test_parallel_parity () =
+  let w = Option.get (Registry.find "mcs-lock") in
+  let config =
+    { Engine.default_config with certify = true; seed = 5L }
+  in
+  let body =
+    w.Registry.run ~variant:Variant.Correct ~scale:w.Registry.default_scale
+  in
+  let s1 = Tester.run_parallel ~jobs:1 ~config ~iters:40 body in
+  let s4 = Tester.run_parallel ~jobs:4 ~config ~iters:40 body in
+  check "summaries identical across -j 1 / -j 4" true (s1 = s4);
+  (* default-scale executions are far below the 4096-action sweep
+     threshold, so no retirement here — test_counters covers that *)
+  check "streaming counters populated" true (s1.Tester.certified_ops > 0);
+  check "all executions certified" true
+    (s1.Tester.certified_executions = 40)
+
+let suite =
+  [
+    Alcotest.test_case "litmus catalog equivalence" `Quick
+      test_litmus_catalog;
+    Alcotest.test_case "workload sweep equivalence" `Quick
+      test_workload_sweep;
+    Alcotest.test_case "mutant equivalence: skip-acquire-merge" `Quick
+      (test_mutant Execution.Skip_acquire_merge);
+    Alcotest.test_case "mutant equivalence: drop-mo-edge" `Quick
+      (test_mutant Execution.Drop_mo_edge);
+    Alcotest.test_case "mutant equivalence: weak-release-store" `Quick
+      (test_mutant Execution.Weak_release_store);
+    Alcotest.test_case "pruned equivalence" `Quick test_pruned_equiv;
+    QCheck_alcotest.to_alcotest prop_random_programs;
+    Alcotest.test_case "stream counters and zero-cost off" `Quick
+      test_counters;
+    Alcotest.test_case "parallel parity with streaming on" `Quick
+      test_parallel_parity;
+  ]
