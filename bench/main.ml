@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --jobs N perf  # shard perf campaigns
 
    Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
-   table4 prune sched perf scale fuzz. *)
+   table4 prune sched perf scale cache fuzz. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -26,6 +26,7 @@ let experiments : (string * (unit -> unit)) list =
     ("sched", Experiments.sched);
     ("perf", Perfsuite.run);
     ("scale", Perfsuite.run_scale);
+    ("cache", Perfsuite.run_cache);
     ("fuzz", Fuzzbench.run);
   ]
 
@@ -67,6 +68,13 @@ let write_json ~quick ~todo path =
     @
     match !Perfsuite.last_scale_doc with
     | Some doc -> [ ("scale", doc) ]
+    | None -> []
+  in
+  let perf =
+    perf
+    @
+    match !Perfsuite.last_cache_doc with
+    | Some doc -> [ ("cache", doc) ]
     | None -> []
   in
   let perf =

@@ -18,6 +18,7 @@ let seed = 20260806L
 let iters_ds = ref 400
 let iters_app = ref 50
 let iters_litmus = ref 2500
+let cache_iters = ref 300
 
 (* Campaign sharding (`--jobs N`).  The parity observables are
    bit-identical for every job count — only the wall times change — so
@@ -33,7 +34,8 @@ let quick () =
   iters_ds := 20;
   iters_app := 3;
   iters_litmus := 150;
-  scale_divisor := 200
+  scale_divisor := 200;
+  cache_iters := 40
 
 (* The last documents produced, picked up by main.ml's --json writer. *)
 let last_doc : Jsonx.t option ref = ref None
@@ -368,3 +370,156 @@ let run_scale () =
            ("rows", Jsonx.List (List.map scale_row_to_json (off @ stream)));
            ("posthoc_curve", Jsonx.List (List.map scale_row_to_json curve));
          ])
+
+(* ---------- result cache: cold vs warm campaign replay ----------------- *)
+
+(* The multi-process fabric's content-addressed cache (lib/svc) promises
+   that a warm re-run of an identical campaign spawns no workers and
+   performs zero engine executions.  This experiment measures what that
+   buys: the same fixed-seed campaign run twice against one cache
+   directory — cold (populating) then warm (replaying) — reporting both
+   walls, the speedup and the hit rate, and checking the replayed summary
+   is byte-identical to the computed one. *)
+
+let last_cache_doc : Jsonx.t option ref = ref None
+let cache_workloads = [ "ms-queue"; "seqlock"; "chase-lev-deque" ]
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+type cache_row = {
+  c_name : string;
+  c_iters : int;
+  c_cold_wall : float;
+  c_warm_wall : float;
+  c_hits : int;
+  c_stores : int;
+  c_warm_executions : int;
+  c_parity : bool;  (* warm merged summary byte-identical to cold *)
+}
+
+let cache_row_to_json r =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.String r.c_name);
+      ("iters", Jsonx.Int r.c_iters);
+      ("cold_wall_s", Jsonx.Float r.c_cold_wall);
+      ("warm_wall_s", Jsonx.Float r.c_warm_wall);
+      ( "warm_speedup",
+        Jsonx.Float
+          (if r.c_warm_wall > 0.0 then r.c_cold_wall /. r.c_warm_wall else nan)
+      );
+      ("warm_hits", Jsonx.Int r.c_hits);
+      ("cold_stores", Jsonx.Int r.c_stores);
+      ( "warm_hit_rate",
+        Jsonx.Float
+          (if r.c_stores > 0 then
+             float_of_int r.c_hits /. float_of_int r.c_stores
+           else nan) );
+      ("warm_executions", Jsonx.Int r.c_warm_executions);
+      ("parity", Jsonx.Bool r.c_parity);
+    ]
+
+let run_cache_one ~exe (w : Registry.t) =
+  let iters = !cache_iters in
+  let campaign =
+    Svc.Run_c
+      {
+        workload = w.Registry.name;
+        buggy = true;
+        scale = w.Registry.default_scale;
+        config = Tool.config ~seed ~max_steps:150_000 Tool.C11tester;
+        iters;
+      }
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "c11bench_cache_%d_%s" (Unix.getpid ()) w.Registry.name)
+  in
+  rm_rf dir;
+  let open_cache () =
+    match Cache.open_dir dir with
+    | Ok c -> c
+    | Error msg -> failwith (Printf.sprintf "cache dir %s: %s" dir msg)
+  in
+  let campaign_run cache =
+    match Svc.run_campaign ~exe ~cache ~workers:2 ~jobs:1 campaign with
+    | Ok (Svc.M_run s, st) -> (s, st)
+    | Ok _ -> failwith "unexpected merged payload"
+    | Error msg -> failwith ("campaign fabric: " ^ msg)
+  in
+  let cold_cache = open_cache () in
+  let (cold_summary, cold_st), cold_wall =
+    Stats.timed (fun () -> campaign_run cold_cache)
+  in
+  let warm_cache = open_cache () in
+  let (warm_summary, warm_st), warm_wall =
+    Stats.timed (fun () -> campaign_run warm_cache)
+  in
+  rm_rf dir;
+  let render s = Jsonx.to_string (Tester.summary_to_json s) in
+  let cold_stats = Option.get cold_st.Svc.st_cache in
+  let warm_stats = Option.get warm_st.Svc.st_cache in
+  {
+    c_name = w.Registry.name;
+    c_iters = iters;
+    c_cold_wall = cold_wall;
+    c_warm_wall = warm_wall;
+    c_hits = warm_stats.Cache.hits;
+    c_stores = cold_stats.Cache.stores;
+    c_warm_executions = warm_st.Svc.st_executions_run;
+    c_parity = render cold_summary = render warm_summary;
+  }
+
+let run_cache () =
+  Bench_util.header
+    (Printf.sprintf
+       "Result cache (seed %Ld): identical fixed-seed campaigns, cold \
+        (computing + populating) vs warm (replaying from the \
+        content-addressed cache, zero engine executions)"
+       seed);
+  match Svc.locate_exe () with
+  | None ->
+    print_endline "c11test binary not found next to the harness; skipping"
+  | Some exe ->
+    Printf.printf "%-16s %6s %10s %10s %9s %6s %7s\n" "workload" "iters"
+      "cold" "warm" "speedup" "hits" "parity";
+    let rows =
+      List.map
+        (fun name ->
+          let w =
+            match Registry.find name with
+            | Some w -> w
+            | None -> failwith ("unknown workload " ^ name)
+          in
+          let r = run_cache_one ~exe w in
+          Printf.printf "%-16s %6d %10s %10s %8.1fx %6d %7s\n%!" r.c_name
+            r.c_iters
+            (Bench_util.pp_seconds r.c_cold_wall)
+            (Bench_util.pp_seconds r.c_warm_wall)
+            (if r.c_warm_wall > 0.0 then r.c_cold_wall /. r.c_warm_wall
+             else nan)
+            r.c_hits
+            (if r.c_parity then "ok" else "MISMATCH");
+          Metrics.set_gauge Bench_util.metrics
+            ("cache.cold_wall_s." ^ r.c_name) r.c_cold_wall;
+          Metrics.set_gauge Bench_util.metrics
+            ("cache.warm_wall_s." ^ r.c_name) r.c_warm_wall;
+          r)
+        cache_workloads
+    in
+    last_cache_doc :=
+      Some
+        (Jsonx.Obj
+           [
+             ("schema", Jsonx.String "c11-cachebench-v1");
+             ("seed", Jsonx.String (Int64.to_string seed));
+             ("workers", Jsonx.Int 2);
+             ("rows", Jsonx.List (List.map cache_row_to_json rows));
+           ])

@@ -16,8 +16,14 @@
          rejections (`--certify`), forbidden litmus outcomes or fuzz
          findings
      2 — usage errors (unknown workload/litmus test/pruning policy/fuzz
-         profile/mutant, non-positive --jobs, unwritable --coverage or
-         --progress path, missing or malformed `report' input) *)
+         profile/mutant, non-positive --jobs or --workers, unwritable
+         --coverage/--progress path or --cache directory, missing or
+         malformed `report' input)
+
+   There is also a hidden `worker' mode (spawned by the coordinator when
+   `--workers'/`--cache' engage the multi-process fabric, never typed by
+   hand): it reads one base64 spec line from stdin and speaks the
+   c11svc-v1 NDJSON protocol on stdout — see lib/svc. *)
 
 open Cmdliner
 
@@ -43,9 +49,12 @@ let seed_arg =
 
 let jobs_arg =
   let doc =
-    "Shard executions across $(docv) OCaml domains.  Deterministic: the \
-     merged summary, histogram and race reports are bit-identical for \
-     every value of $(docv).  Must be positive."
+    "Shard executions across $(docv) OCaml domains $(i,inside one \
+     process) (shared heap, one runtime).  For separate worker \
+     $(i,processes) see $(b,--workers); the two compose, giving \
+     workers*jobs-way parallelism.  Deterministic: the merged summary, \
+     histogram and race reports are bit-identical for every value of \
+     $(docv).  Must be positive."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
@@ -59,6 +68,83 @@ let validate_jobs jobs k =
     2
   end
   else k jobs
+
+let workers_arg =
+  let doc =
+    "Run the campaign on $(docv) worker $(i,processes) (fork/exec of this \
+     binary), each taking a leapfrog shard of the execution indices and \
+     streaming its results back to the coordinator, which merges them \
+     with the same lowest-index-wins algebra as $(b,--jobs) — the \
+     summary, histogram, coverage and findings are byte-identical to a \
+     single-process run for every $(docv).  Composes with $(b,--jobs) \
+     ($(docv) processes times N domains each).  Must be positive."
+  in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Consult and populate a content-addressed result cache in $(docv) \
+     (bare flag: \\$XDG_CACHE_HOME/c11test or ~/.cache/c11test).  Shards \
+     are keyed by workload/program identity, base seed, full engine \
+     configuration and a code-version salt, so a warm re-run of an \
+     identical campaign replays every shard from disk and performs zero \
+     engine executions.  Implies the multi-process fabric (as if \
+     $(b,--workers 1) unless given)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~doc)
+
+(* Same contract as [validate_jobs]: a non-positive worker count is a
+   usage error (exit 2), validated in the command body. *)
+let validate_workers workers k =
+  match workers with
+  | Some w when w <= 0 ->
+    Printf.eprintf
+      "--workers must be positive (got %d); pick 1 for a single worker \
+       process\n"
+      w;
+    2
+  | _ -> k ()
+
+(* An unwritable cache directory is a usage error discovered before any
+   campaign work starts, like an unwritable --coverage path. *)
+let with_cache cache_spec k =
+  match cache_spec with
+  | None -> k None
+  | Some spec -> (
+    let dir = if spec = "" then Cache.default_dir () else spec in
+    match Cache.open_dir dir with
+    | Ok c -> k (Some c)
+    | Error msg ->
+      Printf.eprintf "cannot use cache directory %s: %s\n" dir msg;
+      2)
+
+(* The fabric engages iff --workers or --cache was given; otherwise the
+   in-process runners keep the CLI's legacy single-process behaviour. *)
+let fabric_engaged ~workers ~cache_spec = workers <> None || cache_spec <> None
+
+let run_fabric ?cache ~progress ~workers ~jobs campaign k =
+  match Svc.run_campaign ?cache ~progress ~workers ~jobs campaign with
+  | Error msg ->
+    Printf.eprintf "campaign fabric: %s\n" msg;
+    2
+  | Ok (merged, st) ->
+    if st.Svc.st_failed <> [] then
+      Printf.eprintf
+        "warning: %d worker shard range(s) lost after re-claim (worker \
+         indices: %s); the summary covers the surviving shards only\n"
+        (List.length st.Svc.st_failed)
+        (String.concat ", " (List.map string_of_int st.Svc.st_failed));
+    k (merged, st)
+
+(* Fabric fields for the --json reports.  Only present when the fabric
+   ran, so single-process reports (and their goldens) are unchanged. *)
+let svc_json_fields = function
+  | None -> []
+  | Some (st : Svc.stats) ->
+    [ ("workers", Jsonx.Int st.Svc.st_workers); ("svc", Svc.stats_to_json st) ]
 
 let scale_arg =
   let doc =
@@ -224,7 +310,8 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
   in
   let run workload tool iters seed jobs scale buggy prune verbose trace_depth
-      json trace_out profile_flag certify coverage progress =
+      json trace_out profile_flag certify coverage progress workers cache_spec
+      =
     match Registry.find workload with
     | None ->
       Printf.eprintf "unknown workload %S; try `c11test list'\n" workload;
@@ -254,6 +341,8 @@ let run_cmd =
         2
       | Ok prune, Ok (scale, tier) ->
         validate_jobs jobs @@ fun jobs ->
+        validate_workers workers @@ fun () ->
+        with_cache cache_spec @@ fun cache ->
         (* the tier contract: streaming certification always on, graph
            pruning on (the engine is quadratic without it), and a step
            budget that fits a 10M-op execution *)
@@ -292,16 +381,34 @@ let run_cmd =
           if profile_flag || json <> None then Profile.create ()
           else Profile.null
         in
+        let fabric = fabric_engaged ~workers ~cache_spec in
+        let nworkers = Option.value ~default:1 workers in
         if not quiet then
           Printf.printf
-            "%s (%s variant) under %s, %d executions, scale %d%s\n"
+            "%s (%s variant) under %s, %d executions, scale %d%s%s\n"
             w.Registry.name (Variant.to_string variant) (Tool.name tool) iters
             scale
+            (if fabric then Printf.sprintf ", %d workers" nworkers else "")
             (if jobs > 1 then Printf.sprintf ", %d domains" jobs else "");
-        let summary =
-          Tester.run_parallel ~profile ~metrics ~progress:progress_handle
-            ~jobs ~config ~iters body
+        let fabric_result k =
+          if fabric then
+            run_fabric ?cache ~progress:progress_handle ~workers:nworkers
+              ~jobs
+              (Svc.Run_c
+                 { workload = w.Registry.name; buggy; scale; config; iters })
+              (fun (merged, st) ->
+                match merged with
+                | Svc.M_run s -> k (s, Some st)
+                | _ ->
+                  Printf.eprintf "campaign fabric: internal payload mismatch\n";
+                  2)
+          else
+            k
+              ( Tester.run_parallel ~profile ~metrics
+                  ~progress:progress_handle ~jobs ~config ~iters body,
+                None )
         in
+        fabric_result @@ fun (summary, svc_stats) ->
         emit_coverage cov_sink summary.Tester.coverage;
         if not quiet then
           Format.printf "%a@." Tester.pp_summary summary;
@@ -343,21 +450,22 @@ let run_cmd =
           let gc = Gc.quick_stat () in
           let doc =
             Jsonx.Obj
-              [
-                ("schema", Jsonx.String "c11obs-run-v1");
-                ("workload", Jsonx.String w.Registry.name);
-                ("variant", Jsonx.String (Variant.to_string variant));
-                ("tool", Jsonx.String (Tool.name tool));
-                ("iters", Jsonx.Int iters);
-                ("seed", Jsonx.Int seed);
-                ("jobs", Jsonx.Int jobs);
-                ("scale", Jsonx.Int scale);
-                ("scale_tier", Jsonx.Bool tier);
-                ("gc_top_heap_words", Jsonx.Int gc.Gc.top_heap_words);
-                ("summary", Tester.summary_to_json summary);
-                ("metrics", Metrics.to_json metrics);
-                ("profile", Profile.to_json profile);
-              ]
+              ([
+                 ("schema", Jsonx.String "c11obs-run-v1");
+                 ("workload", Jsonx.String w.Registry.name);
+                 ("variant", Jsonx.String (Variant.to_string variant));
+                 ("tool", Jsonx.String (Tool.name tool));
+                 ("iters", Jsonx.Int iters);
+                 ("seed", Jsonx.Int seed);
+                 ("jobs", Jsonx.Int jobs);
+                 ("scale", Jsonx.Int scale);
+                 ("scale_tier", Jsonx.Bool tier);
+                 ("gc_top_heap_words", Jsonx.Int gc.Gc.top_heap_words);
+                 ("summary", Tester.summary_to_json summary);
+                 ("metrics", Metrics.to_json metrics);
+                 ("profile", Profile.to_json profile);
+               ]
+              @ svc_json_fields svc_stats)
           in
           with_out_file path (fun oc ->
               output_string oc (Jsonx.to_pretty_string doc);
@@ -369,7 +477,7 @@ let run_cmd =
       const run $ workload_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
       $ scale_arg $ buggy_arg $ prune_arg $ verbose_arg $ trace_arg $ json_arg
       $ trace_out_arg $ profile_arg $ certify_arg $ coverage_arg
-      $ progress_arg)
+      $ progress_arg $ workers_arg $ cache_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a workload repeatedly and report bugs") term
 
@@ -378,13 +486,16 @@ let litmus_cmd =
     let doc = "Litmus test name (see `c11test list')." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"LITMUS" ~doc)
   in
-  let run name tool iters seed jobs certify coverage progress =
+  let run name tool iters seed jobs certify coverage progress workers
+      cache_spec =
     match Litmus.find name with
     | None ->
       Printf.eprintf "unknown litmus test %S; try `c11test list'\n" name;
       2
     | Some t ->
       validate_jobs jobs @@ fun jobs ->
+      validate_workers workers @@ fun () ->
+      with_cache cache_spec @@ fun cache ->
       with_sinks ~coverage ~progress ~total:iters
       @@ fun cov_sink progress_handle ->
       let config =
@@ -396,15 +507,30 @@ let litmus_cmd =
         }
       in
       let quiet = coverage = Some "-" || progress = Some "-" in
+      let fabric = fabric_engaged ~workers ~cache_spec in
+      let nworkers = Option.value ~default:1 workers in
       if not quiet then
-        Printf.printf "%s under %s, %d executions%s\n%s\n\n" t.Litmus.name
+        Printf.printf "%s under %s, %d executions%s%s\n%s\n\n" t.Litmus.name
           (Tool.name tool) iters
+          (if fabric then Printf.sprintf " on %d workers" nworkers else "")
           (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "")
           t.Litmus.description;
-      let summary, hist =
-        Litmus.explore_summary ~progress:progress_handle ~jobs ~config ~iters
-          t
+      let fabric_result k =
+        if fabric then
+          run_fabric ?cache ~progress:progress_handle ~workers:nworkers ~jobs
+            (Svc.Litmus_c { name = t.Litmus.name; config; iters })
+            (fun (merged, _st) ->
+              match merged with
+              | Svc.M_litmus (s, hist) -> k (s, Litmus.rank_hist hist)
+              | _ ->
+                Printf.eprintf "campaign fabric: internal payload mismatch\n";
+                2)
+        else
+          k
+            (Litmus.explore_summary ~progress:progress_handle ~jobs ~config
+               ~iters t)
       in
+      fabric_result @@ fun (summary, hist) ->
       emit_coverage cov_sink summary.Tester.coverage;
       if not quiet then begin
         List.iter
@@ -430,7 +556,7 @@ let litmus_cmd =
   let term =
     Term.(
       const run $ name_arg $ tool_arg $ iters_arg $ seed_arg $ jobs_arg
-      $ certify_arg $ coverage_arg $ progress_arg)
+      $ certify_arg $ coverage_arg $ progress_arg $ workers_arg $ cache_arg)
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Explore the outcome histogram of a litmus test")
@@ -479,7 +605,7 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"MUTANT" ~doc)
   in
   let run programs ops threads profile_name certify_every seed jobs findings
-      json mutant_name coverage progress =
+      json mutant_name coverage progress workers cache_spec =
     match Fuzz.profile_of_string profile_name with
     | None ->
       Printf.eprintf
@@ -505,6 +631,8 @@ let fuzz_cmd =
         2
       | Ok mutation ->
         validate_jobs jobs @@ fun jobs ->
+        validate_workers workers @@ fun () ->
+        with_cache cache_spec @@ fun cache ->
         if programs < 0 || ops < 1 || threads < 1 || certify_every < 0 then begin
           Printf.eprintf
             "--programs must be >= 0, --ops and --threads >= 1, \
@@ -537,19 +665,37 @@ let fuzz_cmd =
           in
           let metrics = if json <> None then Metrics.create () else Metrics.null in
           let profiler = Profile.create () in
+          let fabric = fabric_engaged ~workers ~cache_spec in
+          let nworkers = Option.value ~default:1 workers in
           if not quiet then
             Printf.printf
-              "fuzzing %d programs (profile %s, <=%d threads, <=%d ops%s%s)%s\n"
+              "fuzzing %d programs (profile %s, <=%d threads, <=%d ops%s%s)%s%s\n"
               programs (Fuzz.profile_name profile) threads ops
               ", certifying all"
               (match mutation with
               | None -> ""
               | Some m -> ", mutant " ^ Execution.mutation_name m)
+              (if fabric then Printf.sprintf " on %d workers" nworkers else "")
               (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "");
-          let report =
-            Fuzz.campaign ~profile:profiler ~metrics
-              ~coverage:(coverage <> None) ~progress:progress_handle cfg
+          let fabric_result k =
+            if fabric then
+              run_fabric ?cache ~progress:progress_handle ~workers:nworkers
+                ~jobs
+                (Svc.Fuzz_c { cfg; coverage = coverage <> None })
+                (fun (merged, st) ->
+                  match merged with
+                  | Svc.M_fuzz r -> k (r, Some st)
+                  | _ ->
+                    Printf.eprintf
+                      "campaign fabric: internal payload mismatch\n";
+                    2)
+            else
+              k
+                ( Fuzz.campaign ~profile:profiler ~metrics
+                    ~coverage:(coverage <> None) ~progress:progress_handle cfg,
+                  None )
           in
+          fabric_result @@ fun (report, svc_stats) ->
           emit_coverage cov_sink report.Fuzz.r_coverage;
           if not quiet then begin
             Format.printf "%a@." Fuzz.pp_report report;
@@ -572,21 +718,22 @@ let fuzz_cmd =
           | Some path ->
             let doc =
               Jsonx.Obj
-                [
-                  ("schema", Jsonx.String "c11fuzz-v1");
-                  ("programs", Jsonx.Int programs);
-                  ("seed", Jsonx.Int seed);
-                  ("jobs", Jsonx.Int jobs);
-                  ("gen_profile", Jsonx.String (Fuzz.profile_name profile));
-                  ("certify_every", Jsonx.Int certify_every);
-                  ( "mutant",
-                    match mutation with
-                    | None -> Jsonx.Null
-                    | Some m -> Jsonx.String (Execution.mutation_name m) );
-                  ("report", Fuzz.report_to_json report);
-                  ("metrics", Metrics.to_json metrics);
-                  ("profile", Profile.to_json profiler);
-                ]
+                ([
+                   ("schema", Jsonx.String "c11fuzz-v1");
+                   ("programs", Jsonx.Int programs);
+                   ("seed", Jsonx.Int seed);
+                   ("jobs", Jsonx.Int jobs);
+                   ("gen_profile", Jsonx.String (Fuzz.profile_name profile));
+                   ("certify_every", Jsonx.Int certify_every);
+                   ( "mutant",
+                     match mutation with
+                     | None -> Jsonx.Null
+                     | Some m -> Jsonx.String (Execution.mutation_name m) );
+                   ("report", Fuzz.report_to_json report);
+                   ("metrics", Metrics.to_json metrics);
+                   ("profile", Profile.to_json profiler);
+                 ]
+                @ svc_json_fields svc_stats)
             in
             with_out_file path (fun oc ->
                 output_string oc (Jsonx.to_pretty_string doc);
@@ -598,7 +745,7 @@ let fuzz_cmd =
     Term.(
       const run $ programs_arg $ ops_arg $ threads_arg $ fuzz_profile_arg
       $ certify_every_arg $ seed_arg $ jobs_arg $ findings_arg $ json_arg
-      $ mutant_arg $ coverage_arg $ progress_arg)
+      $ mutant_arg $ coverage_arg $ progress_arg $ workers_arg $ cache_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -820,6 +967,16 @@ let list_cmd =
     Term.(const run $ const ())
 
 let () =
+  (* Hidden worker mode, intercepted before cmdliner: spawned only by the
+     coordinator, its stdin/stdout carry the c11svc-v1 protocol and must
+     not be touched by CLI parsing or help output. *)
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then
+    exit
+      (match input_line stdin with
+      | line -> Svc.worker_main line
+      | exception End_of_file ->
+        prerr_endline "c11test worker: no spec on stdin";
+        2);
   let doc = "C11Tester reproduction: a race detector for C/C++ atomics" in
   let info = Cmd.info "c11test" ~version:"1.0.0" ~doc in
   exit

@@ -107,6 +107,22 @@ let tick t ~novel ~finding =
       && Atomic.compare_and_set s.next_due_ns due (now + s.interval_ns)
     then emit s "heartbeat" ~now
 
+let observe t ~done_ ~novel ~findings ~certified_ops ~retired_prefix_ops =
+  match t with
+  | None -> ()
+  | Some s ->
+    Atomic.set s.done_ done_;
+    Atomic.set s.novel novel;
+    Atomic.set s.findings findings;
+    Atomic.set s.certified_ops certified_ops;
+    Atomic.set s.retired_prefix_ops retired_prefix_ops;
+    let due = Atomic.get s.next_due_ns in
+    let now = Profile.now_ns () in
+    if
+      now >= due
+      && Atomic.compare_and_set s.next_due_ns due (now + s.interval_ns)
+    then emit s "heartbeat" ~now
+
 let finish ?novel ?findings t =
   match t with
   | None -> ()

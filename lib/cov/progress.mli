@@ -38,6 +38,20 @@ val account_certified : t -> certified:int -> retired:int -> unit
     finding.  Emits a heartbeat when due.  Safe from any domain. *)
 val tick : t -> novel:bool -> finding:bool -> unit
 
+(** [observe t ~done_ ~novel ~findings ~certified_ops ~retired_prefix_ops]
+    sets the counters to absolute values and emits a heartbeat when due —
+    the aggregation entry point for a coordinator that sums cumulative
+    counts reported by worker {e processes} (lib/svc) rather than ticking
+    per execution.  Safe from any domain. *)
+val observe :
+  t ->
+  done_:int ->
+  novel:int ->
+  findings:int ->
+  certified_ops:int ->
+  retired_prefix_ops:int ->
+  unit
+
 (** Emit the [final] record.  When the campaign's merged summary is
     known, [?novel] / [?findings] override the shard-local sums with the
     exact merged counts.  Idempotent: only the first call emits. *)

@@ -49,8 +49,14 @@ type 'a shard = {
          with [config.coverage] *)
 }
 
-let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
-    ~total ~jobs ~worker f =
+(* [start]/[stride] generalise the one-level leapfrog (worker [w] of [j]
+   is [start = w], [stride = j]) so nested sharding composes: worker [w]
+   of [W] processes splitting its shard across [j] domains hands domain
+   [d] the arithmetic progression [start = w + d*W], [stride = j*W] —
+   still a partition of the worker's global indices, so the merge
+   discipline is unchanged. *)
+let run_shard_at ?(progress = Progress.null) ~obs ~profile ~metrics ~config
+    ~total ~start ~stride f =
   let seen = Hashtbl.create 16 in
   let races = ref [] in
   let seen_violations = Hashtbl.create 16 in
@@ -75,7 +81,7 @@ let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
     if config.Engine.coverage then Some (Cov.create ()) else None
   in
   let progress_on = Progress.enabled progress in
-  let i = ref worker in
+  let i = ref start in
   while !i < total do
     let index = !i in
     let seed = Rng.substream config.Engine.seed ~index in
@@ -141,7 +147,7 @@ let run_shard ?(progress = Progress.null) ~obs ~profile ~metrics ~config
       | _ -> false
     in
     if progress_on then Progress.tick progress ~novel ~finding:!new_finding;
-    i := !i + jobs
+    i := !i + stride
   done;
   {
     sh_counters =
@@ -232,8 +238,8 @@ let finish_progress progress summary =
 let run_collect ?(obs = Obs.null) ?(profile = Profile.null)
     ?(metrics = Metrics.null) ?(progress = Progress.null) ~config ~iters f =
   let shard =
-    run_shard ~progress ~obs ~profile ~metrics ~config ~total:iters ~jobs:1
-      ~worker:0 f
+    run_shard_at ~progress ~obs ~profile ~metrics ~config ~total:iters
+      ~start:0 ~stride:1 f
   in
   let summary, hist = merge_shards [ shard ] in
   let summary = { summary with executions = iters } in
@@ -297,8 +303,8 @@ let run_collect_parallel ?(obs = Obs.null) ?(profile = Profile.null)
           (* [progress] is shared: its counters are atomic and emission is
              mutex-serialised, so workers tick it directly *)
           let shard =
-            run_shard ~progress ~obs:o ~profile:p ~metrics:m ~config
-              ~total:iters ~jobs ~worker f
+            run_shard_at ~progress ~obs:o ~profile:p ~metrics:m ~config
+              ~total:iters ~start:worker ~stride:jobs f
           in
           (shard, (o, p, m)))
     in
@@ -406,6 +412,25 @@ let find_buggy_parallel ?obs ?profile ?metrics ?(jobs = 1) ~config ~attempts f
         Some (Engine.run ~obs { config with Engine.seed } f)
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Shard-level entry points for the multi-process fabric (lib/svc).
+
+   A worker process runs [run_shard] over its arithmetic progression of
+   global indices and ships the resulting ['a shard] — plain data, no
+   closures — back to the coordinator, which folds every shard (local or
+   remote, fresh or cache-replayed) with [merge_shard_list].  Because the
+   shard values are exactly what the in-process parallel runner merges,
+   the multi-process merge is byte-identical to [-j 1] by construction. *)
+
+let run_shard ?(obs = Obs.null) ?(profile = Profile.null)
+    ?(metrics = Metrics.null) ?(progress = Progress.null) ~config ~total
+    ~start ~stride f =
+  run_shard_at ~progress ~obs ~profile ~metrics ~config ~total ~start ~stride
+    f
+
+let merge_shard_list shards = merge_shards shards
+let shard_executions s = s.sh_counters.Par.Merge.executions
 
 (* ------------------------------------------------------------------ *)
 

@@ -156,6 +156,43 @@ val find_buggy_parallel :
   (unit -> unit) ->
   Engine.outcome option
 
+(** {2 Shard-level API (the multi-process fabric's building block)}
+
+    One worker's accumulated results: outcome counters, shard-local
+    first-occurrence race/violation dedup, the observation histogram and
+    the optional coverage extract.  Plain data (no closures), so a shard
+    value survives [Marshal] across processes — lib/svc ships shards from
+    worker processes to the coordinator and replays them from the result
+    cache. *)
+type 'a shard
+
+(** [run_shard ~config ~total ~start ~stride f] runs the executions whose
+    global indices form the arithmetic progression [start, start+stride,
+    ...] below [total].  Worker [w] of [j] is [~start:w ~stride:j]; a
+    worker process [w] of [W] splitting its shard across [d] domains hands
+    domain [i] [~start:(w + i*W) ~stride:(d*W)] — nested leapfrog is still
+    a partition, so the merge contract is unchanged. *)
+val run_shard :
+  ?obs:Obs.t ->
+  ?profile:Profile.t ->
+  ?metrics:Metrics.t ->
+  ?progress:Progress.t ->
+  config:Engine.config ->
+  total:int ->
+  start:int ->
+  stride:int ->
+  (unit -> 'a) ->
+  'a shard
+
+(** Fold shards with the {!Par.Merge} algebra: the summary and
+    first-occurrence histogram are independent of how the index space was
+    partitioned and of the list order.  Exactly the merge the in-process
+    parallel runners use. *)
+val merge_shard_list : 'a shard list -> summary * ('a * int) list
+
+(** Executions the shard actually ran (partial-failure accounting). *)
+val shard_executions : 'a shard -> int
+
 (** JSON form of a summary (the ["summary"] object of the CLI's [--json]
     document). *)
 val summary_to_json : summary -> Jsonx.t

@@ -848,8 +848,11 @@ type shard = {
    Shrinking happens at the first local occurrence of a key; the merge
    keeps the lowest global index per key, whose shrink is a pure function
    of that program, so the merged findings match the sequential run's. *)
+(* [start]/[stride] generalise the leapfrog (worker [w] of [j] is
+   [start = w], [stride = j]) so the multi-process fabric can nest its
+   process-level sharding over the in-process one. *)
 let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
-    ~metrics ~cfg ~jobs ~worker () =
+    ~metrics ~cfg ~start ~stride () =
   (* shrinking replays use the base config: coverage fingerprints are only
      wanted for the campaign's primary executions *)
   let config = engine_config ~mutation:cfg.c_mutation in
@@ -862,7 +865,7 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
   let gen_ops = ref 0 in
   let findings = ref [] in
   let seen = Hashtbl.create 8 in
-  let index = ref worker in
+  let index = ref start in
   while !index < cfg.c_programs do
     let i = !index in
     let seed = Rng.substream cfg.c_seed ~index:i in
@@ -955,7 +958,7 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
           :: !findings
       end);
     if progress_on then Progress.tick progress ~novel ~finding:!new_finding;
-    index := !index + jobs
+    index := !index + stride
   done;
   {
     sh_certified = !certified;
@@ -988,6 +991,17 @@ let merge_shards cfg shards =
       | cov_shards -> Some (Cov.merge cov_shards));
   }
 
+(* Shard-level entry points for the multi-process fabric (lib/svc): a
+   worker process probes its arithmetic progression of program indices and
+   ships the shard — plain data — back for the coordinator's merge. *)
+
+let campaign_shard ?(coverage = false) ?(progress = Progress.null) ~cfg
+    ~start ~stride () =
+  run_shard ~coverage ~progress ~obs:Obs.null ~profile:Profile.null
+    ~metrics:Metrics.null ~cfg ~start ~stride ()
+
+let merge_shard_list cfg shards = merge_shards cfg shards
+
 let worker_obs obs =
   if Obs.enabled obs then
     Obs.create
@@ -1007,7 +1021,7 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
   let jobs = max 1 (min cfg.c_jobs (max 1 cfg.c_programs)) in
   let shards =
     if jobs = 1 then
-      [ run_shard ~coverage ~progress ~obs ~profile ~metrics ~cfg ~jobs:1 ~worker:0 () ]
+      [ run_shard ~coverage ~progress ~obs ~profile ~metrics ~cfg ~start:0 ~stride:1 () ]
     else begin
       let results =
         Par.spawn_workers ~jobs (fun ~worker ->
@@ -1018,7 +1032,7 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
                mutex-serialised emission *)
             let shard =
               run_shard ~coverage ~progress ~obs:o ~profile:p ~metrics:m ~cfg
-                ~jobs ~worker ()
+                ~start:worker ~stride:jobs ()
             in
             (shard, (o, p, m)))
       in

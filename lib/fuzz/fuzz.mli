@@ -246,6 +246,33 @@ val campaign :
   campaign_cfg ->
   report
 
+(** {2 Shard-level API (the multi-process fabric's building block)}
+
+    One worker's accumulated fuzz results — counters, lowest-index
+    finding dedup with shrunk repros, optional coverage extract.  Plain
+    data (no closures), so a shard survives [Marshal] across processes;
+    lib/svc ships shards from worker processes and replays them from the
+    result cache. *)
+type shard
+
+(** [campaign_shard ~cfg ~start ~stride ()] probes the programs whose
+    global indices form the arithmetic progression [start, start+stride,
+    ...] below [cfg.c_programs] ([cfg.c_jobs] is ignored — process-level
+    callers do their own fan-out). *)
+val campaign_shard :
+  ?coverage:bool ->
+  ?progress:Progress.t ->
+  cfg:campaign_cfg ->
+  start:int ->
+  stride:int ->
+  unit ->
+  shard
+
+(** Fold shards with the lowest-index-wins protocol — exactly the merge
+    {!campaign} applies to its domain shards, so the report is independent
+    of how the program index space was partitioned. *)
+val merge_shard_list : campaign_cfg -> shard list -> report
+
 val finding_to_json : finding -> Jsonx.t
 val report_to_json : report -> Jsonx.t
 val pp_finding : Format.formatter -> finding -> unit

@@ -874,14 +874,16 @@ let catalog =
 
 let find name = List.find_opt (fun t -> t.name = name) catalog
 
+(* frequency-descending; List.sort is stable, so ties keep the
+   histogram's first-occurrence order, which is itself independent of
+   [jobs] — the printed exploration is too *)
+let rank_hist hist = List.sort (fun (_, a) (_, b) -> compare b a) hist
+
 let explore_summary ?progress ?jobs ~config ~iters t =
   let summary, hist =
     Tester.run_collect_parallel ?progress ?jobs ~config ~iters t.run_once
   in
-  (* frequency-descending; List.sort is stable, so ties keep the
-     histogram's first-occurrence order, which is itself independent of
-     [jobs] — the printed exploration is too *)
-  (summary, List.sort (fun (_, a) (_, b) -> compare b a) hist)
+  (summary, rank_hist hist)
 
 let explore ?jobs ~config ~iters t =
   snd (explore_summary ?jobs ~config ~iters t)

@@ -27,6 +27,13 @@ type t = {
 val find : string -> t option
 val catalog : t list
 
+(** Sort a first-occurrence-order histogram (as {!Tester.run_collect}
+    or a merged shard list produces) into {!explore}'s presentation
+    order: frequency-descending, ties keeping first-occurrence order.
+    Used by callers that merge shards themselves (the multi-process
+    fabric) so every path prints the same exploration. *)
+val rank_hist : (outcome * int) list -> (outcome * int) list
+
 (** [explore ~config ~iters t] runs the litmus test and returns its outcome
     histogram sorted by frequency (highest first; ties in first-occurrence
     order).  [jobs] shards the executions across domains — the histogram

@@ -135,6 +135,34 @@ module Merge = struct
 
   let dedup ~key shards = List.map snd (dedup_indexed ~key shards)
 
+  (* Shard-range accounting for distributed merges: a leapfrog plan of
+     [workers] shards over [total] executions is complete exactly when
+     each worker index in [0 .. workers-1] appears exactly once.  The
+     report lists faults in ascending worker order, so it is independent
+     of the order ranges were collected in — the degraded summary a
+     coordinator builds from it is deterministic across merge orders. *)
+
+  type range_report = { missing : int list; duplicated : int list }
+
+  let range_ok r = r.missing = [] && r.duplicated = []
+
+  let check_ranges ~workers ~total:_ ranges =
+    if workers <= 0 then
+      invalid_arg "Par.Merge.check_ranges: workers must be positive";
+    let counts = Array.make workers 0 in
+    List.iter
+      (fun w ->
+        if w < 0 || w >= workers then
+          invalid_arg "Par.Merge.check_ranges: worker index out of range";
+        counts.(w) <- counts.(w) + 1)
+      ranges;
+    let missing = ref [] and duplicated = ref [] in
+    for w = workers - 1 downto 0 do
+      if counts.(w) = 0 then missing := w :: !missing
+      else if counts.(w) > 1 then duplicated := w :: !duplicated
+    done;
+    { missing = !missing; duplicated = !duplicated }
+
   let first_win bests =
     List.fold_left
       (fun acc b ->

@@ -117,6 +117,26 @@ module Merge : sig
   val dedup_indexed :
     key:('a -> string) -> (int * 'a) list list -> (int * 'a) list
 
+  (** Partial-failure accounting for distributed merges.  A leapfrog plan
+      of [workers] shards is complete exactly when each worker index in
+      [0 .. workers-1] contributed exactly one shard; {!check_ranges}
+      reports the holes.  Both fault lists are in ascending worker order,
+      so the report — and any degraded summary built from it — is
+      independent of the order the shards were collected in. *)
+  type range_report = {
+    missing : int list;  (** worker indices with no shard, ascending *)
+    duplicated : int list;
+        (** worker indices with more than one shard, ascending *)
+  }
+
+  val range_ok : range_report -> bool
+
+  (** [check_ranges ~workers ~total ranges] audits the list of worker
+      indices that contributed a shard.  Raises [Invalid_argument] on a
+      non-positive [workers] or an out-of-range index (those are caller
+      bugs, not partial failures). *)
+  val check_ranges : workers:int -> total:int -> int list -> range_report
+
   (** Lowest-index entry across per-worker bests, or [None]. *)
   val first_win : (int * 'a) option list -> (int * 'a) option
 end

@@ -1,0 +1,700 @@
+(* C11svc — multi-process campaign fabric.  See svc.mli for the protocol
+   overview.  Design constraints, in order:
+
+   1. Determinism: the merged observables of a --workers N campaign are
+      byte-identical to -j 1.  Workers therefore ship the *same* shard
+      values the in-process runners merge ({!Tester.shard} /
+      {!Fuzz.shard} — closure-free plain data, exact under [Marshal]),
+      and the coordinator folds them with the same {!Par.Merge} algebra.
+   2. No partial-result ambiguity: a worker's results count only after
+      its [shard] record arrived intact; a worker that dies earlier
+      contributes nothing, its range is re-claimed once, and a second
+      death is recorded as a failed range ({!Par.Merge.check_ranges}
+      order) in an otherwise deterministic degraded merge.
+   3. Replayability: a shard is a pure function of (campaign fingerprint,
+      shard coordinates, code version), so the same bytes the wire
+      carries are what the content-addressed cache stores. *)
+
+type campaign =
+  | Run_c of {
+      workload : string;
+      buggy : bool;
+      scale : int;
+      config : Engine.config;
+      iters : int;
+    }
+  | Litmus_c of { name : string; config : Engine.config; iters : int }
+  | Fuzz_c of { cfg : Fuzz.campaign_cfg; coverage : bool }
+
+type merged =
+  | M_run of Tester.summary
+  | M_litmus of Tester.summary * (Litmus.outcome * int) list
+  | M_fuzz of Fuzz.report
+
+type stats = {
+  st_workers : int;
+  st_spawned : int;
+  st_failed : int list;
+  st_executions_run : int;
+  st_cache : Cache.stats option;
+}
+
+let stats_to_json s =
+  Jsonx.Obj
+    ([
+       ("workers", Jsonx.Int s.st_workers);
+       ("spawned", Jsonx.Int s.st_spawned);
+       ( "failed_ranges",
+         Jsonx.List (List.map (fun w -> Jsonx.Int w) s.st_failed) );
+       ("executions_run", Jsonx.Int s.st_executions_run);
+     ]
+    @
+    match s.st_cache with
+    | None -> []
+    | Some c -> [ ("cache", Cache.stats_to_json c) ])
+
+let total = function
+  | Run_c { iters; _ } | Litmus_c { iters; _ } -> iters
+  | Fuzz_c { cfg; _ } -> cfg.Fuzz.c_programs
+
+(* ------------------------------------------------------------------ *)
+(* Base64 (standard alphabet, padded): the line-oriented wire protocol
+   and the spec hand-off need binary-safe single-line payloads, and no
+   third-party codec is available in the build environment. *)
+
+let b64_chars =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let b64_encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let emit v = Buffer.add_char out b64_chars.[v land 63] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (v lsr 18);
+    emit (v lsr 12);
+    emit (v lsr 6);
+    emit v;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let v = byte !i lsl 16 in
+    emit (v lsr 18);
+    emit (v lsr 12);
+    Buffer.add_string out "=="
+  | 2 ->
+    let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+    emit (v lsr 18);
+    emit (v lsr 12);
+    emit (v lsr 6);
+    Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let b64_value = lazy (
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) b64_chars;
+  t)
+
+let b64_decode s =
+  let t = Lazy.force b64_value in
+  let out = Buffer.create (String.length s * 3 / 4) in
+  let acc = ref 0 and bits = ref 0 in
+  String.iter
+    (fun c ->
+      if c <> '=' && c <> '\n' && c <> '\r' then begin
+        let v = t.(Char.code c) in
+        if v < 0 then failwith "b64_decode: invalid character";
+        acc := (!acc lsl 6) lor v;
+        bits := !bits + 6;
+        if !bits >= 8 then begin
+          bits := !bits - 8;
+          Buffer.add_char out (Char.chr ((!acc lsr !bits) land 0xff))
+        end
+      end)
+    s;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* Campaign fingerprints and the cache key. *)
+
+let sched_fp = function
+  | Schedule.Controlled_random { batch_stores } ->
+    Printf.sprintf "controlled-random:batch=%b" batch_stores
+  | Schedule.Bursty { mean_burst } -> Printf.sprintf "bursty:%d" mean_burst
+  | Schedule.Priority { change_points } ->
+    Printf.sprintf "priority:%d" change_points
+  | Schedule.Round_robin -> "round-robin"
+
+let prune_fp = function
+  | Pruner.No_prune -> "none"
+  | Pruner.Conservative { interval } ->
+    Printf.sprintf "conservative:%d" interval
+  | Pruner.Aggressive { window; interval } ->
+    Printf.sprintf "aggressive:%d:%d" window interval
+
+(* Every Engine.config field: two campaigns share a cache entry only when
+   each execution either would run is identical. *)
+let config_fp (c : Engine.config) =
+  Jsonx.Obj
+    [
+      ( "mode",
+        Jsonx.String
+          (match c.Engine.mode with
+          | Execution.Full_c11 -> "full_c11"
+          | Execution.Total_mo -> "total_mo") );
+      ("sched", Jsonx.String (sched_fp c.Engine.sched));
+      ( "volatile",
+        Jsonx.String
+          (match c.Engine.volatile_mode with
+          | Engine.Volatile_atomic mo -> "atomic:" ^ Memorder.to_string mo
+          | Engine.Volatile_nonatomic -> "nonatomic") );
+      ("prune", Jsonx.String (prune_fp c.Engine.prune));
+      ("max_steps", Jsonx.Int c.Engine.max_steps);
+      ("seed", Jsonx.String (Int64.to_string c.Engine.seed));
+      ("trace_depth", Jsonx.Int c.Engine.trace_depth);
+      ("certify", Jsonx.Bool c.Engine.certify);
+      ("cert_stream", Jsonx.Bool c.Engine.cert_stream);
+      ( "mutation",
+        match c.Engine.mutation with
+        | None -> Jsonx.Null
+        | Some m -> Jsonx.String (Execution.mutation_name m) );
+      ("coverage", Jsonx.Bool c.Engine.coverage);
+    ]
+
+let campaign_fp = function
+  | Run_c { workload; buggy; scale; config; iters } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.String "run");
+        ("workload", Jsonx.String workload);
+        ("buggy", Jsonx.Bool buggy);
+        ("scale", Jsonx.Int scale);
+        ("iters", Jsonx.Int iters);
+        ("config", config_fp config);
+      ]
+  | Litmus_c { name; config; iters } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.String "litmus");
+        ("name", Jsonx.String name);
+        ("iters", Jsonx.Int iters);
+        ("config", config_fp config);
+      ]
+  | Fuzz_c { cfg; coverage } ->
+    let g = cfg.Fuzz.c_gen in
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.String "fuzz");
+        ("programs", Jsonx.Int cfg.Fuzz.c_programs);
+        ("seed", Jsonx.String (Int64.to_string cfg.Fuzz.c_seed));
+        ("shrink_execs", Jsonx.Int cfg.Fuzz.c_shrink_execs);
+        ("threads", Jsonx.Int g.Fuzz.g_threads);
+        ("ops", Jsonx.Int g.Fuzz.g_ops);
+        ("atomic_locs", Jsonx.Int g.Fuzz.g_atomic_locs);
+        ("na_locs", Jsonx.Int g.Fuzz.g_na_locs);
+        ("mutexes", Jsonx.Int g.Fuzz.g_mutexes);
+        ("profile", Jsonx.String (Fuzz.profile_name g.Fuzz.g_profile));
+        ("sc_bias", Jsonx.Int g.Fuzz.g_sc_bias);
+        ( "mutation",
+          match cfg.Fuzz.c_mutation with
+          | None -> Jsonx.Null
+          | Some m -> Jsonx.String (Execution.mutation_name m) );
+        ("coverage", Jsonx.Bool coverage);
+      ]
+
+(* Code-version salt: the digest of the worker binary itself.  A rebuilt
+   engine gets a fresh cache namespace, which both keeps results honest
+   and makes the Marshal round-trip safe. *)
+let exe_digests : (string, string) Hashtbl.t = Hashtbl.create 4
+
+let exe_digest exe =
+  match Hashtbl.find_opt exe_digests exe with
+  | Some d -> d
+  | None ->
+    let d = Digest.to_hex (Digest.file exe) in
+    Hashtbl.add exe_digests exe d;
+    d
+
+let cache_key ~exe ~workers ~jobs ~worker c =
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.String "c11svc-cache-key-v1");
+        ("code", Jsonx.String (exe_digest exe));
+        ("campaign", campaign_fp c);
+        ("total", Jsonx.Int (total c));
+        ("workers", Jsonx.Int workers);
+        ("worker", Jsonx.Int worker);
+        ("jobs", Jsonx.Int jobs);
+      ]
+  in
+  Digest.to_hex (Digest.string (Jsonx.to_string doc))
+
+(* ------------------------------------------------------------------ *)
+(* Wire records. *)
+
+let schema = "c11svc-v1"
+
+(* What a worker ships back.  The constructor is part of the Marshal
+   payload, so a coordinator detects a campaign-kind mismatch (possible
+   only via a corrupted cache) instead of misinterpreting bytes. *)
+type payload =
+  | P_run of unit Tester.shard list
+  | P_litmus of Litmus.outcome Tester.shard list
+  | P_fuzz of Fuzz.shard list
+
+(* The full job description a worker receives on stdin. *)
+type spec = {
+  sp_campaign : campaign;
+  sp_worker : int;
+  sp_workers : int;
+  sp_jobs : int;
+  sp_progress : bool;
+  sp_attempt : int;
+  sp_kill : (int * int) option;
+}
+
+let encode_spec (s : spec) = b64_encode (Marshal.to_string s [])
+
+let decode_spec line : (spec, string) result =
+  match (Marshal.from_string (b64_decode (String.trim line)) 0 : spec) with
+  | s -> Ok s
+  | exception e -> Error (Printexc.to_string e)
+
+let emit_json oc j =
+  output_string oc (Jsonx.to_string j);
+  output_char oc '\n';
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Worker side. *)
+
+let worker_payload spec progress =
+  let w = spec.sp_worker and ws = spec.sp_workers and j = spec.sp_jobs in
+  let n = total spec.sp_campaign in
+  (* Nested leapfrog: domain [d] of [j] inside worker [w] of [ws] runs
+     start = w + d*ws, stride = j*ws — a partition of the worker's global
+     indices, so the shard list merges like any other sharding. *)
+  let tester_shards ~config f =
+    if j = 1 then
+      [ Tester.run_shard ~progress ~config ~total:n ~start:w ~stride:ws f ]
+    else
+      Par.spawn_workers ~jobs:j (fun ~worker ->
+          Tester.run_shard ~progress ~config ~total:n
+            ~start:(w + (worker * ws))
+            ~stride:(j * ws) f)
+      |> Array.to_list
+  in
+  match spec.sp_campaign with
+  | Run_c { workload; buggy; scale; config; _ } -> (
+    match Registry.find workload with
+    | None -> Error (Printf.sprintf "unknown workload %S" workload)
+    | Some reg ->
+      let variant = if buggy then Variant.Buggy else Variant.Correct in
+      Ok (P_run (tester_shards ~config (reg.Registry.run ~variant ~scale))))
+  | Litmus_c { name; config; _ } -> (
+    match Litmus.find name with
+    | None -> Error (Printf.sprintf "unknown litmus test %S" name)
+    | Some t -> Ok (P_litmus (tester_shards ~config t.Litmus.run_once)))
+  | Fuzz_c { cfg; coverage } ->
+    let shards =
+      if j = 1 then
+        [ Fuzz.campaign_shard ~coverage ~progress ~cfg ~start:w ~stride:ws () ]
+      else
+        Par.spawn_workers ~jobs:j (fun ~worker ->
+            Fuzz.campaign_shard ~coverage ~progress ~cfg
+              ~start:(w + (worker * ws))
+              ~stride:(j * ws) ())
+        |> Array.to_list
+    in
+    Ok (P_fuzz shards)
+
+let worker_main line =
+  match decode_spec line with
+  | Error msg ->
+    Printf.eprintf "c11test worker: malformed spec: %s\n" msg;
+    2
+  | Ok spec -> (
+    emit_json stdout
+      (Jsonx.Obj
+         [
+           ("schema", Jsonx.String schema);
+           ("kind", Jsonx.String "hello");
+           ("worker", Jsonx.Int spec.sp_worker);
+           ("pid", Jsonx.Int (Unix.getpid ()));
+         ]);
+    (* Test-only fault injection: die uncleanly after claiming the shard
+       and before producing any result, like a crashed or killed worker. *)
+    (match spec.sp_kill with
+    | Some (victim, attempts)
+      when victim = spec.sp_worker && spec.sp_attempt <= attempts ->
+      exit 70
+    | _ -> ());
+    let progress =
+      if spec.sp_progress then
+        Progress.create ~out:stdout ~interval_ns:250_000_000
+          ~total:
+            (Par.shard_size ~jobs:spec.sp_workers
+               ~total:(total spec.sp_campaign) ~worker:spec.sp_worker)
+      else Progress.null
+    in
+    match worker_payload spec progress with
+    | Error msg ->
+      Printf.eprintf "c11test worker: %s\n" msg;
+      2
+    | Ok payload ->
+      (* parting [final] heartbeat: the worker's exact cumulative counts.
+         Interval-throttled heartbeats may lag or never fire on a fast
+         shard; the coordinator folds this one like any other, so its
+         post-campaign sums are exact. *)
+      if spec.sp_progress then Progress.finish progress;
+      emit_json stdout
+        (Jsonx.Obj
+           [
+             ("schema", Jsonx.String schema);
+             ("kind", Jsonx.String "shard");
+             ("worker", Jsonx.Int spec.sp_worker);
+             ( "payload",
+               Jsonx.String (b64_encode (Marshal.to_string payload [])) );
+           ]);
+      emit_json stdout
+        (Jsonx.Obj
+           [
+             ("schema", Jsonx.String schema);
+             ("kind", Jsonx.String "done");
+             ("worker", Jsonx.Int spec.sp_worker);
+           ]);
+      0)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator side. *)
+
+let locate_exe () =
+  let self = Sys.executable_name in
+  let base = Filename.basename self in
+  if base = "c11test.exe" || base = "c11test" then Some self
+  else
+    let dir = Filename.dirname self in
+    List.find_opt Sys.file_exists
+      [
+        Filename.concat dir "c11test.exe";
+        Filename.concat (Filename.dirname dir) "bin/c11test.exe";
+        "../bin/c11test.exe";
+        "bin/c11test.exe";
+        "_build/default/bin/c11test.exe";
+      ]
+
+type wstate = {
+  w_index : int;
+  mutable w_pid : int;
+  mutable w_fd : Unix.file_descr option;
+  w_buf : Buffer.t;
+  mutable w_payload : payload option;
+  mutable w_attempt : int;
+  mutable w_failed : bool;
+  (* latest cumulative heartbeat counts:
+     done, novel, findings, certified_ops, retired_prefix_ops *)
+  mutable w_counts : int * int * int * int * int;
+}
+
+let spawn ~exe spec =
+  let out_r, out_w = Unix.pipe () in
+  let in_r, in_w = Unix.pipe () in
+  Unix.set_close_on_exec out_r;
+  Unix.set_close_on_exec in_w;
+  let pid =
+    Unix.create_process exe [| exe; "worker" |] in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  (* Ship the spec.  EPIPE here means the child is already dead (e.g. a
+     bad binary); the read loop will see EOF and handle it as a crash. *)
+  let line = encode_spec spec ^ "\n" in
+  (try
+     let n = String.length line in
+     let written = ref 0 in
+     while !written < n do
+       written :=
+         !written + Unix.write_substring in_w line !written (n - !written)
+     done
+   with Unix.Unix_error _ -> ());
+  (try Unix.close in_w with Unix.Unix_error _ -> ());
+  (pid, out_r)
+
+let int_of j k = Option.value ~default:0 (Option.bind (Jsonx.member k j) Jsonx.to_int)
+
+(* One protocol line from worker [st].  Stray non-JSON output is ignored
+   (stderr is the diagnostics channel; stdout discipline is on us). *)
+let handle_line st ~on_counts line =
+  match Jsonx.parse line with
+  | Error _ -> ()
+  | Ok j -> (
+    match Option.bind (Jsonx.member "schema" j) Jsonx.to_str with
+    | Some s when s = schema -> (
+      match Option.bind (Jsonx.member "kind" j) Jsonx.to_str with
+      | Some "shard" -> (
+        match Option.bind (Jsonx.member "payload" j) Jsonx.to_str with
+        | None -> ()
+        | Some b64 -> (
+          match (Marshal.from_string (b64_decode b64) 0 : payload) with
+          | p -> st.w_payload <- Some p
+          | exception _ -> () (* treated as a crash at EOF *)))
+      | _ -> () (* hello / done: informational ack *))
+    | Some "c11progress-v1" ->
+      st.w_counts <-
+        ( int_of j "done",
+          int_of j "novel",
+          int_of j "findings",
+          int_of j "certified_ops",
+          int_of j "retired_prefix_ops" );
+      on_counts ()
+    | _ -> ())
+
+let drain_lines st ~on_counts =
+  let s = Buffer.contents st.w_buf in
+  match String.rindex_opt s '\n' with
+  | None -> ()
+  | Some last ->
+    Buffer.clear st.w_buf;
+    Buffer.add_string st.w_buf
+      (String.sub s (last + 1) (String.length s - last - 1));
+    String.split_on_char '\n' (String.sub s 0 last)
+    |> List.iter (fun line ->
+           if String.trim line <> "" then handle_line st ~on_counts line)
+
+exception Payload_mismatch
+
+let merge_payloads campaign payloads =
+  let run_shards =
+    List.concat_map (function P_run s -> s | _ -> raise Payload_mismatch)
+  in
+  let litmus_shards =
+    List.concat_map (function P_litmus s -> s | _ -> raise Payload_mismatch)
+  in
+  let fuzz_shards =
+    List.concat_map (function P_fuzz s -> s | _ -> raise Payload_mismatch)
+  in
+  match campaign with
+  | Run_c _ -> M_run (fst (Tester.merge_shard_list (run_shards payloads)))
+  | Litmus_c _ ->
+    let summary, hist = Tester.merge_shard_list (litmus_shards payloads) in
+    M_litmus (summary, hist)
+  | Fuzz_c { cfg; _ } -> M_fuzz (Fuzz.merge_shard_list cfg (fuzz_shards payloads))
+
+(* Heartbeats from workers are throttled, so the coordinator's counters
+   may lag (or, on a fast campaign, never move).  Before [final], set
+   them to the exact merged totals — the final record is part of the
+   deterministic surface and must match the in-process runners'. *)
+let finish_progress progress merged ~observed_cert_ops =
+  if Progress.enabled progress then begin
+    let done_, novel, findings, certified_ops, retired_prefix_ops =
+      match merged with
+      | M_run s | M_litmus (s, _) ->
+        ( s.Tester.executions,
+          Option.value ~default:0
+            (Option.map Cov.distinct_shapes s.Tester.coverage),
+          List.length s.Tester.distinct_races
+          + List.length s.Tester.distinct_cert_violations,
+          s.Tester.certified_ops,
+          s.Tester.retired_prefix_ops )
+      | M_fuzz r ->
+        (* the fuzz report carries no certification-op totals; the summed
+           worker finals (exact — see worker_main) stand in for them *)
+        let obs_co, obs_ro = observed_cert_ops in
+        ( r.Fuzz.r_programs,
+          Option.value ~default:0
+            (Option.map Cov.distinct_shapes r.Fuzz.r_coverage),
+          List.length r.Fuzz.r_findings,
+          obs_co,
+          obs_ro )
+    in
+    Progress.observe progress ~done_ ~novel ~findings ~certified_ops
+      ~retired_prefix_ops;
+    Progress.finish ~novel ~findings progress
+  end
+
+let run_campaign ?exe ?cache ?(progress = Progress.null) ?kill ~workers ~jobs
+    campaign =
+  let n = total campaign in
+  let workers = max 1 (min workers (max 1 n)) in
+  let jobs = max 1 jobs in
+  match
+    match exe with Some e -> Some e | None -> locate_exe ()
+  with
+  | None -> Error "cannot locate the c11test worker binary"
+  | Some exe when not (Sys.file_exists exe) ->
+    Error (Printf.sprintf "worker binary %s does not exist" exe)
+  | Some exe ->
+    (* a worker that died before reading its spec must not kill us with
+       SIGPIPE mid-write *)
+    let old_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match old_sigpipe with
+        | Some b -> Sys.set_signal Sys.sigpipe b
+        | None -> ())
+      (fun () ->
+        let spawned = ref 0 in
+        (* cache replay first: a hit shard spawns no process at all *)
+        let cached = Array.make workers None in
+        (match cache with
+        | None -> ()
+        | Some c ->
+          for w = 0 to workers - 1 do
+            let key = cache_key ~exe ~workers ~jobs ~worker:w campaign in
+            cached.(w) <- Cache.lookup c ~key
+          done);
+        let states =
+          Array.init workers (fun w ->
+              {
+                w_index = w;
+                w_pid = -1;
+                w_fd = None;
+                w_buf = Buffer.create 256;
+                w_payload = cached.(w);
+                w_attempt = 0;
+                w_failed = false;
+                w_counts = (0, 0, 0, 0, 0);
+              })
+        in
+        let spec_of st =
+          {
+            sp_campaign = campaign;
+            sp_worker = st.w_index;
+            sp_workers = workers;
+            sp_jobs = jobs;
+            sp_progress = Progress.enabled progress;
+            sp_attempt = st.w_attempt;
+            sp_kill = kill;
+          }
+        in
+        let launch st =
+          st.w_attempt <- st.w_attempt + 1;
+          Buffer.clear st.w_buf;
+          incr spawned;
+          let pid, fd = spawn ~exe (spec_of st) in
+          st.w_pid <- pid;
+          st.w_fd <- Some fd
+        in
+        Array.iter (fun st -> if st.w_payload = None then launch st) states;
+        (* aggregate the workers' cumulative heartbeat counts into the
+           campaign's single progress stream *)
+        let on_counts () =
+          if Progress.enabled progress then begin
+            let d = ref 0 and nv = ref 0 and f = ref 0 in
+            let co = ref 0 and ro = ref 0 in
+            Array.iter
+              (fun st ->
+                let dd, nn, ff, cc, rr = st.w_counts in
+                d := !d + dd;
+                nv := !nv + nn;
+                f := !f + ff;
+                co := !co + cc;
+                ro := !ro + rr)
+              states;
+            Progress.observe progress ~done_:!d ~novel:!nv ~findings:!f
+              ~certified_ops:!co ~retired_prefix_ops:!ro
+          end
+        in
+        let chunk = Bytes.create 65536 in
+        let on_exit st =
+          (match st.w_fd with
+          | Some fd -> Unix.close fd
+          | None -> ());
+          st.w_fd <- None;
+          (try ignore (Unix.waitpid [] st.w_pid) with Unix.Unix_error _ -> ());
+          if st.w_payload = None then
+            (* crashed shard range: re-claim once, then record the loss *)
+            if st.w_attempt < 2 then launch st else st.w_failed <- true
+        in
+        let rec drive () =
+          let live =
+            Array.to_list states
+            |> List.filter_map (fun st ->
+                   Option.map (fun fd -> (fd, st)) st.w_fd)
+          in
+          if live <> [] then begin
+            (match Unix.select (List.map fst live) [] [] (-1.0) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | ready, _, _ ->
+              List.iter
+                (fun (fd, st) ->
+                  if List.mem fd ready then
+                    match Unix.read fd chunk 0 (Bytes.length chunk) with
+                    | 0 ->
+                      drain_lines st ~on_counts;
+                      on_exit st
+                    | nread ->
+                      Buffer.add_subbytes st.w_buf chunk 0 nread;
+                      drain_lines st ~on_counts
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+                live);
+            drive ()
+          end
+        in
+        drive ();
+        (* persist fresh shards (cache hits are already on disk) *)
+        (match cache with
+        | None -> ()
+        | Some c ->
+          Array.iter
+            (fun st ->
+              match st.w_payload with
+              | Some p when cached.(st.w_index) = None ->
+                let key =
+                  cache_key ~exe ~workers ~jobs ~worker:st.w_index campaign
+                in
+                Cache.store c ~key p
+              | _ -> ())
+            states);
+        let present =
+          Array.to_list states
+          |> List.filter_map (fun st ->
+                 Option.map (fun p -> (st.w_index, p)) st.w_payload)
+        in
+        let audit =
+          Par.Merge.check_ranges ~workers ~total:n (List.map fst present)
+        in
+        let executions_run =
+          Array.fold_left
+            (fun acc st ->
+              if st.w_payload <> None && cached.(st.w_index) = None then
+                acc + Par.shard_size ~jobs:workers ~total:n ~worker:st.w_index
+              else acc)
+            0 states
+        in
+        if present = [] && n > 0 then
+          Error
+            (Printf.sprintf
+               "no worker produced a shard (%d spawned); is %s a c11test \
+                binary?"
+               !spawned exe)
+        else
+          match merge_payloads campaign (List.map snd present) with
+          | exception Payload_mismatch ->
+            Error "shard payload does not match the campaign kind"
+          | merged ->
+            let observed_cert_ops =
+              Array.fold_left
+                (fun (co, ro) st ->
+                  let _, _, _, c, r = st.w_counts in
+                  (co + c, ro + r))
+                (0, 0) states
+            in
+            finish_progress progress merged ~observed_cert_ops;
+            Ok
+              ( merged,
+                {
+                  st_workers = workers;
+                  st_spawned = !spawned;
+                  st_failed = audit.Par.Merge.missing;
+                  st_executions_run = executions_run;
+                  st_cache = Option.map Cache.stats cache;
+                } ))

@@ -1,0 +1,130 @@
+(** C11svc — the multi-process campaign fabric.
+
+    Domain-level parallelism (lib/par) is bound by one process and one
+    runtime; campaign scale means going wider.  This module runs a
+    campaign as a {e coordinator} that spawns worker {e processes} —
+    fork/exec of the c11test binary in its hidden [worker] mode — hands
+    each a leapfrog shard of the execution index space, and streams
+    per-shard results back over a pipe as NDJSON.  The coordinator folds
+    the shards with the same {!Par.Merge} lowest-index-wins algebra the
+    in-process runners use, so a [--workers N] campaign's summary,
+    histogram, coverage and findings are byte-identical to [-j 1] for
+    every N.
+
+    {b Wire protocol} (one JSON document per line on the worker's
+    stdout):
+
+    - [{"schema":"c11svc-v1","kind":"hello","worker":w,"pid":p}] — the
+      worker acknowledges its shard claim;
+    - [c11progress-v1] heartbeat records — the worker's cumulative
+      shard-local counts, aggregated by the coordinator into the single
+      campaign progress stream;
+    - [{"schema":"c11svc-v1","kind":"shard","worker":w,"payload":B64}] —
+      the shard result: base64 of the [Marshal]-encoded closure-free
+      shard value ({!Tester.shard} list or {!Fuzz.shard} list);
+    - [{"schema":"c11svc-v1","kind":"done","worker":w}] — end of stream.
+
+    The spec a worker runs arrives the same way on its stdin (one base64
+    line).  A worker that dies before its [shard] record (crash, kill,
+    exec failure) has its range re-claimed once by a respawned process;
+    if that dies too, the range is recorded in {!stats.st_failed} (audited
+    with {!Par.Merge.check_ranges}, ascending worker order) and the
+    degraded summary is the deterministic merge of the surviving shards —
+    never a hang, never silent loss.
+
+    {b Result cache}: with [~cache], each shard's outcome is stored
+    content-addressed under {!cache_key} — a digest of the campaign
+    fingerprint (workload/program identity, base seed, full engine
+    configuration), the shard coordinates and a code-version salt — so a
+    warm re-run of an identical campaign spawns no workers, performs zero
+    engine executions and reconstructs the exact merged summary from
+    cached records. *)
+
+(** What the campaign runs.  [config] must be fully resolved (seed,
+    pruning, certification, coverage): workers reconstruct their engine
+    from it verbatim. *)
+type campaign =
+  | Run_c of {
+      workload : string;  (** {!Registry} name *)
+      buggy : bool;
+      scale : int;
+      config : Engine.config;
+      iters : int;
+    }
+  | Litmus_c of { name : string; config : Engine.config; iters : int }
+  | Fuzz_c of { cfg : Fuzz.campaign_cfg; coverage : bool }
+      (** [cfg.c_jobs] is ignored; process fan-out replaces it *)
+
+(** Merged campaign result, same observables as the in-process runners. *)
+type merged =
+  | M_run of Tester.summary
+  | M_litmus of Tester.summary * (Litmus.outcome * int) list
+      (** histogram in first-occurrence order (as {!Tester.run_collect}) *)
+  | M_fuzz of Fuzz.report
+
+type stats = {
+  st_workers : int;  (** worker count after clamping to the total *)
+  st_spawned : int;  (** processes actually spawned (incl. re-claims) *)
+  st_failed : int list;
+      (** worker indices whose shard range was lost after one re-claim,
+          ascending — non-empty means the summary is degraded *)
+  st_executions_run : int;
+      (** engine executions performed by workers this run (0 on an
+          all-hit warm cache replay) *)
+  st_cache : Cache.stats option;
+}
+
+val stats_to_json : stats -> Jsonx.t
+
+(** Planned executions (or fuzz programs) of a campaign. *)
+val total : campaign -> int
+
+(** [cache_key ~exe ~workers ~jobs ~worker c] is the content address of
+    worker [worker]'s shard: the MD5 of a canonical JSON document naming
+    the campaign fingerprint (kind, workload/litmus/generator identity,
+    base seed, every engine-configuration field), the shard coordinates
+    [(worker, workers, jobs, total)] and the code-version salt — the MD5
+    of the worker executable at [exe], computed once per process.  Two
+    campaigns share an entry iff every execution either would run is
+    identical. *)
+val cache_key :
+  exe:string -> workers:int -> jobs:int -> worker:int -> campaign -> string
+
+(** Best guess at the c11test binary for spawning workers: the running
+    executable when it {e is} c11test, otherwise [bin/c11test.exe]
+    resolved against the executable's directory and the build tree (for
+    tests and the bench harness).  [None] when nothing exists. *)
+val locate_exe : unit -> string option
+
+(** [run_campaign ~workers ~jobs c] coordinates the campaign and returns
+    the merged result and run statistics.
+
+    @param exe worker binary (default {!locate_exe}; [Error] if none)
+    @param cache consult/populate this result cache per shard
+    @param progress the campaign's single progress handle: worker
+           heartbeats are aggregated into it and it receives the exact
+           merged [final] record
+    @param kill test-only fault injection [(worker, attempts)]: the
+           worker with that index exits uncleanly on its first [attempts]
+           claims — [(w, 1)] exercises re-claim recovery, [(w, 2)] the
+           deterministic degraded summary
+    @param workers worker processes ([>= 1]; clamped to the total)
+    @param jobs domains {e inside} each worker (the in-process leapfrog
+           nests under the process-level one)
+
+    [Error msg] only for environmental failures (no executable, spawn
+    failure, malformed payload) — partial worker loss degrades instead. *)
+val run_campaign :
+  ?exe:string ->
+  ?cache:Cache.t ->
+  ?progress:Progress.t ->
+  ?kill:int * int ->
+  workers:int ->
+  jobs:int ->
+  campaign ->
+  (merged * stats, string) result
+
+(** The worker-mode entry point behind [c11test worker]: decode the spec
+    line read from stdin, run the assigned shard(s), stream protocol
+    records to stdout.  Returns the process exit code. *)
+val worker_main : string -> int

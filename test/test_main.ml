@@ -20,4 +20,5 @@ let () =
       ("check", Test_check.suite);
       ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);
+      ("svc", Test_svc.suite);
     ]

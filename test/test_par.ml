@@ -93,6 +93,84 @@ let test_first_win () =
     (Par.Merge.first_win [ Some (7, "b"); None; Some (2, "a") ] = Some (2, "a"));
   check "all none" true (Par.Merge.first_win [ None; None ] = None)
 
+(* ---------- Merge.check_ranges: partial-failure audit ------------------ *)
+
+let test_check_ranges_unit () =
+  let open Par.Merge in
+  let r = check_ranges ~workers:4 ~total:40 [ 0; 1; 2; 3 ] in
+  check "complete range set is ok" true
+    (range_ok r && r.missing = [] && r.duplicated = []);
+  let r = check_ranges ~workers:4 ~total:40 [ 3; 0; 2 ] in
+  check "missing shard detected" true (r.missing = [ 1 ] && r.duplicated = []);
+  check "missing shard not ok" false (range_ok r);
+  let r = check_ranges ~workers:4 ~total:40 [ 0; 1; 1; 2; 3; 3 ] in
+  check "duplicated shards detected" true
+    (r.missing = [] && r.duplicated = [ 1; 3 ]);
+  check "duplicated shard not ok" false (range_ok r);
+  let r = check_ranges ~workers:3 ~total:10 [] in
+  check "everything missing, ascending" true (r.missing = [ 0; 1; 2 ])
+
+let prop_check_ranges_order_independent =
+  (* The audit must report the same (sorted) fault lists no matter what
+     order the shards arrived in — that is what makes a degraded
+     summary's failed-range report deterministic. *)
+  QCheck.Test.make ~name:"Merge.check_ranges order-independent" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 7)))
+    (fun (workers, raw) ->
+      let ranges = List.filter (fun w -> w < workers) raw in
+      let a = Par.Merge.check_ranges ~workers ~total:100 ranges in
+      let b = Par.Merge.check_ranges ~workers ~total:100 (List.rev ranges) in
+      let c =
+        Par.Merge.check_ranges ~workers ~total:100 (List.sort compare ranges)
+      in
+      a = b && b = c
+      && List.sort compare a.Par.Merge.missing = a.Par.Merge.missing
+      && List.sort compare a.Par.Merge.duplicated = a.Par.Merge.duplicated)
+
+let prop_check_ranges_exact =
+  (* check_ranges is exactly the complement test: a worker index is
+     missing iff it never occurs, duplicated iff it occurs twice+. *)
+  QCheck.Test.make ~name:"Merge.check_ranges exact complement" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 7)))
+    (fun (workers, raw) ->
+      let ranges = List.filter (fun w -> w < workers) raw in
+      let occurs w = List.length (List.filter (( = ) w) ranges) in
+      let all = List.init workers (fun w -> w) in
+      let r = Par.Merge.check_ranges ~workers ~total:100 ranges in
+      r.Par.Merge.missing = List.filter (fun w -> occurs w = 0) all
+      && r.Par.Merge.duplicated = List.filter (fun w -> occurs w > 1) all)
+
+let test_degraded_merge_deterministic () =
+  (* A lost shard degrades the summary, but deterministically: merging
+     the survivors must give the same result in every arrival order. *)
+  let w =
+    match Registry.find "ms-queue" with
+    | Some w -> w
+    | None -> Alcotest.fail "ms-queue missing"
+  in
+  let config = Tool.config ~seed:99L ~max_steps:150_000 Tool.C11tester in
+  let body =
+    w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale
+  in
+  let shards =
+    List.init 4 (fun worker ->
+        Tester.run_shard ~config ~total:24 ~start:worker ~stride:4 body)
+  in
+  (* worker 2's range is lost *)
+  let survivors = [ List.nth shards 0; List.nth shards 1; List.nth shards 3 ] in
+  let sum_a, hist_a = Tester.merge_shard_list survivors in
+  let sum_b, hist_b = Tester.merge_shard_list (List.rev survivors) in
+  let render s = Jsonx.to_pretty_string (Tester.summary_to_json s) in
+  Alcotest.(check string)
+    "degraded summary independent of merge order" (render sum_a)
+    (render sum_b);
+  check "degraded histogram independent of merge order" true (hist_a = hist_b);
+  let full, _ = Tester.merge_shard_list shards in
+  check "degraded summary covers survivors only" true
+    (sum_a.Tester.executions
+    = full.Tester.executions
+      - Tester.shard_executions (List.nth shards 2))
+
 (* ---------- Winner protocol ------------------------------------------- *)
 
 let test_winner () =
@@ -231,6 +309,9 @@ let suite =
       test_histogram_single_shard;
     Alcotest.test_case "dedup across shards" `Quick test_dedup_across_shards;
     Alcotest.test_case "first win" `Quick test_first_win;
+    Alcotest.test_case "check_ranges audit" `Quick test_check_ranges_unit;
+    Alcotest.test_case "degraded merge deterministic" `Slow
+      test_degraded_merge_deterministic;
     Alcotest.test_case "winner protocol" `Quick test_winner;
     Alcotest.test_case "shard sizes partition" `Quick test_shard_size;
     Alcotest.test_case "workload parity" `Slow test_workload_parity;
@@ -240,4 +321,10 @@ let suite =
       test_find_buggy_parallel_ring;
     Alcotest.test_case "hunt without bug" `Quick test_collect_parity_no_bug;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_add_assoc; prop_add_comm ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_add_assoc;
+        prop_add_comm;
+        prop_check_ranges_order_independent;
+        prop_check_ranges_exact;
+      ]

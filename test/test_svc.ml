@@ -1,0 +1,342 @@
+(* Multi-process campaign fabric (lib/svc): parity with the in-process
+   runners, content-addressed cache replay, crash re-claim and degraded
+   summaries.
+
+   These tests spawn real worker processes — the c11test binary built
+   alongside the suite — so they exercise the spec hand-off, the
+   c11svc-v1 wire protocol, Marshal round-trips and the coordinator's
+   select loop end to end, not a mock. *)
+
+let check = Alcotest.(check bool)
+
+let exe =
+  lazy
+    (match Svc.locate_exe () with
+    | Some e -> e
+    | None -> Alcotest.fail "cannot locate c11test.exe next to the test binary")
+
+let run_campaign ?cache ?kill ~workers ~jobs c =
+  match
+    Svc.run_campaign ~exe:(Lazy.force exe) ?cache ?kill ~workers ~jobs c
+  with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "run_campaign: %s" msg
+
+let summary_string s = Jsonx.to_pretty_string (Tester.summary_to_json s)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "c11svc_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    (match Cache.open_dir d with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "cannot create %s: %s" d msg);
+    d
+
+let open_cache dir =
+  match Cache.open_dir dir with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "open_dir %s: %s" dir msg
+
+(* ---------- campaign fixtures (coverage on: the widest observables) ---- *)
+
+let run_config =
+  { (Tool.config ~seed:99L ~max_steps:150_000 Tool.C11tester) with
+    Engine.coverage = true;
+    certify = true;
+  }
+
+let ms_queue () =
+  match Registry.find "ms-queue" with
+  | Some w -> w
+  | None -> Alcotest.fail "ms-queue missing"
+
+let run_spec iters =
+  let w = ms_queue () in
+  Svc.Run_c
+    {
+      workload = w.Registry.name;
+      buggy = true;
+      scale = w.Registry.default_scale;
+      config = run_config;
+      iters;
+    }
+
+let run_baseline iters =
+  let w = ms_queue () in
+  Tester.run_parallel ~jobs:1 ~config:run_config ~iters
+    (w.Registry.run ~variant:Variant.Buggy ~scale:w.Registry.default_scale)
+
+let litmus_config =
+  { (Tool.config ~seed:7L Tool.C11tester) with Engine.coverage = true }
+
+let mp_relaxed () =
+  match Litmus.find "mp_relaxed" with
+  | Some t -> t
+  | None -> Alcotest.fail "mp_relaxed missing"
+
+let fuzz_cfg =
+  {
+    Fuzz.default_campaign_cfg with
+    Fuzz.c_programs = 60;
+    c_seed = 11L;
+    c_jobs = 1;
+  }
+
+(* ---------- parity ----------------------------------------------------- *)
+
+let test_run_parity () =
+  let baseline = run_baseline 24 in
+  List.iter
+    (fun workers ->
+      let merged, st = run_campaign ~workers ~jobs:1 (run_spec 24) in
+      match merged with
+      | Svc.M_run s ->
+        Alcotest.(check string)
+          (Printf.sprintf "summary workers=%d" workers)
+          (summary_string baseline) (summary_string s);
+        check
+          (Printf.sprintf "race reports workers=%d" workers)
+          true
+          (baseline.Tester.distinct_races = s.Tester.distinct_races);
+        check
+          (Printf.sprintf "clean workers=%d" workers)
+          true
+          (st.Svc.st_failed = [] && st.Svc.st_spawned = st.Svc.st_workers)
+      | _ -> Alcotest.fail "expected M_run")
+    [ 1; 2; 4 ]
+
+let test_run_parity_nested () =
+  (* worker processes and in-worker domains compose: still identical *)
+  let baseline = run_baseline 24 in
+  let merged, _ = run_campaign ~workers:3 ~jobs:2 (run_spec 24) in
+  match merged with
+  | Svc.M_run s ->
+    Alcotest.(check string) "summary workers=3 jobs=2"
+      (summary_string baseline) (summary_string s)
+  | _ -> Alcotest.fail "expected M_run"
+
+let test_litmus_parity () =
+  let t = mp_relaxed () in
+  let base_summary, base_hist =
+    Litmus.explore_summary ~jobs:1 ~config:litmus_config ~iters:300 t
+  in
+  List.iter
+    (fun workers ->
+      let merged, _ =
+        run_campaign ~workers ~jobs:1
+          (Svc.Litmus_c
+             { name = t.Litmus.name; config = litmus_config; iters = 300 })
+      in
+      match merged with
+      | Svc.M_litmus (s, hist) ->
+        Alcotest.(check string)
+          (Printf.sprintf "litmus summary workers=%d" workers)
+          (summary_string base_summary) (summary_string s);
+        check
+          (Printf.sprintf "litmus histogram workers=%d" workers)
+          true
+          (Litmus.rank_hist hist = base_hist)
+      | _ -> Alcotest.fail "expected M_litmus")
+    [ 1; 2; 4 ]
+
+let test_fuzz_parity () =
+  let baseline = Fuzz.campaign ~coverage:true fuzz_cfg in
+  let render r = Jsonx.to_pretty_string (Fuzz.report_to_json r) in
+  List.iter
+    (fun workers ->
+      let merged, _ =
+        run_campaign ~workers ~jobs:1
+          (Svc.Fuzz_c { cfg = fuzz_cfg; coverage = true })
+      in
+      match merged with
+      | Svc.M_fuzz r ->
+        Alcotest.(check string)
+          (Printf.sprintf "fuzz report workers=%d" workers)
+          (render baseline) (render r)
+      | _ -> Alcotest.fail "expected M_fuzz")
+    [ 1; 2; 4 ]
+
+let test_workers_clamped () =
+  (* more workers than executions: clamped, not empty-sharded *)
+  let merged, st = run_campaign ~workers:16 ~jobs:1 (run_spec 5) in
+  check "clamped to total" true (st.Svc.st_workers = 5);
+  match merged with
+  | Svc.M_run s -> check "all executions ran" true (s.Tester.executions = 5)
+  | _ -> Alcotest.fail "expected M_run"
+
+(* ---------- cache ------------------------------------------------------ *)
+
+let test_cache_warm_replay () =
+  let dir = fresh_dir () in
+  let cold_cache = open_cache dir in
+  let cold, cold_st =
+    run_campaign ~cache:cold_cache ~workers:2 ~jobs:1 (run_spec 24)
+  in
+  let cst = Option.get cold_st.Svc.st_cache in
+  check "cold run spawned workers" true (cold_st.Svc.st_spawned = 2);
+  check "cold run stored both shards" true
+    (cst.Cache.stores = 2 && cst.Cache.hits = 0);
+  (* a fresh Cache.t against the same directory: only disk state carries *)
+  let warm_cache = open_cache dir in
+  let warm, warm_st =
+    run_campaign ~cache:warm_cache ~workers:2 ~jobs:1 (run_spec 24)
+  in
+  let wst = Option.get warm_st.Svc.st_cache in
+  check "warm run spawned nothing" true (warm_st.Svc.st_spawned = 0);
+  check "warm run executed nothing" true (warm_st.Svc.st_executions_run = 0);
+  check "warm run all hits" true (wst.Cache.hits = 2 && wst.Cache.misses = 0);
+  match (cold, warm) with
+  | Svc.M_run a, Svc.M_run b ->
+    Alcotest.(check string) "warm summary byte-identical" (summary_string a)
+      (summary_string b)
+  | _ -> Alcotest.fail "expected M_run"
+
+let test_cache_key_sensitivity () =
+  let e = Lazy.force exe in
+  let key ~workers ~worker c = Svc.cache_key ~exe:e ~workers ~jobs:1 ~worker c in
+  let base = run_spec 24 in
+  check "key is stable" true
+    (key ~workers:2 ~worker:0 base = key ~workers:2 ~worker:0 base);
+  check "worker index in key" true
+    (key ~workers:2 ~worker:0 base <> key ~workers:2 ~worker:1 base);
+  check "worker count in key" true
+    (key ~workers:2 ~worker:0 base <> key ~workers:4 ~worker:0 base);
+  let other_seed =
+    Svc.Run_c
+      {
+        workload = "ms-queue";
+        buggy = true;
+        scale = (ms_queue ()).Registry.default_scale;
+        config = { run_config with Engine.seed = 100L };
+        iters = 24;
+      }
+  in
+  check "engine config in key" true
+    (key ~workers:2 ~worker:0 base <> key ~workers:2 ~worker:0 other_seed)
+
+let test_cache_corrupt_entry_is_miss () =
+  let dir = fresh_dir () in
+  let c = open_cache dir in
+  let key = String.make 32 'a' in
+  Cache.store c ~key [ 1; 2; 3 ];
+  check "round trip" true (Cache.lookup c ~key = Some [ 1; 2; 3 ]);
+  (* truncate the entry behind the cache's back *)
+  let path = Filename.concat (Filename.concat dir "aa") (String.make 30 'a' ^ ".shard") in
+  let oc = open_out path in
+  output_string oc "c11svc-cache-v1\n";
+  close_out oc;
+  check "corrupt entry reads as miss" true
+    ((Cache.lookup c ~key : int list option) = None);
+  check "corrupt entry removed" false (Sys.file_exists path);
+  let st = Cache.stats c in
+  check "stats counted" true (st.Cache.hits = 1 && st.Cache.misses = 1)
+
+(* ---------- crash re-claim and degraded summaries ---------------------- *)
+
+let test_crash_reclaim_recovers () =
+  let baseline = run_baseline 24 in
+  let merged, st =
+    run_campaign ~kill:(1, 1) ~workers:4 ~jobs:1 (run_spec 24)
+  in
+  check "extra spawn for the re-claim" true (st.Svc.st_spawned = 5);
+  check "no range lost" true (st.Svc.st_failed = []);
+  match merged with
+  | Svc.M_run s ->
+    Alcotest.(check string) "re-claimed campaign identical"
+      (summary_string baseline) (summary_string s)
+  | _ -> Alcotest.fail "expected M_run"
+
+let test_crash_degraded_deterministic () =
+  (* worker 1 dies on both attempts: its range is reported lost and the
+     summary is the merge of the survivors — same bytes every time *)
+  let run () = run_campaign ~kill:(1, 2) ~workers:4 ~jobs:1 (run_spec 24) in
+  let merged_a, st_a = run () in
+  let merged_b, st_b = run () in
+  check "failed range named" true (st_a.Svc.st_failed = [ 1 ]);
+  check "failure deterministic" true (st_b.Svc.st_failed = [ 1 ]);
+  check "both attempts spawned" true (st_a.Svc.st_spawned = 5);
+  match (merged_a, merged_b) with
+  | Svc.M_run a, Svc.M_run b ->
+    Alcotest.(check string) "degraded summary deterministic"
+      (summary_string a) (summary_string b);
+    check "survivors only" true (a.Tester.executions = 24 - 6)
+    (* worker 1 of 4 over 24 indices owns 6 executions *)
+  | _ -> Alcotest.fail "expected M_run"
+
+(* ---------- progress aggregation --------------------------------------- *)
+
+let test_progress_aggregated () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "c11svc_progress_%d.ndjson" (Unix.getpid ()))
+  in
+  let oc = open_out path in
+  let progress = Progress.create ~out:oc ~interval_ns:0 ~total:24 in
+  let merged, _ =
+    match
+      Svc.run_campaign ~exe:(Lazy.force exe) ~progress ~workers:2 ~jobs:1
+        (run_spec 24)
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "run_campaign: %s" msg
+  in
+  close_out oc;
+  let lines = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let docs =
+    List.rev_map
+      (fun l ->
+        match Jsonx.parse l with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "bad progress line %s: %s" l e)
+      !lines
+  in
+  let kind j = Option.bind (Jsonx.member "kind" j) Jsonx.to_str in
+  let finals = List.filter (fun j -> kind j = Some "final") docs in
+  check "exactly one final record" true (List.length finals = 1);
+  let final = List.hd finals in
+  let int_of k j = Option.bind (Jsonx.member k j) Jsonx.to_int in
+  check "final covers every execution" true
+    (int_of "done" final = Some 24);
+  match merged with
+  | Svc.M_run s ->
+    check "final findings match merged summary" true
+      (int_of "findings" final
+      = Some
+          (List.length s.Tester.distinct_races
+          + List.length s.Tester.distinct_cert_violations))
+  | _ -> Alcotest.fail "expected M_run"
+
+let suite =
+  [
+    Alcotest.test_case "run parity across workers" `Slow test_run_parity;
+    Alcotest.test_case "run parity nested workers*jobs" `Slow
+      test_run_parity_nested;
+    Alcotest.test_case "litmus parity across workers" `Slow test_litmus_parity;
+    Alcotest.test_case "fuzz parity across workers" `Slow test_fuzz_parity;
+    Alcotest.test_case "workers clamped to total" `Quick test_workers_clamped;
+    Alcotest.test_case "cache warm replay" `Slow test_cache_warm_replay;
+    Alcotest.test_case "cache key sensitivity" `Quick
+      test_cache_key_sensitivity;
+    Alcotest.test_case "cache corrupt entry is miss" `Quick
+      test_cache_corrupt_entry_is_miss;
+    Alcotest.test_case "crash re-claim recovers" `Slow
+      test_crash_reclaim_recovers;
+    Alcotest.test_case "crash degraded deterministic" `Slow
+      test_crash_degraded_deterministic;
+    Alcotest.test_case "progress aggregated across workers" `Slow
+      test_progress_aggregated;
+  ]
