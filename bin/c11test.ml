@@ -6,19 +6,21 @@
      litmus — explore a litmus test's outcome histogram
      fuzz   — generate random programs and differential-test the engine
               against the axiomatic certifier, shrinking any finding
-     report — render coverage/progress/findings NDJSON artifacts as a
-              human-readable campaign summary
+     lint   — statically analyze litmus/workload models and generated
+              programs (C11lint), no engine executions
+     report — render coverage/progress/findings/lint NDJSON artifacts as
+              a human-readable campaign summary
      list   — list available workloads and litmus tests
 
    Exit codes (asserted by test/test_exit_codes):
      0 — ran cleanly, nothing found
      1 — bugs found: data races, assertion failures, certification
-         rejections (`--certify`), forbidden litmus outcomes or fuzz
-         findings
-     2 — usage errors (unknown workload/litmus test/pruning policy/fuzz
-         profile/mutant, non-positive --jobs or --workers, unwritable
-         --coverage/--progress path or --cache directory, missing or
-         malformed `report' input)
+         rejections (`--certify`), forbidden litmus outcomes, fuzz
+         findings or non-clean lint results
+     2 — usage errors (unknown workload/litmus test/lint target/pruning
+         policy/fuzz profile/mutant, non-positive --jobs or --workers,
+         unwritable --coverage/--progress path or --cache directory,
+         missing or malformed `report' input)
 
    There is also a hidden `worker' mode (spawned by the coordinator when
    `--workers'/`--cache' engage the multi-process fabric, never typed by
@@ -755,6 +757,261 @@ let fuzz_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* `c11test lint' — run the static analyzer over named litmus/workload
+   models and/or generated fuzz programs, no engine executions at all. *)
+
+let lint_cmd =
+  let targets_arg =
+    let doc =
+      "Named target(s) to lint: litmus-catalog or workload-model names \
+       (see `c11test list').  Default: the whole static model catalog."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"TARGET" ~doc)
+  in
+  let programs_arg =
+    let doc =
+      "Additionally lint $(docv) generated fuzz programs (same generator \
+       and per-index seed derivation as `c11test fuzz')."
+    in
+    Arg.(value & opt int 0 & info [ "programs" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Maximum operations per generated thread body." in
+    Arg.(value & opt int 8 & info [ "ops" ] ~docv:"N" ~doc)
+  in
+  let threads_arg =
+    let doc = "Maximum spawned threads per generated program." in
+    Arg.(value & opt int 3 & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  let lint_profile_arg =
+    let doc =
+      "Generation profile for $(b,--programs): mixed, sc-heavy, rmw-chain \
+       or mixed-atomicity."
+    in
+    Arg.(value & opt string "mixed" & info [ "profile" ] ~docv:"PROFILE" ~doc)
+  in
+  let ndjson_arg =
+    let doc =
+      "Write the full analysis as c11lint-v1 NDJSON (one campaign header, \
+       one record per target, index order) to $(docv); `-' means stdout \
+       (and suppresses the human-readable report).  Byte-identical for \
+       every $(b,--jobs) and $(b,--workers) value."
+    in
+    Arg.(value & opt (some string) None & info [ "ndjson" ] ~docv:"FILE" ~doc)
+  in
+  let run targets programs ops threads profile_name seed jobs verbose json
+      ndjson progress workers cache_spec =
+    match Fuzz.profile_of_string profile_name with
+    | None ->
+      Printf.eprintf
+        "unknown fuzz profile %S; try mixed, sc-heavy, rmw-chain or \
+         mixed-atomicity\n"
+        profile_name;
+      2
+    | Some profile -> (
+      match List.find_opt (fun t -> Svc.lint_resolve t = None) targets with
+      | Some t ->
+        Printf.eprintf "unknown lint target %S; try `c11test list'\n" t;
+        2
+      | None ->
+        if programs < 0 || ops < 1 || threads < 1 then begin
+          Printf.eprintf "--programs must be >= 0, --ops and --threads >= 1\n";
+          2
+        end
+        else begin
+          validate_jobs jobs @@ fun jobs ->
+          validate_workers workers @@ fun () ->
+          with_cache cache_spec @@ fun cache ->
+          let targets =
+            if targets <> [] then targets
+            else List.map fst Lmodel.all @ List.map fst Wmodel.all
+          in
+          let total = List.length targets + programs in
+          (* the NDJSON sink opens before any analysis runs, so an
+             unwritable path is a usage error like --coverage/--progress *)
+          let nd_sink =
+            match ndjson with
+            | None -> Ok None
+            | Some path -> (
+              match open_sink path with
+              | Ok s -> Ok (Some s)
+              | Error msg ->
+                Printf.eprintf "cannot write %s: %s\n" path msg;
+                Error ())
+          in
+          match nd_sink with
+          | Error () -> 2
+          | Ok nd_sink ->
+          Fun.protect ~finally:(fun () -> close_sink nd_sink) @@ fun () ->
+          with_sinks ~coverage:None ~progress ~total
+          @@ fun _cov_sink progress_handle ->
+          let gen =
+            {
+              Fuzz.default_gen_cfg with
+              Fuzz.g_threads = threads;
+              g_ops = ops;
+              g_profile = profile;
+            }
+          in
+          let seed64 = Int64.of_int seed in
+          let quiet =
+            json = Some "-" || ndjson = Some "-" || progress = Some "-"
+          in
+          let fabric = fabric_engaged ~workers ~cache_spec in
+          let nworkers = Option.value ~default:1 workers in
+          if not quiet then
+            Printf.printf
+              "linting %d named target(s) and %d generated program(s)%s%s\n"
+              (List.length targets) programs
+              (if fabric then Printf.sprintf " on %d workers" nworkers else "")
+              (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "");
+          let fabric_result k =
+            if fabric then
+              run_fabric ?cache ~progress:progress_handle ~workers:nworkers
+                ~jobs
+                (Svc.Lint_c
+                   {
+                     lt_targets = targets;
+                     lt_programs = programs;
+                     lt_seed = seed64;
+                     lt_gen = gen;
+                   })
+                (fun (merged, st) ->
+                  match merged with
+                  | Svc.M_lint results -> k (results, Some st)
+                  | _ ->
+                    Printf.eprintf
+                      "campaign fabric: internal payload mismatch\n";
+                    2)
+            else begin
+              let tarr = Array.of_list targets in
+              let shards =
+                if jobs = 1 then
+                  [
+                    Svc.lint_shard ~progress:progress_handle ~targets:tarr
+                      ~gen ~seed:seed64 ~total ~start:0 ~stride:1;
+                  ]
+                else
+                  Par.spawn_workers ~jobs (fun ~worker ->
+                      Svc.lint_shard ~progress:progress_handle ~targets:tarr
+                        ~gen ~seed:seed64 ~total ~start:worker ~stride:jobs)
+                  |> Array.to_list
+              in
+              let results =
+                Par.Merge.dedup_indexed
+                  ~key:(fun (r : Lint.result) -> r.Lint.res_target)
+                  shards
+              in
+              let findings =
+                List.length
+                  (List.filter
+                     (fun (_, r) -> not r.Lint.res_race_free)
+                     results)
+              in
+              Progress.finish ~novel:0 ~findings progress_handle;
+              k (results, None)
+            end
+          in
+          fabric_result @@ fun (results, svc_stats) ->
+          (match nd_sink with
+          | None -> ()
+          | Some (oc, _) ->
+            List.iter
+              (fun j ->
+                output_string oc (Jsonx.to_string j);
+                output_char oc '\n')
+              (Lint.campaign_to_ndjson results);
+            flush oc);
+          let unclean = List.filter (fun (_, r) -> not (Lint.clean r)) results in
+          let racy =
+            List.filter (fun (_, r) -> not r.Lint.res_race_free) results
+          in
+          let rule_counts =
+            List.map
+              (fun rule ->
+                ( rule,
+                  List.fold_left
+                    (fun acc (_, r) ->
+                      acc
+                      + List.length
+                          (List.filter
+                             (fun h -> h.Lint.h_rule = rule)
+                             r.Lint.res_hits))
+                    0 results ))
+              Lint.rule_names
+          in
+          if not quiet then begin
+            List.iter
+              (fun (_, r) ->
+                if verbose then Format.printf "%a@." Lint.pp_result r
+                else if not (Lint.clean r) then
+                  Printf.printf "  %-28s %s%s\n"
+                    (if r.Lint.res_target = "" then "<program>"
+                     else r.Lint.res_target)
+                    (if r.Lint.res_race_free then "race-free"
+                     else "race-potential")
+                    (match List.length r.Lint.res_hits with
+                    | 0 -> ""
+                    | n -> Printf.sprintf ", %d lint hit(s)" n))
+              results;
+            Printf.printf
+              "%d target(s): %d clean, %d race-potential, %d with lint hits\n"
+              (List.length results)
+              (List.length results - List.length unclean)
+              (List.length racy)
+              (List.length
+                 (List.filter (fun (_, r) -> r.Lint.res_hits <> []) results));
+            List.iter
+              (fun (rule, n) ->
+                if n > 0 then Printf.printf "  %-24s %d\n" rule n)
+              rule_counts
+          end;
+          (match json with
+          | None -> ()
+          | Some path ->
+            let doc =
+              Jsonx.Obj
+                ([
+                   ("schema", Jsonx.String "c11lint-report-v1");
+                   ("targets", Jsonx.Int (List.length results));
+                   ("programs", Jsonx.Int programs);
+                   ("seed", Jsonx.Int seed);
+                   ("jobs", Jsonx.Int jobs);
+                   ("gen_profile", Jsonx.String (Fuzz.profile_name profile));
+                   ("clean", Jsonx.Int (List.length results - List.length unclean));
+                   ("race_potential", Jsonx.Int (List.length racy));
+                   ( "rule_hits",
+                     Jsonx.Obj
+                       (List.map (fun (r, n) -> (r, Jsonx.Int n)) rule_counts)
+                   );
+                   ( "results",
+                     Jsonx.List
+                       (List.map
+                          (fun (i, r) -> Lint.result_to_json ~index:i r)
+                          results) );
+                 ]
+                @ svc_json_fields svc_stats)
+            in
+            with_out_file path (fun oc ->
+                output_string oc (Jsonx.to_pretty_string doc);
+                output_char oc '\n'));
+          if unclean <> [] then 1 else 0
+        end)
+  in
+  let term =
+    Term.(
+      const run $ targets_arg $ programs_arg $ ops_arg $ threads_arg
+      $ lint_profile_arg $ seed_arg $ jobs_arg $ verbose_arg $ json_arg
+      $ ndjson_arg $ progress_arg $ workers_arg $ cache_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze litmus/workload models and generated programs \
+          for races and order hygiene")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* `c11test report' — read the NDJSON artifacts a campaign wrote
    (coverage, progress heartbeats, findings) back into one table. *)
 
@@ -762,9 +1019,9 @@ let report_cmd =
   let files_arg =
     let doc =
       "NDJSON artifact(s) to render: c11cov-v1 coverage, c11progress-v1 \
-       heartbeats and c11fuzz-finding-v1 findings, in any mix and order; \
-       `-' means stdin.  Missing files and malformed lines are usage \
-       errors (exit 2)."
+       heartbeats, c11fuzz-finding-v1 findings and c11lint-v1 static \
+       analyses, in any mix and order; `-' means stdin.  Missing files \
+       and malformed lines are usage errors (exit 2)."
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
   in
@@ -831,14 +1088,16 @@ let report_cmd =
       let cov_docs = of_schema "c11cov-v1" in
       let progress_docs = of_schema "c11progress-v1" in
       let finding_docs = of_schema "c11fuzz-finding-v1" in
+      let lint_docs = of_schema "c11lint-v1" in
       let known = List.length cov_docs + List.length progress_docs
-                  + List.length finding_docs in
+                  + List.length finding_docs + List.length lint_docs in
       if known < List.length docs then begin
         let unknown =
           List.find_map
             (fun (sch, _) ->
               if sch <> "c11cov-v1" && sch <> "c11progress-v1"
-                 && sch <> "c11fuzz-finding-v1" then Some sch else None)
+                 && sch <> "c11fuzz-finding-v1" && sch <> "c11lint-v1"
+              then Some sch else None)
             docs
         in
         fail "input"
@@ -936,6 +1195,43 @@ let report_cmd =
               Printf.printf "  program %d  %s  (%d -> %d ops)\n" (int "index")
                 (str "key") (int "ops_before") (int "ops_after"))
             docs);
+        (* static analysis *)
+        (match lint_docs with
+        | [] -> ()
+        | docs -> (
+          match Lint.campaign_of_ndjson docs with
+          | Error e -> bad := Some ("lint", e)
+          | Ok results ->
+            print_endline "static analysis (c11lint-v1):";
+            pp_int_row "targets" (List.length results);
+            let count p = List.length (List.filter p results) in
+            pp_int_row "clean" (count (fun (_, r) -> Lint.clean r));
+            pp_int_row "race-potential"
+              (count (fun (_, r) -> not r.Lint.res_race_free));
+            let verdicts =
+              List.concat_map (fun (_, r) -> r.Lint.res_verdicts) results
+            in
+            let vcount p = List.length (List.filter (fun (_, v) -> p v) verdicts) in
+            Printf.printf
+              "  verdicts:             race_free=%d protected=%d \
+               potential_race=%d\n"
+              (vcount (function Lint.Race_free -> true | _ -> false))
+              (vcount (function Lint.Protected _ -> true | _ -> false))
+              (vcount (function Lint.Potential_race _ -> true | _ -> false));
+            List.iter
+              (fun rule ->
+                let n =
+                  List.fold_left
+                    (fun acc (_, r) ->
+                      acc
+                      + List.length
+                          (List.filter
+                             (fun h -> h.Lint.h_rule = rule)
+                             r.Lint.res_hits))
+                    0 results
+                in
+                if n > 0 then Printf.printf "  lint %-19s %d\n" rule n)
+              Lint.rule_names));
         match !bad with
         | Some (what, e) -> fail what e
         | None -> 0
@@ -981,4 +1277,5 @@ let () =
   let info = Cmd.info "c11test" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_cmd; litmus_cmd; fuzz_cmd; report_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; litmus_cmd; fuzz_cmd; lint_cmd; report_cmd; list_cmd ]))

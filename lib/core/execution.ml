@@ -809,10 +809,7 @@ let store_rf_cv_with_relseq t li ts ~mo =
 let effective_rmw_mo t mo =
   match t.mode with
   | Full_c11 -> mo
-  | Total_mo -> (
-    match mo with
-    | Memorder.Seq_cst -> Memorder.Seq_cst
-    | _ -> Memorder.Acq_rel)
+  | Total_mo -> Memorder.join mo Memorder.Acq_rel
 
 let atomic_store t ~tid ~loc ~mo ~volatile value =
   let ts = thread t tid in

@@ -39,4 +39,30 @@ let is_seq_cst = function
   | Seq_cst -> true
   | Relaxed | Consume | Acquire | Release | Acq_rel -> false
 
+(* weak-to-strong linear extension of the strength order: join/meet scan
+   it directionally, so the first bound found is the least/greatest *)
 let all = [ Relaxed; Consume; Acquire; Release; Acq_rel; Seq_cst ]
+
+(* The strength lattice, encoded componentwise: acquire side
+   (0 = none, 1 = consume, 2 = acquire), release side (0/1) and the
+   seq_cst flag.  [Acquire] and [Release] are incomparable; [Consume]
+   sits strictly between [Relaxed] and [Acquire]. *)
+let strength = function
+  | Relaxed -> (0, 0, 0)
+  | Consume -> (1, 0, 0)
+  | Acquire -> (2, 0, 0)
+  | Release -> (0, 1, 0)
+  | Acq_rel -> (2, 1, 0)
+  | Seq_cst -> (2, 1, 1)
+
+let stronger_than a b =
+  let xa, xr, xs = strength a and ya, yr, ys = strength b in
+  xa >= ya && xr >= yr && xs >= ys
+
+let join a b =
+  List.find (fun x -> stronger_than x a && stronger_than x b) all
+
+let meet a b =
+  List.find
+    (fun x -> stronger_than a x && stronger_than b x)
+    (List.rev all)

@@ -27,5 +27,23 @@ val is_release : t -> bool
 
 val is_seq_cst : t -> bool
 
-(** All six orders, for property-based tests. *)
+(** All six orders, listed weakest to strongest (a linear extension of
+    {!stronger_than}), for property-based tests and lattice scans. *)
 val all : t list
+
+(** {1 Strength lattice}
+
+    The orders form a lattice under "provides at least the ordering
+    guarantees of": [Relaxed ⊑ Consume ⊑ Acquire ⊑ Acq_rel ⊑ Seq_cst]
+    and [Relaxed ⊑ Release ⊑ Acq_rel], with [Acquire] and [Release]
+    incomparable.  [stronger_than] is the (non-strict) lattice order;
+    [join]/[meet] are least upper / greatest lower bounds —
+    e.g. [join Acquire Release = Acq_rel] and
+    [meet Acquire Release = Relaxed]. *)
+
+(** [stronger_than a b] holds when [a] provides every ordering guarantee
+    [b] does (reflexive: [stronger_than a a] for all [a]). *)
+val stronger_than : t -> t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t

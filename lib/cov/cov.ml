@@ -155,6 +155,7 @@ type acc = {
   a_shapes : (string, int * int) Hashtbl.t;  (* key -> count, first index *)
   a_races : (string, int * int) Hashtbl.t;
   a_violations : (string, int * int) Hashtbl.t;
+  a_lint : (string, int * int) Hashtbl.t;
   a_mo : (string, int) Hashtbl.t;
 }
 
@@ -165,6 +166,7 @@ let create () =
     a_shapes = Hashtbl.create 32;
     a_races = Hashtbl.create 8;
     a_violations = Hashtbl.create 8;
+    a_lint = Hashtbl.create 8;
     a_mo = Hashtbl.create 8;
   }
 
@@ -189,6 +191,7 @@ let observe acc ~index shape =
 
 let observe_race acc ~index key = observe_key acc.a_races ~index key
 let observe_violation acc ~index key = observe_key acc.a_violations ~index key
+let observe_lint acc ~index key = observe_key acc.a_lint ~index key
 
 type shard = {
   d_execs : int;
@@ -196,6 +199,7 @@ type shard = {
   d_shapes : (string * int * int) list;
   d_races : (string * int * int) list;
   d_violations : (string * int * int) list;
+  d_lint : (string * int * int) list;
   d_mo : (string * int) list;
 }
 
@@ -209,6 +213,7 @@ let shard acc =
     d_shapes = table_entries acc.a_shapes;
     d_races = table_entries acc.a_races;
     d_violations = table_entries acc.a_violations;
+    d_lint = table_entries acc.a_lint;
     d_mo = Hashtbl.fold (fun k v l -> (k, v) :: l) acc.a_mo [];
   }
 
@@ -220,6 +225,7 @@ type summary = {
   s_shapes : entry list;
   s_races : entry list;
   s_violations : entry list;
+  s_lint_rules : entry list;
   s_mo : (string * int) list;
 }
 
@@ -243,6 +249,7 @@ let merge shards =
     s_shapes = merge_table (fun s -> s.d_shapes) shards;
     s_races = merge_table (fun s -> s.d_races) shards;
     s_violations = merge_table (fun s -> s.d_violations) shards;
+    s_lint_rules = merge_table (fun s -> s.d_lint) shards;
     s_mo =
       Hashtbl.fold (fun k v l -> (k, v) :: l) mo []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);
@@ -273,9 +280,11 @@ let summary_to_json s =
       ("distinct_shapes", Jsonx.Int (List.length s.s_shapes));
       ("distinct_race_sites", Jsonx.Int (List.length s.s_races));
       ("distinct_violations", Jsonx.Int (List.length s.s_violations));
+      ("distinct_lint_rules", Jsonx.Int (List.length s.s_lint_rules));
       ("shapes", entries_to_json s.s_shapes);
       ("race_sites", entries_to_json s.s_races);
       ("violations", entries_to_json s.s_violations);
+      ("lint_rules", entries_to_json s.s_lint_rules);
       ( "mo_histogram",
         Jsonx.Obj (List.map (fun (k, n) -> (k, Jsonx.Int n)) s.s_mo) );
     ]
@@ -309,6 +318,7 @@ let summary_to_ndjson s =
   :: entry_records "shape" s.s_shapes
   @ entry_records "race_site" s.s_races
   @ entry_records "violation" s.s_violations
+  @ entry_records "lint_rule" s.s_lint_rules
   @ List.map
       (fun (k, n) ->
         record "mo" [ ("order", Jsonx.String k); ("count", Jsonx.Int n) ])
@@ -332,7 +342,7 @@ let summary_of_ndjson docs =
     let* first = int_field j "first" in
     Ok { e_key = key; e_count = count; e_first = first }
   in
-  let rec go docs campaign shapes races violations mo =
+  let rec go docs campaign shapes races violations lint mo =
     match docs with
     | [] -> (
       match campaign with
@@ -346,6 +356,7 @@ let summary_of_ndjson docs =
             s_shapes = order (List.rev shapes);
             s_races = order (List.rev races);
             s_violations = order (List.rev violations);
+            s_lint_rules = order (List.rev lint);
             s_mo = List.sort (fun (a, _) (b, _) -> String.compare a b) mo;
           })
     | j :: rest -> (
@@ -360,23 +371,26 @@ let summary_of_ndjson docs =
           else
             let* executions = int_field j "executions" in
             let* events = int_field j "events" in
-            go rest (Some (executions, events)) shapes races violations mo
+            go rest (Some (executions, events)) shapes races violations lint mo
         | "shape" ->
           let* e = entry_of j in
-          go rest campaign (e :: shapes) races violations mo
+          go rest campaign (e :: shapes) races violations lint mo
         | "race_site" ->
           let* e = entry_of j in
-          go rest campaign shapes (e :: races) violations mo
+          go rest campaign shapes (e :: races) violations lint mo
         | "violation" ->
           let* e = entry_of j in
-          go rest campaign shapes races (e :: violations) mo
+          go rest campaign shapes races (e :: violations) lint mo
+        | "lint_rule" ->
+          let* e = entry_of j in
+          go rest campaign shapes races violations (e :: lint) mo
         | "mo" ->
           let* order = str_field j "order" in
           let* count = int_field j "count" in
-          go rest campaign shapes races violations ((order, count) :: mo)
+          go rest campaign shapes races violations lint ((order, count) :: mo)
         | k -> Error (Printf.sprintf "unknown record kind %S" k))
   in
-  go docs None [] [] [] []
+  go docs None [] [] [] [] []
 
 let pp_summary fmt s =
   Format.fprintf fmt
@@ -384,6 +398,10 @@ let pp_summary fmt s =
      race sites: %d, violation keys: %d@]"
     (List.length s.s_shapes) s.s_executions s.s_events (List.length s.s_races)
     (List.length s.s_violations);
+  if s.s_lint_rules <> [] then begin
+    Format.fprintf fmt "@ lint rules:";
+    List.iter (fun e -> Format.fprintf fmt " %s=%d" e.e_key e.e_count) s.s_lint_rules
+  end;
   if s.s_mo <> [] then begin
     Format.fprintf fmt "@ memory orders:";
     List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) s.s_mo

@@ -86,6 +86,10 @@ val observe_race : acc -> index:int -> string -> bool
     [lib/check]); [true] when new to this shard. *)
 val observe_violation : acc -> index:int -> string -> bool
 
+(** Record a static-analysis rule hit ({!Lint.rule_names} member); [true]
+    when new to this shard. *)
+val observe_lint : acc -> index:int -> string -> bool
+
 (** Immutable, cross-domain-safe extract of an accumulator. *)
 type shard
 
@@ -101,6 +105,9 @@ type summary = {
   s_shapes : entry list;  (** ascending first-occurrence index *)
   s_races : entry list;
   s_violations : entry list;
+  s_lint_rules : entry list;
+      (** static-analysis rule hits over generated programs (empty when
+          the campaign ran no lint pass) *)
   s_mo : (string * int) list;  (** sorted by memory-order name *)
 }
 
@@ -119,7 +126,7 @@ val summary_to_json : summary -> Jsonx.t
 
 (** The [c11cov-v1] NDJSON artifact, one document per line: a [campaign]
     totals record followed by [shape] / [race_site] / [violation] /
-    [mo] records. *)
+    [lint_rule] / [mo] records. *)
 val summary_to_ndjson : summary -> Jsonx.t list
 
 (** Parse a [c11cov-v1] artifact back (any line order; exactly one

@@ -31,7 +31,9 @@ let is_inline = function
     false
 
 let is_rlx_or_rel_store = function
-  | Store { mo = Memorder.Relaxed | Memorder.Release; _ } -> true
+  | Store { mo; _ } ->
+    (* anything below seq_cst on the store side: no acquire half, not sc *)
+    not (Memorder.is_acquire mo || Memorder.is_seq_cst mo)
   | _ -> false
 
 let pp fmt = function

@@ -6,24 +6,18 @@
    observables of (campaign_cfg) alone. *)
 
 (* ------------------------------------------------------------------ *)
-(* Programs *)
+(* Programs
 
-type profile = Mixed | Sc_heavy | Rmw_chain | Mixed_atomicity
+   The IR itself lives in lib/lint/progir.ml so the static analyzer can
+   reason about programs without depending on the engine; the type
+   equations below make Fuzz.Load and Progir.Load the same constructor,
+   so every existing pattern-match keeps compiling. *)
 
-let profile_name = function
-  | Mixed -> "mixed"
-  | Sc_heavy -> "sc-heavy"
-  | Rmw_chain -> "rmw-chain"
-  | Mixed_atomicity -> "mixed-atomicity"
+type profile = Progir.profile = Mixed | Sc_heavy | Rmw_chain | Mixed_atomicity
 
-let profile_of_string = function
-  | "mixed" -> Some Mixed
-  | "sc-heavy" -> Some Sc_heavy
-  | "rmw-chain" -> Some Rmw_chain
-  | "mixed-atomicity" -> Some Mixed_atomicity
-  | _ -> None
-
-let all_profiles = [ Mixed; Sc_heavy; Rmw_chain; Mixed_atomicity ]
+let profile_name = Progir.profile_name
+let profile_of_string = Progir.profile_of_string
+let all_profiles = Progir.all_profiles
 
 type gen_cfg = {
   g_threads : int;
@@ -46,7 +40,7 @@ let default_gen_cfg =
     g_sc_bias = 0;
   }
 
-type op =
+type op = Progir.op =
   | Load of { loc : int; mo : Memorder.t }
   | Store of { loc : int; mo : Memorder.t; value : int }
   | Add of { loc : int; mo : Memorder.t; delta : int }
@@ -61,7 +55,7 @@ type op =
   | Unlock of { m : int }
   | Yield
 
-type program = {
+type program = Progir.program = {
   p_seed : int64;
   p_profile : profile;
   p_atomic_locs : int;
@@ -70,8 +64,7 @@ type program = {
   p_threads : op array array;
 }
 
-let op_count p =
-  Array.fold_left (fun acc ops -> acc + Array.length ops) 0 p.p_threads
+let op_count = Progir.op_count
 
 (* ------------------------------------------------------------------ *)
 (* Generation *)
@@ -271,58 +264,7 @@ let generate ~cfg ~seed =
 (* ------------------------------------------------------------------ *)
 (* Validation *)
 
-let validate p =
-  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
-  let check_op t i held op =
-    let in_range what v n =
-      if v < 0 || v >= n then err "thread %d op %d: %s %d out of range [0,%d)" t i what v n
-      else Ok held
-    in
-    match op with
-    | Load { loc; _ } | Reuse_load { loc } -> in_range "atomic loc" loc p.p_atomic_locs
-    | Store { loc; _ } | Add { loc; _ } | Cas { loc; _ } | Xchg { loc; _ }
-    | Reuse_store { loc; _ } ->
-      in_range "atomic loc" loc p.p_atomic_locs
-    | Na_read { na } | Na_write { na; _ } -> in_range "plain loc" na p.p_na_locs
-    | Fence _ | Yield -> Ok held
-    | Lock { m } ->
-      if m < 0 || m >= p.p_mutexes then
-        err "thread %d op %d: mutex %d out of range [0,%d)" t i m p.p_mutexes
-      else begin
-        match held with
-        | top :: _ when m <= top ->
-          err "thread %d op %d: lock %d violates order (holding %d)" t i m top
-        | _ -> Ok (m :: held)
-      end
-    | Unlock { m } -> (
-      match held with
-      | top :: rest when top = m -> Ok rest
-      | top :: _ -> err "thread %d op %d: unlock %d but innermost held is %d" t i m top
-      | [] -> err "thread %d op %d: unlock %d while holding nothing" t i m)
-  in
-  if Array.length p.p_threads = 0 then Error "no main thread"
-  else if p.p_atomic_locs < 0 || p.p_na_locs < 0 || p.p_mutexes < 0 then
-    Error "negative location count"
-  else begin
-    let result = ref (Ok ()) in
-    Array.iteri
-      (fun t ops ->
-        if !result = Ok () then begin
-          let held = ref (Ok []) in
-          Array.iteri
-            (fun i op ->
-              match !held with
-              | Error _ -> ()
-              | Ok h -> held := check_op t i h op)
-            ops;
-          match !held with
-          | Error e -> result := Error e
-          | Ok [] -> ()
-          | Ok (m :: _) -> result := Error (Printf.sprintf "thread %d exits holding mutex %d" t m)
-        end)
-      p.p_threads;
-    !result
-  end
+let validate = Progir.validate
 
 (* ------------------------------------------------------------------ *)
 (* Interpretation *)
@@ -445,6 +387,7 @@ type finding_kind =
   | Cert_rejected of Check.violation list
   | Engine_crash of string
   | Deadlock
+  | Lint_unsound of { race : string }
 
 (* Strip digit runs so keys survive renumbering across programs, shrink
    steps and shards (same normalisation as Check.violation_key). *)
@@ -471,6 +414,7 @@ let finding_key = function
   | Cert_rejected vs -> "cert:" ^ strip_digits (Check.rejection_key vs)
   | Engine_crash msg -> "crash:" ^ strip_digits msg
   | Deadlock -> "deadlock"
+  | Lint_unsound { race } -> "lint-unsound:" ^ strip_digits race
 
 type status = Passed of { certified : bool } | Failed of finding_kind
 
@@ -503,6 +447,19 @@ let run_one_full ~config ~certify ~seed p =
         | Some (Check.Certified _) -> Passed { certified = true }
         | Some (Check.Not_applicable _) | None -> Passed { certified = false }
       end
+    in
+    (* Differential contract with the static analyzer: a dynamic race on
+       a statically race-free program means one of the two is wrong about
+       the memory model, and the static side only over-approximates
+       towards Potential_race — so this is an engine-grade finding,
+       shrunk like any other. *)
+    let status =
+      match status with
+      | Passed _
+        when outcome.Engine.races <> [] && Lint.statically_race_free p ->
+        Failed
+          (Lint_unsound { race = Race.dedup_key (List.hd outcome.Engine.races) })
+      | s -> s
     in
     (status, Some outcome)
   | exception Execution.Model_error msg ->
@@ -811,6 +768,7 @@ type campaign_cfg = {
   c_shrink_execs : int;
   c_gen : gen_cfg;
   c_mutation : Execution.mutation option;
+  c_lint_execs : int;
 }
 
 let default_campaign_cfg =
@@ -822,6 +780,7 @@ let default_campaign_cfg =
     c_shrink_execs = 8;
     c_gen = default_gen_cfg;
     c_mutation = None;
+    c_lint_execs = 2;
   }
 
 type report = {
@@ -833,6 +792,8 @@ type report = {
   r_shrink_steps : int;
   r_gen_ops : int;
   r_coverage : Cov.summary option;
+  r_lint_potential : int;
+  r_lint_unsound : int;
 }
 
 type shard = {
@@ -842,6 +803,8 @@ type shard = {
   sh_gen_ops : int;
   sh_findings : (int * finding) list;  (** ascending global index *)
   sh_cov : Cov.shard option;
+  sh_lint_potential : int;
+  sh_lint_unsound : int;
 }
 
 (* One worker's leapfrog shard: global indices worker, worker+jobs, ...
@@ -863,6 +826,8 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
   let cert_rejected = ref 0 in
   let crashes = ref 0 in
   let gen_ops = ref 0 in
+  let lint_potential = ref 0 in
+  let lint_unsound = ref 0 in
   let findings = ref [] in
   let seen = Hashtbl.create 8 in
   let index = ref start in
@@ -874,15 +839,46 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
     Profile.stop profile "fuzz_generate" t0;
     gen_ops := !gen_ops + op_count prog;
     Metrics.incr metrics "fuzz.programs";
+    (* Static pass over the generated program: the verdict steers
+       generation effort (race-potential programs get extra executions
+       below) and the hygiene hits feed coverage. *)
+    let lres = Lint.analyze prog in
+    let racy = not lres.Lint.res_race_free in
+    if racy then begin
+      incr lint_potential;
+      Metrics.incr metrics "fuzz.lint_potential"
+    end;
     (* Certification is always on: streaming retirement made the
        per-execution cost cheap enough that c_certify_every rationing is
        obsolete (the field survives only as a no-op alias). *)
     let t1 = Profile.start profile in
-    let status, outcome =
+    let primary_status, outcome =
       run_one_full ~config:exec_config ~certify:true
         ~seed:(exec_seed prog ~attempt:0) prog
     in
     Profile.stop profile "fuzz_execute" t1;
+    (* Lint-steered prioritizer: statically race-potential programs whose
+       primary probe passed get up to [c_lint_execs] extra schedules —
+       racy shapes are where engine/certifier disagreements hide.  Extra
+       probes replay under the base config (no coverage, like shrink
+       replays) and are pure functions of (program, attempt), so the
+       outcome is jobs-independent. *)
+    let status =
+      match primary_status with
+      | Passed _ when racy && cfg.c_lint_execs > 0 ->
+        let rec probe attempt =
+          if attempt > cfg.c_lint_execs then primary_status
+          else begin
+            match
+              run_one ~config ~certify:true ~seed:(exec_seed prog ~attempt) prog
+            with
+            | Failed _ as f -> f
+            | Passed _ -> probe (attempt + 1)
+          end
+        in
+        probe 1
+      | s -> s
+    in
     (match outcome with
     | Some o when progress_on ->
       Progress.account_certified progress ~certified:o.Engine.certified_ops
@@ -894,6 +890,9 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
         List.iter
           (fun r -> ignore (Cov.observe_race acc ~index:i (Race.dedup_key r)))
           o.Engine.races;
+        List.iter
+          (fun h -> ignore (Cov.observe_lint acc ~index:i h.Lint.h_rule))
+          lres.Lint.res_hits;
         (match status with
         | Failed (Cert_rejected vs) ->
           ignore
@@ -905,13 +904,19 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
         | None -> false)
       | _ -> false
     in
-    let new_finding = ref false in
-    (match status with
+    (* [certified] counts primary probes the certifier accepted, whether
+       or not a lint-steered extra probe later failed — keeping the
+       readout independent of c_lint_execs. *)
+    (match primary_status with
     | Passed { certified = c } ->
       if c then begin
         incr certified;
         Metrics.incr metrics "fuzz.certified"
       end
+    | Failed _ -> ());
+    let new_finding = ref false in
+    (match status with
+    | Passed _ -> ()
     | Failed kind ->
       (match kind with
       | Cert_rejected _ ->
@@ -919,7 +924,10 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
         Metrics.incr metrics "fuzz.cert_rejected"
       | Engine_crash _ | Deadlock ->
         incr crashes;
-        Metrics.incr metrics "fuzz.crashes");
+        Metrics.incr metrics "fuzz.crashes"
+      | Lint_unsound _ ->
+        incr lint_unsound;
+        Metrics.incr metrics "fuzz.lint_unsound");
       let key = finding_key kind in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
@@ -967,6 +975,8 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
     sh_gen_ops = !gen_ops;
     sh_findings = List.rev !findings;
     sh_cov = Option.map Cov.shard cov;
+    sh_lint_potential = !lint_potential;
+    sh_lint_unsound = !lint_unsound;
   }
 
 let merge_shards cfg shards =
@@ -989,6 +999,8 @@ let merge_shards cfg shards =
       (match List.filter_map (fun s -> s.sh_cov) shards with
       | [] -> None
       | cov_shards -> Some (Cov.merge cov_shards));
+    r_lint_potential = sum (fun s -> s.sh_lint_potential);
+    r_lint_unsound = sum (fun s -> s.sh_lint_unsound);
   }
 
 (* Shard-level entry points for the multi-process fabric (lib/svc): a
@@ -1065,6 +1077,8 @@ let kind_to_json = function
   | Engine_crash msg ->
     Jsonx.Obj [ ("kind", Jsonx.String "engine_crash"); ("message", Jsonx.String msg) ]
   | Deadlock -> Jsonx.Obj [ ("kind", Jsonx.String "deadlock") ]
+  | Lint_unsound { race } ->
+    Jsonx.Obj [ ("kind", Jsonx.String "lint_unsound"); ("race", Jsonx.String race) ]
 
 let finding_to_json f =
   Jsonx.Obj
@@ -1091,6 +1105,8 @@ let report_to_json r =
        ("findings", Jsonx.List (List.map finding_to_json r.r_findings));
        ("shrink_steps", Jsonx.Int r.r_shrink_steps);
        ("generated_ops", Jsonx.Int r.r_gen_ops);
+       ("lint_potential", Jsonx.Int r.r_lint_potential);
+       ("lint_unsound", Jsonx.Int r.r_lint_unsound);
      ]
     @
     match r.r_coverage with
@@ -1111,8 +1127,9 @@ let pp_finding fmt f =
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>programs:      %d@ certified:     %d@ cert rejected: %d@ crashes:       \
-     %d@ generated ops: %d@ findings:      %d@]"
+     %d@ generated ops: %d@ lint potential: %d@ lint unsound:  %d@ findings:      %d@]"
     r.r_programs r.r_certified r.r_cert_rejected r.r_crashes r.r_gen_ops
+    r.r_lint_potential r.r_lint_unsound
     (List.length r.r_findings);
   (match r.r_coverage with
   | None -> ()

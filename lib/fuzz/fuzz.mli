@@ -32,8 +32,10 @@
 (* ------------------------------------------------------------------ *)
 (** {1 Programs} *)
 
-(** Generation profile: which op mix the generator favours. *)
-type profile =
+(** Generation profile: which op mix the generator favours.  The IR
+    itself lives in {!Progir} (shared with the static analyzer
+    {!Lint}); [Fuzz] re-exports it with type equations. *)
+type profile = Progir.profile =
   | Mixed  (** every op kind, relaxed-leaning memory orders *)
   | Sc_heavy  (** bias memory orders towards [Seq_cst] *)
   | Rmw_chain  (** bias towards RMWs contending on one location *)
@@ -65,7 +67,7 @@ val default_gen_cfg : gen_cfg
 (** One operation of a generated thread body.  [loc] indexes the
     program's atomic locations, [na] its plain locations, [m] its
     mutexes. *)
-type op =
+type op = Progir.op =
   | Load of { loc : int; mo : Memorder.t }
   | Store of { loc : int; mo : Memorder.t; value : int }
   | Add of { loc : int; mo : Memorder.t; delta : int }
@@ -84,7 +86,7 @@ type op =
     main first spawns threads [1 .. n-1], then runs its body, then joins
     them all.  Replayable from [p_seed] alone (with the generating
     {!gen_cfg}); shrunk descendants keep the original seed. *)
-type program = {
+type program = Progir.program = {
   p_seed : int64;
   p_profile : profile;
   p_atomic_locs : int;
@@ -128,6 +130,11 @@ type finding_kind =
       (** the axiomatic certifier rejected the execution *)
   | Engine_crash of string  (** uncaught exception or model invariant *)
   | Deadlock  (** generated programs are deadlock-free by construction *)
+  | Lint_unsound of { race : string }
+      (** the engine reported a race on a program {!Lint} proved
+          race-free: a soundness disagreement between the static and
+          dynamic detectors (the static side only over-approximates
+          towards [Potential_race], so the engine side is suspect) *)
 
 (** Seed-stable identity of a finding (numbers stripped), used for dedup
     across programs, shrink steps and shards. *)
@@ -208,6 +215,11 @@ type campaign_cfg = {
   c_shrink_execs : int;  (** executions per reproduction probe *)
   c_gen : gen_cfg;
   c_mutation : Execution.mutation option;  (** seeded engine fault *)
+  c_lint_execs : int;
+      (** extra executions granted to programs {!Lint} marks
+          race-potential when the primary probe passed (0 disables the
+          lint-steered prioritizer); extra probes are pure functions of
+          (program, attempt), so reports stay jobs-independent *)
 }
 
 val default_campaign_cfg : campaign_cfg
@@ -226,6 +238,12 @@ type report = {
       (** merged execution-shape coverage of the primary (non-shrink)
           executions; [Some _] iff the campaign ran with [~coverage:true].
           Bit-identical across [c_jobs]. *)
+  r_lint_potential : int;
+      (** programs the static analyzer marked [Potential_race] (and so
+          eligible for prioritized extra executions) *)
+  r_lint_unsound : int;
+      (** programs whose final status was {!Lint_unsound} — zero on a
+          sound engine *)
 }
 
 (** [campaign cfg] generates and probes [c_programs] programs, shrinks

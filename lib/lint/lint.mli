@@ -1,0 +1,103 @@
+(** C11lint: a static race and order-hygiene analysis over the
+    {!Progir} IR, differentially checked against the dynamic detector.
+
+    The IR's fixed fork-join shape (main spawns every thread, runs its
+    own body, joins them all) makes the may-happen-in-parallel relation
+    {e exact}: two ops may run concurrently iff they belong to distinct
+    threads.  Straight-line bodies make the access sets exact too, and
+    the ordered/balanced mutex discipline makes the lockset at every op
+    a static fact.  On that base the analysis computes a per-location
+    verdict:
+
+    - {!Race_free} — no conflicting pair exists at all (a conflict
+      needs distinct threads, at least one write and at least one
+      non-atomic access; atomic/atomic pairs never race by definition);
+    - {!Protected} — conflicting pairs exist but every one shares a
+      mutex, whose critical sections are mutually exclusive and ordered
+      by the unlock-to-lock synchronisation edge;
+    - {!Potential_race} — some conflicting pair is protected by no
+      common mutex, with the witness pair attached.
+
+    {b Soundness contract (the differential headline).}  A program
+    whose every location is [Race_free] or [Protected] can never
+    produce a dynamic race: the only over-approximation in the access
+    sets is counting a failed compare-exchange as a write, which errs
+    towards [Potential_race].  lib/fuzz therefore cross-checks every
+    campaign — an engine-reported race on a statically race-free
+    program is a [Lint_unsound] finding, shrunk like any other engine
+    bug.  The converse direction is deliberately conservative:
+    [Potential_race] means "lint cannot prove race freedom" (homemade
+    CAS-based synchronisation, for example, is beyond the lockset
+    analysis).
+
+    Order-hygiene lints ({!hit}) are advisory and never affect
+    [res_race_free]: over-strong orders on single-thread locations,
+    relaxed publication of non-atomic data, redundant adjacent fences,
+    and seqlock-style double reads missing the fences the versioned-read
+    study calls for. *)
+
+(** Sorted mutex indices held at an access. *)
+type lockset = int list
+
+type access = {
+  ac_thread : int;
+  ac_op : int;  (** index into the thread's body *)
+  ac_write : bool;
+  ac_atomic : bool;  (** false = non-atomic access class *)
+  ac_mo : Memorder.t;  (** [Relaxed] for non-atomic accesses *)
+  ac_lockset : lockset;
+}
+
+(** A concrete conflicting pair with no common mutex, in (thread, op)
+    scan order — deterministic for a given program. *)
+type witness = { w_first : access; w_second : access }
+
+type verdict = Race_free | Protected of lockset | Potential_race of witness
+
+(** One order-hygiene finding. *)
+type hit = { h_rule : string; h_thread : int; h_op : int; h_detail : string }
+
+(** The stable rule-name universe ("overstrong-order",
+    "relaxed-publication", "redundant-fence", "seqlock-missing-fence"). *)
+val rule_names : string list
+
+type result = {
+  res_target : string;  (** display label ("" when none was given) *)
+  res_ops : int;
+  res_verdicts : (string * verdict) list;
+      (** per location: ["a0" .. ] then ["n0" .. ], declaration order *)
+  res_hits : hit list;
+  res_race_free : bool;
+      (** no location is [Potential_race] — the soundness-bearing bit *)
+}
+
+(** Analyze one program.  Pure: byte-identical output for the same
+    input, no RNG, no engine. *)
+val analyze : ?label:string -> Progir.program -> result
+
+(** [res_race_free] of {!analyze} — the bit the fuzzer's differential
+    check and generation prioritizer read. *)
+val statically_race_free : Progir.program -> bool
+
+val race_potential : Progir.program -> bool
+
+(** No potential race and no lint hits: [c11test lint] exit 0. *)
+val clean : result -> bool
+
+(** {1 The c11lint-v1 artifact} *)
+
+val schema : string
+
+val result_to_json : index:int -> result -> Jsonx.t
+
+(** Header record plus one [target] record per result, in index order. *)
+val campaign_to_ndjson : (int * result) list -> Jsonx.t list
+
+(** Parse a c11lint-v1 artifact back (the read side of
+    [c11test report]); rejects records of other schemas, malformed
+    records, and a target count disagreeing with the header. *)
+val campaign_of_ndjson :
+  Jsonx.t list -> ((int * result) list, string) Stdlib.result
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_result : Format.formatter -> result -> unit

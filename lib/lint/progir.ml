@@ -1,0 +1,101 @@
+(* The generated-program IR.  Born in lib/fuzz; hoisted here so the
+   static analyzer (Lint) and the fuzzer can share it without a
+   dependency cycle — Fuzz re-exports every type below with equations,
+   so Fuzz.Load and Progir.Load are the same constructor. *)
+
+type profile = Mixed | Sc_heavy | Rmw_chain | Mixed_atomicity
+
+let profile_name = function
+  | Mixed -> "mixed"
+  | Sc_heavy -> "sc-heavy"
+  | Rmw_chain -> "rmw-chain"
+  | Mixed_atomicity -> "mixed-atomicity"
+
+let profile_of_string = function
+  | "mixed" -> Some Mixed
+  | "sc-heavy" -> Some Sc_heavy
+  | "rmw-chain" -> Some Rmw_chain
+  | "mixed-atomicity" -> Some Mixed_atomicity
+  | _ -> None
+
+let all_profiles = [ Mixed; Sc_heavy; Rmw_chain; Mixed_atomicity ]
+
+type op =
+  | Load of { loc : int; mo : Memorder.t }
+  | Store of { loc : int; mo : Memorder.t; value : int }
+  | Add of { loc : int; mo : Memorder.t; delta : int }
+  | Cas of { loc : int; mo : Memorder.t; expected : int; desired : int }
+  | Xchg of { loc : int; mo : Memorder.t; value : int }
+  | Fence of Memorder.t
+  | Na_read of { na : int }
+  | Na_write of { na : int; value : int }
+  | Reuse_load of { loc : int }
+  | Reuse_store of { loc : int; value : int }
+  | Lock of { m : int }
+  | Unlock of { m : int }
+  | Yield
+
+type program = {
+  p_seed : int64;
+  p_profile : profile;
+  p_atomic_locs : int;
+  p_na_locs : int;
+  p_mutexes : int;
+  p_threads : op array array;
+}
+
+let op_count p =
+  Array.fold_left (fun acc ops -> acc + Array.length ops) 0 p.p_threads
+
+let validate p =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_op t i held op =
+    let in_range what v n =
+      if v < 0 || v >= n then err "thread %d op %d: %s %d out of range [0,%d)" t i what v n
+      else Ok held
+    in
+    match op with
+    | Load { loc; _ } | Reuse_load { loc } -> in_range "atomic loc" loc p.p_atomic_locs
+    | Store { loc; _ } | Add { loc; _ } | Cas { loc; _ } | Xchg { loc; _ }
+    | Reuse_store { loc; _ } ->
+      in_range "atomic loc" loc p.p_atomic_locs
+    | Na_read { na } | Na_write { na; _ } -> in_range "plain loc" na p.p_na_locs
+    | Fence _ | Yield -> Ok held
+    | Lock { m } ->
+      if m < 0 || m >= p.p_mutexes then
+        err "thread %d op %d: mutex %d out of range [0,%d)" t i m p.p_mutexes
+      else begin
+        match held with
+        | top :: _ when m <= top ->
+          err "thread %d op %d: lock %d violates order (holding %d)" t i m top
+        | _ -> Ok (m :: held)
+      end
+    | Unlock { m } -> (
+      match held with
+      | top :: rest when top = m -> Ok rest
+      | top :: _ -> err "thread %d op %d: unlock %d but innermost held is %d" t i m top
+      | [] -> err "thread %d op %d: unlock %d while holding nothing" t i m)
+  in
+  if Array.length p.p_threads = 0 then Error "no main thread"
+  else if p.p_atomic_locs < 0 || p.p_na_locs < 0 || p.p_mutexes < 0 then
+    Error "negative location count"
+  else begin
+    let result = ref (Ok ()) in
+    Array.iteri
+      (fun t ops ->
+        if !result = Ok () then begin
+          let held = ref (Ok []) in
+          Array.iteri
+            (fun i op ->
+              match !held with
+              | Error _ -> ()
+              | Ok h -> held := check_op t i h op)
+            ops;
+          match !held with
+          | Error e -> result := Error e
+          | Ok [] -> ()
+          | Ok (m :: _) -> result := Error (Printf.sprintf "thread %d exits holding mutex %d" t m)
+        end)
+      p.p_threads;
+    !result
+  end

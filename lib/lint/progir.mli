@@ -1,0 +1,62 @@
+(** The straight-line concurrent-program IR shared by the fuzzer
+    (lib/fuzz, which generates, executes and shrinks it) and the static
+    analyzer (lib/lint, which reasons about it without running it).
+
+    A program is a fixed fork-join shape: main spawns threads
+    [1 .. n-1], runs its own body [p_threads.(0)], then joins them all.
+    Bodies are straight-line — no control flow — so the set of accesses
+    each thread performs is exact, which is what makes the static
+    verdicts of {!Lint} sound rather than heuristic.
+
+    {!Fuzz} re-exports every type here with type equations; existing
+    code pattern-matching [Fuzz.Load] etc. is unaffected by the
+    hoist. *)
+
+type profile =
+  | Mixed  (** every op kind, relaxed-leaning memory orders *)
+  | Sc_heavy  (** bias memory orders towards [Seq_cst] *)
+  | Rmw_chain  (** bias towards RMWs contending on one location *)
+  | Mixed_atomicity
+      (** include memory-reuse accesses: raw non-atomic loads/stores to
+          atomic locations (Section 7.2 of the paper) *)
+
+val profile_name : profile -> string
+val profile_of_string : string -> profile option
+val all_profiles : profile list
+
+(** One operation of a thread body.  [loc] indexes the program's atomic
+    locations, [na] its plain locations, [m] its mutexes. *)
+type op =
+  | Load of { loc : int; mo : Memorder.t }
+  | Store of { loc : int; mo : Memorder.t; value : int }
+  | Add of { loc : int; mo : Memorder.t; delta : int }
+  | Cas of { loc : int; mo : Memorder.t; expected : int; desired : int }
+  | Xchg of { loc : int; mo : Memorder.t; value : int }
+  | Fence of Memorder.t
+  | Na_read of { na : int }
+  | Na_write of { na : int; value : int }
+  | Reuse_load of { loc : int }  (** raw non-atomic load of an atomic *)
+  | Reuse_store of { loc : int; value : int }
+  | Lock of { m : int }
+  | Unlock of { m : int }
+  | Yield
+
+(** A program.  [p_threads.(0)] is the main thread's own body; main
+    first spawns threads [1 .. n-1], then runs its body, then joins
+    them all. *)
+type program = {
+  p_seed : int64;
+  p_profile : profile;
+  p_atomic_locs : int;
+  p_na_locs : int;
+  p_mutexes : int;
+  p_threads : op array array;
+}
+
+(** Total ops across all thread bodies. *)
+val op_count : program -> int
+
+(** Structural well-formedness: location/mutex indices in range, lock
+    discipline respected on every thread (balanced, properly nested,
+    ordered). *)
+val validate : program -> (unit, string) result

@@ -1,0 +1,240 @@
+(* Static models of the litmus catalog: each test's fixed fork-join op
+   structure transcribed into the Progir IR so `c11test lint` can analyze
+   the named tests without running them.  Thread 0 is main's own body —
+   in the real tests main's trailing loads run after the joins, but
+   modeling them as concurrent only over-approximates towards
+   Potential_race, which is the sound direction.  Registers (OCaml refs)
+   are thread-local and not modeled; every shared location is atomic, so
+   the whole catalog is statically race-free. *)
+
+open Progir
+
+let rlx = Memorder.Relaxed
+let acq = Memorder.Acquire
+let rel = Memorder.Release
+let ar = Memorder.Acq_rel
+let sc = Memorder.Seq_cst
+
+(* [prog ~atomics bodies]: [bodies] lists main's body first, then each
+   spawned thread's, mirroring p_threads. *)
+let prog ?(na = 0) ?(mutexes = 0) ~atomics bodies =
+  {
+    p_seed = 0L;
+    p_profile = Mixed;
+    p_atomic_locs = atomics;
+    p_na_locs = na;
+    p_mutexes = mutexes;
+    p_threads = Array.of_list (List.map Array.of_list bodies);
+  }
+
+let ld loc mo = Load { loc; mo }
+let st loc mo value = Store { loc; mo; value }
+
+(* mp family: x = a0, y = a1 *)
+let mp ~store_mo ~load_mo =
+  prog ~atomics:2
+    [ []; [ st 0 rlx 1; st 1 store_mo 1 ]; [ ld 1 load_mo; ld 0 rlx ] ]
+
+let mp_fences =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 rlx 1; Fence rel; st 1 rlx 1 ];
+      [ ld 1 rlx; Fence acq; ld 0 rlx ];
+    ]
+
+let sb ~mo ?fence () =
+  let f = match fence with Some m -> [ Fence m ] | None -> [] in
+  prog ~atomics:2
+    [
+      [];
+      ([ st 0 mo 1 ] @ f @ [ ld 1 mo ]);
+      ([ st 1 mo 1 ] @ f @ [ ld 0 mo ]);
+    ]
+
+let sb_rel_acq =
+  prog ~atomics:2
+    [ []; [ st 0 rel 1; ld 1 acq ]; [ st 1 rel 1; ld 0 acq ] ]
+
+let lb_relaxed =
+  prog ~atomics:2 [ []; [ ld 0 rlx; st 1 rlx 1 ]; [ ld 1 rlx; st 0 rlx 1 ] ]
+
+let coww_cowr =
+  prog ~atomics:1
+    [ []; [ st 0 rlx 1; st 0 rlx 2; ld 0 rlx ]; [ ld 0 rlx; ld 0 rlx ] ]
+
+let corr =
+  prog ~atomics:1
+    [
+      [];
+      [ st 0 rlx 1 ];
+      [ st 0 rlx 2 ];
+      [ ld 0 rlx; ld 0 rlx ];
+      [ ld 0 rlx; ld 0 rlx ];
+    ]
+
+let w2p2_relaxed =
+  prog ~atomics:2
+    [
+      [ ld 0 sc; ld 1 sc ];
+      [ st 0 rlx 1; st 1 rlx 2 ];
+      [ st 1 rlx 1; st 0 rlx 2 ];
+    ]
+
+let iriw ~st_mo ~ld_mo =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 st_mo 1 ];
+      [ st 1 st_mo 1 ];
+      [ ld 0 ld_mo; ld 1 ld_mo ];
+      [ ld 1 ld_mo; ld 0 ld_mo ];
+    ]
+
+let iriw_sc_fences =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 rlx 1 ];
+      [ st 1 rlx 1 ];
+      [ ld 0 rlx; Fence sc; ld 1 rlx ];
+      [ ld 1 rlx; Fence sc; ld 0 rlx ];
+    ]
+
+(* release-sequence shapes: d = a0, x = a1 *)
+let release_sequence_rmw =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 rlx 5; st 1 rel 1 ];
+      [ Add { loc = 1; mo = rlx; delta = 10 } ];
+      [ ld 1 acq; ld 0 rlx ];
+    ]
+
+let release_sequence_c20 =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 rlx 5; st 1 rel 1; st 1 rlx 2 ];
+      [ ld 1 acq; ld 0 rlx ];
+    ]
+
+let rmw_chain_release_seq =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 rlx 5; st 1 rel 1 ];
+      [ Add { loc = 1; mo = rlx; delta = 10 } ];
+      [ Add { loc = 1; mo = rlx; delta = 100 } ];
+      [ ld 1 acq; ld 0 rlx ];
+    ]
+
+let wrc_rel_acq =
+  prog ~atomics:2
+    [
+      [];
+      [ st 0 rel 1 ];
+      [ ld 0 acq; st 1 rel 1 ];
+      [ ld 1 acq; ld 0 rlx ];
+    ]
+
+let rmw_atomicity =
+  prog ~atomics:1
+    [
+      [ ld 0 sc ];
+      [ Add { loc = 0; mo = rlx; delta = 1 } ];
+      [ Add { loc = 0; mo = rlx; delta = 1 } ];
+    ]
+
+let cas_exactly_one =
+  prog ~atomics:1
+    [
+      [];
+      [ Cas { loc = 0; mo = ar; expected = 0; desired = 1 } ];
+      [ Cas { loc = 0; mo = ar; expected = 0; desired = 2 } ];
+    ]
+
+let r_shape =
+  prog ~atomics:2
+    [ [ ld 1 sc ]; [ st 0 sc 1; st 1 sc 1 ]; [ st 1 sc 2; ld 0 sc ] ]
+
+let s_shape_relaxed =
+  prog ~atomics:2
+    [ [ ld 0 sc ]; [ st 0 rlx 2; st 1 rel 1 ]; [ ld 1 acq; st 0 rlx 1 ] ]
+
+let isa2 =
+  prog ~atomics:3
+    [
+      [];
+      [ st 0 rlx 1; st 1 rel 1 ];
+      [ ld 1 acq; st 2 rel 1 ];
+      [ ld 2 acq; ld 0 rlx ];
+    ]
+
+let wwc_relaxed =
+  prog ~atomics:2
+    [
+      [ ld 0 sc ];
+      [ st 0 rlx 2 ];
+      [ ld 0 rlx; st 1 rlx 1 ];
+      [ ld 1 rlx; st 0 rlx 1 ];
+    ]
+
+let corw =
+  prog ~atomics:1
+    [ []; [ st 0 rlx 1 ]; [ ld 0 rlx; st 0 rlx 2 ]; [ ld 0 rlx; ld 0 rlx ] ]
+
+let fence_mixed_one_sided =
+  prog ~atomics:2
+    [ []; [ st 0 rlx 1; Fence rel; st 1 rlx 1 ]; [ ld 1 rlx; ld 0 rlx ] ]
+
+let sb_one_fence =
+  prog ~atomics:2
+    [ []; [ st 0 rlx 1; Fence sc; ld 1 rlx ]; [ st 1 rlx 1; ld 0 rlx ] ]
+
+(* d1 = a0, d2 = a1, x = a2 *)
+let exchange_visibility =
+  prog ~atomics:3
+    [
+      [];
+      [ st 0 rlx 7; st 2 rel 1 ];
+      [ st 1 rlx 8; Xchg { loc = 2; mo = ar; value = 2 }; ld 0 rlx ];
+      [ ld 2 acq; ld 1 rlx ];
+    ]
+
+let all =
+  [
+    ("mp_relaxed", mp ~store_mo:rlx ~load_mo:rlx);
+    ("mp_rel_acq", mp ~store_mo:rel ~load_mo:acq);
+    ("mp_fences", mp_fences);
+    ("sb_relaxed", sb ~mo:rlx ());
+    ("sb_rel_acq", sb_rel_acq);
+    ("sb_sc", sb ~mo:sc ());
+    ("sb_sc_fences", sb ~mo:rlx ~fence:sc ());
+    ("lb_relaxed", lb_relaxed);
+    ("coww_cowr", coww_cowr);
+    ("corr", corr);
+    ("2+2w_relaxed", w2p2_relaxed);
+    ("iriw_sc", iriw ~st_mo:sc ~ld_mo:sc);
+    ("iriw_rel_acq", iriw ~st_mo:rel ~ld_mo:acq);
+    ("release_sequence_rmw", release_sequence_rmw);
+    ("release_sequence_c20", release_sequence_c20);
+    ("wrc_rel_acq", wrc_rel_acq);
+    ("rmw_atomicity", rmw_atomicity);
+    ("cas_exactly_one", cas_exactly_one);
+    ("r_sc", r_shape);
+    ("s_rel_acq", s_shape_relaxed);
+    ("isa2_rel_acq", isa2);
+    ("wwc_relaxed", wwc_relaxed);
+    ("mp_seq_cst", mp ~store_mo:sc ~load_mo:sc);
+    ("mp_acquire_only", mp ~store_mo:rlx ~load_mo:acq);
+    ("mp_release_only", mp ~store_mo:rel ~load_mo:rlx);
+    ("iriw_sc_fences", iriw_sc_fences);
+    ("corw", corw);
+    ("fence_one_sided", fence_mixed_one_sided);
+    ("rmw_chain_release_seq", rmw_chain_release_seq);
+    ("sb_one_fence", sb_one_fence);
+    ("exchange_visibility", exchange_visibility);
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,16 @@
+(** Static {!Progir} models of the litmus catalog, one per
+    {!Litmus.catalog} entry under the same name, for [c11test lint] to
+    analyze without running.  Every shared location in a litmus test is
+    atomic, so the whole catalog must come out statically race-free and
+    hygiene-clean — CI asserts exactly that.
+
+    Modeling conventions: thread 0 holds main's trailing loads (really
+    sequenced after the joins; treating them as concurrent only
+    over-approximates towards [Potential_race], the sound direction),
+    locations are numbered in each test's declaration order, and
+    thread-local registers are not modeled. *)
+
+(** Same names and order as {!Litmus.catalog}. *)
+val all : (string * Progir.program) list
+
+val find : string -> Progir.program option

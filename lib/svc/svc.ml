@@ -25,11 +25,18 @@ type campaign =
     }
   | Litmus_c of { name : string; config : Engine.config; iters : int }
   | Fuzz_c of { cfg : Fuzz.campaign_cfg; coverage : bool }
+  | Lint_c of {
+      lt_targets : string list;
+      lt_programs : int;
+      lt_seed : int64;
+      lt_gen : Fuzz.gen_cfg;
+    }
 
 type merged =
   | M_run of Tester.summary
   | M_litmus of Tester.summary * (Litmus.outcome * int) list
   | M_fuzz of Fuzz.report
+  | M_lint of (int * Lint.result) list
 
 type stats = {
   st_workers : int;
@@ -56,6 +63,8 @@ let stats_to_json s =
 let total = function
   | Run_c { iters; _ } | Litmus_c { iters; _ } -> iters
   | Fuzz_c { cfg; _ } -> cfg.Fuzz.c_programs
+  | Lint_c { lt_targets; lt_programs; _ } ->
+    List.length lt_targets + lt_programs
 
 (* ------------------------------------------------------------------ *)
 (* Base64 (standard alphabet, padded): the line-oriented wire protocol
@@ -192,6 +201,7 @@ let campaign_fp = function
         ("programs", Jsonx.Int cfg.Fuzz.c_programs);
         ("seed", Jsonx.String (Int64.to_string cfg.Fuzz.c_seed));
         ("shrink_execs", Jsonx.Int cfg.Fuzz.c_shrink_execs);
+        ("lint_execs", Jsonx.Int cfg.Fuzz.c_lint_execs);
         ("threads", Jsonx.Int g.Fuzz.g_threads);
         ("ops", Jsonx.Int g.Fuzz.g_ops);
         ("atomic_locs", Jsonx.Int g.Fuzz.g_atomic_locs);
@@ -204,6 +214,21 @@ let campaign_fp = function
           | None -> Jsonx.Null
           | Some m -> Jsonx.String (Execution.mutation_name m) );
         ("coverage", Jsonx.Bool coverage);
+      ]
+  | Lint_c { lt_targets; lt_programs; lt_seed; lt_gen } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.String "lint");
+        ("targets", Jsonx.List (List.map (fun t -> Jsonx.String t) lt_targets));
+        ("programs", Jsonx.Int lt_programs);
+        ("seed", Jsonx.String (Int64.to_string lt_seed));
+        ("threads", Jsonx.Int lt_gen.Fuzz.g_threads);
+        ("ops", Jsonx.Int lt_gen.Fuzz.g_ops);
+        ("atomic_locs", Jsonx.Int lt_gen.Fuzz.g_atomic_locs);
+        ("na_locs", Jsonx.Int lt_gen.Fuzz.g_na_locs);
+        ("mutexes", Jsonx.Int lt_gen.Fuzz.g_mutexes);
+        ("profile", Jsonx.String (Fuzz.profile_name lt_gen.Fuzz.g_profile));
+        ("sc_bias", Jsonx.Int lt_gen.Fuzz.g_sc_bias);
       ]
 
 (* Code-version salt: the digest of the worker binary itself.  A rebuilt
@@ -246,6 +271,7 @@ type payload =
   | P_run of unit Tester.shard list
   | P_litmus of Litmus.outcome Tester.shard list
   | P_fuzz of Fuzz.shard list
+  | P_lint of (int * Lint.result) list list
 
 (* The full job description a worker receives on stdin. *)
 type spec = {
@@ -269,6 +295,39 @@ let emit_json oc j =
   output_string oc (Jsonx.to_string j);
   output_char oc '\n';
   flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Lint campaigns: one work item per named target (resolved against the
+   static litmus/workload model catalogs), then one per generated
+   program, each on its own {!Rng.substream} of the campaign seed — the
+   same per-index derivation as a fuzz campaign, so index [i] analyzes
+   the same program no matter which worker or domain lands on it. *)
+
+let lint_resolve name =
+  match Lmodel.find name with Some p -> Some p | None -> Wmodel.find name
+
+let lint_item ~targets ~gen ~seed i =
+  let nt = Array.length targets in
+  if i < nt then
+    let name = targets.(i) in
+    match lint_resolve name with
+    | Some p -> Lint.analyze ~label:name p
+    | None -> invalid_arg (Printf.sprintf "unknown lint target %S" name)
+  else
+    let k = i - nt in
+    let p = Fuzz.generate ~cfg:gen ~seed:(Rng.substream seed ~index:k) in
+    Lint.analyze ~label:(Printf.sprintf "gen:%d" k) p
+
+let lint_shard ~progress ~targets ~gen ~seed ~total ~start ~stride =
+  let rec go i acc =
+    if i >= total then List.rev acc
+    else begin
+      let r = lint_item ~targets ~gen ~seed i in
+      Progress.tick progress ~novel:false ~finding:(not r.Lint.res_race_free);
+      go (i + stride) ((i, r) :: acc)
+    end
+  in
+  go start []
 
 (* ------------------------------------------------------------------ *)
 (* Worker side. *)
@@ -312,6 +371,25 @@ let worker_payload spec progress =
         |> Array.to_list
     in
     Ok (P_fuzz shards)
+  | Lint_c { lt_targets; lt_programs = _; lt_seed; lt_gen } -> (
+    match List.find_opt (fun t -> lint_resolve t = None) lt_targets with
+    | Some t -> Error (Printf.sprintf "unknown lint target %S" t)
+    | None ->
+      let targets = Array.of_list lt_targets in
+      let shards =
+        if j = 1 then
+          [
+            lint_shard ~progress ~targets ~gen:lt_gen ~seed:lt_seed ~total:n
+              ~start:w ~stride:ws;
+          ]
+        else
+          Par.spawn_workers ~jobs:j (fun ~worker ->
+              lint_shard ~progress ~targets ~gen:lt_gen ~seed:lt_seed ~total:n
+                ~start:(w + (worker * ws))
+                ~stride:(j * ws))
+          |> Array.to_list
+      in
+      Ok (P_lint shards))
 
 let worker_main line =
   match decode_spec line with
@@ -478,12 +556,22 @@ let merge_payloads campaign payloads =
   let fuzz_shards =
     List.concat_map (function P_fuzz s -> s | _ -> raise Payload_mismatch)
   in
+  let lint_shards =
+    List.concat_map (function P_lint s -> s | _ -> raise Payload_mismatch)
+  in
   match campaign with
   | Run_c _ -> M_run (fst (Tester.merge_shard_list (run_shards payloads)))
   | Litmus_c _ ->
     let summary, hist = Tester.merge_shard_list (litmus_shards payloads) in
     M_litmus (summary, hist)
   | Fuzz_c { cfg; _ } -> M_fuzz (Fuzz.merge_shard_list cfg (fuzz_shards payloads))
+  | Lint_c _ ->
+    (* every index is analyzed exactly once, so the targets are already
+       distinct — dedup_indexed here is just the ascending-index merge *)
+    M_lint
+      (Par.Merge.dedup_indexed
+         ~key:(fun (r : Lint.result) -> r.Lint.res_target)
+         (lint_shards payloads))
 
 (* Heartbeats from workers are throttled, so the coordinator's counters
    may lag (or, on a fast campaign, never move).  Before [final], set
@@ -511,6 +599,13 @@ let finish_progress progress merged ~observed_cert_ops =
           List.length r.Fuzz.r_findings,
           obs_co,
           obs_ro )
+      | M_lint results ->
+        ( List.length results,
+          0,
+          List.length
+            (List.filter (fun (_, r) -> not r.Lint.res_race_free) results),
+          0,
+          0 )
     in
     Progress.observe progress ~done_ ~novel ~findings ~certified_ops
       ~retired_prefix_ops;

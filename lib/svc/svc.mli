@@ -54,6 +54,16 @@ type campaign =
   | Litmus_c of { name : string; config : Engine.config; iters : int }
   | Fuzz_c of { cfg : Fuzz.campaign_cfg; coverage : bool }
       (** [cfg.c_jobs] is ignored; process fan-out replaces it *)
+  | Lint_c of {
+      lt_targets : string list;
+          (** named {!Lmodel}/{!Wmodel} targets, one work item each *)
+      lt_programs : int;
+          (** generated programs appended after the named targets; item
+              [i >= length lt_targets] analyzes the program generated
+              from [Rng.substream lt_seed ~index:(i - length lt_targets)] *)
+      lt_seed : int64;
+      lt_gen : Fuzz.gen_cfg;
+    }  (** pure static analysis — no engine executions at all *)
 
 (** Merged campaign result, same observables as the in-process runners. *)
 type merged =
@@ -61,6 +71,37 @@ type merged =
   | M_litmus of Tester.summary * (Litmus.outcome * int) list
       (** histogram in first-occurrence order (as {!Tester.run_collect}) *)
   | M_fuzz of Fuzz.report
+  | M_lint of (int * Lint.result) list
+      (** ascending work-item index; named targets first, then generated
+          programs labelled ["gen:<k>"] *)
+
+(** [lint_resolve name] finds the static model behind a named lint
+    target: the {!Lmodel} litmus catalog first, then the {!Wmodel}
+    workload models. *)
+val lint_resolve : string -> Progir.program option
+
+(** [lint_item ~targets ~gen ~seed i] analyzes lint work item [i]:
+    [targets.(i)] when [i] is in range (raising [Invalid_argument] on an
+    unknown name — campaign entry points validate first), otherwise the
+    generated program of substream index [i - Array.length targets].
+    Pure, so any runner — in-process domains or the process fabric —
+    computes the identical result for the same index. *)
+val lint_item :
+  targets:string array -> gen:Fuzz.gen_cfg -> seed:int64 -> int -> Lint.result
+
+(** One leapfrog shard of lint work items ([start], [start+stride], ...
+    below [total]), ticking [progress] per item — the unit both the
+    in-process [c11test lint] runner and the fabric workers are built
+    from, so their merged results agree byte-for-byte. *)
+val lint_shard :
+  progress:Progress.t ->
+  targets:string array ->
+  gen:Fuzz.gen_cfg ->
+  seed:int64 ->
+  total:int ->
+  start:int ->
+  stride:int ->
+  (int * Lint.result) list
 
 type stats = {
   st_workers : int;  (** worker count after clamping to the total *)

@@ -1,0 +1,99 @@
+(* Static models of the lint-relevant workloads: one loop iteration of
+   each role transcribed into the Progir IR.  Loops only repeat the same
+   access classes — the per-location access set (and so the verdict) of
+   one iteration is the access set of any number — so a loop-free body
+   is a faithful abstraction for lint purposes.
+
+   The rwlock's guarded words are modeled as plain data: the workload
+   declares them atomic only so the dynamic detector can observe torn
+   reads without UB, but semantically they are payload protected by a
+   homemade CAS lock — exactly the publication structure the lint rules
+   reason about.  Both variants come out Potential_race (a CAS-based
+   lock is beyond the lockset analysis — the documented conservative
+   direction); only the buggy one earns a relaxed-publication hit. *)
+
+open Progir
+
+let rlx = Memorder.Relaxed
+let acq = Memorder.Acquire
+let rel = Memorder.Release
+
+let prog ?(na = 0) ~atomics bodies =
+  {
+    p_seed = 0L;
+    p_profile = Mixed_atomicity;
+    p_atomic_locs = atomics;
+    p_na_locs = na;
+    p_mutexes = 0;
+    p_threads = Array.of_list (List.map Array.of_list bodies);
+  }
+
+let ld loc mo = Load { loc; mo }
+let st loc mo value = Store { loc; mo; value }
+
+(* seqlock-versioned, correct variant: version = a0, key = a1,
+   value = a2; all data relaxed atomics, fences carry the
+   synchronisation.  Statically race-free and hygiene-clean. *)
+let seqlock_versioned_correct =
+  let writer =
+    [ ld 0 rlx; st 0 rlx 1; Fence rel; st 1 rlx 1; st 2 rlx 1; st 0 rel 2 ]
+  in
+  let reader =
+    [ ld 0 rlx; Fence acq; ld 1 rlx; ld 2 rlx; Fence Memorder.Seq_cst; ld 0 rlx ]
+  in
+  prog ~atomics:3 [ []; writer; reader; reader ]
+
+(* seqlock-versioned, buggy variant: version = a0, plain key/value =
+   n0/n1, relaxed double read with no fence — Potential_race on the
+   data plus seqlock-missing-fence and relaxed-publication hits. *)
+let seqlock_versioned_buggy =
+  let writer =
+    [
+      ld 0 rlx;
+      st 0 rlx 1;
+      Na_write { na = 0; value = 1 };
+      Na_write { na = 1; value = 1 };
+      st 0 rlx 2;
+    ]
+  in
+  let reader = [ ld 0 rlx; Na_read { na = 0 }; Na_read { na = 1 }; ld 0 rlx ] in
+  prog ~atomics:1 ~na:2 [ []; writer; reader; reader ]
+
+(* rwlock: lock word = a0, guarded payload = n0/n1.  The writer takes
+   the lock with a CAS, writes the payload, releases with an exchange;
+   readers enter with an acquire CAS and leave with a release
+   fetch-sub. *)
+let rwlock ~variant =
+  let wlock_mo, wunlock_mo =
+    match (variant : Variant.t) with
+    | Correct -> (acq, rel)
+    | Buggy -> (rlx, rlx)
+  in
+  let writer =
+    [
+      Cas { loc = 0; mo = wlock_mo; expected = 0; desired = -1 };
+      Na_write { na = 0; value = 1 };
+      Na_write { na = 1; value = 1 };
+      Xchg { loc = 0; mo = wunlock_mo; value = 0 };
+    ]
+  in
+  let reader =
+    [
+      ld 0 rlx;
+      Cas { loc = 0; mo = acq; expected = 0; desired = 1 };
+      Na_read { na = 0 };
+      Na_read { na = 1 };
+      Add { loc = 0; mo = rel; delta = -1 };
+    ]
+  in
+  prog ~atomics:1 ~na:2 [ []; writer; reader; reader ]
+
+let all =
+  [
+    ("seqlock-versioned-correct", seqlock_versioned_correct);
+    ("seqlock-versioned-buggy", seqlock_versioned_buggy);
+    ("rwlock-correct", rwlock ~variant:Variant.Correct);
+    ("rwlock-buggy", rwlock ~variant:Variant.Buggy);
+  ]
+
+let find name = List.assoc_opt name all

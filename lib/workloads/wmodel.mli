@@ -1,0 +1,16 @@
+(** Static {!Progir} models of the lint-relevant workloads (the seeded-bug
+    studies of Section 8.1), one loop iteration per role — loops only
+    repeat the same access classes, so the per-location verdict of one
+    iteration is the verdict of any number.
+
+    Calibration targets the lint test suite asserts: the buggy versioned
+    seqlock and both rwlock variants come out [Potential_race] (a
+    CAS-based lock is beyond the lockset analysis), the buggy variants
+    additionally earn [seqlock-missing-fence] / [relaxed-publication]
+    hits, and the fence-correct seqlock is completely clean. *)
+
+val all : (string * Progir.program) list
+(** ["seqlock-versioned-correct"], ["seqlock-versioned-buggy"],
+    ["rwlock-correct"], ["rwlock-buggy"]. *)
+
+val find : string -> Progir.program option

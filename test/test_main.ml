@@ -20,5 +20,6 @@ let () =
       ("check", Test_check.suite);
       ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);
+      ("lint", Test_lint.suite);
       ("svc", Test_svc.suite);
     ]
