@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --jobs N perf  # shard perf campaigns
 
    Experiment ids: fig4 fig14 sec8_1 table1 fig15 table2 fig16 table3
-   table4 prune sched perf scale cache fuzz. *)
+   table4 prune sched perf scale cache fuzz corpus. *)
 
 let experiments : (string * (unit -> unit)) list =
   [
@@ -28,6 +28,7 @@ let experiments : (string * (unit -> unit)) list =
     ("scale", Perfsuite.run_scale);
     ("cache", Perfsuite.run_cache);
     ("fuzz", Fuzzbench.run);
+    ("corpus", Corpusbench.run);
   ]
 
 let usage () =
@@ -84,6 +85,13 @@ let write_json ~quick ~todo path =
     | Some doc -> [ ("fuzz", doc) ]
     | None -> []
   in
+  let perf =
+    perf
+    @
+    match !Corpusbench.last_doc with
+    | Some doc -> [ ("corpus", doc) ]
+    | None -> []
+  in
   let doc =
     Jsonx.Obj
       ([
@@ -122,7 +130,8 @@ let () =
     Experiments.table1_runs := 5;
     Bench_util.quota := 0.2;
     Perfsuite.quick ();
-    Fuzzbench.quick ()
+    Fuzzbench.quick ();
+    Corpusbench.quick ()
   end;
   if List.mem "--help" args then usage ()
   else begin

@@ -5,22 +5,27 @@
               assertion failures and detection rates
      litmus — explore a litmus test's outcome histogram
      fuzz   — generate random programs and differential-test the engine
-              against the axiomatic certifier, shrinking any finding
+              against the axiomatic certifier, shrinking any finding;
+              with --corpus DIR, coverage-guided corpus fuzzing
+     sweep  — run a memory-order sweep family (seqlock, rwlock, dekker,
+              ring-buffer) over its full memory-order matrix and render
+              the verdict matrix
      lint   — statically analyze litmus/workload models and generated
               programs (C11lint), no engine executions
-     report — render coverage/progress/findings/lint NDJSON artifacts as
-              a human-readable campaign summary
-     list   — list available workloads and litmus tests
+     report — render coverage/progress/findings/lint/sweep/corpus NDJSON
+              artifacts as a human-readable campaign summary
+     list   — list available workloads, litmus tests and sweep families
 
    Exit codes (asserted by test/test_exit_codes):
      0 — ran cleanly, nothing found
      1 — bugs found: data races, assertion failures, certification
          rejections (`--certify`), forbidden litmus outcomes, fuzz
-         findings or non-clean lint results
+         findings, non-clean lint results or cert-rejected sweep cells
+         (racy/torn sweep cells are expected matrix content, not bugs)
      2 — usage errors (unknown workload/litmus test/lint target/pruning
-         policy/fuzz profile/mutant, non-positive --jobs or --workers,
-         unwritable --coverage/--progress path or --cache directory,
-         missing or malformed `report' input)
+         policy/fuzz profile/mutant/sweep family, non-positive --jobs or
+         --workers, unwritable --coverage/--progress path, --cache or
+         --corpus directory, missing or malformed `report' input)
 
    There is also a hidden `worker' mode (spawned by the coordinator when
    `--workers'/`--cache' engage the multi-process fabric, never typed by
@@ -121,6 +126,18 @@ let with_cache cache_spec k =
     | Ok c -> k (Some c)
     | Error msg ->
       Printf.eprintf "cannot use cache directory %s: %s\n" dir msg;
+      2)
+
+(* Same contract as [with_cache]: an unusable corpus directory is a
+   usage error (exit 2) discovered before any campaign work starts. *)
+let with_corpus corpus_spec k =
+  match corpus_spec with
+  | None -> k None
+  | Some dir -> (
+    match Corpus.open_dir dir with
+    | Ok c -> k (Some c)
+    | Error msg ->
+      Printf.eprintf "cannot use corpus directory %s: %s\n" dir msg;
       2)
 
 (* The fabric engages iff --workers or --cache was given; otherwise the
@@ -606,8 +623,43 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "mutant" ] ~docv:"MUTANT" ~doc)
   in
+  let corpus_arg =
+    let doc =
+      "Coverage-guided corpus fuzzing: load the persistent corpus in \
+       $(docv) (created if missing; an unusable path is a usage error), \
+       mutate its entries for a deterministic share of the campaign's \
+       programs, admit every program that hits a coverage-novel shape, \
+       race site or certifier-violation key, and store the admissions \
+       back as c11corpus-v1 JSON files keyed by shape digest (atomic \
+       temp + rename; corrupt entries are skipped and deleted, never a \
+       crash).  Admission runs at fixed round barriers, so the corpus \
+       and report are byte-identical for every --jobs/--workers \
+       value.  Implies --coverage-style shape fingerprinting internally."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let mutate_pct_arg =
+    let doc =
+      "With --corpus: percent of programs mutated from corpus entries \
+       (the rest are fresh); must be in [0, 100]."
+    in
+    Arg.(
+      value
+      & opt int Corpus.default_mutate_pct
+      & info [ "mutate-pct" ] ~docv:"PCT" ~doc)
+  in
+  let round_arg =
+    let doc =
+      "With --corpus: programs per admission round (the barrier at which \
+       shard-novel candidates are absorbed into the corpus); must be \
+       positive."
+    in
+    Arg.(
+      value & opt int Corpus.default_round & info [ "round" ] ~docv:"N" ~doc)
+  in
   let run programs ops threads profile_name certify_every seed jobs findings
-      json mutant_name coverage progress workers cache_spec =
+      json mutant_name coverage progress workers cache_spec corpus_spec
+      mutate_pct round =
     match Fuzz.profile_of_string profile_name with
     | None ->
       Printf.eprintf
@@ -635,15 +687,27 @@ let fuzz_cmd =
         validate_jobs jobs @@ fun jobs ->
         validate_workers workers @@ fun () ->
         with_cache cache_spec @@ fun cache ->
+        with_corpus corpus_spec @@ fun corpus ->
         if programs < 0 || ops < 1 || threads < 1 || certify_every < 0 then begin
           Printf.eprintf
             "--programs must be >= 0, --ops and --threads >= 1, \
              --certify-every >= 0\n";
           2
         end
+        else if mutate_pct < 0 || mutate_pct > 100 || round < 1 then begin
+          Printf.eprintf
+            "--mutate-pct must be in [0, 100] and --round positive\n";
+          2
+        end
         else begin
           with_sinks ~coverage ~progress ~total:programs
           @@ fun cov_sink progress_handle ->
+          let corpus_plan =
+            Option.map
+              (fun c ->
+                Corpus.plan ~mutate_pct ~round (Corpus.load c))
+              corpus
+          in
           let cfg =
             {
               Fuzz.default_campaign_cfg with
@@ -659,6 +723,7 @@ let fuzz_cmd =
                   g_profile = profile;
                 };
               c_mutation = mutation;
+              c_corpus = corpus_plan;
             }
           in
           let quiet =
@@ -671,19 +736,24 @@ let fuzz_cmd =
           let nworkers = Option.value ~default:1 workers in
           if not quiet then
             Printf.printf
-              "fuzzing %d programs (profile %s, <=%d threads, <=%d ops%s%s)%s%s\n"
+              "fuzzing %d programs (profile %s, <=%d threads, <=%d ops%s%s%s)%s%s\n"
               programs (Fuzz.profile_name profile) threads ops
               ", certifying all"
               (match mutation with
               | None -> ""
               | Some m -> ", mutant " ^ Execution.mutation_name m)
+              (match corpus_plan with
+              | None -> ""
+              | Some pl ->
+                Printf.sprintf ", corpus %d entries"
+                  (List.length pl.Corpus.pl_entries))
               (if fabric then Printf.sprintf " on %d workers" nworkers else "")
               (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "");
           let fabric_result k =
             if fabric then
               run_fabric ?cache ~progress:progress_handle ~workers:nworkers
                 ~jobs
-                (Svc.Fuzz_c { cfg; coverage = coverage <> None })
+                (Svc.Fuzz_c { cfg; coverage = coverage <> None; range = None })
                 (fun (merged, st) ->
                   match merged with
                   | Svc.M_fuzz r -> k (r, Some st)
@@ -699,6 +769,20 @@ let fuzz_cmd =
           in
           fabric_result @@ fun (report, svc_stats) ->
           emit_coverage cov_sink report.Fuzz.r_coverage;
+          (* persist the campaign's admissions; store is first-wins, so a
+             digest already on disk (from a prior campaign) is skipped *)
+          (match (corpus, report.Fuzz.r_corpus) with
+          | Some c, Some cs ->
+            let stored =
+              List.fold_left
+                (fun n e -> if Corpus.store c e then n + 1 else n)
+                0 cs.Fuzz.k_admitted
+            in
+            if not quiet then
+              Printf.printf "corpus: %d new entr%s stored under %s\n" stored
+                (if stored = 1 then "y" else "ies")
+                (Corpus.dir c)
+          | _ -> ());
           if not quiet then begin
             Format.printf "%a@." Fuzz.pp_report report;
             let rate = Profile.rate profiler "fuzz_execute" in
@@ -747,13 +831,154 @@ let fuzz_cmd =
     Term.(
       const run $ programs_arg $ ops_arg $ threads_arg $ fuzz_profile_arg
       $ certify_every_arg $ seed_arg $ jobs_arg $ findings_arg $ json_arg
-      $ mutant_arg $ coverage_arg $ progress_arg $ workers_arg $ cache_arg)
+      $ mutant_arg $ coverage_arg $ progress_arg $ workers_arg $ cache_arg
+      $ corpus_arg $ mutate_pct_arg $ round_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential-test the engine against the axiomatic certifier on \
           random programs")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* `c11test sweep' — run a memory-order sweep family: every cell of a
+   parameterised litmus pattern's memory-order matrix through engine +
+   certifier + lint, rendered as a verdict matrix. *)
+
+let sweep_cmd =
+  let family_arg =
+    let doc =
+      "Sweep family to run: seqlock, rwlock, dekker or ring-buffer (see \
+       `c11test list')."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let iters_arg =
+    let doc = "Executions per matrix cell." in
+    Arg.(value & opt int 50 & info [ "n"; "iters" ] ~docv:"N" ~doc)
+  in
+  let ndjson_arg =
+    let doc =
+      "Write the c11sweep-v1 artifact (one campaign record plus one \
+       record per cell) to $(docv); `-' means stdout (and suppresses the \
+       rendered matrix).  `c11test report' renders it back."
+    in
+    Arg.(value & opt (some string) None & info [ "ndjson" ] ~docv:"FILE" ~doc)
+  in
+  let run family_name iters seed jobs json ndjson progress workers cache_spec
+      =
+    match Sweep.find family_name with
+    | None ->
+      Printf.eprintf "unknown sweep family %S; try `c11test list'\n"
+        family_name;
+      2
+    | Some family ->
+      validate_jobs jobs @@ fun jobs ->
+      validate_workers workers @@ fun () ->
+      with_cache cache_spec @@ fun cache ->
+      if iters < 1 then begin
+        Printf.eprintf "--iters must be positive (got %d)\n" iters;
+        2
+      end
+      else begin
+        let total = Sweep.total ~family ~iters in
+        with_sinks ~coverage:None ~progress ~total
+        @@ fun _cov_sink progress_handle ->
+        let quiet =
+          json = Some "-" || ndjson = Some "-" || progress = Some "-"
+        in
+        let fabric = fabric_engaged ~workers ~cache_spec in
+        let nworkers = Option.value ~default:1 workers in
+        let seed64 = Int64.of_int seed in
+        if not quiet then
+          Printf.printf "sweeping %s: %d cells x %d executions%s%s\n"
+            family.Sweep.fa_name
+            (List.length family.Sweep.fa_cells)
+            iters
+            (if fabric then Printf.sprintf " on %d workers" nworkers else "")
+            (if jobs > 1 then Printf.sprintf " on %d domains" jobs else "");
+        let fabric_result k =
+          if fabric then
+            run_fabric ?cache ~progress:progress_handle ~workers:nworkers
+              ~jobs
+              (Svc.Sweep_c
+                 { sw_family = family.Sweep.fa_name; sw_iters = iters;
+                   sw_seed = seed64 })
+              (fun (merged, st) ->
+                match merged with
+                | Svc.M_sweep r -> k (r, Some st)
+                | _ ->
+                  Printf.eprintf "campaign fabric: internal payload mismatch\n";
+                  2)
+          else begin
+            let shards =
+              if jobs = 1 then
+                [
+                  Sweep.run_shard ~progress:progress_handle ~family ~iters
+                    ~seed:seed64 ~start:0 ~stride:1 ();
+                ]
+              else
+                Array.to_list
+                  (Par.spawn_workers ~jobs (fun ~worker ->
+                       Sweep.run_shard ~progress:progress_handle ~family
+                         ~iters ~seed:seed64 ~start:worker ~stride:jobs ()))
+            in
+            let r = Sweep.merge ~family ~iters ~seed:seed64 shards in
+            let findings =
+              List.length
+                (List.filter
+                   (fun c -> c.Sweep.cr_verdict = Sweep.V_cert_rejected)
+                   r.Sweep.rs_cells)
+            in
+            Progress.finish ~novel:0 ~findings progress_handle;
+            k (r, None)
+          end
+        in
+        fabric_result @@ fun (result, svc_stats) ->
+        if not quiet then
+          Format.printf "%a@." Sweep.pp_matrix result;
+        (match ndjson with
+        | None -> ()
+        | Some path ->
+          with_out_file path (fun oc ->
+              List.iter
+                (fun j ->
+                  output_string oc (Jsonx.to_string j);
+                  output_char oc '\n')
+                (Sweep.result_to_ndjson result)));
+        (match json with
+        | None -> ()
+        | Some path ->
+          let doc =
+            Jsonx.Obj
+              ([
+                 ("schema", Jsonx.String "c11sweep-campaign-v1");
+                 ("family", Jsonx.String family.Sweep.fa_name);
+                 ("iters", Jsonx.Int iters);
+                 ("seed", Jsonx.Int seed);
+                 ("jobs", Jsonx.Int jobs);
+                 ("result", Sweep.result_to_json result);
+               ]
+              @ svc_json_fields svc_stats)
+          in
+          with_out_file path (fun oc ->
+              output_string oc (Jsonx.to_pretty_string doc);
+              output_char oc '\n'));
+        Sweep.exit_code result
+      end
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ iters_arg $ seed_arg $ jobs_arg $ json_arg
+      $ ndjson_arg $ progress_arg $ workers_arg $ cache_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a memory-order sweep family: every cell of a parameterised \
+          litmus pattern's memory-order matrix through engine, certifier \
+          and lint, rendered as a verdict matrix")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1019,9 +1244,11 @@ let report_cmd =
   let files_arg =
     let doc =
       "NDJSON artifact(s) to render: c11cov-v1 coverage, c11progress-v1 \
-       heartbeats, c11fuzz-finding-v1 findings and c11lint-v1 static \
-       analyses, in any mix and order; `-' means stdin.  Missing files \
-       and malformed lines are usage errors (exit 2)."
+       heartbeats, c11fuzz-finding-v1 findings, c11lint-v1 static \
+       analyses, c11sweep-v1 memory-order sweep matrices and \
+       c11corpus-v1 corpus entries, in any mix and order; `-' means \
+       stdin.  Missing files and malformed lines are usage errors (exit \
+       2)."
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
   in
@@ -1075,9 +1302,12 @@ let report_cmd =
                 | Error e -> Error (path, Printf.sprintf "line %d: %s" n e)
                 | Ok schema -> parse_all (n + 1) ((schema, j) :: acc') more))
           in
+          (* parse_all's result is file-reversed, so plain concatenation
+             keeps acc as the reverse of all files seen so far and the
+             final List.rev restores file-and-line order *)
           match parse_all 1 [] lines with
           | Error (p, e) -> Error (p, e)
-          | Ok docs -> load (List.rev_append docs acc) rest))
+          | Ok docs -> load (docs @ acc) rest))
     in
     match load [] files with
     | Error (path, msg) -> fail path msg
@@ -1089,14 +1319,18 @@ let report_cmd =
       let progress_docs = of_schema "c11progress-v1" in
       let finding_docs = of_schema "c11fuzz-finding-v1" in
       let lint_docs = of_schema "c11lint-v1" in
+      let sweep_docs = of_schema "c11sweep-v1" in
+      let corpus_docs = of_schema "c11corpus-v1" in
       let known = List.length cov_docs + List.length progress_docs
-                  + List.length finding_docs + List.length lint_docs in
+                  + List.length finding_docs + List.length lint_docs
+                  + List.length sweep_docs + List.length corpus_docs in
       if known < List.length docs then begin
         let unknown =
           List.find_map
             (fun (sch, _) ->
               if sch <> "c11cov-v1" && sch <> "c11progress-v1"
                  && sch <> "c11fuzz-finding-v1" && sch <> "c11lint-v1"
+                 && sch <> "c11sweep-v1" && sch <> "c11corpus-v1"
               then Some sch else None)
             docs
         in
@@ -1232,6 +1466,86 @@ let report_cmd =
                 in
                 if n > 0 then Printf.printf "  lint %-19s %d\n" rule n)
               Lint.rule_names));
+        (* memory-order sweep matrices — pooled lines may hold several
+           campaigns (e.g. `report *.ndjson`); split on the campaign
+           records so each renders its own matrix.  A group that does
+           not start with a campaign record (truncated artifact) still
+           fails result_of_ndjson and exits 2. *)
+        let sweep_campaigns docs =
+          let is_campaign j =
+            match Jsonx.member "record" j with
+            | Some r -> Jsonx.to_str r = Some "campaign"
+            | None -> false
+          in
+          List.fold_left
+            (fun groups j ->
+              match groups with
+              | group :: rest when not (is_campaign j) ->
+                (j :: group) :: rest
+              | _ -> [ j ] :: groups)
+            [] docs
+          |> List.rev_map List.rev
+        in
+        List.iter
+          (fun docs ->
+            match Sweep.result_of_ndjson docs with
+            | Error e -> if !bad = None then bad := Some ("sweep", e)
+            | Ok r ->
+              print_endline "sweep (c11sweep-v1):";
+              Printf.printf "  %-22s %s\n" "family" r.Sweep.rs_family;
+              pp_int_row "cells" (List.length r.Sweep.rs_cells);
+              pp_int_row "iters per cell" r.Sweep.rs_iters;
+              let count v =
+                List.length
+                  (List.filter
+                     (fun c -> c.Sweep.cr_verdict = v)
+                     r.Sweep.rs_cells)
+              in
+              Printf.printf
+                "  verdicts:             clean=%d torn=%d racy=%d \
+                 cert-rejected=%d\n"
+                (count Sweep.V_clean) (count Sweep.V_torn)
+                (count Sweep.V_racy)
+                (count Sweep.V_cert_rejected);
+              Format.printf "%a@." Sweep.pp_matrix r)
+          (sweep_campaigns sweep_docs);
+        (* corpus entries *)
+        (match corpus_docs with
+        | [] -> ()
+        | docs -> (
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc)
+            | j :: rest -> (
+              match Corpus.entry_of_json j with
+              | Error e -> Error e
+              | Ok e -> parse (e :: acc) rest)
+          in
+          match parse [] docs with
+          | Error e -> bad := Some ("corpus", e)
+          | Ok entries ->
+            print_endline "corpus (c11corpus-v1):";
+            pp_int_row "entries" (List.length entries);
+            let keys = List.concat_map (fun e -> e.Corpus.en_keys) entries in
+            let with_prefix p =
+              List.length
+                (List.filter (fun k -> String.length k >= String.length p
+                                       && String.sub k 0 (String.length p) = p)
+                   keys)
+            in
+            Printf.printf
+              "  novel keys:           shape=%d race=%d violation=%d\n"
+              (with_prefix "shape:") (with_prefix "race:")
+              (with_prefix "violation:");
+            let ops =
+              List.fold_left
+                (fun acc e ->
+                  acc
+                  + Array.fold_left
+                      (fun a t -> a + Array.length t)
+                      0 e.Corpus.en_program.Progir.p_threads)
+                0 entries
+            in
+            pp_int_row "total program ops" ops));
         match !bad with
         | Some (what, e) -> fail what e
         | None -> 0
@@ -1256,10 +1570,18 @@ let list_cmd =
       (fun (t : Litmus.t) ->
         Printf.printf "  %-24s %s\n" t.Litmus.name t.Litmus.description)
       Litmus.catalog;
+    print_endline "\nSweep families (c11test sweep):";
+    List.iter
+      (fun (f : Sweep.family) ->
+        Printf.printf "  %-24s %s (%d cells: %s x %s)\n" f.Sweep.fa_name
+          f.Sweep.fa_desc
+          (List.length f.Sweep.fa_cells)
+          f.Sweep.fa_row f.Sweep.fa_col)
+      Sweep.families;
     0
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List workloads and litmus tests")
+    (Cmd.info "list" ~doc:"List workloads, litmus tests and sweep families")
     Term.(const run $ const ())
 
 let () =
@@ -1278,4 +1600,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; litmus_cmd; fuzz_cmd; lint_cmd; report_cmd; list_cmd ]))
+          [
+            run_cmd; litmus_cmd; fuzz_cmd; sweep_cmd; lint_cmd; report_cmd;
+            list_cmd;
+          ]))

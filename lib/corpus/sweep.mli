@@ -1,0 +1,123 @@
+(** C11sweep — exhaustive memory-order sweep families.
+
+    A {e family} is a parameterised litmus pattern (seqlock, rwlock,
+    Dekker, ring buffer) instantiated at every point of its memory-order
+    matrix: each {e cell} fixes one memory order per parameter and is run
+    [iters] times through the engine with the streaming certifier on,
+    then statically analysed by {!Lint} over its straight-line
+    {!Progir.program} model.  The rendered verdict matrix reproduces the
+    memory-order studies the C11 testing literature reports (which
+    order combinations of a seqlock tear, which rwlock shapes race) as a
+    single reproducible artifact.
+
+    Determinism contract: execution [k] of cell [c] is seeded
+    [Rng.substream (Rng.substream seed ~index:c) ~index:k], a pure
+    function of the (family, seed, flattened index); shards accumulate
+    per-cell counters, which are additive, so any leapfrog sharding of
+    the flattened index space merges to the same result — [-j N] and
+    [--workers N] are byte-identical to sequential. *)
+
+(** One matrix cell. *)
+type cell = {
+  cl_index : int;  (** position in [fa_cells], the NDJSON cell key *)
+  cl_id : string;  (** ["first=relaxed,second=acquire,fence=none"] *)
+  cl_params : (string * string) list;  (** ordered parameter bindings *)
+  cl_model : Progir.program;  (** straight-line model for {!Lint} *)
+  cl_run : unit -> unit;  (** the DSL closure the engine executes *)
+}
+
+type family = {
+  fa_name : string;
+  fa_desc : string;
+  fa_row : string;  (** parameter rendered as matrix rows *)
+  fa_col : string;  (** parameter rendered as matrix columns *)
+  fa_cells : cell list;
+}
+
+val families : family list
+val find : string -> family option
+
+(** {1 Running} *)
+
+(** Additive per-cell counters over [iters] executions. *)
+type cell_stats = {
+  st_execs : int;
+  st_racy : int;  (** executions with a data race *)
+  st_torn : int;  (** executions with an assertion failure *)
+  st_cert_rejected : int;  (** executions the certifier rejected *)
+  st_deadlocks : int;
+}
+
+(** Cell classification, in priority order: a certifier rejection
+    (engine/certifier disagreement — a genuine finding) dominates a data
+    race, which dominates a torn assertion, which dominates clean. *)
+type verdict = V_cert_rejected | V_racy | V_torn | V_clean
+
+val verdict_of_stats : cell_stats -> verdict
+val verdict_name : verdict -> string
+val verdict_letter : verdict -> char
+
+(** Flattened index-space size: cells x iters. *)
+val total : family:family -> iters:int -> int
+
+(** Plain data (no closures) — survives [Marshal] to the multi-process
+    fabric's workers and the result cache. *)
+type shard
+
+(** Run the flattened indices [start, start+stride, ...] below
+    [total ~family ~iters]; index [t] is execution [t / cells] of cell
+    [t mod cells]. *)
+val run_shard :
+  ?progress:Progress.t ->
+  family:family ->
+  iters:int ->
+  seed:int64 ->
+  start:int ->
+  stride:int ->
+  unit ->
+  shard
+
+(** {1 Results} *)
+
+type cell_result = {
+  cr_index : int;
+  cr_id : string;
+  cr_params : (string * string) list;
+  cr_stats : cell_stats;
+  cr_lint_rules : string list;  (** static rule hits on the cell model *)
+  cr_verdict : verdict;
+}
+
+type result = {
+  rs_family : string;
+  rs_row : string;
+  rs_col : string;
+  rs_iters : int;
+  rs_seed : int64;
+  rs_cells : cell_result list;  (** ascending [cr_index] *)
+}
+
+(** Sum the shards' counters cell-wise (order-independent), lint each
+    cell model, classify. *)
+val merge : family:family -> iters:int -> seed:int64 -> shard list -> result
+
+(** [1] when any cell's verdict is [V_cert_rejected] (an
+    engine/certifier disagreement), [0] otherwise — racy/torn cells are
+    the matrix's expected content, not findings. *)
+val exit_code : result -> int
+
+(** {1 Serialisation — the [c11sweep-v1] artifact}
+
+    One [campaign] record followed by one [cell] record per cell. *)
+
+val result_to_ndjson : result -> Jsonx.t list
+
+(** Parse back (any line order; exactly one [campaign] record; cell
+    count must match) — the read side of [c11test report]. *)
+val result_of_ndjson : Jsonx.t list -> (result, string) Stdlib.result
+
+val result_to_json : result -> Jsonx.t
+
+(** The rendered verdict matrix: one row x col grid per assignment of
+    the remaining parameters, plus a legend. *)
+val pp_matrix : Format.formatter -> result -> unit

@@ -257,6 +257,17 @@ let merge shards =
 
 let distinct_shapes s = List.length s.s_shapes
 
+(* The novelty-query surface corpus admission is built on: every key a
+   campaign discovered, under the same prefixes the fuzz loop uses when
+   it nominates a program for the corpus.  Lint rule hits are excluded
+   deliberately — they are properties of the generated program, not of an
+   explored execution shape, so they must not admit corpus entries. *)
+let summary_keys s =
+  List.map (fun e -> "shape:" ^ e.e_key) s.s_shapes
+  @ List.map (fun e -> "race:" ^ e.e_key) s.s_races
+  @ List.map (fun e -> "violation:" ^ e.e_key) s.s_violations
+  |> List.sort String.compare
+
 (* ------------------------------------------------------------------ *)
 (* Serialisation *)
 

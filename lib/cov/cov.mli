@@ -118,6 +118,13 @@ val merge : shard list -> summary
 
 val distinct_shapes : summary -> int
 
+(** Novelty query: every coverage key of the summary, prefixed by its
+    table ([shape:], [race:], [violation:]) and sorted.  This is the
+    key namespace corpus admission (lib/corpus via lib/fuzz) deduplicates
+    against; lint rule hits are deliberately excluded — they describe the
+    generated program, not an explored execution shape. *)
+val summary_keys : summary -> string list
+
 (* ------------------------------------------------------------------ *)
 (** {1 Serialisation} *)
 

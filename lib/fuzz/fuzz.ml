@@ -486,58 +486,13 @@ let reproduces ~config ~execs ~key p =
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
 
-(* A lock and its matching unlock form one deletion unit: deleting either
-   alone would break the discipline [validate] checks. *)
-let lock_pairs ops =
-  let pairs = Hashtbl.create 4 in
-  let stack = ref [] in
-  Array.iteri
-    (fun i op ->
-      match op with
-      | Lock _ -> stack := i :: !stack
-      | Unlock _ ->
-        let l = List.hd !stack in
-        stack := List.tl !stack;
-        Hashtbl.replace pairs l i;
-        Hashtbl.replace pairs i l
-      | _ -> ())
-    ops;
-  pairs
-
-let remove_indices ops to_remove =
-  let keep = ref [] in
-  Array.iteri (fun i op -> if not (List.mem i to_remove) then keep := op :: !keep) ops;
-  Array.of_list (List.rev !keep)
-
-let with_thread p t ops =
-  let threads = Array.copy p.p_threads in
-  threads.(t) <- ops;
-  { p with p_threads = threads }
-
-let without_thread p t =
-  if t = 0 then with_thread p 0 [||]
-  else begin
-    let threads =
-      Array.init
-        (Array.length p.p_threads - 1)
-        (fun i -> p.p_threads.(if i < t then i else i + 1))
-    in
-    { p with p_threads = threads }
-  end
-
-(* Deletion units of one thread body, as index lists (op [i] alone, or a
-   lock/unlock pair), in ascending order of first index. *)
-let units_of ops =
-  let pairs = lock_pairs ops in
-  let units = ref [] in
-  Array.iteri
-    (fun i op ->
-      match op with
-      | Unlock _ -> ()  (* handled with its lock *)
-      | Lock _ -> units := [ i; Hashtbl.find pairs i ] :: !units
-      | _ -> units := [ i ] :: !units)
-    ops;
-  List.rev !units
+(* The op-unit editing machinery (lock/unlock pairs as one unit, index
+   removal, thread surgery) is hoisted into Progir so corpus mutation
+   (lib/corpus) edits programs with the identical notion of a unit. *)
+let remove_indices = Progir.remove_indices
+let with_thread = Progir.with_thread
+let without_thread = Progir.without_thread
+let units_of = Progir.units_of
 
 let deletion_candidates p =
   let thread_cands =
@@ -769,6 +724,7 @@ type campaign_cfg = {
   c_gen : gen_cfg;
   c_mutation : Execution.mutation option;
   c_lint_execs : int;
+  c_corpus : Corpus.plan option;
 }
 
 let default_campaign_cfg =
@@ -781,7 +737,15 @@ let default_campaign_cfg =
     c_gen = default_gen_cfg;
     c_mutation = None;
     c_lint_execs = 2;
+    c_corpus = None;
   }
+
+type corpus_stats = {
+  k_seeded : int;
+  k_fresh : int;
+  k_mutated : int;
+  k_admitted : Corpus.entry list;
+}
 
 type report = {
   r_programs : int;
@@ -794,6 +758,19 @@ type report = {
   r_coverage : Cov.summary option;
   r_lint_potential : int;
   r_lint_unsound : int;
+  r_corpus : corpus_stats option;
+}
+
+(* A corpus-admission candidate: a program whose execution produced at
+   least one shard-novel coverage key.  Whether any of those keys are
+   *globally* novel is decided at the round barrier ([corpus_absorb]),
+   where every shard's candidates are replayed in ascending global index
+   order — so admissions are a pure function of the campaign, not of the
+   sharding. *)
+type cand = {
+  cd_digest : string;  (* execution shape digest, "" when no shape *)
+  cd_keys : string list;  (* shard-novel keys, fixed emission order *)
+  cd_program : program;
 }
 
 type shard = {
@@ -805,6 +782,9 @@ type shard = {
   sh_cov : Cov.shard option;
   sh_lint_potential : int;
   sh_lint_unsound : int;
+  sh_fresh : int;
+  sh_mutated : int;
+  sh_cands : (int * cand) list;  (** ascending global index *)
 }
 
 (* One worker's leapfrog shard: global indices worker, worker+jobs, ...
@@ -814,7 +794,13 @@ type shard = {
 (* [start]/[stride] generalise the leapfrog (worker [w] of [j] is
    [start = w], [stride = j]) so the multi-process fabric can nest its
    process-level sharding over the in-process one. *)
-let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
+(* Schedule stream salt: the mutate-vs-fresh decision for program [i]
+   draws from substream(program seed, corpus_salt), far outside the small
+   attempt indices execution seeds use, so corpus scheduling never
+   correlates with schedule exploration. *)
+let corpus_salt = 1_000_003
+
+let run_shard ?(coverage = false) ?(progress = Progress.null) ?stop ~obs ~profile
     ~metrics ~cfg ~start ~stride () =
   (* shrinking replays use the base config: coverage fingerprints are only
      wanted for the campaign's primary executions *)
@@ -830,12 +816,43 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
   let lint_unsound = ref 0 in
   let findings = ref [] in
   let seen = Hashtbl.create 8 in
+  let track_cands = cfg.c_corpus <> None in
+  let snapshot =
+    match cfg.c_corpus with
+    | Some pl -> Array.of_list pl.Corpus.pl_entries
+    | None -> [||]
+  in
+  let fresh = ref 0 in
+  let mutated = ref 0 in
+  let cands = ref [] in
+  let stop = match stop with Some s -> s | None -> cfg.c_programs in
   let index = ref start in
-  while !index < cfg.c_programs do
+  while !index < stop do
     let i = !index in
     let seed = Rng.substream cfg.c_seed ~index:i in
     let t0 = Profile.start profile in
-    let prog = generate ~cfg:cfg.c_gen ~seed in
+    (* Deterministic mutate-or-fresh schedule: a pure function of
+       (campaign seed, i, snapshot), independent of sharding.  A mutated
+       program keeps this index's seed so its execution seeds replay
+       exactly like a generated program's. *)
+    let prog =
+      match cfg.c_corpus with
+      | Some pl when Array.length snapshot > 0 ->
+        let srng = Rng.create (Rng.substream seed ~index:corpus_salt) in
+        if Rng.int srng 100 < pl.Corpus.pl_mutate_pct then begin
+          incr mutated;
+          let e = snapshot.(Rng.int srng (Array.length snapshot)) in
+          { (Corpus.mutate ~rng:srng e.Corpus.en_program) with p_seed = seed }
+        end
+        else begin
+          incr fresh;
+          generate ~cfg:cfg.c_gen ~seed
+        end
+      | Some _ ->
+        incr fresh;
+        generate ~cfg:cfg.c_gen ~seed
+      | None -> generate ~cfg:cfg.c_gen ~seed
+    in
     Profile.stop profile "fuzz_generate" t0;
     gen_ops := !gen_ops + op_count prog;
     Metrics.incr metrics "fuzz.programs";
@@ -884,26 +901,47 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
       Progress.account_certified progress ~certified:o.Engine.certified_ops
         ~retired:o.Engine.retired_prefix_ops
     | _ -> ());
+    (* Shard-novel keys this program produced, collected in a fixed
+       emission order (races, violation, shape) so a candidate's key list
+       is deterministic.  Lint rule hits stay out of the corpus novelty
+       namespace — they describe the program, not an explored shape. *)
+    let cand_keys = ref [] in
+    let note k = if track_cands then cand_keys := k :: !cand_keys in
     let novel =
       match (cov, outcome) with
       | Some acc, Some o ->
         List.iter
-          (fun r -> ignore (Cov.observe_race acc ~index:i (Race.dedup_key r)))
+          (fun r ->
+            let k = Race.dedup_key r in
+            if Cov.observe_race acc ~index:i k then note ("race:" ^ k))
           o.Engine.races;
         List.iter
           (fun h -> ignore (Cov.observe_lint acc ~index:i h.Lint.h_rule))
           lres.Lint.res_hits;
         (match status with
         | Failed (Cert_rejected vs) ->
-          ignore
-            (Cov.observe_violation acc ~index:i
-               (strip_digits (Check.rejection_key vs)))
+          let k = strip_digits (Check.rejection_key vs) in
+          if Cov.observe_violation acc ~index:i k then note ("violation:" ^ k)
         | _ -> ());
         (match o.Engine.shape with
-        | Some sg -> Cov.observe acc ~index:i sg
+        | Some sg ->
+          let n = Cov.observe acc ~index:i sg in
+          if n then note ("shape:" ^ sg.Cov.sg_digest);
+          n
         | None -> false)
       | _ -> false
     in
+    (match !cand_keys with
+    | [] -> ()
+    | keys ->
+      let digest =
+        match Option.bind outcome (fun o -> o.Engine.shape) with
+        | Some sg -> sg.Cov.sg_digest
+        | None -> ""
+      in
+      cands :=
+        (i, { cd_digest = digest; cd_keys = List.rev keys; cd_program = prog })
+        :: !cands);
     (* [certified] counts primary probes the certifier accepted, whether
        or not a lint-steered extra probe later failed — keeping the
        readout independent of c_lint_execs. *)
@@ -977,9 +1015,84 @@ let run_shard ?(coverage = false) ?(progress = Progress.null) ~obs ~profile
     sh_cov = Option.map Cov.shard cov;
     sh_lint_potential = !lint_potential;
     sh_lint_unsound = !lint_unsound;
+    sh_fresh = !fresh;
+    sh_mutated = !mutated;
+    sh_cands = List.rev !cands;
   }
 
-let merge_shards cfg shards =
+(* ------------------------------------------------------------------ *)
+(* Corpus admission
+
+   The campaign runs in rounds of [pl_round] programs.  Within a round
+   every shard records its *shard*-novel executions as candidates; at the
+   round barrier [corpus_absorb] replays all candidates in ascending
+   global index order against the accumulated key set.  A key's globally
+   first producer is also shard-first in every sharding, so it is a
+   candidate in every sharding, which makes the admitted entry list (and
+   each entry's [en_keys]) a pure function of the campaign — the -j N /
+   --workers N parity argument. *)
+
+type corpus_state = {
+  cs_known : (string, unit) Hashtbl.t;
+  cs_digests : (string, unit) Hashtbl.t;
+  cs_seeded : Corpus.entry list;
+  mutable cs_admitted_rev : Corpus.entry list;
+}
+
+let corpus_state (pl : Corpus.plan) =
+  let known = Hashtbl.create 64 in
+  let digests = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      Hashtbl.replace digests e.Corpus.en_digest ();
+      Hashtbl.replace known ("shape:" ^ e.Corpus.en_digest) ();
+      List.iter (fun k -> Hashtbl.replace known k ()) e.Corpus.en_keys)
+    pl.Corpus.pl_entries;
+  {
+    cs_known = known;
+    cs_digests = digests;
+    cs_seeded = pl.Corpus.pl_entries;
+    cs_admitted_rev = [];
+  }
+
+let corpus_admitted st = List.rev st.cs_admitted_rev
+let corpus_entries st = st.cs_seeded @ corpus_admitted st
+
+let corpus_absorb st shards =
+  let cands =
+    List.concat_map (fun s -> s.sh_cands) shards
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  let admitted =
+    List.filter_map
+      (fun (i, cd) ->
+        let novel_keys =
+          List.filter (fun k -> not (Hashtbl.mem st.cs_known k)) cd.cd_keys
+        in
+        (* mark *all* the candidate's keys: later candidates must not
+           re-claim a key their global predecessor produced *)
+        List.iter (fun k -> Hashtbl.replace st.cs_known k ()) cd.cd_keys;
+        if
+          novel_keys = [] || cd.cd_digest = ""
+          || Hashtbl.mem st.cs_digests cd.cd_digest
+        then None
+        else begin
+          Hashtbl.replace st.cs_digests cd.cd_digest ();
+          Some
+            {
+              Corpus.en_digest = cd.cd_digest;
+              en_index = i;
+              en_seed = cd.cd_program.p_seed;
+              en_keys = novel_keys;
+              en_program = cd.cd_program;
+            }
+        end)
+      cands
+  in
+  st.cs_admitted_rev <- List.rev_append admitted st.cs_admitted_rev;
+  admitted
+
+let merge_shards ?admitted cfg shards =
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
   let findings =
     Par.Merge.dedup_indexed ~key:(fun f -> f.f_key) (List.map (fun s -> s.sh_findings) shards)
@@ -1001,18 +1114,29 @@ let merge_shards cfg shards =
       | cov_shards -> Some (Cov.merge cov_shards));
     r_lint_potential = sum (fun s -> s.sh_lint_potential);
     r_lint_unsound = sum (fun s -> s.sh_lint_unsound);
+    r_corpus =
+      (match cfg.c_corpus with
+      | None -> None
+      | Some pl ->
+        Some
+          {
+            k_seeded = List.length pl.Corpus.pl_entries;
+            k_fresh = sum (fun s -> s.sh_fresh);
+            k_mutated = sum (fun s -> s.sh_mutated);
+            k_admitted = Option.value admitted ~default:[];
+          });
   }
 
 (* Shard-level entry points for the multi-process fabric (lib/svc): a
    worker process probes its arithmetic progression of program indices and
    ships the shard — plain data — back for the coordinator's merge. *)
 
-let campaign_shard ?(coverage = false) ?(progress = Progress.null) ~cfg
+let campaign_shard ?(coverage = false) ?(progress = Progress.null) ?stop ~cfg
     ~start ~stride () =
-  run_shard ~coverage ~progress ~obs:Obs.null ~profile:Profile.null
+  run_shard ~coverage ~progress ?stop ~obs:Obs.null ~profile:Profile.null
     ~metrics:Metrics.null ~cfg ~start ~stride ()
 
-let merge_shard_list cfg shards = merge_shards cfg shards
+let merge_shard_list ?admitted cfg shards = merge_shards ?admitted cfg shards
 
 let worker_obs obs =
   if Obs.enabled obs then
@@ -1031,9 +1155,15 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
        certification is always on";
   if cfg.c_shrink_execs < 1 then invalid_arg "Fuzz.campaign: c_shrink_execs must be >= 1";
   let jobs = max 1 (min cfg.c_jobs (max 1 cfg.c_programs)) in
-  let shards =
+  (* corpus guidance defines novelty by coverage fingerprints, so a
+     corpus campaign forces them on *)
+  let coverage = coverage || cfg.c_corpus <> None in
+  let wave ~cfg ~lo ~hi =
     if jobs = 1 then
-      [ run_shard ~coverage ~progress ~obs ~profile ~metrics ~cfg ~start:0 ~stride:1 () ]
+      [
+        run_shard ~coverage ~progress ~obs ~profile ~metrics ~cfg ~start:lo
+          ~stop:hi ~stride:1 ();
+      ]
     else begin
       let results =
         Par.spawn_workers ~jobs (fun ~worker ->
@@ -1044,7 +1174,7 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
                mutex-serialised emission *)
             let shard =
               run_shard ~coverage ~progress ~obs:o ~profile:p ~metrics:m ~cfg
-                ~start:worker ~stride:jobs ()
+                ~start:(lo + worker) ~stop:hi ~stride:jobs ()
             in
             (shard, (o, p, m)))
       in
@@ -1058,7 +1188,28 @@ let campaign ?(obs = Obs.null) ?(profile = Profile.null) ?(metrics = Metrics.nul
       Array.to_list (Array.map fst results)
     end
   in
-  let report = merge_shards cfg shards in
+  let shards, admitted =
+    match cfg.c_corpus with
+    | None -> (wave ~cfg ~lo:0 ~hi:cfg.c_programs, None)
+    | Some plan0 ->
+      (* Rounds of [pl_round] programs with admission barriers between
+         them: every round's shards mutate from the same snapshot, so the
+         round is embarrassingly parallel, and the barrier replays
+         candidates index-ascending so admissions are sharding-independent. *)
+      let st = corpus_state plan0 in
+      let all = ref [] in
+      let lo = ref 0 in
+      while !lo < cfg.c_programs do
+        let hi = min cfg.c_programs (!lo + plan0.Corpus.pl_round) in
+        let plan_r = { plan0 with Corpus.pl_entries = corpus_entries st } in
+        let round_shards = wave ~cfg:{ cfg with c_corpus = Some plan_r } ~lo:!lo ~hi in
+        ignore (corpus_absorb st round_shards);
+        all := !all @ round_shards;
+        lo := hi
+      done;
+      (!all, Some (corpus_admitted st))
+  in
+  let report = merge_shards ?admitted cfg shards in
   if Progress.enabled progress then
     Progress.finish
       ?novel:(Option.map Cov.distinct_shapes report.r_coverage)
@@ -1108,13 +1259,31 @@ let report_to_json r =
        ("lint_potential", Jsonx.Int r.r_lint_potential);
        ("lint_unsound", Jsonx.Int r.r_lint_unsound);
      ]
+    @ (match r.r_coverage with
+      | None -> []
+      | Some c ->
+        [
+          ("distinct_shapes", Jsonx.Int (Cov.distinct_shapes c));
+          ("coverage", Cov.summary_to_json c);
+        ])
     @
-    match r.r_coverage with
+    match r.r_corpus with
     | None -> []
-    | Some c ->
+    | Some k ->
       [
-        ("distinct_shapes", Jsonx.Int (Cov.distinct_shapes c));
-        ("coverage", Cov.summary_to_json c);
+        ( "corpus",
+          Jsonx.Obj
+            [
+              ("seeded", Jsonx.Int k.k_seeded);
+              ("fresh", Jsonx.Int k.k_fresh);
+              ("mutated", Jsonx.Int k.k_mutated);
+              ("admitted", Jsonx.Int (List.length k.k_admitted));
+              ( "admitted_digests",
+                Jsonx.List
+                  (List.map
+                     (fun (e : Corpus.entry) -> Jsonx.String e.Corpus.en_digest)
+                     k.k_admitted) );
+            ] );
       ])
 
 let pp_finding fmt f =
@@ -1127,11 +1296,19 @@ let pp_finding fmt f =
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>programs:      %d@ certified:     %d@ cert rejected: %d@ crashes:       \
-     %d@ generated ops: %d@ lint potential: %d@ lint unsound:  %d@ findings:      %d@]"
+     %d@ generated ops: %d@ lint potential: %d@ lint unsound:  %d@ findings:      %d"
     r.r_programs r.r_certified r.r_cert_rejected r.r_crashes r.r_gen_ops
     r.r_lint_potential r.r_lint_unsound
     (List.length r.r_findings);
+  (match r.r_corpus with
+  | None -> ()
+  | Some k ->
+    Format.fprintf fmt
+      "@ corpus:        %d seeded, %d fresh, %d mutated, %d admitted"
+      k.k_seeded k.k_fresh k.k_mutated
+      (List.length k.k_admitted));
   (match r.r_coverage with
   | None -> ()
   | Some c -> Format.fprintf fmt "@ %a" Cov.pp_summary c);
-  List.iter (fun f -> Format.fprintf fmt "@ @ %a" pp_finding f) r.r_findings
+  List.iter (fun f -> Format.fprintf fmt "@ @ %a" pp_finding f) r.r_findings;
+  Format.fprintf fmt "@]"

@@ -220,9 +220,25 @@ type campaign_cfg = {
           race-potential when the primary probe passed (0 disables the
           lint-steered prioritizer); extra probes are pure functions of
           (program, attempt), so reports stay jobs-independent *)
+  c_corpus : Corpus.plan option;
+      (** corpus-guided mode: the campaign runs in rounds of
+          [pl_round] programs, mutates [pl_mutate_pct]% of each round's
+          programs from the (snapshot + admitted-so-far) corpus, admits
+          coverage-novel programs at round barriers, and reports them in
+          [r_corpus].  Forces coverage fingerprinting on.  The admitted
+          list is a pure function of the campaign configuration —
+          independent of [c_jobs] and of process-level sharding. *)
 }
 
 val default_campaign_cfg : campaign_cfg
+
+(** Corpus-guided campaign readout. *)
+type corpus_stats = {
+  k_seeded : int;  (** entries in the starting snapshot *)
+  k_fresh : int;  (** programs generated from scratch *)
+  k_mutated : int;  (** programs mutated from a corpus entry *)
+  k_admitted : Corpus.entry list;  (** newly admitted, ascending index *)
+}
 
 (** Campaign outcome.  Everything except wall-clock diagnostics is a pure
     function of the configuration: independent of [c_jobs]. *)
@@ -244,6 +260,7 @@ type report = {
   r_lint_unsound : int;
       (** programs whose final status was {!Lint_unsound} — zero on a
           sound engine *)
+  r_corpus : corpus_stats option;  (** [Some _] iff [c_corpus] was set *)
 }
 
 (** [campaign cfg] generates and probes [c_programs] programs, shrinks
@@ -275,11 +292,13 @@ type shard
 
 (** [campaign_shard ~cfg ~start ~stride ()] probes the programs whose
     global indices form the arithmetic progression [start, start+stride,
-    ...] below [cfg.c_programs] ([cfg.c_jobs] is ignored — process-level
-    callers do their own fan-out). *)
+    ...] below [stop] (default [cfg.c_programs]; [cfg.c_jobs] is ignored —
+    process-level callers do their own fan-out).  [stop] lets corpus-round
+    drivers confine a shard to one round's index range. *)
 val campaign_shard :
   ?coverage:bool ->
   ?progress:Progress.t ->
+  ?stop:int ->
   cfg:campaign_cfg ->
   start:int ->
   stride:int ->
@@ -288,8 +307,32 @@ val campaign_shard :
 
 (** Fold shards with the lowest-index-wins protocol — exactly the merge
     {!campaign} applies to its domain shards, so the report is independent
-    of how the program index space was partitioned. *)
-val merge_shard_list : campaign_cfg -> shard list -> report
+    of how the program index space was partitioned.  [admitted] threads a
+    corpus driver's accumulated admissions into [r_corpus]. *)
+val merge_shard_list : ?admitted:Corpus.entry list -> campaign_cfg -> shard list -> report
+
+(** {2 Corpus admission (round-barrier state machine)}
+
+    Shared by the in-process round loop in {!campaign} and the
+    multi-process wave driver in lib/svc, so both produce byte-identical
+    admissions for the same campaign. *)
+
+type corpus_state
+
+(** Seed the known-key and known-digest sets from a plan's snapshot. *)
+val corpus_state : Corpus.plan -> corpus_state
+
+(** Snapshot + admitted so far — the entry list the next round's plan
+    mutates from. *)
+val corpus_entries : corpus_state -> Corpus.entry list
+
+val corpus_admitted : corpus_state -> Corpus.entry list
+
+(** Replay one round's candidates (all shards of that round, any order)
+    ascending by global index; returns the entries admitted by this
+    round.  A key's globally-first producer is shard-first under every
+    sharding, so the result is sharding-independent. *)
+val corpus_absorb : corpus_state -> shard list -> Corpus.entry list
 
 val finding_to_json : finding -> Jsonx.t
 val report_to_json : report -> Jsonx.t

@@ -60,3 +60,38 @@ val op_count : program -> int
     discipline respected on every thread (balanced, properly nested,
     ordered). *)
 val validate : program -> (unit, string) result
+
+(** {1 Op-unit editing machinery}
+
+    The shrinker's (and corpus mutator's) shared notion of an editable
+    unit: a single op, or a lock and its matching unlock (removing either
+    alone would break the discipline {!validate} checks). *)
+
+(** Map from each [Lock] index to its matching [Unlock] index and back,
+    for one thread body. *)
+val lock_pairs : op array -> (int, int) Hashtbl.t
+
+(** Deletion units of one thread body as index lists (op [i] alone, or a
+    lock/unlock pair), ascending by first index. *)
+val units_of : op array -> int list list
+
+(** [remove_indices ops idxs] drops the ops at [idxs], preserving
+    order. *)
+val remove_indices : op array -> int list -> op array
+
+(** Replace thread [t]'s body. *)
+val with_thread : program -> int -> op array -> program
+
+(** Delete thread [t] ([t = 0] empties the main body instead — the
+    fork-join shape always keeps a main thread). *)
+val without_thread : program -> int -> program
+
+(** {1 Serialization}
+
+    The corpus-entry persistence format: a program as one JSON object.
+    [program_of_json] validates structurally and via {!validate}; any
+    unknown tag, missing field or discipline violation is an [Error] —
+    corrupt corpus files surface as errors, never crashes. *)
+
+val program_to_json : program -> Jsonx.t
+val program_of_json : Jsonx.t -> (program, string) result

@@ -24,7 +24,15 @@ type campaign =
       iters : int;
     }
   | Litmus_c of { name : string; config : Engine.config; iters : int }
-  | Fuzz_c of { cfg : Fuzz.campaign_cfg; coverage : bool }
+  | Fuzz_c of {
+      cfg : Fuzz.campaign_cfg;
+      coverage : bool;
+      range : (int * int) option;
+          (* [Some (lo, hi)]: probe global program indices [lo, hi) only —
+             how the corpus wave driver scopes one admission round.
+             [None] is the whole campaign. *)
+    }
+  | Sweep_c of { sw_family : string; sw_iters : int; sw_seed : int64 }
   | Lint_c of {
       lt_targets : string list;
       lt_programs : int;
@@ -36,6 +44,7 @@ type merged =
   | M_run of Tester.summary
   | M_litmus of Tester.summary * (Litmus.outcome * int) list
   | M_fuzz of Fuzz.report
+  | M_sweep of Sweep.result
   | M_lint of (int * Lint.result) list
 
 type stats = {
@@ -62,7 +71,14 @@ let stats_to_json s =
 
 let total = function
   | Run_c { iters; _ } | Litmus_c { iters; _ } -> iters
-  | Fuzz_c { cfg; _ } -> cfg.Fuzz.c_programs
+  | Fuzz_c { cfg; range; _ } -> (
+    match range with
+    | Some (lo, hi) -> hi - lo
+    | None -> cfg.Fuzz.c_programs)
+  | Sweep_c { sw_family; sw_iters; _ } -> (
+    match Sweep.find sw_family with
+    | Some family -> Sweep.total ~family ~iters:sw_iters
+    | None -> 0)
   | Lint_c { lt_targets; lt_programs; _ } ->
     List.length lt_targets + lt_programs
 
@@ -193,7 +209,7 @@ let campaign_fp = function
         ("iters", Jsonx.Int iters);
         ("config", config_fp config);
       ]
-  | Fuzz_c { cfg; coverage } ->
+  | Fuzz_c { cfg; coverage; range } ->
     let g = cfg.Fuzz.c_gen in
     Jsonx.Obj
       [
@@ -214,6 +230,24 @@ let campaign_fp = function
           | None -> Jsonx.Null
           | Some m -> Jsonx.String (Execution.mutation_name m) );
         ("coverage", Jsonx.Bool coverage);
+        (* the corpus snapshot is part of what each program index runs, so
+           it must be part of the cache identity *)
+        ( "corpus",
+          match cfg.Fuzz.c_corpus with
+          | None -> Jsonx.Null
+          | Some pl -> Jsonx.String (Corpus.plan_digest pl) );
+        ( "range",
+          match range with
+          | None -> Jsonx.Null
+          | Some (lo, hi) -> Jsonx.List [ Jsonx.Int lo; Jsonx.Int hi ] );
+      ]
+  | Sweep_c { sw_family; sw_iters; sw_seed } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.String "sweep");
+        ("family", Jsonx.String sw_family);
+        ("iters", Jsonx.Int sw_iters);
+        ("seed", Jsonx.String (Int64.to_string sw_seed));
       ]
   | Lint_c { lt_targets; lt_programs; lt_seed; lt_gen } ->
     Jsonx.Obj
@@ -271,6 +305,7 @@ type payload =
   | P_run of unit Tester.shard list
   | P_litmus of Litmus.outcome Tester.shard list
   | P_fuzz of Fuzz.shard list
+  | P_sweep of Sweep.shard list
   | P_lint of (int * Lint.result) list list
 
 (* The full job description a worker receives on stdin. *)
@@ -359,18 +394,44 @@ let worker_payload spec progress =
     match Litmus.find name with
     | None -> Error (Printf.sprintf "unknown litmus test %S" name)
     | Some t -> Ok (P_litmus (tester_shards ~config t.Litmus.run_once)))
-  | Fuzz_c { cfg; coverage } ->
+  | Fuzz_c { cfg; coverage; range } ->
+    (* a ranged campaign (one corpus round) leapfrogs the same way, just
+       offset to [lo] and stopped at [hi] *)
+    let lo, hi =
+      match range with Some r -> r | None -> (0, cfg.Fuzz.c_programs)
+    in
     let shards =
       if j = 1 then
-        [ Fuzz.campaign_shard ~coverage ~progress ~cfg ~start:w ~stride:ws () ]
+        [
+          Fuzz.campaign_shard ~coverage ~progress ~stop:hi ~cfg ~start:(lo + w)
+            ~stride:ws ();
+        ]
       else
         Par.spawn_workers ~jobs:j (fun ~worker ->
-            Fuzz.campaign_shard ~coverage ~progress ~cfg
-              ~start:(w + (worker * ws))
+            Fuzz.campaign_shard ~coverage ~progress ~stop:hi ~cfg
+              ~start:(lo + w + (worker * ws))
               ~stride:(j * ws) ())
         |> Array.to_list
     in
     Ok (P_fuzz shards)
+  | Sweep_c { sw_family; sw_iters; sw_seed } -> (
+    match Sweep.find sw_family with
+    | None -> Error (Printf.sprintf "unknown sweep family %S" sw_family)
+    | Some family ->
+      let shards =
+        if j = 1 then
+          [
+            Sweep.run_shard ~progress ~family ~iters:sw_iters ~seed:sw_seed
+              ~start:w ~stride:ws ();
+          ]
+        else
+          Par.spawn_workers ~jobs:j (fun ~worker ->
+              Sweep.run_shard ~progress ~family ~iters:sw_iters ~seed:sw_seed
+                ~start:(w + (worker * ws))
+                ~stride:(j * ws) ())
+          |> Array.to_list
+      in
+      Ok (P_sweep shards))
   | Lint_c { lt_targets; lt_programs = _; lt_seed; lt_gen } -> (
     match List.find_opt (fun t -> lint_resolve t = None) lt_targets with
     | Some t -> Error (Printf.sprintf "unknown lint target %S" t)
@@ -546,6 +607,9 @@ let drain_lines st ~on_counts =
 
 exception Payload_mismatch
 
+let fuzz_shards =
+  List.concat_map (function P_fuzz s -> s | _ -> raise Payload_mismatch)
+
 let merge_payloads campaign payloads =
   let run_shards =
     List.concat_map (function P_run s -> s | _ -> raise Payload_mismatch)
@@ -553,8 +617,8 @@ let merge_payloads campaign payloads =
   let litmus_shards =
     List.concat_map (function P_litmus s -> s | _ -> raise Payload_mismatch)
   in
-  let fuzz_shards =
-    List.concat_map (function P_fuzz s -> s | _ -> raise Payload_mismatch)
+  let sweep_shards =
+    List.concat_map (function P_sweep s -> s | _ -> raise Payload_mismatch)
   in
   let lint_shards =
     List.concat_map (function P_lint s -> s | _ -> raise Payload_mismatch)
@@ -565,6 +629,13 @@ let merge_payloads campaign payloads =
     let summary, hist = Tester.merge_shard_list (litmus_shards payloads) in
     M_litmus (summary, hist)
   | Fuzz_c { cfg; _ } -> M_fuzz (Fuzz.merge_shard_list cfg (fuzz_shards payloads))
+  | Sweep_c { sw_family; sw_iters; sw_seed } -> (
+    match Sweep.find sw_family with
+    | None -> raise Payload_mismatch
+    | Some family ->
+      M_sweep
+        (Sweep.merge ~family ~iters:sw_iters ~seed:sw_seed
+           (sweep_shards payloads)))
   | Lint_c _ ->
     (* every index is analyzed exactly once, so the targets are already
        distinct — dedup_indexed here is just the ascending-index merge *)
@@ -599,6 +670,18 @@ let finish_progress progress merged ~observed_cert_ops =
           List.length r.Fuzz.r_findings,
           obs_co,
           obs_ro )
+      | M_sweep r ->
+        let obs_co, obs_ro = observed_cert_ops in
+        ( List.fold_left
+            (fun a c -> a + c.Sweep.cr_stats.Sweep.st_execs)
+            0 r.Sweep.rs_cells,
+          0,
+          List.length
+            (List.filter
+               (fun c -> c.Sweep.cr_verdict = Sweep.V_cert_rejected)
+               r.Sweep.rs_cells),
+          obs_co,
+          obs_ro )
       | M_lint results ->
         ( List.length results,
           0,
@@ -612,8 +695,14 @@ let finish_progress progress merged ~observed_cert_ops =
     Progress.finish ~novel ~findings progress
   end
 
-let run_campaign ?exe ?cache ?(progress = Progress.null) ?kill ~workers ~jobs
-    campaign =
+(* Drive one fan-out: spawn workers (or replay their shards from the
+   cache), pump the protocol, persist fresh shards, audit ranges.  Returns
+   the bare pieces — the callers merge and finish: [run_campaign] directly
+   for a one-shot campaign, the corpus wave driver once after its last
+   round.  [counts_base] offsets the aggregated heartbeat counters, so a
+   wave's progress stream continues from where the previous wave ended. *)
+let drive_single ?exe ?cache ?(progress = Progress.null) ?kill
+    ?(counts_base = (0, 0, 0, 0, 0)) ~workers ~jobs campaign =
   let n = total campaign in
   let workers = max 1 (min workers (max 1 n)) in
   let jobs = max 1 jobs in
@@ -683,8 +772,9 @@ let run_campaign ?exe ?cache ?(progress = Progress.null) ?kill ~workers ~jobs
            campaign's single progress stream *)
         let on_counts () =
           if Progress.enabled progress then begin
-            let d = ref 0 and nv = ref 0 and f = ref 0 in
-            let co = ref 0 and ro = ref 0 in
+            let bd, bn, bf, bc, br = counts_base in
+            let d = ref bd and nv = ref bn and f = ref bf in
+            let co = ref bc and ro = ref br in
             Array.iter
               (fun st ->
                 let dd, nn, ff, cc, rr = st.w_counts in
@@ -772,24 +862,118 @@ let run_campaign ?exe ?cache ?(progress = Progress.null) ?kill ~workers ~jobs
                 binary?"
                !spawned exe)
         else
-          match merge_payloads campaign (List.map snd present) with
-          | exception Payload_mismatch ->
-            Error "shard payload does not match the campaign kind"
-          | merged ->
-            let observed_cert_ops =
-              Array.fold_left
-                (fun (co, ro) st ->
-                  let _, _, _, c, r = st.w_counts in
-                  (co + c, ro + r))
-                (0, 0) states
-            in
-            finish_progress progress merged ~observed_cert_ops;
-            Ok
-              ( merged,
-                {
-                  st_workers = workers;
-                  st_spawned = !spawned;
-                  st_failed = audit.Par.Merge.missing;
-                  st_executions_run = executions_run;
-                  st_cache = Option.map Cache.stats cache;
-                } ))
+          let observed_cert_ops =
+            Array.fold_left
+              (fun (co, ro) st ->
+                let _, _, _, c, r = st.w_counts in
+                (co + c, ro + r))
+              (0, 0) states
+          in
+          Ok
+            ( List.map snd present,
+              {
+                st_workers = workers;
+                st_spawned = !spawned;
+                st_failed = audit.Par.Merge.missing;
+                st_executions_run = executions_run;
+                st_cache = Option.map Cache.stats cache;
+              },
+              observed_cert_ops ))
+
+(* Corpus wave driver: one ranged Fuzz_c fan-out per admission round, the
+   round barrier between waves, a single merge and [final] record at the
+   end — the multi-process mirror of the in-process round loop in
+   {!Fuzz.campaign}, built on the same {!Fuzz.corpus_absorb} state
+   machine, so admissions (and therefore every subsequent round's
+   programs) are byte-identical to [-j N]. *)
+let run_corpus_waves ?exe ?cache ?(progress = Progress.null) ?kill ~workers
+    ~jobs ~cfg ~coverage plan0 =
+  let n = cfg.Fuzz.c_programs in
+  let st = Fuzz.corpus_state plan0 in
+  let payloads = ref [] in
+  let wused = ref 1 in
+  let spawned = ref 0 in
+  let failed = ref [] in
+  let execs = ref 0 in
+  let co = ref 0 and ro = ref 0 in
+  let done_base = ref 0 in
+  let err = ref None in
+  let lo = ref 0 in
+  while !lo < n && !err = None do
+    let hi = min n (!lo + plan0.Corpus.pl_round) in
+    let plan_r =
+      { plan0 with Corpus.pl_entries = Fuzz.corpus_entries st }
+    in
+    let campaign_r =
+      Fuzz_c
+        {
+          cfg = { cfg with Fuzz.c_corpus = Some plan_r };
+          coverage;
+          range = Some (!lo, hi);
+        }
+    in
+    (match
+       drive_single ?exe ?cache ~progress ?kill
+         ~counts_base:(!done_base, 0, 0, !co, !ro)
+         ~workers ~jobs campaign_r
+     with
+    | Error e -> err := Some e
+    | Ok (ps, stats, (c, r)) -> (
+      match fuzz_shards ps with
+      | exception Payload_mismatch ->
+        err := Some "shard payload does not match the campaign kind"
+      | shards ->
+        ignore (Fuzz.corpus_absorb st shards);
+        payloads := !payloads @ ps;
+        wused := max !wused stats.st_workers;
+        spawned := !spawned + stats.st_spawned;
+        failed := !failed @ stats.st_failed;
+        execs := !execs + stats.st_executions_run;
+        co := !co + c;
+        ro := !ro + r;
+        done_base := !done_base + (hi - !lo)));
+    lo := hi
+  done;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    let report =
+      Fuzz.merge_shard_list
+        ~admitted:(Fuzz.corpus_admitted st)
+        cfg
+        (fuzz_shards !payloads)
+    in
+    let merged = M_fuzz report in
+    finish_progress progress merged ~observed_cert_ops:(!co, !ro);
+    Ok
+      ( merged,
+        {
+          st_workers = !wused;
+          st_spawned = !spawned;
+          st_failed = List.sort_uniq compare !failed;
+          st_executions_run = !execs;
+          st_cache = Option.map Cache.stats cache;
+        } )
+
+let run_campaign ?exe ?cache ?(progress = Progress.null) ?kill ~workers ~jobs
+    campaign =
+  match campaign with
+  | Fuzz_c { cfg; coverage = _; range = None }
+    when cfg.Fuzz.c_corpus <> None && cfg.Fuzz.c_programs > 0 ->
+    let plan0 = Option.get cfg.Fuzz.c_corpus in
+    (* corpus guidance needs coverage fingerprints for novelty — forced
+       on, exactly as the in-process {!Fuzz.campaign} does *)
+    run_corpus_waves ?exe ?cache ~progress ?kill ~workers ~jobs ~cfg
+      ~coverage:true plan0
+  | _ -> (
+    match
+      drive_single ?exe ?cache ~progress ?kill ~workers ~jobs campaign
+    with
+    | Error e -> Error e
+    | Ok (payloads, stats, observed_cert_ops) -> (
+      match merge_payloads campaign payloads with
+      | exception Payload_mismatch ->
+        Error "shard payload does not match the campaign kind"
+      | merged ->
+        finish_progress progress merged ~observed_cert_ops;
+        Ok (merged, stats)))

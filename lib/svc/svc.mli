@@ -52,8 +52,21 @@ type campaign =
       iters : int;
     }
   | Litmus_c of { name : string; config : Engine.config; iters : int }
-  | Fuzz_c of { cfg : Fuzz.campaign_cfg; coverage : bool }
-      (** [cfg.c_jobs] is ignored; process fan-out replaces it *)
+  | Fuzz_c of {
+      cfg : Fuzz.campaign_cfg;
+      coverage : bool;
+      range : (int * int) option;
+          (** [Some (lo, hi)] scopes the campaign to global program
+              indices [lo, hi) — one corpus admission round; campaign
+              entry points pass [None].  With [cfg.c_corpus] set and
+              [range = None], {!run_campaign} runs the corpus wave
+              driver: one ranged fan-out per admission round with the
+              {!Fuzz.corpus_absorb} barrier between waves, merged once —
+              byte-identical to the in-process round loop. *)
+    }  (** [cfg.c_jobs] is ignored; process fan-out replaces it *)
+  | Sweep_c of { sw_family : string; sw_iters : int; sw_seed : int64 }
+      (** a {!Sweep} memory-order matrix: the flattened cells x iters
+          index space is leapfrogged exactly like execution indices *)
   | Lint_c of {
       lt_targets : string list;
           (** named {!Lmodel}/{!Wmodel} targets, one work item each *)
@@ -71,6 +84,7 @@ type merged =
   | M_litmus of Tester.summary * (Litmus.outcome * int) list
       (** histogram in first-occurrence order (as {!Tester.run_collect}) *)
   | M_fuzz of Fuzz.report
+  | M_sweep of Sweep.result
   | M_lint of (int * Lint.result) list
       (** ascending work-item index; named targets first, then generated
           programs labelled ["gen:<k>"] *)

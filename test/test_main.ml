@@ -20,6 +20,8 @@ let () =
       ("check", Test_check.suite);
       ("stream", Test_stream.suite);
       ("fuzz", Test_fuzz.suite);
+      ("corpus", Test_corpus.suite);
+      ("sweep", Test_sweep.suite);
       ("lint", Test_lint.suite);
       ("svc", Test_svc.suite);
     ]

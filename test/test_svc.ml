@@ -152,7 +152,7 @@ let test_fuzz_parity () =
     (fun workers ->
       let merged, _ =
         run_campaign ~workers ~jobs:1
-          (Svc.Fuzz_c { cfg = fuzz_cfg; coverage = true })
+          (Svc.Fuzz_c { cfg = fuzz_cfg; coverage = true; range = None })
       in
       match merged with
       | Svc.M_fuzz r ->
@@ -160,6 +160,63 @@ let test_fuzz_parity () =
           (Printf.sprintf "fuzz report workers=%d" workers)
           (render baseline) (render r)
       | _ -> Alcotest.fail "expected M_fuzz")
+    [ 1; 2; 4 ]
+
+let test_corpus_fuzz_parity () =
+  (* corpus-guided campaign: the fabric's round-barrier wave driver must
+     reproduce the in-process round loop byte for byte, admissions
+     included *)
+  let cfg =
+    {
+      fuzz_cfg with
+      Fuzz.c_programs = 120;
+      c_corpus = Some (Corpus.plan ~round:40 []);
+    }
+  in
+  let baseline = Fuzz.campaign ~coverage:true cfg in
+  (match baseline.Fuzz.r_corpus with
+  | Some k -> check "baseline admitted entries" true (k.Fuzz.k_admitted <> [])
+  | None -> Alcotest.fail "baseline has no corpus stats");
+  let render r = Jsonx.to_pretty_string (Fuzz.report_to_json r) in
+  List.iter
+    (fun workers ->
+      let merged, _ =
+        run_campaign ~workers ~jobs:1
+          (Svc.Fuzz_c { cfg; coverage = true; range = None })
+      in
+      match merged with
+      | Svc.M_fuzz r ->
+        Alcotest.(check string)
+          (Printf.sprintf "corpus fuzz report workers=%d" workers)
+          (render baseline) (render r)
+      | _ -> Alcotest.fail "expected M_fuzz")
+    [ 1; 2; 3 ]
+
+let test_sweep_parity () =
+  let family =
+    match Sweep.find "rwlock" with
+    | Some f -> f
+    | None -> Alcotest.fail "rwlock family missing"
+  in
+  let iters = 30 and seed = 13L in
+  let baseline =
+    Sweep.merge ~family ~iters ~seed
+      [ Sweep.run_shard ~family ~iters ~seed ~start:0 ~stride:1 () ]
+  in
+  let render r = Jsonx.to_pretty_string (Sweep.result_to_json r) in
+  List.iter
+    (fun workers ->
+      let merged, _ =
+        run_campaign ~workers ~jobs:1
+          (Svc.Sweep_c
+             { sw_family = "rwlock"; sw_iters = iters; sw_seed = seed })
+      in
+      match merged with
+      | Svc.M_sweep r ->
+        Alcotest.(check string)
+          (Printf.sprintf "sweep result workers=%d" workers)
+          (render baseline) (render r)
+      | _ -> Alcotest.fail "expected M_sweep")
     [ 1; 2; 4 ]
 
 let test_workers_clamped () =
@@ -327,6 +384,9 @@ let suite =
       test_run_parity_nested;
     Alcotest.test_case "litmus parity across workers" `Slow test_litmus_parity;
     Alcotest.test_case "fuzz parity across workers" `Slow test_fuzz_parity;
+    Alcotest.test_case "corpus fuzz parity across workers" `Slow
+      test_corpus_fuzz_parity;
+    Alcotest.test_case "sweep parity across workers" `Slow test_sweep_parity;
     Alcotest.test_case "workers clamped to total" `Quick test_workers_clamped;
     Alcotest.test_case "cache warm replay" `Slow test_cache_warm_replay;
     Alcotest.test_case "cache key sensitivity" `Quick

@@ -1,0 +1,228 @@
+(* Memory-order sweep families (lib/corpus/sweep.ml): golden verdict
+   tables, sharding parity and the c11sweep-v1 artifact round-trip.
+
+   The golden tables pin every cell's dynamic verdict (engine +
+   certifier over 200 executions, seed 1) and its static lint rule hits.
+   To regenerate after an intentional engine/lint change:
+
+     dune exec bin/c11test.exe -- sweep seqlock --iters 200 --seed 1 \
+       --ndjson - | jq -r 'select(.record=="cell")
+         | "(\"" + .id + "\", \"" + .verdict + "\", [" +
+           (.lint_rules | map("\"" + . + "\"") | join("; ")) + "]);"'
+
+   (same for rwlock) and paste the cells below.  Both tables reproduce
+   the versioned-read (seqlock) study's findings in model terms: no
+   fence-less variant validates, and the fence-bearing variants are
+   clean exactly when the first version read is acquire or stronger —
+   the study's hardware-clean relaxed-first cells tear in the axiomatic
+   model through stale-generation reads hardware rarely exhibits. *)
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let family name =
+  match Sweep.find name with
+  | Some f -> f
+  | None -> Alcotest.failf "sweep family %s missing" name
+
+let run_merged ?(iters = 200) ?(seed = 1L) name =
+  let family = family name in
+  let shard =
+    Sweep.run_shard ~family ~iters ~seed ~start:0 ~stride:1 ()
+  in
+  Sweep.merge ~family ~iters ~seed [ shard ]
+
+(* ---------- golden verdict tables ------------------------------------- *)
+
+let golden_seqlock =
+  [
+    ("first=relaxed,second=relaxed,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=acquire,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=seq_cst,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=acquire,second=relaxed,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=acquire,second=acquire,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=acquire,second=seq_cst,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=seq_cst,second=relaxed,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=seq_cst,second=acquire,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=seq_cst,second=seq_cst,fence=none", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=relaxed,fence=acquire", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=acquire,fence=acquire", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=seq_cst,fence=acquire", "torn", ["seqlock-missing-fence"]);
+    ("first=acquire,second=relaxed,fence=acquire", "clean", []);
+    ("first=acquire,second=acquire,fence=acquire", "clean", []);
+    ("first=acquire,second=seq_cst,fence=acquire", "clean", []);
+    ("first=seq_cst,second=relaxed,fence=acquire", "clean", []);
+    ("first=seq_cst,second=acquire,fence=acquire", "clean", []);
+    ("first=seq_cst,second=seq_cst,fence=acquire", "clean", []);
+    ("first=relaxed,second=relaxed,fence=seq_cst", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=acquire,fence=seq_cst", "torn", ["seqlock-missing-fence"]);
+    ("first=relaxed,second=seq_cst,fence=seq_cst", "torn", ["seqlock-missing-fence"]);
+    ("first=acquire,second=relaxed,fence=seq_cst", "clean", []);
+    ("first=acquire,second=acquire,fence=seq_cst", "clean", []);
+    ("first=acquire,second=seq_cst,fence=seq_cst", "clean", []);
+    ("first=seq_cst,second=relaxed,fence=seq_cst", "clean", []);
+    ("first=seq_cst,second=acquire,fence=seq_cst", "clean", []);
+    ("first=seq_cst,second=seq_cst,fence=seq_cst", "clean", []);
+  ]
+
+let golden_rwlock =
+  [
+    ("wlock=relaxed,wunlock=relaxed", "racy", ["relaxed-publication"]);
+    ("wlock=relaxed,wunlock=release", "racy", ["relaxed-publication"]);
+    ("wlock=relaxed,wunlock=seq_cst", "racy", ["relaxed-publication"]);
+    ("wlock=acquire,wunlock=relaxed", "racy", ["relaxed-publication"]);
+    ("wlock=acquire,wunlock=release", "clean", []);
+    ("wlock=acquire,wunlock=seq_cst", "clean", []);
+    ("wlock=seq_cst,wunlock=relaxed", "racy", ["relaxed-publication"]);
+    ("wlock=seq_cst,wunlock=release", "clean", []);
+    ("wlock=seq_cst,wunlock=seq_cst", "clean", []);
+  ]
+
+let check_golden name golden =
+  let r = run_merged name in
+  check_int (name ^ " cell count") (List.length golden)
+    (List.length r.Sweep.rs_cells);
+  List.iter2
+    (fun (id, verdict, rules) c ->
+      check_str (name ^ " cell id") id c.Sweep.cr_id;
+      check_str (id ^ " verdict") verdict
+        (Sweep.verdict_name c.Sweep.cr_verdict);
+      check_bool (id ^ " lint rules") true (rules = c.Sweep.cr_lint_rules))
+    golden r.Sweep.rs_cells
+
+let test_golden_seqlock () = check_golden "seqlock" golden_seqlock
+let test_golden_rwlock () = check_golden "rwlock" golden_rwlock
+
+(* The study's bottom line, asserted structurally rather than cell by
+   cell: every fence-less seqlock cell fails validation, and a
+   fence-bearing cell is clean iff its first read is acquire+. *)
+let test_seqlock_structure () =
+  let r = run_merged "seqlock" in
+  List.iter
+    (fun c ->
+      let param k = List.assoc k c.Sweep.cr_params in
+      let expect_clean =
+        param "fence" <> "none" && param "first" <> "relaxed"
+      in
+      check_bool (c.Sweep.cr_id ^ " clean iff acquire-first + fence")
+        expect_clean
+        (c.Sweep.cr_verdict = Sweep.V_clean);
+      (* differential agreement: the static seqlock lint flags exactly
+         the cells the engine tears *)
+      check_bool (c.Sweep.cr_id ^ " lint agrees with engine")
+        (not expect_clean)
+        (List.mem "seqlock-missing-fence" c.Sweep.cr_lint_rules))
+    r.Sweep.rs_cells
+
+(* No cell anywhere disagrees with the certifier: the exit-1 verdict is
+   reserved for engine/certifier splits and the shipped families have
+   none. *)
+let test_no_cert_rejections () =
+  List.iter
+    (fun f ->
+      let r = run_merged ~iters:60 f.Sweep.fa_name in
+      check_int (f.Sweep.fa_name ^ " exit code") 0 (Sweep.exit_code r);
+      List.iter
+        (fun c ->
+          check_int (c.Sweep.cr_id ^ " cert rejections") 0
+            c.Sweep.cr_stats.Sweep.st_cert_rejected)
+        r.Sweep.rs_cells)
+    Sweep.families
+
+(* ---------- sharding parity -------------------------------------------- *)
+
+let result_string r = Jsonx.to_pretty_string (Sweep.result_to_json r)
+
+let test_shard_parity () =
+  let family = family "seqlock" in
+  let iters = 40 and seed = 9L in
+  let run ~start ~stride =
+    Sweep.run_shard ~family ~iters ~seed ~start ~stride ()
+  in
+  let sequential =
+    Sweep.merge ~family ~iters ~seed [ run ~start:0 ~stride:1 ]
+  in
+  List.iter
+    (fun stride ->
+      let shards = List.init stride (fun w -> run ~start:w ~stride) in
+      (* order of shards must not matter: counters are additive *)
+      let merged = Sweep.merge ~family ~iters ~seed (List.rev shards) in
+      check_str
+        (Printf.sprintf "merge of %d shards" stride)
+        (result_string sequential) (result_string merged))
+    [ 2; 3; 7 ]
+
+(* ---------- c11sweep-v1 round-trip ------------------------------------- *)
+
+let test_ndjson_roundtrip () =
+  List.iter
+    (fun f ->
+      let r = run_merged ~iters:20 ~seed:5L f.Sweep.fa_name in
+      match Sweep.result_of_ndjson (Sweep.result_to_ndjson r) with
+      | Error e -> Alcotest.failf "%s round-trip: %s" f.Sweep.fa_name e
+      | Ok r' ->
+        check_str (f.Sweep.fa_name ^ " round-trip") (result_string r)
+          (result_string r'))
+    Sweep.families
+
+let test_ndjson_rejects () =
+  let r = run_merged ~iters:5 ~seed:2L "dekker" in
+  let lines = Sweep.result_to_ndjson r in
+  let expect_err what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected Error" what
+  in
+  expect_err "no campaign record" (Sweep.result_of_ndjson (List.tl lines));
+  expect_err "missing cell"
+    (Sweep.result_of_ndjson
+       (List.filteri (fun i _ -> i <> 3) lines));
+  expect_err "alien schema"
+    (Sweep.result_of_ndjson
+       (Jsonx.Obj [ ("schema", Jsonx.String "mystery-v9") ] :: List.tl lines));
+  expect_err "empty" (Sweep.result_of_ndjson [])
+
+(* ---------- catalog ---------------------------------------------------- *)
+
+let test_catalog () =
+  check_int "four families" 4 (List.length Sweep.families);
+  List.iter
+    (fun f ->
+      check_bool (f.Sweep.fa_name ^ " findable") true
+        (match Sweep.find f.Sweep.fa_name with
+        | Some g -> g.Sweep.fa_name = f.Sweep.fa_name
+        | None -> false);
+      check_int
+        (f.Sweep.fa_name ^ " total")
+        (List.length f.Sweep.fa_cells * 3)
+        (Sweep.total ~family:f ~iters:3);
+      (* cell ids are unique and indices dense ascending *)
+      List.iteri
+        (fun i c -> check_int (f.Sweep.fa_name ^ " index") i c.Sweep.cl_index)
+        f.Sweep.fa_cells;
+      let ids = List.map (fun c -> c.Sweep.cl_id) f.Sweep.fa_cells in
+      check_int
+        (f.Sweep.fa_name ^ " distinct ids")
+        (List.length ids)
+        (List.length (List.sort_uniq String.compare ids));
+      (* every cell model is a valid closed program *)
+      List.iter
+        (fun c ->
+          match Progir.validate c.Sweep.cl_model with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s model: %s" c.Sweep.cl_id e)
+        f.Sweep.fa_cells)
+    Sweep.families;
+  check_bool "unknown family" true (Sweep.find "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "golden seqlock table" `Quick test_golden_seqlock;
+    Alcotest.test_case "golden rwlock table" `Quick test_golden_rwlock;
+    Alcotest.test_case "seqlock structure" `Quick test_seqlock_structure;
+    Alcotest.test_case "no cert rejections" `Quick test_no_cert_rejections;
+    Alcotest.test_case "shard parity" `Quick test_shard_parity;
+    Alcotest.test_case "ndjson round-trip" `Quick test_ndjson_roundtrip;
+    Alcotest.test_case "ndjson rejects malformed" `Quick test_ndjson_rejects;
+    Alcotest.test_case "catalog" `Quick test_catalog;
+  ]
